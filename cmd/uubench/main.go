@@ -1,0 +1,157 @@
+// Command uubench regenerates the paper's evaluation artifacts: Table I and
+// Figures 6a, 6b, 6c, 7, 8a, 8b (as text tables), plus the Section V
+// counter reports for the in-depth-analysis applications.
+//
+// Usage:
+//
+//	uubench -all -out results/
+//	uubench -table1
+//	uubench -fig6a -fig6b -fig6c -apps xsbench,rainflow
+//	uubench -fig7 -fig8 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"uu/internal/bench"
+	"uu/internal/gpusim"
+	"uu/internal/pipeline"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "produce every table and figure")
+		table1    = flag.Bool("table1", false, "produce Table I")
+		fig6a     = flag.Bool("fig6a", false, "produce Figure 6a (speedup)")
+		fig6b     = flag.Bool("fig6b", false, "produce Figure 6b (code size)")
+		fig6c     = flag.Bool("fig6c", false, "produce Figure 6c (compile time)")
+		fig7      = flag.Bool("fig7", false, "produce Figure 7 (uu vs unroll vs unmerge)")
+		fig8      = flag.Bool("fig8", false, "produce Figures 8a/8b (scatter data)")
+		counters  = flag.Bool("counters", false, "produce the Section V counter reports")
+		ablations = flag.Bool("ablations", false, "produce the design-choice ablation tables")
+		appsCSV   = flag.String("apps", "", "comma-separated subset of applications (default: all 16)")
+		factors   = flag.String("factors", "2,4,8", "unroll factors to sweep")
+		verify    = flag.Bool("verify", false, "validate every run against the reference interpreter")
+		outDir    = flag.String("out", "", "write artifacts into this directory instead of stdout")
+		quiet     = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *fig6a, *fig6b, *fig6c, *fig7, *fig8, *counters, *ablations = true, true, true, true, true, true, true, true
+	}
+	if !(*table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *ablations) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := bench.HarnessOptions{Verify: *verify}
+	if *appsCSV != "" {
+		opts.Apps = strings.Split(*appsCSV, ",")
+	}
+	for _, fs := range strings.Split(*factors, ",") {
+		u, err := strconv.Atoi(strings.TrimSpace(fs))
+		if err != nil || u < 1 {
+			fatal(fmt.Errorf("bad factor %q", fs))
+		}
+		opts.Factors = append(opts.Factors, u)
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	var res *bench.Results
+	if *table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters {
+		var err error
+		res, err = bench.RunExperiments(opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	sink := func(name string) (*os.File, func()) {
+		if *outDir == "" {
+			fmt.Printf("\n===== %s =====\n", name)
+			return os.Stdout, func() {}
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			fatal(err)
+		}
+		return f, func() { f.Close() }
+	}
+
+	if *table1 {
+		w, done := sink("table1.txt")
+		bench.WriteTable1(w, res)
+		done()
+	}
+	if *fig6a {
+		w, done := sink("fig6a.txt")
+		bench.WriteFig6a(w, res)
+		done()
+	}
+	if *fig6b {
+		w, done := sink("fig6b.txt")
+		bench.WriteFig6b(w, res)
+		done()
+	}
+	if *fig6c {
+		w, done := sink("fig6c.txt")
+		bench.WriteFig6c(w, res)
+		done()
+	}
+	if *fig7 {
+		w, done := sink("fig7.txt")
+		bench.WriteFig7(w, res)
+		done()
+	}
+	if *fig8 {
+		w, done := sink("fig8.txt")
+		bench.WriteFig8(w, res)
+		done()
+	}
+	if *ablations {
+		w, done := sink("ablations.txt")
+		for _, spec := range []struct {
+			app          string
+			loop, factor int
+		}{{"bezier-surface", 1, 2}, {"rainflow", 0, 4}, {"xsbench", 0, 2}, {"complex", 0, 4}} {
+			rows, err := bench.RunAblations(spec.app, spec.loop, spec.factor, gpusim.V100())
+			if err != nil {
+				fatal(err)
+			}
+			bench.WriteAblations(w, spec.app, spec.loop, spec.factor, rows)
+			fmt.Fprintln(w)
+		}
+		done()
+	}
+	if *counters {
+		w, done := sink("counters.txt")
+		for _, spec := range []struct {
+			app    string
+			factor int
+		}{{"xsbench", 2}, {"xsbench", 8}, {"rainflow", 4}, {"complex", 8}, {"bezier-surface", 2}} {
+			if res.Baseline[spec.app] == nil {
+				continue
+			}
+			if rec := res.Best(spec.app, pipeline.UU, spec.factor); rec != nil {
+				bench.WriteCounterReport(w, res, spec.app, rec)
+				fmt.Fprintln(w)
+			}
+		}
+		done()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uubench:", err)
+	os.Exit(1)
+}

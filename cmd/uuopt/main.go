@@ -1,0 +1,197 @@
+// Command uuopt compiles a MiniCU kernel (or textual IR) through one of the
+// paper's five pipeline configurations and prints the result as IR, VPTX, or
+// a Graphviz CFG.
+//
+// Usage:
+//
+//	uuopt -src kernel.cu [-config uu] [-loop 0] [-factor 2] [-emit ir|vptx|dot|loops]
+//	uuopt -ir module.ll ...
+//
+// Examples:
+//
+//	uuopt -src bsearch.cu -config baseline -emit vptx
+//	uuopt -src bsearch.cu -config uu -loop 0 -factor 2 -emit dot | dot -Tpdf > cfg.pdf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uu/internal/analysis"
+	"uu/internal/codegen"
+	"uu/internal/core"
+	"uu/internal/dot"
+	"uu/internal/ir"
+	"uu/internal/irparse"
+	"uu/internal/lang"
+	"uu/internal/pipeline"
+	"uu/internal/transform"
+)
+
+func main() {
+	var (
+		srcPath   = flag.String("src", "", "MiniCU source file")
+		irPath    = flag.String("ir", "", "textual IR file")
+		config    = flag.String("config", "baseline", "pipeline config: baseline|unroll|unmerge|uu|uu-heuristic")
+		loopID    = flag.Int("loop", 0, "loop id for per-loop configs")
+		factor    = flag.Int("factor", 2, "unroll factor for unroll/uu")
+		emit      = flag.String("emit", "ir", "output: ir|vptx|dot|loops|provenance")
+		kernel    = flag.String("kernel", "", "kernel name when the module has several")
+		direct    = flag.Bool("direct-successor", false, "unmerge only the minimal SSA-closed region (DBDS-style ablation)")
+		noIfConv  = flag.Bool("no-ifconvert", false, "disable backend predication (ablation)")
+		noOpt     = flag.Bool("O0", false, "skip the pipeline entirely (frontend output)")
+		passTimes = flag.Bool("pass-times", false, "print per-pass wall-clock times")
+	)
+	flag.Parse()
+
+	f, err := loadFunction(*srcPath, *irPath, *kernel)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *emit == "provenance" {
+		// Figure 5 mode: canonicalize, apply u&u with clone-origin tracking,
+		// and print the per-block condition provenance labels before the
+		// cleanup passes fold them away.
+		emitProvenance(f, *loopID, *factor)
+		return
+	}
+
+	if !*noOpt {
+		opts := pipeline.Options{
+			Config:           pipeline.Config(*config),
+			LoopID:           *loopID,
+			Factor:           *factor,
+			DisableIfConvert: *noIfConv,
+			VerifyEachPass:   true,
+		}
+		opts.Unmerge.DirectSuccessorOnly = *direct
+		stats, err := pipeline.Optimize(f, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *passTimes {
+			for name, d := range stats.PassTimeByName() {
+				fmt.Fprintf(os.Stderr, "%-20s %v\n", name, d)
+			}
+			fmt.Fprintf(os.Stderr, "%-20s %v\n", "total", stats.CompileTime)
+		}
+		for _, d := range stats.Decisions {
+			fmt.Fprintf(os.Stderr, "heuristic: loop #%d (header %s): factor %d (p=%d s=%d f=%d)\n",
+				d.LoopID, d.Header.Name, d.Factor, d.Paths, d.Size, d.Estimated)
+		}
+	}
+
+	switch *emit {
+	case "ir":
+		fmt.Print(f.String())
+	case "vptx":
+		p, err := codegen.Lower(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(p.String())
+		fmt.Fprintf(os.Stderr, "code size: %d instructions, %d bytes\n", p.NumInstrs(), p.CodeBytes())
+	case "dot":
+		fmt.Print(dot.CFG(f, dot.Options{Instrs: true, Loops: true}))
+	case "loops":
+		dt := analysis.NewDomTree(f)
+		li := analysis.NewLoopInfo(f, dt)
+		for _, l := range li.Loops {
+			tc := "-"
+			if c, ok := analysis.ConstantTripCount(l); ok {
+				tc = fmt.Sprint(c)
+			}
+			fmt.Printf("loop #%d: header=%s depth=%d blocks=%d paths=%d size=%d trip=%s convergent=%v\n",
+				l.ID, l.Header.Name, l.Depth(), len(l.Blocks()),
+				analysis.CountPaths(l), analysis.LoopSize(l), tc, l.HasConvergentOp())
+		}
+	default:
+		fatal(fmt.Errorf("unknown -emit %q", *emit))
+	}
+}
+
+func loadFunction(srcPath, irPath, kernel string) (*ir.Function, error) {
+	var m *ir.Module
+	switch {
+	case srcPath != "":
+		data, err := os.ReadFile(srcPath)
+		if err != nil {
+			return nil, err
+		}
+		m, err = lang.Compile(string(data))
+		if err != nil {
+			return nil, err
+		}
+	case irPath != "":
+		data, err := os.ReadFile(irPath)
+		if err != nil {
+			return nil, err
+		}
+		m, err = irparse.Parse(string(data))
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("one of -src or -ir is required")
+	}
+	if kernel != "" {
+		f := m.FuncByName(kernel)
+		if f == nil {
+			return nil, fmt.Errorf("no kernel %q in module", kernel)
+		}
+		return f, nil
+	}
+	if len(m.Funcs()) != 1 {
+		return nil, fmt.Errorf("module has %d kernels; pick one with -kernel", len(m.Funcs()))
+	}
+	return m.Funcs()[0], nil
+}
+
+// emitProvenance prints the paper's Figure 5 labels: each block of the
+// unrolled-and-unmerged loop annotated with the implied truth value of every
+// conditional branch of the original loop body.
+func emitProvenance(f *ir.Function, loopID, factor int) {
+	transform.Mem2Reg(f)
+	transform.SimplifyCFG(f)
+	transform.InstSimplify(f)
+	transform.DCE(f)
+	dt := analysis.NewDomTree(f)
+	li := analysis.NewLoopInfo(f, dt)
+	l := li.LoopByID(loopID)
+	if l == nil {
+		fatal(fmt.Errorf("no loop #%d", loopID))
+	}
+	var conds []*ir.Instr
+	for _, b := range l.Blocks() {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		if c, ok := t.Arg(0).(*ir.Instr); ok {
+			conds = append(conds, c)
+		}
+	}
+	origins := map[*ir.Instr]*ir.Instr{}
+	if _, err := core.UnrollAndUnmerge(f, loopID, factor, core.Options{Origins: origins}); err != nil {
+		fatal(err)
+	}
+	labels := core.ConditionProvenance(f, conds, origins)
+	fmt.Println("conditions (label positions):")
+	for i, c := range conds {
+		fmt.Printf("  #%d: %s (in %s)"+"\n", i, c.String(), c.Block().Name)
+	}
+	fmt.Println()
+	fmt.Println("per-block provenance:")
+	for _, b := range f.Blocks() {
+		fmt.Printf("  %-28s %s"+"\n", b.Name, labels[b])
+	}
+	fmt.Println()
+	fmt.Print(dot.CFG(f, dot.Options{Loops: true, Labels: labels}))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uuopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command uurun compiles one of the suite's benchmarks (or a MiniCU source
+// with an explicit workload description) through a pipeline configuration
+// and executes it on the SIMT simulator, printing the nvprof-style metrics.
+//
+// Usage:
+//
+//	uurun -bench xsbench [-config uu -loop 0 -factor 2] [-verify]
+//	uurun -src axpy.cu -args i:0,i:800,f:3.0,i:100 -mem 1024 -grid 2 -block 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"uu/internal/bench"
+	"uu/internal/codegen"
+	"uu/internal/gpusim"
+	"uu/internal/interp"
+	"uu/internal/lang"
+	"uu/internal/pipeline"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "suite benchmark name (see -list)")
+		list      = flag.Bool("list", false, "list suite benchmarks")
+		srcPath   = flag.String("src", "", "MiniCU source file (with -args/-mem/-grid/-block)")
+		argsSpec  = flag.String("args", "", "kernel arguments, comma-separated i:<int> / f:<float>")
+		memSize   = flag.Int64("mem", 1<<20, "device memory bytes (with -src)")
+		grid      = flag.Int("grid", 1, "grid dimension (with -src)")
+		block     = flag.Int("block", 32, "block dimension (with -src)")
+		config    = flag.String("config", "baseline", "pipeline config")
+		loopID    = flag.Int("loop", 0, "loop id for per-loop configs")
+		factor    = flag.Int("factor", 2, "unroll factor")
+		verify    = flag.Bool("verify", false, "check results against the reference interpreter (suite benchmarks only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.Suite {
+			fmt.Printf("%-16s %-30s loops=%d\n", b.Name, b.Category, bench.LoopCount(b))
+		}
+		return
+	}
+
+	opts := pipeline.Options{
+		Config: pipeline.Config(*config),
+		LoopID: *loopID,
+		Factor: *factor,
+	}
+	dev := gpusim.V100()
+
+	if *benchName != "" {
+		b := bench.ByName(*benchName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q (use -list)", *benchName))
+		}
+		w := b.NewWorkload()
+		cr, err := bench.Compile(b, opts)
+		if err != nil {
+			fatal(err)
+		}
+		var ref *interp.Memory
+		if *verify {
+			if ref, err = bench.Reference(b, w); err != nil {
+				fatal(err)
+			}
+		}
+		m, err := bench.Execute(cr, w, dev, ref)
+		if err != nil {
+			fatal(err)
+		}
+		if *verify {
+			fmt.Println("verification: OK")
+		}
+		report(m, dev, cr.Program)
+		return
+	}
+
+	if *srcPath == "" {
+		fatal(fmt.Errorf("one of -bench or -src is required"))
+	}
+	data, err := os.ReadFile(*srcPath)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := lang.Compile(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	if len(m.Funcs()) != 1 {
+		fatal(fmt.Errorf("source must contain exactly one kernel"))
+	}
+	f := m.Funcs()[0]
+	if _, err := pipeline.Optimize(f, opts); err != nil {
+		fatal(err)
+	}
+	prog, err := codegen.Lower(f)
+	if err != nil {
+		fatal(err)
+	}
+	args, err := parseArgs(*argsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	mem := interp.NewMemory(*memSize)
+	metrics, err := gpusim.Run(prog, args, mem, gpusim.Launch{GridDim: *grid, BlockDim: *block}, dev)
+	if err != nil {
+		fatal(err)
+	}
+	report(metrics, dev, prog)
+}
+
+func parseArgs(spec string) ([]interp.Value, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []interp.Value
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case strings.HasPrefix(part, "i:"):
+			v, err := strconv.ParseInt(part[2:], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad int arg %q", part)
+			}
+			out = append(out, interp.IntVal(v))
+		case strings.HasPrefix(part, "f:"):
+			v, err := strconv.ParseFloat(part[2:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad float arg %q", part)
+			}
+			out = append(out, interp.FloatVal(v))
+		default:
+			return nil, fmt.Errorf("argument %q must be i:<int> or f:<float>", part)
+		}
+	}
+	return out, nil
+}
+
+func report(m *gpusim.Metrics, dev gpusim.DeviceConfig, p *codegen.Program) {
+	fmt.Printf("kernel                 %s\n", p.Name)
+	fmt.Printf("kernel time            %.6f ms\n", m.KernelMillis(dev))
+	fmt.Printf("cycles                 %d\n", m.Cycles)
+	fmt.Printf("warps                  %d\n", m.Warps)
+	fmt.Printf("warp instructions      %d\n", m.WarpInstrs)
+	fmt.Printf("thread instructions    %d\n", m.ThreadInstrs)
+	fmt.Printf("  inst_compute         %d\n", m.ClassThread[codegen.ClassCompute])
+	fmt.Printf("  inst_misc            %d\n", m.ClassThread[codegen.ClassMisc])
+	fmt.Printf("  inst_control         %d\n", m.ClassThread[codegen.ClassControl])
+	fmt.Printf("  inst_memory          %d\n", m.ClassThread[codegen.ClassMemory])
+	fmt.Printf("gld_transactions       %d (%d bytes)\n", m.GldTransactions, m.GldBytes)
+	fmt.Printf("gst_transactions       %d (%d bytes)\n", m.GstTransactions, m.GstBytes)
+	fmt.Printf("warp_execution_eff     %.2f%%\n", m.WarpExecutionEfficiency(dev)*100)
+	fmt.Printf("stall_inst_fetch       %.2f%%\n", m.StallInstFetchPct()*100)
+	fmt.Printf("IPC                    %.3f\n", m.IPC())
+	fmt.Printf("code size              %d bytes (%d instructions)\n", p.CodeBytes(), p.NumInstrs())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uurun:", err)
+	os.Exit(1)
+}

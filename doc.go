@@ -1,0 +1,12 @@
+// Package uu is a from-scratch Go reproduction of "Enhancing Performance
+// through Control-Flow Unmerging and Loop Unrolling on GPUs" (CGO 2024).
+//
+// The implementation lives under internal/: an SSA IR and optimization
+// pipeline (internal/ir, internal/analysis, internal/transform), the paper's
+// unroll-and-unmerge transformation and heuristic (internal/core), a
+// CUDA-like kernel language (internal/lang), a PTX-like backend
+// (internal/codegen), a SIMT GPU simulator (internal/gpusim), and the
+// 16-benchmark evaluation harness (internal/bench). The cmd/ binaries and
+// examples/ programs drive them; bench_test.go regenerates every table and
+// figure of the paper's evaluation as Go benchmarks.
+package uu

@@ -1,0 +1,3 @@
+module uu
+
+go 1.22

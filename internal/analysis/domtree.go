@@ -1,0 +1,251 @@
+// Package analysis provides the CFG and dataflow analyses that the
+// transformation passes consume: dominator and post-dominator trees, natural
+// loop detection, trip-count analysis, SIMT divergence analysis, convergence
+// detection, a simple alias analysis, and the instruction cost model used by
+// the unroll-and-unmerge heuristic.
+package analysis
+
+import "uu/internal/ir"
+
+// DomTree is a dominator tree (or post-dominator tree; see NewPostDomTree)
+// over the reachable blocks of a function. A virtual root unifies multiple
+// exit blocks in the post-dominator case; Idom returns nil where the
+// immediate (post-)dominator is the virtual root.
+type DomTree struct {
+	idom     map[*ir.Block]*ir.Block
+	children map[*ir.Block][]*ir.Block
+	in, out  map[*ir.Block]int // DFS numbering for O(1) dominance queries
+	post     bool
+}
+
+// NewDomTree computes the dominator tree of f using the iterative
+// Cooper-Harvey-Kennedy algorithm.
+func NewDomTree(f *ir.Function) *DomTree {
+	t := &DomTree{}
+	t.build(blockSuccs, blockPreds, []*ir.Block{f.Entry()})
+	return t
+}
+
+// NewPostDomTree computes the post-dominator tree of f. Blocks with no
+// successors (returns) are roots under a shared virtual exit. Blocks that
+// cannot reach any exit (infinite loops) are absent; Reachable reports false
+// for them.
+func NewPostDomTree(f *ir.Function) *DomTree {
+	t := &DomTree{post: true}
+	var exits []*ir.Block
+	for _, b := range f.Blocks() {
+		if len(b.Succs()) == 0 {
+			exits = append(exits, b)
+		}
+	}
+	t.build(blockPreds, blockSuccs, exits)
+	return t
+}
+
+func blockSuccs(b *ir.Block) []*ir.Block { return b.Succs() }
+func blockPreds(b *ir.Block) []*ir.Block { return b.Preds() }
+
+// build runs CHK over the graph induced by succ/pred starting at roots, with
+// an explicit virtual root (index 0) whose children are the roots.
+func (t *DomTree) build(succ, pred func(*ir.Block) []*ir.Block, roots []*ir.Block) {
+	t.idom = map[*ir.Block]*ir.Block{}
+	t.children = map[*ir.Block][]*ir.Block{}
+	t.in = map[*ir.Block]int{}
+	t.out = map[*ir.Block]int{}
+
+	// Postorder DFS from all roots.
+	seen := map[*ir.Block]bool{}
+	var postOrder []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range succ(b) {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		postOrder = append(postOrder, b)
+	}
+	for _, r := range roots {
+		if !seen[r] {
+			dfs(r)
+		}
+	}
+
+	// Index 0 = virtual root; blocks get 1..n in reverse postorder.
+	n := len(postOrder)
+	nodes := make([]*ir.Block, n+1)
+	num := map[*ir.Block]int{}
+	for i := 0; i < n; i++ {
+		b := postOrder[n-1-i]
+		nodes[i+1] = b
+		num[b] = i + 1
+	}
+	isRoot := map[*ir.Block]bool{}
+	for _, r := range roots {
+		isRoot[r] = true
+	}
+
+	const undef = -1
+	idom := make([]int, n+1)
+	for i := range idom {
+		idom[i] = undef
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for a > b {
+				a = idom[a]
+			}
+			for b > a {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i <= n; i++ {
+			b := nodes[i]
+			newIdom := undef
+			if isRoot[b] {
+				newIdom = 0
+			}
+			for _, p := range pred(b) {
+				pi, ok := num[p]
+				if !ok || idom[pi] == undef {
+					continue
+				}
+				if newIdom == undef {
+					newIdom = pi
+				} else {
+					newIdom = intersect(newIdom, pi)
+				}
+			}
+			if newIdom != undef && idom[i] != newIdom {
+				idom[i] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	virtChildren := []*ir.Block{}
+	for i := 1; i <= n; i++ {
+		if idom[i] == undef {
+			continue
+		}
+		b := nodes[i]
+		if idom[i] == 0 {
+			t.idom[b] = nil
+			virtChildren = append(virtChildren, b)
+		} else {
+			p := nodes[idom[i]]
+			t.idom[b] = p
+			t.children[p] = append(t.children[p], b)
+		}
+	}
+
+	// DFS in/out numbering. The virtual root spans everything, so all tree
+	// roots are numbered within one global counter; dominance between blocks
+	// in different subtrees is correctly false because intervals are disjoint.
+	cnt := 0
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		cnt++
+		t.in[b] = cnt
+		for _, c := range t.children[b] {
+			walk(c)
+		}
+		cnt++
+		t.out[b] = cnt
+	}
+	for _, r := range virtChildren {
+		walk(r)
+	}
+}
+
+// Idom returns the immediate dominator (or post-dominator) of b. It returns
+// nil for the entry block, for post-dominator roots (whose idom is the
+// virtual exit), and for blocks outside the tree.
+func (t *DomTree) Idom(b *ir.Block) *ir.Block { return t.idom[b] }
+
+// Reachable reports whether b participates in the tree (is reachable from the
+// entry, or reaches an exit for post-dominator trees).
+func (t *DomTree) Reachable(b *ir.Block) bool {
+	_, ok := t.in[b]
+	return ok
+}
+
+// Dominates reports whether a dominates b (reflexively). For post-dominator
+// trees it reports post-dominance. Blocks outside the tree dominate nothing
+// and are dominated by nothing, except themselves.
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	ia, oka := t.in[a]
+	ib, okb := t.in[b]
+	if !oka || !okb {
+		return false
+	}
+	return ia <= ib && t.out[b] <= t.out[a]
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (t *DomTree) StrictlyDominates(a, b *ir.Block) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// Children returns the dominator-tree children of b.
+func (t *DomTree) Children(b *ir.Block) []*ir.Block { return t.children[b] }
+
+// Frontier computes the dominance frontier of every block (Cooper et al.),
+// used for phi placement in mem2reg. Only valid for forward dominator trees.
+func (t *DomTree) Frontier(f *ir.Function) map[*ir.Block][]*ir.Block {
+	df := map[*ir.Block][]*ir.Block{}
+	for _, b := range f.Blocks() {
+		if len(b.Preds()) < 2 {
+			continue
+		}
+		for _, p := range b.Preds() {
+			runner := p
+			for runner != nil && runner != t.idom[b] && t.Reachable(runner) {
+				df[runner] = appendUnique(df[runner], b)
+				runner = t.idom[runner]
+			}
+		}
+	}
+	return df
+}
+
+func appendUnique(s []*ir.Block, b *ir.Block) []*ir.Block {
+	for _, x := range s {
+		if x == b {
+			return s
+		}
+	}
+	return append(s, b)
+}
+
+// DominatesInstr reports whether the definition of value def is available at
+// instruction at (i.e. def is a constant/parameter, or an instruction that
+// strictly precedes at in the same block, or whose block dominates at's).
+func (t *DomTree) DominatesInstr(def ir.Value, at *ir.Instr) bool {
+	di, ok := def.(*ir.Instr)
+	if !ok {
+		return true
+	}
+	db, ub := di.Block(), at.Block()
+	if db == ub {
+		for _, in := range db.Instrs() {
+			if in == di {
+				return true
+			}
+			if in == at {
+				return false
+			}
+		}
+		return false
+	}
+	return t.Dominates(db, ub)
+}

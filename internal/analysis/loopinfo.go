@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"uu/internal/ir"
+)
+
+// Loop is a natural loop: a strongly-connected region with a single header
+// that dominates all blocks in the loop.
+type Loop struct {
+	Header   *ir.Block
+	Parent   *Loop
+	Children []*Loop
+
+	blocks   []*ir.Block // in discovery order, Header first
+	blockSet map[*ir.Block]bool
+	latches  []*ir.Block // blocks with a back edge to Header
+	ID       int         // deterministic ID assigned by LoopInfo (preorder over headers)
+}
+
+// Blocks returns the loop's blocks (header first). Must not be mutated.
+func (l *Loop) Blocks() []*ir.Block { return l.blocks }
+
+// Contains reports whether b is inside the loop (including nested loops).
+func (l *Loop) Contains(b *ir.Block) bool { return l.blockSet[b] }
+
+// Latches returns the blocks with back edges to the header.
+func (l *Loop) Latches() []*ir.Block { return l.latches }
+
+// Latch returns the unique latch, or nil if there are several.
+func (l *Loop) Latch() *ir.Block {
+	if len(l.latches) == 1 {
+		return l.latches[0]
+	}
+	return nil
+}
+
+// Depth returns the nesting depth (1 for outermost loops).
+func (l *Loop) Depth() int {
+	d := 1
+	for p := l.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Preheader returns the unique predecessor of the header outside the loop,
+// provided it has the header as its only successor; otherwise nil.
+// Passes that need a preheader call transform.EnsurePreheader first.
+func (l *Loop) Preheader() *ir.Block {
+	var ph *ir.Block
+	for _, p := range l.Header.Preds() {
+		if l.Contains(p) {
+			continue
+		}
+		if ph != nil && ph != p {
+			return nil
+		}
+		ph = p
+	}
+	if ph == nil || len(ph.Succs()) != 1 {
+		return nil
+	}
+	return ph
+}
+
+// ExitingBlocks returns loop blocks with a successor outside the loop.
+func (l *Loop) ExitingBlocks() []*ir.Block {
+	var out []*ir.Block
+	for _, b := range l.blocks {
+		for _, s := range b.Succs() {
+			if !l.Contains(s) {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ExitBlocks returns the distinct blocks outside the loop with a predecessor
+// inside it.
+func (l *Loop) ExitBlocks() []*ir.Block {
+	seen := map[*ir.Block]bool{}
+	var out []*ir.Block
+	for _, b := range l.blocks {
+		for _, s := range b.Succs() {
+			if !l.Contains(s) && !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// String describes the loop for diagnostics.
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop#%d(header=%s, depth=%d, %d blocks)", l.ID, l.Header.Name, l.Depth(), len(l.blocks))
+}
+
+// LoopInfo holds all natural loops of a function.
+type LoopInfo struct {
+	Loops   []*Loop // all loops, preorder: outer before inner, by header RPO
+	Top     []*Loop // outermost loops
+	loopOf  map[*ir.Block]*Loop
+	domTree *DomTree
+}
+
+// NewLoopInfo discovers the natural loops of f. Loops sharing a header are
+// merged (as in LLVM). Loop IDs are assigned deterministically in reverse
+// postorder of headers, outer loops first — these are the "consistent,
+// deterministic unique ids" the paper's pass exposes for per-loop selection.
+func NewLoopInfo(f *ir.Function, dt *DomTree) *LoopInfo {
+	li := &LoopInfo{loopOf: map[*ir.Block]*Loop{}, domTree: dt}
+
+	// Find back edges.
+	byHeader := map[*ir.Block]*Loop{}
+	var headers []*ir.Block
+	for _, b := range f.Blocks() {
+		for _, s := range b.Succs() {
+			if dt.Dominates(s, b) { // back edge b->s
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, blockSet: map[*ir.Block]bool{s: true}, blocks: []*ir.Block{s}}
+					byHeader[s] = l
+					headers = append(headers, s)
+				}
+				l.latches = append(l.latches, b)
+			}
+		}
+	}
+
+	// Populate loop bodies: walk backwards from each latch until the header.
+	for _, h := range headers {
+		l := byHeader[h]
+		work := append([]*ir.Block(nil), l.latches...)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			if l.blockSet[b] {
+				continue
+			}
+			l.blockSet[b] = true
+			l.blocks = append(l.blocks, b)
+			for _, p := range b.Preds() {
+				if !l.blockSet[p] && dt.Reachable(p) {
+					work = append(work, p)
+				}
+			}
+		}
+	}
+
+	// Establish nesting: parent = smallest strictly-containing loop.
+	loops := make([]*Loop, 0, len(headers))
+	for _, h := range headers {
+		loops = append(loops, byHeader[h])
+	}
+	for _, inner := range loops {
+		var best *Loop
+		for _, outer := range loops {
+			if outer == inner || !outer.Contains(inner.Header) {
+				continue
+			}
+			if best == nil || len(outer.blocks) < len(best.blocks) {
+				best = outer
+			}
+		}
+		inner.Parent = best
+		if best != nil {
+			best.Children = append(best.Children, inner)
+		}
+	}
+
+	// Deterministic ordering: sort headers by reverse postorder position.
+	rpo := rpoIndex(f)
+	sort.SliceStable(loops, func(i, j int) bool {
+		di, dj := loops[i].Depth(), loops[j].Depth()
+		ri, rj := rpo[loops[i].Header], rpo[loops[j].Header]
+		if ri != rj {
+			return ri < rj
+		}
+		return di < dj
+	})
+	for i, l := range loops {
+		l.ID = i
+	}
+	li.Loops = loops
+	for _, l := range loops {
+		if l.Parent == nil {
+			li.Top = append(li.Top, l)
+		}
+	}
+
+	// loopOf: innermost loop containing each block.
+	for _, l := range loops {
+		for _, b := range l.blocks {
+			cur := li.loopOf[b]
+			if cur == nil || len(l.blocks) < len(cur.blocks) {
+				li.loopOf[b] = l
+			}
+		}
+	}
+	return li
+}
+
+// LoopFor returns the innermost loop containing b, or nil.
+func (li *LoopInfo) LoopFor(b *ir.Block) *Loop { return li.loopOf[b] }
+
+// LoopByID returns the loop with the given deterministic ID, or nil.
+func (li *LoopInfo) LoopByID(id int) *Loop {
+	if id < 0 || id >= len(li.Loops) {
+		return nil
+	}
+	return li.Loops[id]
+}
+
+// rpoIndex returns each reachable block's reverse-postorder index.
+func rpoIndex(f *ir.Function) map[*ir.Block]int {
+	seen := map[*ir.Block]bool{}
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	idx := map[*ir.Block]int{}
+	for i := len(post) - 1; i >= 0; i-- {
+		idx[post[i]] = len(post) - 1 - i
+	}
+	return idx
+}
+
+// HasConvergentOp reports whether any instruction in the loop is convergent
+// (e.g. a barrier). The unmerge pass refuses such loops, mirroring the
+// paper's use of LLVM's convergence analysis.
+func (l *Loop) HasConvergentOp() bool {
+	for _, b := range l.blocks {
+		for _, in := range b.Instrs() {
+			if in.IsConvergent() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import "uu/internal/ir"
+
+// TripCountLimit bounds the number of simulated iterations when evaluating a
+// candidate constant trip count; loops longer than this are treated as
+// unknown.
+const TripCountLimit = 1 << 20
+
+// ConstantTripCount returns the exact number of iterations of l when it is a
+// canonically counted loop with constant bounds: a single induction phi in
+// the header with constant initial value and constant additive step, and a
+// single conditional exit in the header or unique latch comparing the
+// induction variable (or its incremented value) against a constant.
+//
+// It mirrors (a small slice of) LLVM's scalar evolution, and powers the
+// baseline unroller's full-unroll decision — e.g. the trip count of 4 in
+// bspline-vgh that the paper calls out in RQ2.
+func ConstantTripCount(l *Loop) (int64, bool) {
+	exiting := l.ExitingBlocks()
+	if len(exiting) != 1 {
+		return 0, false
+	}
+	eb := exiting[0]
+	if eb != l.Header && eb != l.Latch() {
+		return 0, false
+	}
+	term := eb.Term()
+	if term.Op != ir.OpCondBr {
+		return 0, false
+	}
+	cmp, ok := term.Arg(0).(*ir.Instr)
+	if !ok || cmp.Op != ir.OpICmp {
+		return 0, false
+	}
+	// One operand must be derived from the induction phi, the other constant.
+	bound, bok := cmp.Arg(1).(*ir.Const)
+	ivSide, pred := cmp.Arg(0), cmp.Pred
+	if !bok {
+		bound, bok = cmp.Arg(0).(*ir.Const)
+		if !bok {
+			return 0, false
+		}
+		ivSide, pred = cmp.Arg(1), cmp.Pred.Swapped()
+	}
+
+	phi, init, step, incr := inductionOf(l, ivSide)
+	if phi == nil {
+		return 0, false
+	}
+	// Whether the comparison sees the pre- or post-increment value.
+	post := ivSide == ir.Value(incr)
+	if !post && ivSide != ir.Value(phi) {
+		return 0, false
+	}
+	// The loop continues while the branch takes the in-loop edge.
+	inLoopOnTrue := l.Contains(term.BlockArg(0))
+	if inLoopOnTrue == l.Contains(term.BlockArg(1)) {
+		return 0, false
+	}
+	// The test guards the body only when it is in the header and the header
+	// is not also the latch; a single-block loop has do-while semantics.
+	headerTest := eb == l.Header && eb != l.Latch()
+
+	iv := init
+	var count int64
+	for count <= TripCountLimit {
+		// Value the comparison observes this iteration.
+		obs := iv
+		if post {
+			obs = iv + step
+		}
+		c := ir.FoldCompare(ir.OpICmp, pred, ir.ConstInt(phi.Type(), obs), bound)
+		if c == nil {
+			return 0, false
+		}
+		stay := (c.Int == 1) == inLoopOnTrue
+		if headerTest {
+			if !stay {
+				return count, true
+			}
+			count++
+			iv += step
+		} else { // latch test: body has already run once when tested
+			count++
+			iv += step
+			if !stay {
+				return count, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// inductionOf finds the induction phi that v is based on: v must be the phi
+// itself or its increment instruction. Returns the phi, its constant initial
+// value, its constant step, and the increment instruction.
+func inductionOf(l *Loop, v ir.Value) (phi *ir.Instr, init, step int64, incr *ir.Instr) {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return nil, 0, 0, nil
+	}
+	asPhi := in
+	if in.Op == ir.OpAdd || in.Op == ir.OpSub {
+		// v may be the increment; its phi operand is the induction variable.
+		if p, ok := in.Arg(0).(*ir.Instr); ok && p.IsPhi() {
+			asPhi = p
+		} else if p, ok := in.Arg(1).(*ir.Instr); ok && p.IsPhi() && in.Op == ir.OpAdd {
+			asPhi = p
+		}
+	}
+	if !asPhi.IsPhi() || asPhi.Block() != l.Header || asPhi.NumArgs() != 2 {
+		return nil, 0, 0, nil
+	}
+	var initC *ir.Const
+	var inc *ir.Instr
+	for i := 0; i < 2; i++ {
+		from := asPhi.BlockArg(i)
+		val := asPhi.Arg(i)
+		if l.Contains(from) {
+			inc, _ = val.(*ir.Instr)
+		} else {
+			initC, _ = val.(*ir.Const)
+		}
+	}
+	if initC == nil || inc == nil {
+		return nil, 0, 0, nil
+	}
+	if inc.Op != ir.OpAdd && inc.Op != ir.OpSub {
+		return nil, 0, 0, nil
+	}
+	var stepC *ir.Const
+	if inc.Arg(0) == ir.Value(asPhi) {
+		stepC, _ = inc.Arg(1).(*ir.Const)
+	} else if inc.Arg(1) == ir.Value(asPhi) && inc.Op == ir.OpAdd {
+		stepC, _ = inc.Arg(0).(*ir.Const)
+	}
+	if stepC == nil {
+		return nil, 0, 0, nil
+	}
+	s := stepC.Int
+	if inc.Op == ir.OpSub {
+		s = -s
+	}
+	if s == 0 {
+		return nil, 0, 0, nil
+	}
+	// v must be the phi or the increment.
+	if in != asPhi && in != inc {
+		return nil, 0, 0, nil
+	}
+	return asPhi, initC.Int, s, inc
+}

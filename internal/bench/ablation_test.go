@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"testing"
+
+	"uu/internal/gpusim"
+)
+
+func rowByName(rows []AblationRow, name string) *AblationRow {
+	for i := range rows {
+		if rows[i].Name == name {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+// TestAblationBezier probes the two GVN capabilities on the bezier loop: the
+// condition-elimination win requires equality propagation, and whole-path
+// duplication must not lose to direct-successor-only duplication.
+func TestAblationBezier(t *testing.T) {
+	rows, err := RunAblations("bezier-surface", 1, 2, gpusim.V100())
+	if err != nil {
+		t.Fatalf("ablations: %v", err)
+	}
+	full := rowByName(rows, "uu")
+	noEq := rowByName(rows, "uu/no-equality-prop")
+	direct := rowByName(rows, "uu/direct-successor")
+	if full == nil || noEq == nil || direct == nil {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+	if full.Speedup < 1.3 {
+		t.Fatalf("full u&u speedup %.3f too low", full.Speedup)
+	}
+	if noEq.Speedup >= full.Speedup {
+		t.Errorf("disabling equality propagation should cost speedup: full=%.3f noEq=%.3f",
+			full.Speedup, noEq.Speedup)
+	}
+	if direct.Err == "" && direct.Speedup > full.Speedup+0.05 {
+		t.Errorf("direct-successor-only unexpectedly beats whole-path: %.3f vs %.3f",
+			direct.Speedup, full.Speedup)
+	}
+}
+
+// TestAblationRainflow: the load-elimination capability carries a large part
+// of rainflow's win (§V: gld_throughput reduction).
+func TestAblationRainflow(t *testing.T) {
+	rows, err := RunAblations("rainflow", 0, 4, gpusim.V100())
+	if err != nil {
+		t.Fatalf("ablations: %v", err)
+	}
+	full := rowByName(rows, "uu")
+	noLoads := rowByName(rows, "uu/no-load-elim")
+	if full == nil || noLoads == nil {
+		t.Fatalf("missing rows")
+	}
+	if full.Speedup < 1.2 {
+		t.Fatalf("full u&u speedup %.3f too low", full.Speedup)
+	}
+	if noLoads.Speedup >= full.Speedup {
+		t.Errorf("disabling load elimination should cost speedup: full=%.3f noLoads=%.3f",
+			full.Speedup, noLoads.Speedup)
+	}
+}
+
+// TestAblationComplexPredication: the baseline's advantage on complex comes
+// from if-conversion; without it the baseline itself diverges.
+func TestAblationComplexPredication(t *testing.T) {
+	rows, err := RunAblations("complex", 0, 4, gpusim.V100())
+	if err != nil {
+		t.Fatalf("ablations: %v", err)
+	}
+	base := rowByName(rows, "baseline")
+	noIfc := rowByName(rows, "baseline/no-ifconvert")
+	uu := rowByName(rows, "uu")
+	if base == nil || noIfc == nil || uu == nil {
+		t.Fatalf("missing rows")
+	}
+	if noIfc.Millis <= base.Millis {
+		t.Errorf("baseline without predication should be slower: %.5f vs %.5f",
+			noIfc.Millis, base.Millis)
+	}
+	if uu.Speedup > 1.0 {
+		t.Errorf("complex u&u u=4 should not beat baseline (got %.3f)", uu.Speedup)
+	}
+}
+
+// TestAblationSelectiveComplex: the paper's §VI hypothesis — partial
+// unmerging should contain the damage on complex, whose merges carry plain
+// data flow that no later pass exploits.
+func TestAblationSelectiveComplex(t *testing.T) {
+	rows, err := RunAblations("complex", 0, 8, gpusim.V100())
+	if err != nil {
+		t.Fatalf("ablations: %v", err)
+	}
+	full := rowByName(rows, "uu")
+	sel := rowByName(rows, "uu/selective")
+	if full == nil || sel == nil {
+		t.Fatalf("missing rows")
+	}
+	if sel.Err != "" {
+		t.Fatalf("selective failed: %s", sel.Err)
+	}
+	if sel.Speedup <= full.Speedup {
+		t.Errorf("selective unmerging should contain the complex slowdown: selective=%.3f full=%.3f",
+			sel.Speedup, full.Speedup)
+	}
+	if sel.Code >= full.Code {
+		t.Errorf("selective unmerging should emit less code: %d vs %d", sel.Code, full.Code)
+	}
+}
+
+// TestAblationSelectiveKeepsBezierWin: on loops where the merges ARE the
+// optimization opportunity, selective mode must keep (most of) the win.
+func TestAblationSelectiveKeepsBezierWin(t *testing.T) {
+	rows, err := RunAblations("bezier-surface", 1, 2, gpusim.V100())
+	if err != nil {
+		t.Fatalf("ablations: %v", err)
+	}
+	full := rowByName(rows, "uu")
+	sel := rowByName(rows, "uu/selective")
+	if full == nil || sel == nil || sel.Err != "" {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+	if sel.Speedup < full.Speedup*0.9 {
+		t.Errorf("selective mode lost the bezier win: selective=%.3f full=%.3f",
+			sel.Speedup, full.Speedup)
+	}
+}

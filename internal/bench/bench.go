@@ -1,0 +1,178 @@
+// Package bench defines the 16 GPU benchmarks mirroring the paper's
+// HeCBench selection (Table I), their workload generators and verification
+// oracles, and the experiment harness that regenerates Table I and Figures
+// 6a/6b/6c, 7, 8a and 8b.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"uu/internal/codegen"
+	"uu/internal/gpusim"
+	"uu/internal/interp"
+	"uu/internal/ir"
+	"uu/internal/lang"
+	"uu/internal/pipeline"
+)
+
+// Region describes an output range used for verification.
+type Region struct {
+	Name  string
+	Base  int64  // byte offset
+	Count int64  // number of elements
+	Elem  string // "f64", "f32", "i64", "i32"
+}
+
+// Workload is one concrete input configuration for a benchmark.
+type Workload struct {
+	Args    []interp.Value
+	MemSize int64
+	Init    func(m *interp.Memory)
+	Launch  gpusim.Launch
+	Outputs []Region
+}
+
+// NewMemory builds a fresh initialized memory for the workload.
+func (w *Workload) NewMemory() *interp.Memory {
+	m := interp.NewMemory(w.MemSize)
+	if w.Init != nil {
+		w.Init(m)
+	}
+	return m
+}
+
+// Benchmark is one application of the suite.
+type Benchmark struct {
+	Name        string
+	Category    string
+	CommandLine string  // the paper's Table I command line (documentary)
+	KernelPct   float64 // paper's %C: fraction of app time in compute kernels
+	Source      string  // MiniCU kernel source
+	NewWorkload func() *Workload
+
+	// AppCodeBytes and AppCompileMs model the rest of the application: the
+	// paper compares whole-binary sizes and whole-clang-invocation times, so
+	// the relative increase depends on how much of the application the
+	// transformed loop is. "If an application is large such as XSBench and
+	// quicksort, the relative code size increase will not be large... the
+	// optimized loops of ccs, complex, haccmk, and rainflow dominate the
+	// code size" (RQ2). Figures 6b/6c add these constants to both sides of
+	// each ratio.
+	AppCodeBytes int64
+	AppCompileMs float64
+}
+
+// Kernel compiles the benchmark's kernel to fresh IR (frontend only).
+func (b *Benchmark) Kernel() *ir.Function {
+	return lang.MustCompileKernel(b.Source)
+}
+
+// Reference executes the unoptimized kernel with the sequential interpreter
+// over every thread of the launch grid, producing the oracle memory image.
+func Reference(b *Benchmark, w *Workload) (*interp.Memory, error) {
+	f := b.Kernel()
+	mem := w.NewMemory()
+	total := w.Launch.Threads()
+	for tid := 0; tid < total; tid++ {
+		env := interp.Env{
+			TID:    int32(tid % w.Launch.BlockDim),
+			NTID:   int32(w.Launch.BlockDim),
+			CTAID:  int32(tid / w.Launch.BlockDim),
+			NCTAID: int32(w.Launch.GridDim),
+		}
+		if _, err := interp.Run(f, w.Args, mem, env); err != nil {
+			return nil, fmt.Errorf("bench %s: reference thread %d: %w", b.Name, tid, err)
+		}
+	}
+	return mem, nil
+}
+
+// CompareOutputs checks the workload's output regions of got against want.
+// Floating-point elements compare with a small relative tolerance (the
+// pipeline's identities like x+0 => x may flip signed zeros).
+func CompareOutputs(w *Workload, want, got *interp.Memory) error {
+	const relTol = 1e-9
+	feq := func(a, b float64) bool {
+		if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+			return true
+		}
+		d := math.Abs(a - b)
+		return d <= relTol*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for _, r := range w.Outputs {
+		for i := int64(0); i < r.Count; i++ {
+			switch r.Elem {
+			case "f64":
+				a, b := want.F64(r.Base, i), got.F64(r.Base, i)
+				if !feq(a, b) {
+					return fmt.Errorf("output %s[%d]: want %v, got %v", r.Name, i, a, b)
+				}
+			case "f32":
+				a, b := float64(want.F32(r.Base, i)), float64(got.F32(r.Base, i))
+				if !feq(a, b) {
+					return fmt.Errorf("output %s[%d]: want %v, got %v", r.Name, i, a, b)
+				}
+			case "i64":
+				if a, b := want.I64(r.Base, i), got.I64(r.Base, i); a != b {
+					return fmt.Errorf("output %s[%d]: want %d, got %d", r.Name, i, a, b)
+				}
+			case "i32":
+				if a, b := want.I32(r.Base, i), got.I32(r.Base, i); a != b {
+					return fmt.Errorf("output %s[%d]: want %d, got %d", r.Name, i, a, b)
+				}
+			default:
+				return fmt.Errorf("bad region elem %q", r.Elem)
+			}
+		}
+	}
+	return nil
+}
+
+// CompileResult bundles everything the harness measures at compile time.
+type CompileResult struct {
+	Program *codegen.Program
+	Stats   *pipeline.Stats
+	Func    *ir.Function
+}
+
+// Compile lowers the benchmark's kernel through the given pipeline
+// configuration down to VPTX.
+func Compile(b *Benchmark, opts pipeline.Options) (*CompileResult, error) {
+	f := b.Kernel()
+	stats, err := pipeline.Optimize(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s (%s): %w", b.Name, opts.Config, err)
+	}
+	prog, err := codegen.Lower(f)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s (%s): %w", b.Name, opts.Config, err)
+	}
+	return &CompileResult{Program: prog, Stats: stats, Func: f}, nil
+}
+
+// Execute runs a compiled kernel on the simulator. When verifyAgainst is
+// non-nil the resulting memory is checked against it.
+func Execute(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, verifyAgainst *interp.Memory) (*gpusim.Metrics, error) {
+	mem := w.NewMemory()
+	launch := w.Launch
+	if verifyAgainst != nil {
+		launch.SampleWarps = 0 // full run required for verification
+	}
+	m, err := gpusim.Run(cr.Program, w.Args, mem, launch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if verifyAgainst != nil {
+		if err := CompareOutputs(w, verifyAgainst, mem); err != nil {
+			return nil, fmt.Errorf("verification failed: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// LoopCount reports the benchmark's loop count on the canonicalized kernel —
+// the `L` column of Table I.
+func LoopCount(b *Benchmark) int {
+	return pipeline.CanonicalLoopCount(b.Kernel())
+}

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"uu/internal/core"
+	"uu/internal/gpusim"
+	"uu/internal/interp"
+	"uu/internal/pipeline"
+)
+
+// RunRecord is one (application, configuration, loop, factor) measurement.
+type RunRecord struct {
+	App    string
+	Config pipeline.Config
+	LoopID int // -1 for whole-app configurations (baseline, heuristic)
+	Factor int // 0 when not applicable
+
+	Millis    float64
+	CodeBytes int64
+	CompileMs float64
+	Metrics   *gpusim.Metrics
+	Decisions []core.Decision // heuristic only
+	PassTimes map[string]time.Duration
+	Skipped   string // non-empty when the loop was untransformable
+}
+
+// Speedup returns base.Millis / r.Millis (the paper's speedup definition,
+// kernel time only).
+func (r *RunRecord) Speedup(base *RunRecord) float64 {
+	if r.Millis == 0 {
+		return 0
+	}
+	return base.Millis / r.Millis
+}
+
+// Results holds a full experiment sweep.
+type Results struct {
+	Device    gpusim.DeviceConfig
+	Factors   []int
+	Baseline  map[string]*RunRecord // app -> baseline
+	Heuristic map[string]*RunRecord // app -> heuristic u&u
+	PerLoop   []*RunRecord          // unroll/unmerge/uu per loop and factor
+	LoopCount map[string]int
+}
+
+// HarnessOptions configures an experiment sweep.
+type HarnessOptions struct {
+	Apps    []string // nil = whole suite
+	Factors []int    // nil = {2,4,8} as in the paper
+	Verify  bool     // check every run against the interpreter oracle
+	Device  *gpusim.DeviceConfig
+	// Progress receives one line per completed run when non-nil.
+	Progress io.Writer
+}
+
+// RunExperiments executes the paper's measurement campaign: for every
+// application the baseline and heuristic configurations, plus — applying the
+// pass to one loop at a time exactly as the methodology section describes —
+// unroll-only and u&u for each unroll factor and unmerge-only per loop.
+func RunExperiments(opts HarnessOptions) (*Results, error) {
+	factors := opts.Factors
+	if factors == nil {
+		factors = []int{2, 4, 8}
+	}
+	dev := gpusim.V100()
+	if opts.Device != nil {
+		dev = *opts.Device
+	}
+	apps := Suite
+	if opts.Apps != nil {
+		apps = nil
+		for _, name := range opts.Apps {
+			b := ByName(name)
+			if b == nil {
+				return nil, fmt.Errorf("bench: unknown application %q", name)
+			}
+			apps = append(apps, b)
+		}
+	}
+	res := &Results{
+		Device:    dev,
+		Factors:   factors,
+		Baseline:  map[string]*RunRecord{},
+		Heuristic: map[string]*RunRecord{},
+		LoopCount: map[string]int{},
+	}
+	logf := func(format string, args ...any) {
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, format+"\n", args...)
+		}
+	}
+
+	for _, b := range apps {
+		w := b.NewWorkload()
+		var ref *interp.Memory
+		if opts.Verify {
+			m, err := Reference(b, w)
+			if err != nil {
+				return nil, err
+			}
+			ref = m
+		}
+		res.LoopCount[b.Name] = LoopCount(b)
+
+		one := func(cfg pipeline.Options, loopID, factor int) (*RunRecord, error) {
+			rec := &RunRecord{App: b.Name, Config: cfg.Config, LoopID: loopID, Factor: factor}
+			cr, err := Compile(b, cfg)
+			if err != nil {
+				rec.Skipped = err.Error()
+				return rec, nil
+			}
+			rec.CompileMs = float64(cr.Stats.CompileTime.Microseconds()) / 1000
+			rec.CodeBytes = cr.Program.CodeBytes()
+			rec.Decisions = cr.Stats.Decisions
+			rec.PassTimes = cr.Stats.PassTimeByName()
+			m, err := Execute(cr, w, dev, ref)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s %s loop %d u%d: %w", b.Name, cfg.Config, loopID, factor, err)
+			}
+			rec.Metrics = m
+			rec.Millis = m.KernelMillis(dev)
+			logf("%-16s %-12s loop=%-3d u=%-2d %10.4f ms  code=%6d B  compile=%7.2f ms",
+				b.Name, cfg.Config, loopID, factor, rec.Millis, rec.CodeBytes, rec.CompileMs)
+			return rec, nil
+		}
+
+		base, err := one(pipeline.Options{Config: pipeline.Baseline}, -1, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Baseline[b.Name] = base
+
+		heur, err := one(pipeline.Options{Config: pipeline.UUHeuristic}, -1, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Heuristic[b.Name] = heur
+
+		for loop := 0; loop < res.LoopCount[b.Name]; loop++ {
+			rec, err := one(pipeline.Options{Config: pipeline.UnmergeOnly, LoopID: loop}, loop, 1)
+			if err != nil {
+				return nil, err
+			}
+			res.PerLoop = append(res.PerLoop, rec)
+			for _, u := range factors {
+				rec, err := one(pipeline.Options{Config: pipeline.UnrollOnly, LoopID: loop, Factor: u}, loop, u)
+				if err != nil {
+					return nil, err
+				}
+				res.PerLoop = append(res.PerLoop, rec)
+				rec, err = one(pipeline.Options{Config: pipeline.UU, LoopID: loop, Factor: u}, loop, u)
+				if err != nil {
+					return nil, err
+				}
+				res.PerLoop = append(res.PerLoop, rec)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Best returns the best (highest-speedup) per-loop record for the app with
+// the given config and factor (0 = any factor), or nil.
+func (r *Results) Best(app string, cfg pipeline.Config, factor int) *RunRecord {
+	base := r.Baseline[app]
+	var best *RunRecord
+	for _, rec := range r.PerLoop {
+		if rec.App != app || rec.Config != cfg || rec.Skipped != "" {
+			continue
+		}
+		if factor != 0 && rec.Factor != factor {
+			continue
+		}
+		if best == nil || rec.Speedup(base) > best.Speedup(base) {
+			best = rec
+		}
+	}
+	return best
+}
+
+// PerLoopFor returns the per-loop records for (app, config, factor) sorted
+// by loop ID.
+func (r *Results) PerLoopFor(app string, cfg pipeline.Config, factor int) []*RunRecord {
+	var out []*RunRecord
+	for _, rec := range r.PerLoop {
+		if rec.App == app && rec.Config == cfg && (factor == 0 || rec.Factor == factor) {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LoopID < out[j].LoopID })
+	return out
+}

@@ -1,0 +1,474 @@
+package bench
+
+import (
+	"math/rand"
+
+	"uu/internal/gpusim"
+	"uu/internal/interp"
+)
+
+// Suite lists the 16 benchmarks in the order of the paper's Table I.
+var Suite = []*Benchmark{
+	BezierSurface, BN, BsplineVGH, CCS, Clink, Complex, Contract, Coordinates,
+	Haccmk, LavaMD, Libor, Mandelbrot, QTClustering, Quicksort, Rainflow, XSBench,
+}
+
+// ByName returns the benchmark with the given name, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range Suite {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// BezierSurface evaluates Bernstein blends with the paper's Listing 2 loop:
+// two independent countdown conditions whose re-evaluation u&u eliminates
+// (Figure 5). The hot loop is the inner while.
+var BezierSurface = &Benchmark{
+	Name:         "bezier-surface",
+	AppCodeBytes: 24000,
+	AppCompileMs: 60,
+	Category:     "CV and image processing",
+	CommandLine:  "-n 4096",
+	KernelPct:    0.6718,
+	Source: `
+kernel bezier(double* restrict ts, double* restrict out, long resolution, long n) {
+  long gid = (long)global_id();
+  if (gid >= resolution) { return; }
+  double t = ts[gid];
+  double s = 0.0;
+  for (long k = 0; k <= n; k++) {
+    long nn = n;
+    long kn = k;
+    long nkn = n - k;
+    double blend = 1.0;
+    while (nn >= 1) {
+      blend *= (double)nn;
+      nn--;
+      if (kn > 1) {
+        blend /= (double)kn;
+        kn--;
+      }
+      if (nkn > 1) {
+        blend /= (double)nkn;
+        nkn--;
+      }
+    }
+    if (k > 0) { blend *= pow(t, (double)k); }
+    if (n - k > 0) { blend *= pow(1.0 - t, (double)(n - k)); }
+    s += blend;
+  }
+  out[gid] = s;
+}
+`,
+	NewWorkload: func() *Workload {
+		const res, n = 1024, 10
+		tsBase := int64(0)
+		outBase := tsBase + 8*res
+		return &Workload{
+			Args:    []interp.Value{interp.IntVal(tsBase), interp.IntVal(outBase), interp.IntVal(res), interp.IntVal(n)},
+			MemSize: outBase + 8*res,
+			Init: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(11))
+				for i := int64(0); i < res; i++ {
+					m.SetF64(tsBase, i, rng.Float64())
+				}
+			},
+			Launch:  gpusim.Launch{GridDim: res / 128, BlockDim: 128},
+			Outputs: []Region{{"out", outBase, res, "f64"}},
+		}
+	},
+}
+
+// BN scores per-column categorical counts with three data-dependent
+// conditions per row (a Bayesian-network-scoring stand-in).
+var BN = &Benchmark{
+	Name:         "bn",
+	AppCodeBytes: 40000,
+	AppCompileMs: 90,
+	Category:     "Machine learning",
+	CommandLine:  "result",
+	KernelPct:    0.9728,
+	Source: `
+kernel bn(int* restrict data, double* restrict scores, long rows, long cols) {
+  long gid = (long)global_id();
+  if (gid >= cols) { return; }
+  long c0 = 0;
+  long c1 = 0;
+  long c2 = 0;
+  double score = 0.0;
+  for (long r = 0; r < rows; r++) {
+    int v = data[r * cols + gid];
+    if (v == 0) { c0++; }
+    if (v == 1) { c1++; }
+    if (v == 2) { c2++; }
+    score += (double)(c0 - c1) * 0.001;
+  }
+  scores[gid] = score + (double)c2;
+}
+`,
+	NewWorkload: func() *Workload {
+		const rows, cols = 512, 512
+		dataBase := int64(0)
+		scoresBase := dataBase + 4*rows*cols
+		return &Workload{
+			Args:    []interp.Value{interp.IntVal(dataBase), interp.IntVal(scoresBase), interp.IntVal(rows), interp.IntVal(cols)},
+			MemSize: scoresBase + 8*cols,
+			Init: func(m *interp.Memory) {
+				// Column-major categorical data: columns handled by the same
+				// warp share a class pattern per row, with rare per-column
+				// exceptions — the usual layout after feature bucketing.
+				rng := rand.New(rand.NewSource(12))
+				for r := int64(0); r < rows; r++ {
+					for c := int64(0); c < cols; c++ {
+						group := c / 32
+						v := int32((r*2654435761 + group*97) >> 3 % 4)
+						if v < 0 {
+							v = -v
+						}
+						if rng.Intn(1024) == 0 {
+							v = int32(rng.Intn(4))
+						}
+						m.SetI32(dataBase, r*cols+c, v%4)
+					}
+				}
+			},
+			Launch:  gpusim.Launch{GridDim: cols / 128, BlockDim: 128},
+			Outputs: []Region{{"scores", scoresBase, cols, "f64"}},
+		}
+	},
+}
+
+// BsplineVGH evaluates a cubic B-spline with the constant trip count of 4
+// the paper calls out in RQ2 (code size identical for u=4 and u=8).
+var BsplineVGH = &Benchmark{
+	Name:         "bspline-vgh",
+	AppCodeBytes: 30000,
+	AppCompileMs: 70,
+	Category:     "Simulation",
+	CommandLine:  "no CLI input",
+	KernelPct:    0.1169,
+	Source: `
+kernel bspline(float* restrict coefs, float* restrict vals, float* restrict grads, long n, long stride) {
+  long gid = (long)global_id();
+  if (gid >= n) { return; }
+  float v = 0.0f;
+  float g = 0.0f;
+  for (long j = 0; j < 4; j++) {
+    float c = coefs[gid + j * stride];
+    if (c > 0.0f) {
+      v += c * c;
+      g += c * 0.5f;
+    } else {
+      v -= c;
+      if (c < -0.5f) {
+        g -= c * c;
+      }
+    }
+  }
+  vals[gid] = v;
+  grads[gid] = g;
+}
+`,
+	NewWorkload: func() *Workload {
+		const n = 4096
+		coefsBase := int64(0)
+		valsBase := coefsBase + 4*n*4
+		gradsBase := valsBase + 4*n
+		return &Workload{
+			Args: []interp.Value{interp.IntVal(coefsBase), interp.IntVal(valsBase),
+				interp.IntVal(gradsBase), interp.IntVal(n), interp.IntVal(n)},
+			MemSize: gradsBase + 4*n,
+			Init: func(m *interp.Memory) {
+				// Spline coefficients of neighbouring grid points (the same
+				// warp) share signs and magnitude classes; jitter stays well
+				// away from the 0 and -0.5 thresholds.
+				rng := rand.New(rand.NewSource(13))
+				for j := int64(0); j < 4; j++ {
+					for g := int64(0); g < n; g++ {
+						group := g / 32
+						var base float64
+						switch (group + j) % 3 {
+						case 0:
+							base = 0.8
+						case 1:
+							base = -0.3
+						default:
+							base = -0.8
+						}
+						m.SetF32(coefsBase, j*n+g, float32(base+rng.Float64()*0.1-0.05))
+					}
+				}
+			},
+			Launch:  gpusim.Launch{GridDim: n / 128, BlockDim: 128},
+			Outputs: []Region{{"vals", valsBase, n, "f32"}, {"grads", gradsBase, n, "f32"}},
+		}
+	},
+}
+
+// CCS chains several small constant-trip-count loops. The baseline fully
+// unrolls and predicates them; u&u applied to such a loop suppresses the
+// beneficial automatic unrolling — the paper's explanation for the ccs
+// slowdown.
+var CCS = &Benchmark{
+	Name:         "ccs",
+	AppCodeBytes: 3000,
+	AppCompileMs: 12,
+	Category:     "Bioinformatics",
+	CommandLine:  "-t 0.9 -i Data_Constant_100_1_bicluster.txt -m 50 -p 1 -g 100.0 -r 100",
+	KernelPct:    0.9998,
+	Source: `
+kernel ccs(double* restrict a, double* restrict out, long n) {
+  long gid = (long)global_id();
+  if (gid >= n) { return; }
+  double acc = a[gid];
+  for (long i = 0; i < 6; i++) {
+    if (acc > 1.0) { acc *= 0.5; } else { acc += 0.3; }
+  }
+  for (long i = 0; i < 6; i++) {
+    if (acc > 0.8) { acc -= 0.2; } else { acc *= 1.1; }
+  }
+  for (long i = 0; i < 6; i++) {
+    if (acc < 0.5) { acc += 0.05; } else { acc -= 0.01; }
+  }
+  for (long i = 0; i < 5; i++) {
+    if (acc > 0.6) { acc *= 0.9; } else { acc += 0.02; }
+  }
+  out[gid] = acc;
+}
+`,
+	NewWorkload: func() *Workload {
+		const n = 8192
+		aBase := int64(0)
+		outBase := aBase + 8*n
+		return &Workload{
+			Args:    []interp.Value{interp.IntVal(aBase), interp.IntVal(outBase), interp.IntVal(n)},
+			MemSize: outBase + 8*n,
+			Init: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(14))
+				for i := int64(0); i < n; i++ {
+					m.SetF64(aBase, i, rng.Float64()*2)
+				}
+			},
+			Launch:  gpusim.Launch{GridDim: n / 128, BlockDim: 128},
+			Outputs: []Region{{"out", outBase, n, "f64"}},
+		}
+	},
+}
+
+// Clink tracks a running minimum with an index update — a two-path loop
+// whose merge u&u splits (complete-linkage clustering distance scan).
+var Clink = &Benchmark{
+	Name:         "clink",
+	AppCodeBytes: 6000,
+	AppCompileMs: 20,
+	Category:     "Machine learning",
+	CommandLine:  "no CLI input",
+	KernelPct:    0.2723,
+	Source: `
+kernel clink(double* restrict d, long* restrict idx, double* restrict best, long n, long m) {
+  long gid = (long)global_id();
+  if (gid >= n) { return; }
+  double bv = 1.0e30;
+  long bi = 0 - 1;
+  for (long j = 0; j < m; j++) {
+    double v = d[gid * m + j];
+    if (v < bv) {
+      bv = v;
+      bi = j;
+    }
+  }
+  idx[gid] = bi;
+  best[gid] = bv;
+}
+`,
+	NewWorkload: func() *Workload {
+		const n, m = 1024, 256
+		dBase := int64(0)
+		idxBase := dBase + 8*n*m
+		bestBase := idxBase + 8*n
+		return &Workload{
+			Args: []interp.Value{interp.IntVal(dBase), interp.IntVal(idxBase),
+				interp.IntVal(bestBase), interp.IntVal(n), interp.IntVal(m)},
+			MemSize: bestBase + 8*n,
+			Init: func(m_ *interp.Memory) {
+				// Distance rows of a warp share structure: a common
+				// descending prefix (the running minimum updates in lockstep)
+				// followed by noise above it, as clustered inputs give.
+				rng := rand.New(rand.NewSource(15))
+				for row := int64(0); row < n; row++ {
+					group := row / 32
+					for j := int64(0); j < m; j++ {
+						var v float64
+						if j < 40 {
+							v = 100 - float64(j)*2 + float64(group%7)*0.1 + rng.Float64()*0.5
+						} else {
+							v = 50 + rng.Float64()*100
+						}
+						m_.SetF64(dBase, row*m+j, v)
+					}
+				}
+			},
+			Launch:  gpusim.Launch{GridDim: n / 128, BlockDim: 128},
+			Outputs: []Region{{"idx", idxBase, n, "i64"}, {"best", bestBase, n, "f64"}},
+		}
+	},
+}
+
+// Complex is the paper's Listing 7: binary exponentiation whose `n & 1`
+// condition depends on the thread id, so every warp diverges. The baseline
+// predicates the branch; u&u reintroduces long divergent paths and slows
+// down — the paper's outlier.
+var Complex = &Benchmark{
+	Name:         "complex",
+	AppCodeBytes: 2500,
+	AppCompileMs: 10,
+	Category:     "Math",
+	CommandLine:  "10000000 1000",
+	KernelPct:    0.9991,
+	Source: `
+kernel cpx(long* restrict out, long a0, long c0, long total) {
+  long n = (long)global_id();
+  if (n >= total) { return; }
+  long idx = n;
+  long a = a0;
+  long c = c0;
+  long a_new = 1;
+  long c_new = 0;
+  while (n > 0) {
+    if ((n & 1) != 0) {
+      a_new *= a;
+      c_new = c_new * a + c;
+    }
+    c *= (a + 1);
+    a *= a;
+    n >>= 1;
+  }
+  out[idx] = a_new + c_new;
+}
+`,
+	NewWorkload: func() *Workload {
+		const total = 8192
+		outBase := int64(0)
+		return &Workload{
+			Args: []interp.Value{interp.IntVal(outBase), interp.IntVal(3),
+				interp.IntVal(5), interp.IntVal(total)},
+			MemSize: 8 * total,
+			Launch:  gpusim.Launch{GridDim: total / 128, BlockDim: 128},
+			Outputs: []Region{{"out", outBase, total, "i64"}},
+		}
+	},
+}
+
+// Contract accumulates signed tensor contractions; the sign branch is
+// perfectly predicable, so splitting it (u&u) only costs divergence.
+var Contract = &Benchmark{
+	Name:         "contract",
+	AppCodeBytes: 8000,
+	AppCompileMs: 25,
+	Category:     "Data compression/reduction",
+	CommandLine:  "64 5",
+	KernelPct:    0.9961,
+	Source: `
+kernel contract(double* restrict A, double* restrict B, double* restrict C, long n, long k) {
+  long gid = (long)global_id();
+  if (gid >= n) { return; }
+  double acc = 0.0;
+  for (long i = 0; i < k; i++) {
+    double a = A[gid * k + i];
+    double b = B[i];
+    if (a > 0.0) {
+      acc += a * b;
+    } else {
+      acc -= a * b;
+    }
+  }
+  C[gid] = acc;
+}
+`,
+	NewWorkload: func() *Workload {
+		const n, k = 2048, 128
+		aBase := int64(0)
+		bBase := aBase + 8*n*k
+		cBase := bBase + 8*k
+		return &Workload{
+			Args: []interp.Value{interp.IntVal(aBase), interp.IntVal(bBase),
+				interp.IntVal(cBase), interp.IntVal(n), interp.IntVal(k)},
+			MemSize: cBase + 8*n,
+			Init: func(m *interp.Memory) {
+				// Tensor slices of a warp share sparsity signs per column;
+				// per-element noise never crosses zero.
+				rng := rand.New(rand.NewSource(16))
+				for row := int64(0); row < n; row++ {
+					group := row / 32
+					for i := int64(0); i < k; i++ {
+						sign := 1.0
+						if (group+i)%3 == 0 {
+							sign = -1
+						}
+						m.SetF64(aBase, row*k+i, sign*(0.2+rng.Float64()))
+					}
+				}
+				for i := int64(0); i < k; i++ {
+					m.SetF64(bBase, i, rng.Float64())
+				}
+			},
+			Launch:  gpusim.Launch{GridDim: n / 128, BlockDim: 128},
+			Outputs: []Region{{"C", cBase, n, "f64"}},
+		}
+	},
+}
+
+// Coordinates runs an iterative projection whose loop the baseline fully
+// unrolls into a straight-line body that thrashes the instruction cache;
+// u&u (any factor) suppresses that unrolling, which alone is the speedup —
+// the paper's RQ1 explanation for coordinates.
+var Coordinates = &Benchmark{
+	Name:         "coordinates",
+	AppCodeBytes: 30000,
+	AppCompileMs: 70,
+	Category:     "Geographic information system",
+	CommandLine:  "10000000 1000",
+	KernelPct:    0.9263,
+	Source: `
+kernel coords(double* restrict lat, double* restrict lon, double* restrict out, long n) {
+  long gid = (long)global_id();
+  if (gid >= n) { return; }
+  double x = lat[gid];
+  double y = lon[gid];
+  double phi = y;
+  for (long it = 0; it < 32; it++) {
+    double s2 = sin(2.0 * phi);
+    double c2 = cos(2.0 * phi);
+    double s4 = sin(4.0 * phi) * 0.25;
+    double c4 = cos(4.0 * phi) * 0.25;
+    phi = phi - (phi + 0.0067 * s2 + 0.0001 * s4 - y) / (1.0 + 0.0134 * c2 + 0.0004 * c4);
+    if (phi > 1.5707) { phi = 1.5707; }
+    if (phi < -1.5707) { phi = -1.5707; }
+  }
+  out[gid] = phi + 0.001 * x;
+}
+`,
+	NewWorkload: func() *Workload {
+		const n = 2048
+		latBase := int64(0)
+		lonBase := latBase + 8*n
+		outBase := lonBase + 8*n
+		return &Workload{
+			Args: []interp.Value{interp.IntVal(latBase), interp.IntVal(lonBase),
+				interp.IntVal(outBase), interp.IntVal(n)},
+			MemSize: outBase + 8*n,
+			Init: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(17))
+				for i := int64(0); i < n; i++ {
+					m.SetF64(latBase, i, rng.Float64()*3-1.5)
+					m.SetF64(lonBase, i, rng.Float64()*1.4-0.7)
+				}
+			},
+			Launch:  gpusim.Launch{GridDim: n / 128, BlockDim: 128},
+			Outputs: []Region{{"out", outBase, n, "f64"}},
+		}
+	},
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"uu/internal/pipeline"
+)
+
+// TestPaperShapes runs the harness on the four benchmarks the paper analyses
+// in depth and asserts the qualitative results of Sections IV and V: who
+// wins, in which direction the counters move, and where u&u hurts. Absolute
+// numbers differ from the paper's V100 (we run a simulator), but these
+// shapes are the reproduction target.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep in -short mode")
+	}
+	res, err := RunExperiments(HarnessOptions{
+		Apps:     []string{"xsbench", "complex", "bezier-surface", "rainflow"},
+		Factors:  []int{2, 4, 8},
+		Progress: io.Discard,
+	})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	speedup := func(app string, cfg pipeline.Config, factor int) float64 {
+		best := res.Best(app, cfg, factor)
+		if best == nil {
+			t.Fatalf("no record for %s/%s/u%d", app, cfg, factor)
+		}
+		return best.Speedup(res.Baseline[app])
+	}
+
+	// bezier-surface: u&u wins clearly, beating unroll-only and
+	// unmerge-only (Fig. 7; §III-B's 30% example).
+	if s := speedup("bezier-surface", pipeline.UU, 0); s < 1.25 {
+		t.Errorf("bezier u&u best speedup = %.3f, want > 1.25", s)
+	}
+	if speedup("bezier-surface", pipeline.UU, 0) <= speedup("bezier-surface", pipeline.UnrollOnly, 0) {
+		t.Errorf("bezier: u&u (%.3f) should beat unroll-only (%.3f)",
+			speedup("bezier-surface", pipeline.UU, 0), speedup("bezier-surface", pipeline.UnrollOnly, 0))
+	}
+	if speedup("bezier-surface", pipeline.UU, 0) <= speedup("bezier-surface", pipeline.UnmergeOnly, 0) {
+		t.Errorf("bezier: u&u should beat unmerge-only")
+	}
+
+	// rainflow: u&u wins via load + condition elimination and beats unroll
+	// (Fig. 7, §V).
+	if s := speedup("rainflow", pipeline.UU, 0); s < 1.15 {
+		t.Errorf("rainflow u&u best speedup = %.3f, want > 1.15", s)
+	}
+	if speedup("rainflow", pipeline.UU, 0) <= speedup("rainflow", pipeline.UnrollOnly, 0) {
+		t.Errorf("rainflow: u&u should beat unroll-only")
+	}
+
+	// complex: u&u slows down, and the slowdown grows with the unroll
+	// factor (§IV RQ1, §V).
+	s2 := speedup("complex", pipeline.UU, 2)
+	s4 := speedup("complex", pipeline.UU, 4)
+	s8 := speedup("complex", pipeline.UU, 8)
+	if !(s8 < s4 && s4 < s2) {
+		t.Errorf("complex: u&u slowdown should grow with factor: u2=%.3f u4=%.3f u8=%.3f", s2, s4, s8)
+	}
+	if s8 > 0.5 {
+		t.Errorf("complex u&u u=8 = %.3f, want severe slowdown (< 0.5)", s8)
+	}
+
+	// unmerge alone is mostly ineffective (Fig. 8b).
+	for _, app := range []string{"xsbench", "complex", "rainflow"} {
+		if s := speedup(app, pipeline.UnmergeOnly, 0); s < 0.9 || s > 1.25 {
+			t.Errorf("%s: unmerge-only speedup %.3f outside the near-neutral band", app, s)
+		}
+	}
+
+	// Counter movements of §V.
+	base := res.Baseline["rainflow"].Metrics
+	rf := res.Best("rainflow", pipeline.UU, 4)
+	if rf == nil {
+		t.Fatalf("no rainflow u&u u=4 record")
+	}
+	m := rf.Metrics
+	if got := float64(m.ClassThread[1]) / float64(base.ClassThread[1]); got > 0.5 {
+		t.Errorf("rainflow inst_misc ratio = %.2f, want large reduction (paper: -77%%)", got)
+	}
+	if got := float64(m.ClassThread[2]) / float64(base.ClassThread[2]); got > 0.8 {
+		t.Errorf("rainflow inst_control ratio = %.2f, want reduction (paper: -45%%)", got)
+	}
+	if m.GldTransactions >= base.GldTransactions {
+		t.Errorf("rainflow loads not reduced: %d -> %d", base.GldTransactions, m.GldTransactions)
+	}
+	if m.WarpExecutionEfficiency(res.Device) >= base.WarpExecutionEfficiency(res.Device) {
+		t.Errorf("rainflow warp efficiency should drop under u&u")
+	}
+
+	// XSBench §V: misc instructions (selp/mov data movement) drop, warp
+	// efficiency drops, yet the kernel does not slow down at u=2.
+	xb := res.Baseline["xsbench"].Metrics
+	xr := res.Best("xsbench", pipeline.UU, 2)
+	if xr == nil {
+		t.Fatalf("no xsbench u&u u=2 record")
+	}
+	if got := float64(xr.Metrics.ClassThread[1]) / float64(xb.ClassThread[1]); got > 0.85 {
+		t.Errorf("xsbench inst_misc ratio = %.2f, want reduction (paper: -55%%)", got)
+	}
+	if xr.Metrics.WarpExecutionEfficiency(res.Device) >= xb.WarpExecutionEfficiency(res.Device) {
+		t.Errorf("xsbench warp efficiency should drop under u&u")
+	}
+	if s := xr.Speedup(res.Baseline["xsbench"]); s < 0.95 {
+		t.Errorf("xsbench u&u u=2 speedup = %.3f, want >= 0.95 despite divergence", s)
+	}
+
+	// complex §V: warp efficiency collapses and fetch stalls blow up at u=8.
+	cb := res.Baseline["complex"].Metrics
+	cr := res.Best("complex", pipeline.UU, 8)
+	if cr == nil {
+		t.Fatalf("no complex u&u u=8 record")
+	}
+	if cr.Metrics.WarpExecutionEfficiency(res.Device) > 0.3 {
+		t.Errorf("complex u&u u=8 warp efficiency = %.2f, want collapse (paper: 19%%)",
+			cr.Metrics.WarpExecutionEfficiency(res.Device))
+	}
+	if cr.Metrics.StallInstFetchPct() <= cb.StallInstFetchPct() {
+		t.Errorf("complex u&u u=8 fetch stalls should rise (paper: 3.7%% -> 79.6%%)")
+	}
+
+	// Code size grows with the unroll factor (Fig. 6b), roughly following
+	// f(p,s,u) before cleanup.
+	for _, app := range []string{"complex", "rainflow"} {
+		c2 := findRec(res, app, pipeline.UU, 0, 2).CodeBytes
+		c8 := findRec(res, app, pipeline.UU, 0, 8).CodeBytes
+		if c8 <= c2 {
+			t.Errorf("%s: code size should grow with factor: u2=%d u8=%d", app, c2, c8)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"uu/internal/gpusim"
+	"uu/internal/pipeline"
+)
+
+// TestSuiteCorrectness is the central differential test: for every
+// benchmark, the simulated output of every pipeline configuration must match
+// the sequential reference interpreter running the unoptimized kernel.
+func TestSuiteCorrectness(t *testing.T) {
+	dev := gpusim.V100()
+	for _, b := range Suite {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			w := b.NewWorkload()
+			ref, err := Reference(b, w)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			nloops := LoopCount(b)
+			if nloops == 0 {
+				t.Fatalf("benchmark has no loops")
+			}
+
+			check := func(name string, opts pipeline.Options) {
+				t.Helper()
+				opts.VerifyEachPass = true
+				cr, err := Compile(b, opts)
+				if err != nil {
+					if opts.Config == pipeline.Baseline || opts.Config == pipeline.UUHeuristic {
+						t.Fatalf("%s: compile: %v", name, err)
+					}
+					if strings.Contains(err.Error(), "not unrollable") ||
+						strings.Contains(err.Error(), "convergent") ||
+						strings.Contains(err.Error(), "multiple latches") {
+						return // legitimately untransformable loop
+					}
+					t.Fatalf("%s: compile: %v", name, err)
+				}
+				if _, err := Execute(cr, w, dev, ref); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+
+			check("baseline", pipeline.Options{Config: pipeline.Baseline})
+			check("heuristic", pipeline.Options{Config: pipeline.UUHeuristic})
+			for loop := 0; loop < nloops; loop++ {
+				check("unmerge", pipeline.Options{Config: pipeline.UnmergeOnly, LoopID: loop})
+				check("uu2", pipeline.Options{Config: pipeline.UU, LoopID: loop, Factor: 2})
+				check("unroll2", pipeline.Options{Config: pipeline.UnrollOnly, LoopID: loop, Factor: 2})
+			}
+		})
+	}
+}
+
+// TestSuiteHigherFactors exercises factors 4 and 8 on the benchmarks the
+// paper analyses in depth.
+func TestSuiteHigherFactors(t *testing.T) {
+	dev := gpusim.V100()
+	for _, name := range []string{"xsbench", "bezier-surface", "rainflow", "complex"} {
+		b := ByName(name)
+		w := b.NewWorkload()
+		ref, err := Reference(b, w)
+		if err != nil {
+			t.Fatalf("%s reference: %v", name, err)
+		}
+		for _, factor := range []int{4, 8} {
+			for loop := 0; loop < LoopCount(b); loop++ {
+				opts := pipeline.Options{Config: pipeline.UU, LoopID: loop, Factor: factor, VerifyEachPass: true}
+				cr, err := Compile(b, opts)
+				if err != nil {
+					continue
+				}
+				if _, err := Execute(cr, w, dev, ref); err != nil {
+					t.Fatalf("%s loop %d factor %d: %v", name, loop, factor, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTable1Shape sanity-checks the documentary metadata.
+func TestTable1Shape(t *testing.T) {
+	if len(Suite) != 16 {
+		t.Fatalf("suite has %d benchmarks, want 16", len(Suite))
+	}
+	seen := map[string]bool{}
+	for _, b := range Suite {
+		if b.Name == "" || b.Category == "" || b.Source == "" || b.NewWorkload == nil {
+			t.Fatalf("benchmark %q incomplete", b.Name)
+		}
+		if seen[b.Name] {
+			t.Fatalf("duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.KernelPct <= 0 || b.KernelPct > 1 {
+			t.Fatalf("%s: bad KernelPct %v", b.Name, b.KernelPct)
+		}
+	}
+	if ByName("xsbench") == nil || ByName("nope") != nil {
+		t.Fatalf("ByName wrong")
+	}
+}
+
+// TestWorkloadInvariants checks structural sanity of every benchmark's
+// workload: output regions inside memory, launch geometry consistent, and
+// the kernel compilable with at least one addressable loop.
+func TestWorkloadInvariants(t *testing.T) {
+	elemSize := map[string]int64{"f64": 8, "i64": 8, "f32": 4, "i32": 4}
+	for _, b := range Suite {
+		w := b.NewWorkload()
+		if w.Launch.GridDim <= 0 || w.Launch.BlockDim <= 0 {
+			t.Errorf("%s: bad launch %+v", b.Name, w.Launch)
+		}
+		if len(w.Outputs) == 0 {
+			t.Errorf("%s: no output regions to verify", b.Name)
+		}
+		for _, r := range w.Outputs {
+			sz, ok := elemSize[r.Elem]
+			if !ok {
+				t.Errorf("%s: bad region elem %q", b.Name, r.Elem)
+				continue
+			}
+			if r.Base < 0 || r.Base+r.Count*sz > w.MemSize {
+				t.Errorf("%s: region %s [%d, %d) outside memory %d",
+					b.Name, r.Name, r.Base, r.Base+r.Count*sz, w.MemSize)
+			}
+		}
+		if n := len(b.Kernel().Params); n != len(w.Args) {
+			t.Errorf("%s: %d params but %d args", b.Name, n, len(w.Args))
+		}
+		if b.AppCodeBytes <= 0 || b.AppCompileMs <= 0 {
+			t.Errorf("%s: missing application-scale constants", b.Name)
+		}
+	}
+}
+
+// TestWorkloadDeterminism: NewWorkload must be reproducible (the harness
+// relies on identical inputs across configurations).
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, b := range Suite {
+		w1 := b.NewWorkload()
+		w2 := b.NewWorkload()
+		m1, m2 := w1.NewMemory(), w2.NewMemory()
+		if len(m1.Data) != len(m2.Data) {
+			t.Errorf("%s: memory sizes differ", b.Name)
+			continue
+		}
+		for i := range m1.Data {
+			if m1.Data[i] != m2.Data[i] {
+				t.Errorf("%s: workload initialization not deterministic (byte %d)", b.Name, i)
+				break
+			}
+		}
+	}
+}

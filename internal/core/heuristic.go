@@ -1,0 +1,114 @@
+package core
+
+import (
+	"uu/internal/analysis"
+	"uu/internal/ir"
+)
+
+// HeuristicParams are the knobs of the paper's selection heuristic
+// (Section III-C): a loop is transformed when some unroll factor
+// 2 <= u <= UMax keeps the estimated post-u&u size f(p, s, u) below C; the
+// largest such factor is chosen. The paper evaluates with C = 1024 and
+// UMax = 8.
+type HeuristicParams struct {
+	C    int
+	UMax int
+	// SkipDivergent additionally skips loops containing a branch on a
+	// thread-id-dependent condition — the taint-analysis extension the paper
+	// proposes in Section V to avoid `complex`-style slowdowns. Off by
+	// default to match the published heuristic.
+	SkipDivergent bool
+}
+
+// DefaultHeuristicParams returns the paper's evaluation setting.
+func DefaultHeuristicParams() HeuristicParams { return HeuristicParams{C: 1024, UMax: 8} }
+
+// Decision records one loop the heuristic chose and why.
+type Decision struct {
+	LoopID    int
+	Header    *ir.Block
+	Factor    int
+	Paths     int
+	Size      int
+	Estimated int64 // f(p, s, factor)
+}
+
+// HeuristicDecide selects the loops to transform and their unroll factors,
+// innermost loops first; an outer loop is considered only when none of its
+// (transitive) inner loops was selected, as in the paper. Loops with
+// convergent operations, without a unique latch, or without any control flow
+// to unmerge (single path) are skipped.
+func HeuristicDecide(f *ir.Function, params HeuristicParams) []Decision {
+	dt := analysis.NewDomTree(f)
+	li := analysis.NewLoopInfo(f, dt)
+	var div *analysis.Divergence
+	if params.SkipDivergent {
+		div = analysis.NewDivergence(f)
+	}
+
+	chosen := map[*analysis.Loop]bool{}
+	var decisions []Decision
+	// Innermost-first: loops are ordered outer-first, so iterate backwards.
+	for i := len(li.Loops) - 1; i >= 0; i-- {
+		l := li.Loops[i]
+		if hasChosenDescendant(l, chosen) {
+			continue
+		}
+		if l.HasConvergentOp() || l.Latch() == nil {
+			continue
+		}
+		if div != nil && div.LoopHasDivergentBranch(l) {
+			continue
+		}
+		p := analysis.CountPaths(l)
+		if p < 2 {
+			continue // nothing to unmerge
+		}
+		s := analysis.LoopSize(l)
+		factor := 0
+		var est int64
+		for u := params.UMax; u >= 2; u-- {
+			if e := analysis.UnmergedSize(p, s, u); e < int64(params.C) {
+				factor, est = u, e
+				break
+			}
+		}
+		if factor == 0 {
+			continue
+		}
+		chosen[l] = true
+		decisions = append(decisions, Decision{
+			LoopID: l.ID, Header: l.Header, Factor: factor,
+			Paths: p, Size: s, Estimated: est,
+		})
+	}
+	return decisions
+}
+
+func hasChosenDescendant(l *analysis.Loop, chosen map[*analysis.Loop]bool) bool {
+	for _, c := range l.Children {
+		if chosen[c] || hasChosenDescendant(c, chosen) {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyHeuristic runs HeuristicDecide and applies u&u to each selected loop
+// (deepest selections were decided first and are applied first). It returns
+// the decisions taken.
+func ApplyHeuristic(f *ir.Function, params HeuristicParams, opts Options) []Decision {
+	decisions := HeuristicDecide(f, params)
+	for _, d := range decisions {
+		ndt := analysis.NewDomTree(f)
+		nli := analysis.NewLoopInfo(f, ndt)
+		l := loopWithHeader(nli, d.Header)
+		if l == nil {
+			continue
+		}
+		// Errors here mean the loop became untransformable after an earlier
+		// application (possible for overlapping nests); skip it.
+		_, _ = uuLoop(f, l, d.Factor, opts)
+	}
+	return decisions
+}

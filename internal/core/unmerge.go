@@ -1,0 +1,339 @@
+// Package core implements the paper's contribution: control-flow unmerging,
+// the combined unroll-and-unmerge (u&u) transformation, and the heuristic
+// that selects loops and unroll factors under the size model
+// f(p, s, u) = Σ_{i=0}^{u-1} p^i·s  (Section III of the paper).
+package core
+
+import (
+	"fmt"
+
+	"uu/internal/analysis"
+	"uu/internal/ir"
+	"uu/internal/transform"
+)
+
+// Options configures the unmerge transformation.
+type Options struct {
+	// DirectSuccessorOnly duplicates only the merge block itself instead of
+	// the whole tail path to the latch — the DBDS-style baseline of
+	// Leopoldseder et al. the paper compares against in Section II-d.
+	// The paper's design duplicates the entire path ("Our approach
+	// aggressively duplicates the entire path leading to the initial loop
+	// header"); that is the default (false).
+	DirectSuccessorOnly bool
+	// MaxBlocks aborts the (worst-case exponential) duplication once the
+	// function grows beyond this many blocks. Every intermediate state is
+	// semantics-preserving, so aborting just yields a partially unmerged
+	// loop. 0 means DefaultMaxBlocks.
+	MaxBlocks int
+	// Origins, when non-nil, records for every cloned instruction the
+	// original instruction it (transitively) stems from. ConditionProvenance
+	// uses this to reconstruct the paper's Figure 5 path labels.
+	Origins map[*ir.Instr]*ir.Instr
+	// Selective enables the paper's proposed partial unmerging (Section VI):
+	// only merge blocks that ProfitableMerges predicts to enable later
+	// optimizations are duplicated, containing code growth on loops like
+	// `complex` whose merges carry plain data flow.
+	Selective bool
+}
+
+// DefaultMaxBlocks caps function growth during unmerging.
+const DefaultMaxBlocks = 4096
+
+// Unmerge removes control-flow merge points inside loop l: every in-loop
+// block other than the header (and other than inner-loop headers) with more
+// than one in-loop predecessor is duplicated, once per extra predecessor,
+// together with its whole tail region up to the latch. Afterwards each path
+// through the (possibly unrolled) loop body is a separate chain of
+// single-predecessor blocks, so dominated-edge facts (GVN) see the full
+// control-flow provenance of every iteration.
+//
+// Loops containing convergent operations (barriers) are refused, mirroring
+// the paper's use of LLVM's convergence analysis. Returns whether the CFG
+// changed.
+func Unmerge(f *ir.Function, l *analysis.Loop, opts Options) bool {
+	if l.HasConvergentOp() {
+		return false
+	}
+	if l.Latch() == nil {
+		return false
+	}
+	maxBlocks := opts.MaxBlocks
+	if maxBlocks == 0 {
+		maxBlocks = DefaultMaxBlocks
+	}
+	transform.EnsurePreheader(f, l)
+	transform.EnsureLCSSA(f, l)
+
+	// Working copy of the loop's block set; clones are added as we go.
+	loopSet := map[*ir.Block]bool{}
+	for _, b := range l.Blocks() {
+		loopSet[b] = true
+	}
+	header := l.Header
+
+	// Blocks of inner loops keep their merges: duplicating an inner back
+	// edge would be loop peeling, and collapsing an inner merge would drop
+	// back-edge values. Inner loops are unmerged by their own Unmerge calls
+	// (see UnrollAndUnmerge); here they are cloned wholesale when they sit
+	// inside a duplicated tail. Clones inherit the exemption.
+	innerBlock := map[*ir.Block]bool{}
+	{
+		dt := analysis.NewDomTree(f)
+		li := analysis.NewLoopInfo(f, dt)
+		for _, il := range li.Loops {
+			if il.Header != header && l.Contains(il.Header) {
+				for _, ib := range il.Blocks() {
+					innerBlock[ib] = true
+				}
+			}
+		}
+	}
+
+	// Selective (partial) unmerging: exempt the merge blocks the benefit
+	// predictor rejects; the exemption set doubles as the inner-loop mask and
+	// propagates to clones below.
+	if opts.Selective {
+		profitable := ProfitableMerges(l)
+		for _, b := range l.Blocks() {
+			if b == header || innerBlock[b] {
+				continue
+			}
+			inPreds := 0
+			for _, p := range b.Preds() {
+				if l.Contains(p) {
+					inPreds++
+				}
+			}
+			if inPreds >= 2 && !profitable[b] {
+				innerBlock[b] = true
+			}
+		}
+	}
+
+	// In direct-successor (DBDS-style) mode only the merge blocks present at
+	// entry are duplicated — one round, not to fixpoint — matching [8]'s
+	// "unmerges only the direct successor basic block". The paper's design
+	// iterates until no merge block remains.
+	var initialMerges map[*ir.Block]bool
+	if opts.DirectSuccessorOnly {
+		initialMerges = map[*ir.Block]bool{}
+		for _, b := range l.Blocks() {
+			initialMerges[b] = true
+		}
+	}
+	changed := false
+	dupCount := 0
+	for {
+		if f.NumBlocks() > maxBlocks {
+			break
+		}
+		b := findMergeBlock(f, header, loopSet, innerBlock)
+		for b != nil && initialMerges != nil && !initialMerges[b] {
+			// One-round mode: skip merges introduced by earlier duplications.
+			innerBlock[b] = true // reuse the exemption set to mask it off
+			b = findMergeBlock(f, header, loopSet, innerBlock)
+		}
+		if b == nil {
+			break
+		}
+		// In-loop predecessors; keep the first, split the rest off.
+		var inPreds []*ir.Block
+		for _, p := range b.Preds() {
+			if loopSet[p] {
+				inPreds = append(inPreds, p)
+			}
+		}
+		for _, pi := range inPreds[1:] {
+			dupCount++
+			region := tailRegion(b, header, loopSet, opts.DirectSuccessorOnly)
+			bmap, vmap := ir.CloneBlocks(f, region, fmt.Sprintf(".d%d", dupCount))
+			recordOrigins(opts.Origins, vmap)
+			inRegion := map[*ir.Block]bool{}
+			for _, rb := range region {
+				inRegion[rb] = true
+			}
+			// Register clones in the loop set and propagate the inner-loop
+			// exemption.
+			for _, rb := range region {
+				loopSet[bmap[rb]] = true
+				if innerBlock[rb] {
+					innerBlock[bmap[rb]] = true
+				}
+			}
+			// Blocks outside the region targeted from inside it (the loop
+			// header via back edges, loop exits, in-loop successors in
+			// direct-successor mode): their phis gain one incoming per
+			// cloned edge.
+			for _, rb := range region {
+				for _, s := range rb.Succs() {
+					if inRegion[s] {
+						continue
+					}
+					for _, phi := range s.Phis() {
+						v := phi.PhiIncoming(rb)
+						if v == nil {
+							continue
+						}
+						if phi.PhiIncoming(bmap[rb]) == nil {
+							phi.PhiAddIncoming(vmap.Lookup(v), bmap[rb])
+						}
+					}
+				}
+			}
+			// Cloned phis: incomings from blocks outside the region are
+			// edges that do not exist on the clone. For the duplicated merge
+			// block b itself the only remaining pred will be pi, so its phis
+			// collapse to pi's value; elsewhere the stale incomings are
+			// dropped.
+			for _, rb := range region {
+				cb := bmap[rb]
+				for _, phi := range append([]*ir.Instr(nil), cb.Phis()...) {
+					if rb == b {
+						orig := origPhiOf(rb, phi, vmap)
+						val := vmap.Lookup(orig.PhiIncoming(pi))
+						phi.ReplaceAllUsesWith(val)
+						cb.Erase(phi)
+						vmap[orig] = val
+						continue
+					}
+					for i := phi.NumBlocks() - 1; i >= 0; i-- {
+						if !inRegion[phiOrigBlock(phi.BlockArg(i), bmap)] {
+							phi.PhiRemoveIncoming(phi.BlockArg(i))
+						}
+					}
+				}
+			}
+			// Redirect pi into the cloned merge block.
+			pi.ReplaceSucc(b, bmap[b])
+			for _, phi := range b.Phis() {
+				phi.PhiRemoveIncoming(pi)
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// origPhiOf finds the original phi that cloned phi stems from: CloneBlocks
+// maps original->clone, so invert by scanning the original block.
+func origPhiOf(origBlock *ir.Block, clonePhi *ir.Instr, vmap ir.ValueMap) *ir.Instr {
+	for _, in := range origBlock.Phis() {
+		if vmap[in] == ir.Value(clonePhi) {
+			return in
+		}
+	}
+	panic("core: clone phi has no original")
+}
+
+// phiOrigBlock maps a phi incoming block of a CLONED phi back through bmap:
+// incoming blocks inside the region were remapped to clones, so membership
+// must be tested on clones as well as originals.
+func phiOrigBlock(b *ir.Block, bmap map[*ir.Block]*ir.Block) *ir.Block {
+	for orig, clone := range bmap {
+		if clone == b {
+			return orig
+		}
+	}
+	return b
+}
+
+// findMergeBlock returns the first block (in reverse postorder from the
+// header through in-loop forward edges) that merges several in-loop
+// predecessors, or nil.
+func findMergeBlock(f *ir.Function, header *ir.Block, loopSet, innerBlock map[*ir.Block]bool) *ir.Block {
+	// RPO over the loop body DAG (edges into the header ignored).
+	var order []*ir.Block
+	state := map[*ir.Block]int{}
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		state[b] = 1
+		for _, s := range b.Succs() {
+			if !loopSet[s] || s == header || state[s] != 0 {
+				continue
+			}
+			dfs(s)
+		}
+		state[b] = 2
+		order = append(order, b)
+	}
+	dfs(header)
+	for i := len(order) - 1; i >= 0; i-- {
+		b := order[i]
+		if b == header || innerBlock[b] {
+			continue
+		}
+		n := 0
+		for _, p := range b.Preds() {
+			if loopSet[p] {
+				n++
+			}
+		}
+		if n >= 2 {
+			return b
+		}
+	}
+	return nil
+}
+
+// tailRegion returns the blocks reachable from b inside the loop without
+// passing through the header — the whole path to the latch that the paper's
+// design duplicates. In direct-successor mode the region is instead the
+// smallest SSA-closed region around the merge block: b plus the blocks it
+// dominates (values defined there are only used inside it or through phis),
+// which approximates the DBDS-style "duplicate only the merge block" of [8].
+func tailRegion(b, header *ir.Block, loopSet map[*ir.Block]bool, directOnly bool) []*ir.Block {
+	if directOnly {
+		dt := analysis.NewDomTree(b.Func())
+		region := []*ir.Block{}
+		var walkDom func(x *ir.Block)
+		walkDom = func(x *ir.Block) {
+			region = append(region, x)
+			for _, c := range dt.Children(x) {
+				if loopSet[c] && c != header {
+					walkDom(c)
+				}
+			}
+		}
+		walkDom(b)
+		return region
+	}
+	var region []*ir.Block
+	seen := map[*ir.Block]bool{b: true}
+	work := []*ir.Block{b}
+	for len(work) > 0 {
+		x := work[len(work)-1]
+		work = work[:len(work)-1]
+		region = append(region, x)
+		for _, s := range x.Succs() {
+			if s == header || !loopSet[s] || seen[s] {
+				continue
+			}
+			seen[s] = true
+			work = append(work, s)
+		}
+	}
+	return region
+}
+
+// recordOrigins notes, for every clone in vmap, the root original it stems
+// from (following earlier recorded ancestry).
+func recordOrigins(origins map[*ir.Instr]*ir.Instr, vmap ir.ValueMap) {
+	if origins == nil {
+		return
+	}
+	for orig, clone := range vmap {
+		co, ok := clone.(*ir.Instr)
+		if !ok {
+			continue
+		}
+		root, ok := orig.(*ir.Instr)
+		if !ok {
+			continue
+		}
+		if r, ok := origins[root]; ok {
+			root = r
+		}
+		origins[co] = root
+	}
+}

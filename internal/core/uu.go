@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"uu/internal/analysis"
+	"uu/internal/ir"
+	"uu/internal/transform"
+)
+
+// UnrollAndUnmerge applies the paper's u&u transformation to the loop with
+// the given deterministic ID (see analysis.LoopInfo): inner loops are
+// unmerged (not unrolled), the target loop is unrolled by factor, and the
+// resulting body is unmerged. factor == 1 performs unmerging only — the
+// paper's `unmerge` comparator configuration.
+//
+// It returns whether the function changed, and an error when the loop ID
+// does not exist or the loop is not transformable (convergent operations,
+// no unique latch).
+func UnrollAndUnmerge(f *ir.Function, loopID, factor int, opts Options) (bool, error) {
+	dt := analysis.NewDomTree(f)
+	li := analysis.NewLoopInfo(f, dt)
+	l := li.LoopByID(loopID)
+	if l == nil {
+		return false, fmt.Errorf("core: function %s has no loop #%d (%d loops)", f.Name, loopID, len(li.Loops))
+	}
+	return uuLoop(f, l, factor, opts)
+}
+
+// uuLoop is UnrollAndUnmerge on a resolved loop.
+func uuLoop(f *ir.Function, l *analysis.Loop, factor int, opts Options) (bool, error) {
+	if l.HasConvergentOp() {
+		return false, fmt.Errorf("core: loop #%d contains a convergent operation", l.ID)
+	}
+	if l.Latch() == nil {
+		return false, fmt.Errorf("core: loop #%d has multiple latches", l.ID)
+	}
+	changed := false
+
+	// Unmerge inner loops first (the paper: "inner loops are only unmerged,
+	// not unrolled"). Headers identify loops across recomputation.
+	innerHeaders := innerLoopHeaders(l)
+	for _, h := range innerHeaders {
+		ndt := analysis.NewDomTree(f)
+		nli := analysis.NewLoopInfo(f, ndt)
+		inner := loopWithHeader(nli, h)
+		if inner == nil {
+			continue
+		}
+		if Unmerge(f, inner, opts) {
+			changed = true
+		}
+	}
+
+	header := l.Header
+	if factor >= 2 {
+		// Structures may have changed; re-resolve the target loop.
+		ndt := analysis.NewDomTree(f)
+		nli := analysis.NewLoopInfo(f, ndt)
+		tl := loopWithHeader(nli, header)
+		if tl == nil {
+			return changed, fmt.Errorf("core: loop header %s vanished", header.Name)
+		}
+		if !transform.UnrollLoopWithOrigins(f, tl, factor, opts.Origins) {
+			return changed, fmt.Errorf("core: loop #%d could not be unrolled", l.ID)
+		}
+		changed = true
+	}
+
+	ndt := analysis.NewDomTree(f)
+	nli := analysis.NewLoopInfo(f, ndt)
+	tl := loopWithHeader(nli, header)
+	if tl == nil {
+		return changed, fmt.Errorf("core: loop header %s vanished after unrolling", header.Name)
+	}
+	if Unmerge(f, tl, opts) {
+		changed = true
+	}
+	return changed, nil
+}
+
+// UnmergeLoopByID applies unmerging only (the paper's `unmerge` comparator).
+func UnmergeLoopByID(f *ir.Function, loopID int, opts Options) (bool, error) {
+	return UnrollAndUnmerge(f, loopID, 1, opts)
+}
+
+// innerLoopHeaders collects the headers of all loops nested in l, deepest
+// first, so callers process innermost loops before their parents.
+func innerLoopHeaders(l *analysis.Loop) []*ir.Block {
+	var out []*ir.Block
+	var collect func(x *analysis.Loop)
+	collect = func(x *analysis.Loop) {
+		for _, c := range x.Children {
+			collect(c)
+			out = append(out, c.Header)
+		}
+	}
+	collect(l)
+	return out
+}
+
+func loopWithHeader(li *analysis.LoopInfo, h *ir.Block) *analysis.Loop {
+	for _, l := range li.Loops {
+		if l.Header == h {
+			return l
+		}
+	}
+	return nil
+}
+
+// LoopCount returns the number of natural loops in f — the `L` column of the
+// paper's Table I.
+func LoopCount(f *ir.Function) int {
+	dt := analysis.NewDomTree(f)
+	return len(analysis.NewLoopInfo(f, dt).Loops)
+}

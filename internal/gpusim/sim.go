@@ -1,0 +1,721 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"uu/internal/codegen"
+	"uu/internal/interp"
+	"uu/internal/ir"
+)
+
+// Launch describes the 1-D kernel launch geometry.
+type Launch struct {
+	GridDim  int // number of thread blocks
+	BlockDim int // threads per block
+	// SampleWarps, when > 0, simulates only the first SampleWarps warps of
+	// the grid and scales all metrics by total/sampled. The warps that are
+	// skipped do not touch memory, so sampling is only valid for
+	// verification-free timing sweeps.
+	SampleWarps int
+}
+
+// Threads returns the total thread count.
+func (l Launch) Threads() int { return l.GridDim * l.BlockDim }
+
+// MaxWarpSteps bounds per-warp execution.
+const MaxWarpSteps = int64(1) << 34
+
+// Run executes the program over the launch grid against mem (shared by all
+// threads, as global device memory is) and returns the aggregated metrics.
+// Warps execute sequentially, which is deterministic and race-free for the
+// data-parallel kernels in this repository; __syncthreads is a no-op under
+// this schedule (kernels relying on cross-warp shared-memory communication
+// are out of scope).
+func Run(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig) (*Metrics, error) {
+	if len(args) != len(p.ParamRegs) {
+		return nil, fmt.Errorf("gpusim: kernel %s expects %d args, got %d", p.Name, len(p.ParamRegs), len(args))
+	}
+	total := launch.Threads()
+	warpSize := cfg.WarpSize
+	totalWarps := (total + warpSize - 1) / warpSize
+	simWarps := totalWarps
+	if launch.SampleWarps > 0 && launch.SampleWarps < totalWarps {
+		simWarps = launch.SampleWarps
+	}
+	m := &Metrics{}
+	w := newWarpSim(p, cfg, mem)
+	for wi := 0; wi < simWarps; wi++ {
+		firstThread := wi * warpSize
+		count := warpSize
+		if firstThread+count > total {
+			count = total - firstThread
+		}
+		if err := w.run(args, launch, firstThread, count, m); err != nil {
+			return nil, err
+		}
+		m.Warps++
+	}
+	if simWarps < totalWarps {
+		m.Scale(float64(totalWarps) / float64(simWarps))
+	}
+	return m, nil
+}
+
+type stackEntry struct {
+	pc   int // block index to execute next
+	rpc  int // reconvergence block index (-1 = function exit)
+	mask uint32
+}
+
+type warpSim struct {
+	p     *codegen.Program
+	cfg   DeviceConfig
+	mem   *interp.Memory
+	regs  [][]interp.Value // [lane][reg]
+	ready []float64        // scoreboard: cycle at which each register's value is available
+
+	// instruction cache: line -> LRU tick
+	icache map[int]int64
+	tick   int64
+
+	// global instruction index of the first instruction of each block
+	blockBase []int
+}
+
+func newWarpSim(p *codegen.Program, cfg DeviceConfig, mem *interp.Memory) *warpSim {
+	w := &warpSim{p: p, cfg: cfg, mem: mem}
+	w.regs = make([][]interp.Value, cfg.WarpSize)
+	for i := range w.regs {
+		w.regs[i] = make([]interp.Value, p.NumRegs)
+	}
+	w.ready = make([]float64, p.NumRegs)
+	w.icache = make(map[int]int64, cfg.ICacheLines+1)
+	w.blockBase = make([]int, len(p.Blocks))
+	base := 0
+	for i, b := range p.Blocks {
+		w.blockBase[i] = base
+		base += len(b.Instrs)
+	}
+	return w
+}
+
+func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int, m *Metrics) error {
+	cfg := w.cfg
+	// Reset per-warp state.
+	for lane := 0; lane < count; lane++ {
+		regs := w.regs[lane]
+		for i := range regs {
+			regs[i] = interp.Value{}
+		}
+		for pi, r := range w.p.ParamRegs {
+			regs[r] = args[pi]
+		}
+	}
+	for i := range w.ready {
+		w.ready[i] = 0
+	}
+	// The icache stays warm across warps: resident warps share the SM's
+	// instruction cache, so only capacity misses (large unmerged bodies)
+	// keep stalling after warm-up.
+
+	fullMask := uint32(0)
+	for lane := 0; lane < count; lane++ {
+		fullMask |= 1 << uint(lane)
+	}
+	lanesTID := make([]int32, count)
+	lanesCTA := make([]int32, count)
+	for lane := 0; lane < count; lane++ {
+		gid := firstThread + lane
+		lanesTID[lane] = int32(gid % launch.BlockDim)
+		lanesCTA[lane] = int32(gid / launch.BlockDim)
+	}
+
+	stack := []stackEntry{{pc: 0, rpc: -1, mask: fullMask}}
+	var steps int64
+	var cycles float64   // warp issue clock
+	var stallAcc float64 // exposed dependency stalls (metrics only)
+	issueScale := func(nActive int) float64 {
+		frac := float64(nActive) / float64(cfg.WarpSize)
+		return 1 - cfg.ITSOverlap*(1-frac)
+	}
+	// srcReady returns the scoreboard ready time of an operand.
+	srcReady := func(o codegen.Operand) float64 {
+		if o.IsImm() {
+			return 0
+		}
+		return w.ready[o.Reg]
+	}
+	// account charges issue plus the exposed fraction of dependency stalls,
+	// and returns the completion time for the destination's scoreboard entry.
+	account := func(in *codegen.Instr, nActive int) {
+		dep := 0.0
+		for _, s := range in.Srcs {
+			if r := srcReady(s); r > dep {
+				dep = r
+			}
+		}
+		if stall := dep - cycles; stall > 0 {
+			// Sub-warp stalls overlap with sibling paths and other warps
+			// (independent thread scheduling), so they scale like issue.
+			exposed := stall * cfg.StallExposure * issueScale(nActive)
+			cycles += exposed
+			stallAcc += exposed
+		}
+		cycles += float64(in.IssueCycles()) * issueScale(nActive)
+		if in.Dst != codegen.NoReg {
+			w.ready[in.Dst] = cycles + instrLatency(in, cfg)
+		}
+	}
+	for len(stack) > 0 {
+		e := &stack[len(stack)-1]
+		if e.mask == 0 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if e.pc == e.rpc {
+			// Reached the reconvergence point: merge into the continuation
+			// entry waiting at this block (any entry with the same pc — the
+			// mask invariant is that an entry's threads are exactly those
+			// whose next block is pc, so same-pc merging is always sound).
+			mask := e.mask
+			pc := e.pc
+			rpc := e.rpc
+			stack = stack[:len(stack)-1]
+			merged := false
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].pc == pc {
+					stack[i].mask |= mask
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				// The continuation was already scheduled away (possible after
+				// opportunistic back-edge merges); keep executing from here
+				// with the reconvergence point cleared.
+				outer := -1
+				if len(stack) > 0 {
+					outer = stack[len(stack)-1].rpc
+				}
+				if outer == rpc {
+					outer = -1
+				}
+				stack = append(stack, stackEntry{pc: pc, rpc: outer, mask: mask})
+			}
+			continue
+		}
+		blk := w.p.Blocks[e.pc]
+		active := e.mask
+		nActive := popcount(active)
+		var brTaken, brNot uint32
+		branched := false
+		exited := uint32(0)
+		var nextPC = -2
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			steps++
+			if steps > MaxWarpSteps {
+				return fmt.Errorf("gpusim: step budget exhausted in %s", w.p.Name)
+			}
+			// Fetch: icache model on the global instruction index.
+			if w.fetch(w.blockBase[e.pc]+ii, m) {
+				cycles += float64(cfg.ICacheMissCycles)
+			}
+
+			m.WarpInstrs++
+			m.ActiveSum += int64(nActive)
+			m.ThreadInstrs += int64(nActive)
+			m.ClassThread[in.Class()] += int64(nActive)
+			account(in, nActive)
+
+			switch in.Kind {
+			case codegen.KBra:
+				nextPC = in.Targets[0]
+			case codegen.KRet:
+				exited = active
+				nextPC = -1
+			case codegen.KCondBra:
+				for lane := 0; lane < count; lane++ {
+					if active&(1<<uint(lane)) == 0 {
+						continue
+					}
+					if w.evalOperand(lane, in.Srcs[0]).I != 0 {
+						brTaken |= 1 << uint(lane)
+					} else {
+						brNot |= 1 << uint(lane)
+					}
+				}
+				branched = true
+			case codegen.KLd:
+				cycles += w.access(lane2addr(w, active, count, in.Srcs[0]), in.Type.Size(), true, m)
+				for lane := 0; lane < count; lane++ {
+					if active&(1<<uint(lane)) == 0 {
+						continue
+					}
+					addr := w.evalOperand(lane, in.Srcs[0]).I
+					v, err := w.mem.Load(in.Type, addr)
+					if err != nil {
+						return fmt.Errorf("gpusim: %s: %w", w.p.Name, err)
+					}
+					w.regs[lane][in.Dst] = v
+				}
+			case codegen.KSt:
+				cycles += w.access(lane2addr(w, active, count, in.Srcs[1]), in.Type.Size(), false, m)
+				for lane := 0; lane < count; lane++ {
+					if active&(1<<uint(lane)) == 0 {
+						continue
+					}
+					addr := w.evalOperand(lane, in.Srcs[1]).I
+					if err := w.mem.Store(in.Type, addr, w.evalOperand(lane, in.Srcs[0])); err != nil {
+						return fmt.Errorf("gpusim: %s: %w", w.p.Name, err)
+					}
+				}
+			case codegen.KBar:
+				// No-op under sequential warp scheduling.
+			case codegen.KSpecial:
+				for lane := 0; lane < count; lane++ {
+					if active&(1<<uint(lane)) == 0 {
+						continue
+					}
+					var v int64
+					switch in.IROp {
+					case ir.OpTID:
+						v = int64(lanesTID[lane])
+					case ir.OpNTID:
+						v = int64(launch.BlockDim)
+					case ir.OpCTAID:
+						v = int64(lanesCTA[lane])
+					case ir.OpNCTAID:
+						v = int64(launch.GridDim)
+					}
+					w.regs[lane][in.Dst] = interp.IntVal(v)
+				}
+			default:
+				for lane := 0; lane < count; lane++ {
+					if active&(1<<uint(lane)) == 0 {
+						continue
+					}
+					w.regs[lane][in.Dst] = w.evalInstr(lane, in)
+				}
+			}
+		}
+
+		// moveTo retargets the current (top) entry to pc. Back edges (to an
+		// earlier block in the layout) are where Volta's scheduler
+		// opportunistically re-merges divergent threads whose PCs coincide:
+		// the entry merges with a sibling already waiting at that pc, or is
+		// parked below its siblings (but above its continuation) so they can
+		// catch up before the next trip runs.
+		moveTo := func(pc int) {
+			cur := len(stack) - 1
+			if pc >= stack[cur].pc { // forward edge: keep running
+				stack[cur].pc = pc
+				return
+			}
+			ent := stack[cur]
+			ent.pc = pc
+			stack = stack[:cur]
+			// Merge with any entry already waiting at the same block —
+			// regardless of its rpc: an entry's threads are exactly those
+			// whose next block is its pc, so same-pc merging is sound, and
+			// the merged threads simply pop wherever the entry later
+			// reconverges.
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].pc == pc {
+					stack[i].mask |= ent.mask
+					if ent.rpc != stack[i].rpc {
+						// Conservative: clear an ambiguous reconvergence
+						// point; the entry then runs to another merge or ret.
+						stack[i].rpc = -1
+					}
+					return
+				}
+			}
+			// Park below the still-running siblings of this divergence (the
+			// continuation entries waiting at their rpc stay put).
+			ins := len(stack)
+			for ins > 0 && stack[ins-1].pc != stack[ins-1].rpc && stack[ins-1].rpc == ent.rpc {
+				ins--
+			}
+			stack = append(stack, stackEntry{})
+			copy(stack[ins+1:], stack[ins:])
+			stack[ins] = ent
+		}
+		switch {
+		case nextPC == -1: // ret
+			// Retire the exited threads from the whole stack.
+			for i := range stack {
+				stack[i].mask &^= exited
+			}
+		case branched:
+			rpc := w.p.IPDom[e.pc]
+			switch {
+			case brNot == 0:
+				moveTo(in0Target(blk))
+			case brTaken == 0:
+				moveTo(in1Target(blk))
+			default:
+				// Divergence: current entry becomes the continuation at the
+				// reconvergence point; push both sides.
+				taken, not := in0Target(blk), in1Target(blk)
+				cont := *e
+				cont.pc = rpc
+				stack[len(stack)-1] = cont
+				if rpc == -1 {
+					// No reconvergence before exit: both paths run to ret.
+					stack[len(stack)-1].mask = 0
+				} else {
+					stack[len(stack)-1].mask = 0 // refilled as paths reconverge
+				}
+				stack = append(stack, stackEntry{pc: not, rpc: rpc, mask: brNot})
+				stack = append(stack, stackEntry{pc: taken, rpc: rpc, mask: brTaken})
+			}
+		default:
+			moveTo(nextPC)
+		}
+	}
+	m.Cycles += int64(cycles + 0.5)
+	m.DepStallCycles += int64(stallAcc + 0.5)
+	return nil
+}
+
+func in0Target(b *codegen.Block) int { return b.Instrs[len(b.Instrs)-1].Targets[0] }
+func in1Target(b *codegen.Block) int { return b.Instrs[len(b.Instrs)-1].Targets[1] }
+
+func popcount(m uint32) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// lane2addr evaluates the address operand for every active lane.
+func lane2addr(w *warpSim, mask uint32, count int, op codegen.Operand) []int64 {
+	addrs := make([]int64, 0, count)
+	for lane := 0; lane < count; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		addrs = append(addrs, w.evalOperand(lane, op).I)
+	}
+	return addrs
+}
+
+// access applies the coalescing model: the warp's addresses split into
+// 32-byte segments; each segment is one transaction paying a bandwidth cost
+// (latency is modelled by the scoreboard, not here). It returns the
+// bandwidth cycles for the caller's clock.
+func (w *warpSim) access(addrs []int64, size int64, isLoad bool, m *Metrics) float64 {
+	segs := map[int64]bool{}
+	for _, a := range addrs {
+		first := a / w.cfg.SegmentBytes
+		last := (a + size - 1) / w.cfg.SegmentBytes
+		for s := first; s <= last; s++ {
+			segs[s] = true
+		}
+	}
+	n := int64(len(segs))
+	bytes := int64(len(addrs)) * size
+	if isLoad {
+		m.GldTransactions += n
+		m.GldBytes += bytes
+	} else {
+		m.GstTransactions += n
+		m.GstBytes += bytes
+	}
+	return float64(n * w.cfg.MemPerTransaction)
+}
+
+// instrLatency is the result latency of an instruction for the scoreboard.
+func instrLatency(in *codegen.Instr, cfg DeviceConfig) float64 {
+	switch in.Kind {
+	case codegen.KLd:
+		return cfg.MemLoadLatency
+	case codegen.KCompute:
+		switch in.IROp {
+		case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem, ir.OpFDiv:
+			return 24
+		case ir.OpSqrt, ir.OpExp, ir.OpLog, ir.OpSin, ir.OpCos, ir.OpPow:
+			return 20
+		}
+		return 5
+	default:
+		return 5
+	}
+}
+
+// fetch records an instruction-cache access; it reports whether it missed.
+func (w *warpSim) fetch(globalIdx int, m *Metrics) bool {
+	line := globalIdx / w.cfg.ICacheLineInstrs
+	w.tick++
+	if _, ok := w.icache[line]; ok {
+		w.icache[line] = w.tick
+		return false
+	}
+	m.StallInstFetch += w.cfg.ICacheMissCycles
+	if len(w.icache) >= w.cfg.ICacheLines {
+		// Evict LRU.
+		var lruLine int
+		lru := int64(math.MaxInt64)
+		for l, t := range w.icache {
+			if t < lru {
+				lru = t
+				lruLine = l
+			}
+		}
+		delete(w.icache, lruLine)
+	}
+	w.icache[line] = w.tick
+	return true
+}
+
+func (w *warpSim) evalOperand(lane int, op codegen.Operand) interp.Value {
+	if op.IsImm() {
+		c := op.Imm.(*ir.Const)
+		if c.Typ.IsFloat() {
+			return interp.FloatVal(c.Float)
+		}
+		return interp.IntVal(c.Int)
+	}
+	return w.regs[lane][op.Reg]
+}
+
+// evalInstr executes a compute/setp/selp/mov/cvt instruction for one lane.
+func (w *warpSim) evalInstr(lane int, in *codegen.Instr) interp.Value {
+	get := func(i int) interp.Value { return w.evalOperand(lane, in.Srcs[i]) }
+	switch in.Kind {
+	case codegen.KMov:
+		return get(0)
+	case codegen.KSelp:
+		if get(0).I != 0 {
+			return get(1)
+		}
+		return get(2)
+	case codegen.KSetp:
+		return evalSetp(in, get(0), get(1))
+	case codegen.KCvt:
+		return evalCvt(in, get(0))
+	case codegen.KCompute:
+		return evalCompute(in, get)
+	}
+	panic("gpusim: unhandled instruction kind")
+}
+
+func truncI(t *ir.Type, v int64) int64 {
+	switch t.Kind {
+	case ir.KindI1:
+		return v & 1
+	case ir.KindI8:
+		return int64(int8(v))
+	case ir.KindI32:
+		return int64(int32(v))
+	default:
+		return v
+	}
+}
+
+func roundF(t *ir.Type, v float64) float64 {
+	if t == ir.F32 {
+		return float64(float32(v))
+	}
+	return v
+}
+
+func evalSetp(in *codegen.Instr, a, b interp.Value) interp.Value {
+	var r bool
+	if in.IROp == ir.OpICmp {
+		t := in.Type
+		ua := uint64(truncI(t, a.I))
+		ub := uint64(truncI(t, b.I))
+		if t == ir.I32 {
+			ua, ub = uint64(uint32(a.I)), uint64(uint32(b.I))
+		}
+		switch in.Pred {
+		case ir.EQ:
+			r = a.I == b.I
+		case ir.NE:
+			r = a.I != b.I
+		case ir.SLT:
+			r = a.I < b.I
+		case ir.SLE:
+			r = a.I <= b.I
+		case ir.SGT:
+			r = a.I > b.I
+		case ir.SGE:
+			r = a.I >= b.I
+		case ir.ULT:
+			r = ua < ub
+		case ir.ULE:
+			r = ua <= ub
+		case ir.UGT:
+			r = ua > ub
+		case ir.UGE:
+			r = ua >= ub
+		}
+	} else {
+		switch in.Pred {
+		case ir.OEQ:
+			r = a.F == b.F
+		case ir.ONE:
+			r = a.F != b.F
+		case ir.OLT:
+			r = a.F < b.F
+		case ir.OLE:
+			r = a.F <= b.F
+		case ir.OGT:
+			r = a.F > b.F
+		case ir.OGE:
+			r = a.F >= b.F
+		}
+	}
+	if r {
+		return interp.IntVal(1)
+	}
+	return interp.IntVal(0)
+}
+
+func evalCvt(in *codegen.Instr, a interp.Value) interp.Value {
+	switch in.IROp {
+	case ir.OpTrunc:
+		return interp.IntVal(truncI(in.Type, a.I))
+	case ir.OpZExt:
+		// The source width is unknown here; zext from i1/i32 covers the
+		// frontend's uses (bool->int and i32 indexes are sign-extended via
+		// SExt instead).
+		if a.I == 0 || a.I == 1 {
+			return interp.IntVal(a.I)
+		}
+		return interp.IntVal(int64(uint32(a.I)))
+	case ir.OpSExt:
+		return interp.IntVal(a.I)
+	case ir.OpSIToFP:
+		return interp.FloatVal(roundF(in.Type, float64(a.I)))
+	case ir.OpFPToSI:
+		if math.IsNaN(a.F) || math.IsInf(a.F, 0) {
+			return interp.IntVal(0)
+		}
+		return interp.IntVal(truncI(in.Type, int64(a.F)))
+	case ir.OpFPExt:
+		return interp.FloatVal(a.F)
+	case ir.OpFPTrunc:
+		return interp.FloatVal(roundF(in.Type, a.F))
+	}
+	panic("gpusim: bad conversion " + in.IROp.String())
+}
+
+func evalCompute(in *codegen.Instr, get func(int) interp.Value) interp.Value {
+	t := in.Type
+	if t.IsFloat() {
+		a := get(0).F
+		var b float64
+		if len(in.Srcs) > 1 {
+			b = get(1).F
+		}
+		var r float64
+		switch in.IROp {
+		case ir.OpFAdd:
+			r = a + b
+		case ir.OpFSub:
+			r = a - b
+		case ir.OpFMul:
+			r = a * b
+		case ir.OpFDiv:
+			r = a / b
+		case ir.OpPow:
+			r = math.Pow(a, b)
+		case ir.OpFMin:
+			r = math.Min(a, b)
+		case ir.OpFMax:
+			r = math.Max(a, b)
+		case ir.OpSqrt:
+			r = math.Sqrt(a)
+		case ir.OpFAbs:
+			r = math.Abs(a)
+		case ir.OpExp:
+			r = math.Exp(a)
+		case ir.OpLog:
+			r = math.Log(a)
+		case ir.OpSin:
+			r = math.Sin(a)
+		case ir.OpCos:
+			r = math.Cos(a)
+		case ir.OpFloor:
+			r = math.Floor(a)
+		default:
+			panic("gpusim: bad float op " + in.IROp.String())
+		}
+		return interp.FloatVal(roundF(t, r))
+	}
+	a := get(0).I
+	var b int64
+	if len(in.Srcs) > 1 {
+		b = get(1).I
+	}
+	var r int64
+	switch in.IROp {
+	case ir.OpAdd:
+		r = a + b
+	case ir.OpSub:
+		r = a - b
+	case ir.OpMul:
+		r = a * b
+	case ir.OpSDiv:
+		if b == 0 {
+			r = 0
+		} else {
+			r = a / b
+		}
+	case ir.OpUDiv:
+		if b == 0 {
+			r = 0
+		} else {
+			r = int64(toU(t, a) / toU(t, b))
+		}
+	case ir.OpSRem:
+		if b == 0 {
+			r = 0
+		} else {
+			r = a % b
+		}
+	case ir.OpURem:
+		if b == 0 {
+			r = 0
+		} else {
+			r = int64(toU(t, a) % toU(t, b))
+		}
+	case ir.OpShl:
+		r = a << (uint64(b) & uint64(t.Bits()-1))
+	case ir.OpLShr:
+		r = int64(toU(t, a) >> (uint64(b) & uint64(t.Bits()-1)))
+	case ir.OpAShr:
+		r = a >> (uint64(b) & uint64(t.Bits()-1))
+	case ir.OpAnd:
+		r = a & b
+	case ir.OpOr:
+		r = a | b
+	case ir.OpXor:
+		r = a ^ b
+	case ir.OpSMin:
+		r = min(a, b)
+	case ir.OpSMax:
+		r = max(a, b)
+	default:
+		panic("gpusim: bad int op " + in.IROp.String())
+	}
+	return interp.IntVal(truncI(t, r))
+}
+
+func toU(t *ir.Type, v int64) uint64 {
+	switch t.Kind {
+	case ir.KindI1:
+		return uint64(v) & 1
+	case ir.KindI8:
+		return uint64(uint8(v))
+	case ir.KindI32:
+		return uint64(uint32(v))
+	default:
+		return uint64(v)
+	}
+}

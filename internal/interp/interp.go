@@ -1,0 +1,397 @@
+// Package interp is a reference interpreter for the IR. It executes one
+// function instance (one "thread") sequentially against a byte-addressable
+// memory, with the GPU geometry intrinsics supplied by the environment.
+//
+// The interpreter is the semantic oracle of the repository: transformation
+// tests run the same function before and after a pass on random inputs and
+// require identical results and memory, and the benchmark harness validates
+// every optimized kernel against it.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"uu/internal/ir"
+)
+
+// Value is a runtime scalar. Integers (including i1 and pointers) live in I;
+// floats in F.
+type Value struct {
+	I int64
+	F float64
+}
+
+// IntVal returns an integer/pointer runtime value.
+func IntVal(v int64) Value { return Value{I: v} }
+
+// FloatVal returns a floating-point runtime value.
+func FloatVal(v float64) Value { return Value{F: v} }
+
+// Memory is the simulated flat device memory.
+type Memory struct {
+	Data []byte
+}
+
+// NewMemory allocates a zeroed memory of the given size.
+func NewMemory(size int64) *Memory { return &Memory{Data: make([]byte, size)} }
+
+// Load reads a value of type t at byte address addr.
+func (m *Memory) Load(t *ir.Type, addr int64) (Value, error) {
+	if addr < 0 || addr+t.Size() > int64(len(m.Data)) {
+		return Value{}, fmt.Errorf("interp: load out of bounds: addr=%d size=%d mem=%d", addr, t.Size(), len(m.Data))
+	}
+	switch t.Kind {
+	case ir.KindI1, ir.KindI8:
+		return IntVal(int64(int8(m.Data[addr]))), nil
+	case ir.KindI32:
+		return IntVal(int64(int32(binary.LittleEndian.Uint32(m.Data[addr:])))), nil
+	case ir.KindI64, ir.KindPtr:
+		return IntVal(int64(binary.LittleEndian.Uint64(m.Data[addr:]))), nil
+	case ir.KindF32:
+		return FloatVal(float64(math.Float32frombits(binary.LittleEndian.Uint32(m.Data[addr:])))), nil
+	case ir.KindF64:
+		return FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(m.Data[addr:]))), nil
+	}
+	return Value{}, fmt.Errorf("interp: load of unsupported type %s", t)
+}
+
+// Store writes a value of type t at byte address addr.
+func (m *Memory) Store(t *ir.Type, addr int64, v Value) error {
+	if addr < 0 || addr+t.Size() > int64(len(m.Data)) {
+		return fmt.Errorf("interp: store out of bounds: addr=%d size=%d mem=%d", addr, t.Size(), len(m.Data))
+	}
+	switch t.Kind {
+	case ir.KindI1, ir.KindI8:
+		m.Data[addr] = byte(v.I)
+	case ir.KindI32:
+		binary.LittleEndian.PutUint32(m.Data[addr:], uint32(v.I))
+	case ir.KindI64, ir.KindPtr:
+		binary.LittleEndian.PutUint64(m.Data[addr:], uint64(v.I))
+	case ir.KindF32:
+		binary.LittleEndian.PutUint32(m.Data[addr:], math.Float32bits(float32(v.F)))
+	case ir.KindF64:
+		binary.LittleEndian.PutUint64(m.Data[addr:], math.Float64bits(v.F))
+	default:
+		return fmt.Errorf("interp: store of unsupported type %s", t)
+	}
+	return nil
+}
+
+// SetF64 stores a float64 at index i of an array starting at base.
+func (m *Memory) SetF64(base int64, i int64, v float64) {
+	binary.LittleEndian.PutUint64(m.Data[base+8*i:], math.Float64bits(v))
+}
+
+// F64 reads a float64 at index i of an array starting at base.
+func (m *Memory) F64(base int64, i int64) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(m.Data[base+8*i:]))
+}
+
+// SetI64 stores an int64 at index i of an array starting at base.
+func (m *Memory) SetI64(base int64, i int64, v int64) {
+	binary.LittleEndian.PutUint64(m.Data[base+8*i:], uint64(v))
+}
+
+// I64 reads an int64 at index i of an array starting at base.
+func (m *Memory) I64(base int64, i int64) int64 {
+	return int64(binary.LittleEndian.Uint64(m.Data[base+8*i:]))
+}
+
+// SetI32 stores an int32 at index i of an array starting at base.
+func (m *Memory) SetI32(base int64, i int64, v int32) {
+	binary.LittleEndian.PutUint32(m.Data[base+4*i:], uint32(v))
+}
+
+// I32 reads an int32 at index i of an array starting at base.
+func (m *Memory) I32(base int64, i int64) int32 {
+	return int32(binary.LittleEndian.Uint32(m.Data[base+4*i:]))
+}
+
+// SetF32 stores a float32 at index i of an array starting at base.
+func (m *Memory) SetF32(base int64, i int64, v float32) {
+	binary.LittleEndian.PutUint32(m.Data[base+4*i:], math.Float32bits(v))
+}
+
+// F32 reads a float32 at index i of an array starting at base.
+func (m *Memory) F32(base int64, i int64) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(m.Data[base+4*i:]))
+}
+
+// Env supplies the GPU geometry intrinsics for one thread.
+type Env struct {
+	TID    int32 // threadIdx.x
+	NTID   int32 // blockDim.x
+	CTAID  int32 // blockIdx.x
+	NCTAID int32 // gridDim.x
+}
+
+// DefaultMaxSteps bounds interpretation to catch runaway loops in tests.
+const DefaultMaxSteps = 50_000_000
+
+// Counters tallies dynamic execution statistics of one Run.
+type Counters struct {
+	Steps int64
+	Ops   map[ir.Op]int64
+}
+
+// Run executes f with the given arguments (one per parameter; pointer
+// parameters take byte offsets into mem). It returns the return value (zero
+// Value for void) and an error on traps or step exhaustion.
+func Run(f *ir.Function, args []Value, mem *Memory, env Env) (Value, error) {
+	return RunSteps(f, args, mem, env, DefaultMaxSteps, nil)
+}
+
+// RunCounted is Run, additionally tallying dynamically executed operations
+// into ctr (which must have a non-nil Ops map).
+func RunCounted(f *ir.Function, args []Value, mem *Memory, env Env, ctr *Counters) (Value, error) {
+	return RunSteps(f, args, mem, env, DefaultMaxSteps, ctr)
+}
+
+// RunSteps is Run with an explicit step budget.
+func RunSteps(f *ir.Function, args []Value, mem *Memory, env Env, maxSteps int64, ctr *Counters) (Value, error) {
+	if len(args) != len(f.Params) {
+		return Value{}, fmt.Errorf("interp: %s expects %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	vals := map[ir.Value]Value{}
+	for i, p := range f.Params {
+		vals[p] = args[i]
+	}
+	eval := func(v ir.Value) Value {
+		switch x := v.(type) {
+		case *ir.Const:
+			if x.Typ.IsFloat() {
+				return FloatVal(x.Float)
+			}
+			return IntVal(x.Int)
+		default:
+			return vals[v]
+		}
+	}
+
+	// Thread-private alloca slots live at the top of a small shadow stack
+	// appended beyond the caller's memory; to keep addressing simple we give
+	// each alloca its own tiny buffer via a map.
+	allocaMem := map[*ir.Instr]*[8]byte{}
+
+	var steps int64
+	block := f.Entry()
+	var prev *ir.Block
+	for {
+		// Phis evaluate simultaneously on entry.
+		phis := block.Phis()
+		if len(phis) > 0 {
+			if prev == nil {
+				return Value{}, fmt.Errorf("interp: phi in entry block %s", block.Name)
+			}
+			tmp := make([]Value, len(phis))
+			for i, phi := range phis {
+				inc := phi.PhiIncoming(prev)
+				if inc == nil {
+					return Value{}, fmt.Errorf("interp: phi %s has no incoming for %s", phi.Ref(), prev.Name)
+				}
+				tmp[i] = eval(inc)
+			}
+			for i, phi := range phis {
+				vals[phi] = tmp[i]
+			}
+		}
+		for _, in := range block.Instrs()[len(phis):] {
+			steps++
+			if steps > maxSteps {
+				return Value{}, fmt.Errorf("interp: step budget exhausted in %s", f.Name)
+			}
+			if ctr != nil {
+				ctr.Steps++
+				ctr.Ops[in.Op]++
+			}
+			switch in.Op {
+			case ir.OpBr:
+				prev, block = block, in.BlockArg(0)
+			case ir.OpCondBr:
+				if eval(in.Arg(0)).I != 0 {
+					prev, block = block, in.BlockArg(0)
+				} else {
+					prev, block = block, in.BlockArg(1)
+				}
+			case ir.OpRet:
+				if in.NumArgs() == 1 {
+					return eval(in.Arg(0)), nil
+				}
+				return Value{}, nil
+			case ir.OpAlloca:
+				buf := &[8]byte{}
+				allocaMem[in] = buf
+				vals[in] = IntVal(-int64(len(allocaMem)) * 16) // sentinel address
+			case ir.OpLoad:
+				addr := eval(in.Arg(0)).I
+				if base, ok := allocaBase(in.Arg(0), allocaMem); ok {
+					vals[in] = loadLocal(in.Type(), base)
+					continue
+				}
+				v, err := mem.Load(in.Type(), addr)
+				if err != nil {
+					return Value{}, err
+				}
+				vals[in] = v
+			case ir.OpStore:
+				addr := eval(in.Arg(1)).I
+				if base, ok := allocaBase(in.Arg(1), allocaMem); ok {
+					storeLocal(in.Arg(0).Type(), base, eval(in.Arg(0)))
+					continue
+				}
+				if err := mem.Store(in.Arg(0).Type(), addr, eval(in.Arg(0))); err != nil {
+					return Value{}, err
+				}
+			case ir.OpGEP:
+				base := eval(in.Arg(0)).I
+				idx := eval(in.Arg(1)).I
+				vals[in] = IntVal(base + idx*in.Type().Elem.Size())
+			case ir.OpBarrier:
+				// Sequential semantics: no-op for a single thread.
+			case ir.OpTID:
+				vals[in] = IntVal(int64(env.TID))
+			case ir.OpNTID:
+				vals[in] = IntVal(int64(env.NTID))
+			case ir.OpCTAID:
+				vals[in] = IntVal(int64(env.CTAID))
+			case ir.OpNCTAID:
+				vals[in] = IntVal(int64(env.NCTAID))
+			default:
+				v, err := evalPure(in, eval)
+				if err != nil {
+					return Value{}, err
+				}
+				vals[in] = v
+			}
+			if in.IsTerminator() {
+				break
+			}
+		}
+	}
+}
+
+func allocaBase(ptr ir.Value, allocaMem map[*ir.Instr]*[8]byte) (*[8]byte, bool) {
+	in, ok := ptr.(*ir.Instr)
+	if !ok || in.Op != ir.OpAlloca {
+		return nil, false
+	}
+	b, ok := allocaMem[in]
+	return b, ok
+}
+
+func loadLocal(t *ir.Type, buf *[8]byte) Value {
+	switch t.Kind {
+	case ir.KindF32:
+		return FloatVal(float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))))
+	case ir.KindF64:
+		return FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+	default:
+		return IntVal(int64(binary.LittleEndian.Uint64(buf[:])))
+	}
+}
+
+func storeLocal(t *ir.Type, buf *[8]byte, v Value) {
+	switch t.Kind {
+	case ir.KindF32:
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(v.F)))
+		binary.LittleEndian.PutUint32(buf[4:], 0)
+	case ir.KindF64:
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+	default:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+	}
+}
+
+// evalPure evaluates a side-effect-free scalar instruction.
+func evalPure(in *ir.Instr, eval func(ir.Value) Value) (Value, error) {
+	t := in.Type()
+	switch in.Op {
+	case ir.OpSelect:
+		if eval(in.Arg(0)).I != 0 {
+			return eval(in.Arg(1)), nil
+		}
+		return eval(in.Arg(2)), nil
+	case ir.OpICmp, ir.OpFCmp:
+		a, b := eval(in.Arg(0)), eval(in.Arg(1))
+		var ca, cb *ir.Const
+		if in.Op == ir.OpICmp {
+			ca, cb = ir.ConstInt(in.Arg(0).Type(), a.I), ir.ConstInt(in.Arg(1).Type(), b.I)
+		} else {
+			ca, cb = ir.ConstFloat(in.Arg(0).Type(), a.F), ir.ConstFloat(in.Arg(1).Type(), b.F)
+		}
+		r := ir.FoldCompare(in.Op, in.Pred, ca, cb)
+		if r == nil {
+			return Value{}, fmt.Errorf("interp: bad compare %s", in)
+		}
+		return IntVal(r.Int), nil
+	case ir.OpTrunc, ir.OpZExt, ir.OpSExt, ir.OpSIToFP, ir.OpFPToSI, ir.OpFPExt, ir.OpFPTrunc:
+		a := eval(in.Arg(0))
+		var c *ir.Const
+		if in.Arg(0).Type().IsFloat() {
+			c = ir.ConstFloat(in.Arg(0).Type(), a.F)
+		} else {
+			c = ir.ConstInt(in.Arg(0).Type(), a.I)
+		}
+		r := ir.FoldUnary(in.Op, c, t)
+		if r == nil {
+			// fptosi of NaN/Inf: define as 0 like the hardware's saturating
+			// behaviour approximation.
+			return Value{}, nil
+		}
+		if t.IsFloat() {
+			return FloatVal(r.Float), nil
+		}
+		return IntVal(r.Int), nil
+	case ir.OpSqrt, ir.OpFAbs, ir.OpExp, ir.OpLog, ir.OpSin, ir.OpCos, ir.OpFloor:
+		a := eval(in.Arg(0)).F
+		var r float64
+		switch in.Op {
+		case ir.OpSqrt:
+			r = math.Sqrt(a)
+		case ir.OpFAbs:
+			r = math.Abs(a)
+		case ir.OpExp:
+			r = math.Exp(a)
+		case ir.OpLog:
+			r = math.Log(a)
+		case ir.OpSin:
+			r = math.Sin(a)
+		case ir.OpCos:
+			r = math.Cos(a)
+		case ir.OpFloor:
+			r = math.Floor(a)
+		}
+		if t == ir.F32 {
+			r = float64(float32(r))
+		}
+		return FloatVal(r), nil
+	}
+	// Binary arithmetic via the shared folder, with division-by-zero defined
+	// as zero (GPU integer division does not trap; any fixed value works as
+	// long as the simulator agrees).
+	a, b := eval(in.Arg(0)), eval(in.Arg(1))
+	if t.IsFloat() || in.Op == ir.OpPow || in.Op == ir.OpFMin || in.Op == ir.OpFMax {
+		r := ir.FoldBinary(in.Op, ir.ConstFloat(in.Arg(0).Type(), a.F), ir.ConstFloat(in.Arg(1).Type(), b.F))
+		if r == nil {
+			return Value{}, fmt.Errorf("interp: cannot evaluate %s", in)
+		}
+		v := r.Float
+		if t == ir.F32 {
+			v = float64(float32(v))
+		}
+		return FloatVal(v), nil
+	}
+	switch in.Op {
+	case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem:
+		if b.I == 0 {
+			return IntVal(0), nil
+		}
+	}
+	r := ir.FoldBinary(in.Op, ir.ConstInt(t, a.I), ir.ConstInt(t, b.I))
+	if r == nil {
+		return Value{}, fmt.Errorf("interp: cannot evaluate %s", in)
+	}
+	return IntVal(r.Int), nil
+}

@@ -1,0 +1,142 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uu/internal/ir"
+)
+
+func TestMemoryAccessors(t *testing.T) {
+	m := NewMemory(64)
+	m.SetF64(0, 1, 3.5)
+	if m.F64(0, 1) != 3.5 {
+		t.Fatalf("f64 roundtrip")
+	}
+	m.SetI64(16, 0, -7)
+	if m.I64(16, 0) != -7 {
+		t.Fatalf("i64 roundtrip")
+	}
+	m.SetI32(32, 1, -9)
+	if m.I32(32, 1) != -9 {
+		t.Fatalf("i32 roundtrip")
+	}
+	m.SetF32(40, 0, 1.25)
+	if m.F32(40, 0) != 1.25 {
+		t.Fatalf("f32 roundtrip")
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	m := NewMemory(8)
+	if _, err := m.Load(ir.F64, 8); err == nil {
+		t.Fatalf("no error for OOB load")
+	}
+	if err := m.Store(ir.I64, -1, IntVal(0)); err == nil {
+		t.Fatalf("no error for negative store")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	f := ir.NewFunction("spin", ir.Void)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	b := ir.NewBuilder(entry)
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop)
+	if _, err := RunSteps(f, nil, NewMemory(0), Env{}, 1000, nil); err == nil {
+		t.Fatalf("infinite loop not caught")
+	}
+}
+
+func TestGeometryIntrinsics(t *testing.T) {
+	f := ir.NewFunction("g", ir.Void)
+	out := f.AddParam("out", ir.PointerTo(ir.I32), true)
+	entry := f.NewBlock("entry")
+	b := ir.NewBuilder(entry)
+	tid := b.TID()
+	ntid := b.NTID()
+	cta := b.CTAID()
+	ncta := b.NCTAID()
+	s1 := b.Mul(cta, ntid)
+	s2 := b.Add(s1, tid)
+	s3 := b.Add(s2, ncta)
+	b.Store(s3, b.GEP(out, ir.ConstInt(ir.I32, 0)))
+	b.Ret(nil)
+	mem := NewMemory(4)
+	env := Env{TID: 3, NTID: 64, CTAID: 2, NCTAID: 10}
+	if _, err := Run(f, []Value{IntVal(0)}, mem, env); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := mem.I32(0, 0); got != 2*64+3+10 {
+		t.Fatalf("geometry = %d", got)
+	}
+}
+
+// Property: the interpreter's pure evaluation agrees with the shared
+// constant folder for arbitrary i64 inputs.
+func TestQuickEvalMatchesFold(t *testing.T) {
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpSMin, ir.OpSMax}
+	prop := func(a, b int64, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		f := ir.NewFunction("p", ir.I64)
+		entry := f.NewBlock("entry")
+		bld := ir.NewBuilder(entry)
+		pa := f.AddParam("a", ir.I64, false)
+		pb := f.AddParam("b", ir.I64, false)
+		r := bld.Bin(op, pa, pb)
+		bld.Ret(r)
+		got, err := Run(f, []Value{IntVal(a), IntVal(b)}, NewMemory(0), Env{})
+		if err != nil {
+			return false
+		}
+		want := ir.FoldBinary(op, ir.ConstInt(ir.I64, a), ir.ConstInt(ir.I64, b))
+		return want != nil && got.I == want.Int
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: float arithmetic through the interpreter matches Go semantics
+// including f32 rounding.
+func TestQuickFloat32Rounding(t *testing.T) {
+	prop := func(a, b float32) bool {
+		f := ir.NewFunction("p", ir.F32)
+		entry := f.NewBlock("entry")
+		bld := ir.NewBuilder(entry)
+		pa := f.AddParam("a", ir.F32, false)
+		pb := f.AddParam("b", ir.F32, false)
+		r := bld.FMul(pa, pb)
+		bld.Ret(r)
+		got, err := Run(f, []Value{FloatVal(float64(a)), FloatVal(float64(b))}, NewMemory(0), Env{})
+		if err != nil {
+			return false
+		}
+		want := float64(a * b)
+		return got.F == want || (got.F != got.F && want != want) // NaN-safe
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: memory round-trips arbitrary values at arbitrary (aligned)
+// offsets.
+func TestQuickMemoryRoundTrip(t *testing.T) {
+	m := NewMemory(4096)
+	prop := func(idx uint16, v int64, fv float64) bool {
+		i := int64(idx) % 500
+		m.SetI64(0, i, v)
+		if m.I64(0, i) != v {
+			return false
+		}
+		m.SetF64(0, i, fv)
+		got := m.F64(0, i)
+		return got == fv || (got != got && fv != fv)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a straight-line instruction sequence whose last
+// instruction is a terminator. Phi nodes, when present, form a prefix of the
+// instruction list.
+type Block struct {
+	Name string
+
+	instrs []*Instr
+	preds  []*Block
+	fn     *Function
+}
+
+// Func returns the containing function.
+func (b *Block) Func() *Function { return b.fn }
+
+// Instrs returns the block's instructions in order. The returned slice must
+// not be mutated; use the insertion/removal methods.
+func (b *Block) Instrs() []*Instr { return b.instrs }
+
+// NumInstrs returns the number of instructions in the block.
+func (b *Block) NumInstrs() int { return len(b.instrs) }
+
+// Term returns the block's terminator, or nil if the block is unterminated
+// (only legal mid-construction).
+func (b *Block) Term() *Instr {
+	if n := len(b.instrs); n > 0 && b.instrs[n-1].IsTerminator() {
+		return b.instrs[n-1]
+	}
+	return nil
+}
+
+// Phis returns the phi nodes at the head of the block.
+func (b *Block) Phis() []*Instr {
+	for i, in := range b.instrs {
+		if !in.IsPhi() {
+			return b.instrs[:i]
+		}
+	}
+	return b.instrs
+}
+
+// FirstNonPhi returns the index of the first non-phi instruction.
+func (b *Block) FirstNonPhi() int {
+	for i, in := range b.instrs {
+		if !in.IsPhi() {
+			return i
+		}
+	}
+	return len(b.instrs)
+}
+
+// Append adds a detached instruction at the end of the block (before nothing;
+// callers build blocks front-to-back, terminator last).
+func (b *Block) Append(in *Instr) *Instr {
+	b.attach(in)
+	b.instrs = append(b.instrs, in)
+	if in.IsTerminator() {
+		b.addSuccEdges(in)
+	}
+	return in
+}
+
+// InsertBefore inserts a detached instruction immediately before pos, which
+// must be in this block.
+func (b *Block) InsertBefore(in *Instr, pos *Instr) {
+	b.attach(in)
+	for i, x := range b.instrs {
+		if x == pos {
+			b.instrs = append(b.instrs, nil)
+			copy(b.instrs[i+1:], b.instrs[i:])
+			b.instrs[i] = in
+			return
+		}
+	}
+	panic("ir: InsertBefore: position not in block")
+}
+
+// InsertAtFront inserts a detached instruction at the start of the block
+// (before any phis — only valid for phis themselves, which is its main use).
+func (b *Block) InsertAtFront(in *Instr) {
+	b.attach(in)
+	b.instrs = append([]*Instr{in}, b.instrs...)
+}
+
+func (b *Block) attach(in *Instr) {
+	if in.block != nil {
+		panic("ir: instruction already attached to a block")
+	}
+	in.block = b
+	if in.id == 0 && b.fn != nil {
+		b.fn.nextID++
+		in.id = b.fn.nextID
+	}
+}
+
+// Remove detaches in from the block without touching its uses. The caller is
+// responsible for the instruction having no remaining uses (or for
+// reattaching it elsewhere).
+func (b *Block) Remove(in *Instr) {
+	for i, x := range b.instrs {
+		if x == in {
+			if in.IsTerminator() {
+				b.removeSuccEdges(in)
+			}
+			b.instrs = append(b.instrs[:i], b.instrs[i+1:]...)
+			in.block = nil
+			return
+		}
+	}
+	panic("ir: Remove: instruction not in block")
+}
+
+// Erase removes in from the block and disconnects its operands. The
+// instruction must have no uses.
+func (b *Block) Erase(in *Instr) {
+	if in.HasUses() {
+		panic(fmt.Sprintf("ir: Erase: %s still has %d uses", in.Ref(), in.NumUses()))
+	}
+	b.Remove(in)
+	in.dropArgs()
+}
+
+// SetTerm replaces the block's terminator (erasing the old one, if any) with
+// the detached terminator t, and updates successor predecessor lists.
+func (b *Block) SetTerm(t *Instr) {
+	if !t.IsTerminator() {
+		panic("ir: SetTerm: not a terminator")
+	}
+	if old := b.Term(); old != nil {
+		b.Erase(old)
+	}
+	b.Append(t)
+}
+
+// Preds returns the predecessor blocks. The slice must not be mutated.
+func (b *Block) Preds() []*Block { return b.preds }
+
+// NumPreds returns the number of predecessor edges (counting duplicates from
+// multi-edge terminators once per edge).
+func (b *Block) NumPreds() int { return len(b.preds) }
+
+// HasPred reports whether p is a predecessor of b.
+func (b *Block) HasPred(p *Block) bool {
+	for _, x := range b.preds {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Succs returns the successor blocks in terminator order (empty for ret).
+func (b *Block) Succs() []*Block {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	return t.blocks
+}
+
+func (b *Block) addSuccEdges(t *Instr) {
+	for _, s := range t.blocks {
+		s.preds = append(s.preds, b)
+	}
+}
+
+func (b *Block) removeSuccEdges(t *Instr) {
+	for _, s := range t.blocks {
+		s.removePred(b)
+	}
+}
+
+func (b *Block) removePred(p *Block) {
+	for i, x := range b.preds {
+		if x == p {
+			b.preds = append(b.preds[:i], b.preds[i+1:]...)
+			return
+		}
+	}
+	panic("ir: removePred: not a predecessor")
+}
+
+// ReplaceSucc rewires every terminator edge b→from to b→to, updating
+// predecessor lists. Phi nodes in from/to are NOT adjusted; callers handle
+// them (as LLVM passes do).
+func (b *Block) ReplaceSucc(from, to *Block) {
+	t := b.Term()
+	n := 0
+	for i, s := range t.blocks {
+		if s == from {
+			t.blocks[i] = to
+			from.removePred(b)
+			to.preds = append(to.preds, b)
+			n++
+		}
+	}
+	if n == 0 {
+		panic("ir: ReplaceSucc: " + from.Name + " is not a successor of " + b.Name)
+	}
+}
+
+// String returns the block label reference ("%name").
+func (b *Block) String() string { return "%" + b.Name }

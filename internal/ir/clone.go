@@ -1,0 +1,85 @@
+package ir
+
+// ValueMap maps original values to their clones during block duplication.
+type ValueMap map[Value]Value
+
+// Lookup returns the mapping for v, or v itself when unmapped (values defined
+// outside the cloned region are shared, not cloned).
+func (vm ValueMap) Lookup(v Value) Value {
+	if nv, ok := vm[v]; ok {
+		return nv
+	}
+	return v
+}
+
+// CloneBlocks duplicates the given blocks within f, appending suffix to block
+// names. Instruction operands and phi/branch block references that point
+// inside the cloned region are remapped to the clones; references to values
+// and blocks outside the region are left pointing at the originals.
+//
+// The returned maps translate original blocks/values to their clones. Callers
+// (the unroller and unmerger) rewire entry/exit edges and fix up boundary
+// phis afterwards.
+func CloneBlocks(f *Function, blocks []*Block, suffix string) (map[*Block]*Block, ValueMap) {
+	bmap := make(map[*Block]*Block, len(blocks))
+	vmap := ValueMap{}
+	for _, b := range blocks {
+		nb := f.NewBlock(b.Name + suffix)
+		bmap[b] = nb
+	}
+	// First pass: create clone instructions with original operands so that
+	// forward references (phis) resolve in the second pass.
+	clones := map[*Instr]*Instr{}
+	for _, b := range blocks {
+		nb := bmap[b]
+		for _, in := range b.instrs {
+			ci := &Instr{Op: in.Op, Typ: in.Typ, Pred: in.Pred, name: ""}
+			clones[in] = ci
+			vmap[in] = ci
+			// Append without operands yet; terminators get block args in the
+			// second pass so that Append wires predecessor edges correctly.
+			if in.IsTerminator() {
+				continue
+			}
+			for _, a := range in.args {
+				ci.AddArg(a)
+			}
+			nb.Append(ci)
+		}
+	}
+	// Second pass: remap operands and block references.
+	for _, b := range blocks {
+		for _, in := range b.instrs {
+			ci := clones[in]
+			if in.IsTerminator() {
+				for _, a := range in.args {
+					ci.AddArg(vmap.Lookup(a))
+				}
+				for _, tb := range in.blocks {
+					if nt, ok := bmap[tb]; ok {
+						ci.AddBlockArg(nt)
+					} else {
+						ci.AddBlockArg(tb)
+					}
+				}
+				bmap[b].Append(ci) // wires pred edges of (possibly external) targets
+				continue
+			}
+			for i, a := range ci.args {
+				if na := vmap.Lookup(a); na != a {
+					ci.SetArg(i, na)
+				}
+			}
+			if in.IsPhi() {
+				for _, ib := range in.blocks {
+					if nb, ok := bmap[ib]; ok {
+						ci.AddBlockArg(nb)
+					} else {
+						ci.AddBlockArg(ib)
+					}
+				}
+			}
+		}
+	}
+	return bmap, vmap
+}

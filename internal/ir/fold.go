@@ -1,0 +1,186 @@
+package ir
+
+import "math"
+
+// FoldBinary evaluates a binary arithmetic or math-intrinsic opcode on
+// constant operands. It returns nil when the operation cannot be folded
+// (division by zero, mismatched kinds).
+func FoldBinary(op Op, a, b *Const) *Const {
+	t := a.Typ
+	switch op {
+	case OpAdd:
+		return ConstInt(t, a.Int+b.Int)
+	case OpSub:
+		return ConstInt(t, a.Int-b.Int)
+	case OpMul:
+		return ConstInt(t, a.Int*b.Int)
+	case OpSDiv:
+		if b.Int == 0 {
+			return nil
+		}
+		return ConstInt(t, a.Int/b.Int)
+	case OpUDiv:
+		if b.Int == 0 {
+			return nil
+		}
+		return ConstInt(t, int64(toUnsigned(t, a.Int)/toUnsigned(t, b.Int)))
+	case OpSRem:
+		if b.Int == 0 {
+			return nil
+		}
+		return ConstInt(t, a.Int%b.Int)
+	case OpURem:
+		if b.Int == 0 {
+			return nil
+		}
+		return ConstInt(t, int64(toUnsigned(t, a.Int)%toUnsigned(t, b.Int)))
+	case OpShl:
+		return ConstInt(t, a.Int<<shiftAmt(t, b.Int))
+	case OpLShr:
+		return ConstInt(t, int64(toUnsigned(t, a.Int)>>shiftAmt(t, b.Int)))
+	case OpAShr:
+		return ConstInt(t, a.Int>>shiftAmt(t, b.Int))
+	case OpAnd:
+		return ConstInt(t, a.Int&b.Int)
+	case OpOr:
+		return ConstInt(t, a.Int|b.Int)
+	case OpXor:
+		return ConstInt(t, a.Int^b.Int)
+	case OpFAdd:
+		return ConstFloat(t, a.Float+b.Float)
+	case OpFSub:
+		return ConstFloat(t, a.Float-b.Float)
+	case OpFMul:
+		return ConstFloat(t, a.Float*b.Float)
+	case OpFDiv:
+		return ConstFloat(t, a.Float/b.Float)
+	case OpPow:
+		return ConstFloat(t, math.Pow(a.Float, b.Float))
+	case OpFMin:
+		return ConstFloat(t, math.Min(a.Float, b.Float))
+	case OpFMax:
+		return ConstFloat(t, math.Max(a.Float, b.Float))
+	case OpSMin:
+		return ConstInt(t, min(a.Int, b.Int))
+	case OpSMax:
+		return ConstInt(t, max(a.Int, b.Int))
+	}
+	return nil
+}
+
+// FoldCompare evaluates an icmp/fcmp predicate on constants.
+func FoldCompare(op Op, pred Pred, a, b *Const) *Const {
+	var r bool
+	if op == OpICmp {
+		t := a.Typ
+		ua, ub := toUnsigned(t, a.Int), toUnsigned(t, b.Int)
+		switch pred {
+		case EQ:
+			r = a.Int == b.Int
+		case NE:
+			r = a.Int != b.Int
+		case SLT:
+			r = a.Int < b.Int
+		case SLE:
+			r = a.Int <= b.Int
+		case SGT:
+			r = a.Int > b.Int
+		case SGE:
+			r = a.Int >= b.Int
+		case ULT:
+			r = ua < ub
+		case ULE:
+			r = ua <= ub
+		case UGT:
+			r = ua > ub
+		case UGE:
+			r = ua >= ub
+		default:
+			return nil
+		}
+	} else {
+		switch pred {
+		case OEQ:
+			r = a.Float == b.Float
+		case ONE:
+			r = a.Float != b.Float
+		case OLT:
+			r = a.Float < b.Float
+		case OLE:
+			r = a.Float <= b.Float
+		case OGT:
+			r = a.Float > b.Float
+		case OGE:
+			r = a.Float >= b.Float
+		default:
+			return nil
+		}
+	}
+	return ConstBool(r)
+}
+
+// FoldUnary evaluates a unary opcode (conversion or math intrinsic) on a
+// constant. to is the result type for conversions (ignored for math ops,
+// which preserve the operand type).
+func FoldUnary(op Op, v *Const, to *Type) *Const {
+	switch op {
+	case OpTrunc:
+		return ConstInt(to, v.Int)
+	case OpZExt:
+		return ConstInt(to, int64(toUnsigned(v.Typ, v.Int)))
+	case OpSExt:
+		return ConstInt(to, v.Int)
+	case OpSIToFP:
+		return ConstFloat(to, float64(v.Int))
+	case OpFPToSI:
+		if math.IsNaN(v.Float) || math.IsInf(v.Float, 0) {
+			return nil
+		}
+		return ConstInt(to, int64(v.Float))
+	case OpFPExt, OpFPTrunc:
+		return ConstFloat(to, v.Float)
+	case OpSqrt:
+		return ConstFloat(v.Typ, math.Sqrt(v.Float))
+	case OpFAbs:
+		return ConstFloat(v.Typ, math.Abs(v.Float))
+	case OpExp:
+		return ConstFloat(v.Typ, math.Exp(v.Float))
+	case OpLog:
+		return ConstFloat(v.Typ, math.Log(v.Float))
+	case OpSin:
+		return ConstFloat(v.Typ, math.Sin(v.Float))
+	case OpCos:
+		return ConstFloat(v.Typ, math.Cos(v.Float))
+	case OpFloor:
+		return ConstFloat(v.Typ, math.Floor(v.Float))
+	}
+	return nil
+}
+
+func toUnsigned(t *Type, v int64) uint64 {
+	switch t.Kind {
+	case KindI1:
+		return uint64(v) & 1
+	case KindI8:
+		return uint64(uint8(v))
+	case KindI32:
+		return uint64(uint32(v))
+	default:
+		return uint64(v)
+	}
+}
+
+func shiftAmt(t *Type, v int64) uint64 {
+	return uint64(v) & uint64(t.Bits()-1)
+}
+
+// SameConst reports whether two constants are identical in type and value.
+func SameConst(a, b *Const) bool {
+	if a.Typ != b.Typ {
+		return false
+	}
+	if a.Typ.IsFloat() {
+		return a.Float == b.Float || (math.IsNaN(a.Float) && math.IsNaN(b.Float))
+	}
+	return a.Int == b.Int
+}

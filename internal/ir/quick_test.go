@@ -1,0 +1,130 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: FoldCompare with an inverted predicate is the logical negation.
+func TestQuickPredInverseNegates(t *testing.T) {
+	preds := []Pred{EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE}
+	prop := func(a, b int64, predIdx uint8) bool {
+		p := preds[int(predIdx)%len(preds)]
+		ca, cb := ConstInt(I64, a), ConstInt(I64, b)
+		r1 := FoldCompare(OpICmp, p, ca, cb)
+		r2 := FoldCompare(OpICmp, p.Inverse(), ca, cb)
+		return r1 != nil && r2 != nil && r1.Int != r2.Int
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FoldCompare with swapped predicate and swapped operands agrees.
+func TestQuickPredSwapAgrees(t *testing.T) {
+	preds := []Pred{EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE}
+	prop := func(a, b int64, predIdx uint8) bool {
+		p := preds[int(predIdx)%len(preds)]
+		ca, cb := ConstInt(I64, a), ConstInt(I64, b)
+		r1 := FoldCompare(OpICmp, p, ca, cb)
+		r2 := FoldCompare(OpICmp, p.Swapped(), cb, ca)
+		return r1 != nil && r2 != nil && r1.Int == r2.Int
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integer constants are stored in canonical (sign-extended
+// truncated) form, and folding matches native Go arithmetic on that form.
+func TestQuickFoldMatchesNativeI32(t *testing.T) {
+	prop := func(a, b int32) bool {
+		ca, cb := ConstInt(I32, int64(a)), ConstInt(I32, int64(b))
+		checks := []struct {
+			op   Op
+			want int64
+		}{
+			{OpAdd, int64(a + b)},
+			{OpSub, int64(a - b)},
+			{OpMul, int64(a * b)},
+			{OpAnd, int64(a & b)},
+			{OpOr, int64(a | b)},
+			{OpXor, int64(a ^ b)},
+		}
+		for _, c := range checks {
+			r := FoldBinary(c.op, ca, cb)
+			if r == nil || r.Int != c.want {
+				return false
+			}
+		}
+		if b != 0 {
+			r := FoldBinary(OpSDiv, ca, cb)
+			if r == nil || r.Int != int64(a/b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shift folds mask the shift amount by the type width, as the
+// simulator does.
+func TestQuickShiftMasking(t *testing.T) {
+	prop := func(a int64, sh uint16) bool {
+		c := FoldBinary(OpShl, ConstInt(I64, a), ConstInt(I64, int64(sh)))
+		want := a << (uint64(sh) & 63)
+		return c != nil && c.Int == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: zext of a truncated i32 recovers the low 32 bits.
+func TestQuickTruncZextRoundTrip(t *testing.T) {
+	prop := func(v int64) bool {
+		tr := FoldUnary(OpTrunc, ConstInt(I64, v), I32)
+		zx := FoldUnary(OpZExt, tr, I64)
+		return zx != nil && uint64(zx.Int) == uint64(uint32(v))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ReplaceAllUsesWith removes every use and transfers them to the
+// replacement, for arbitrary numbers of uses.
+func TestQuickRAUWCounts(t *testing.T) {
+	prop := func(nUses uint8) bool {
+		n := int(nUses%20) + 1
+		f := NewFunction("q", Void)
+		entry := f.NewBlock("entry")
+		b := NewBuilder(entry)
+		x := b.Add(ConstInt(I64, 1), ConstInt(I64, 2))
+		y := b.Add(ConstInt(I64, 3), ConstInt(I64, 4))
+		var users []*Instr
+		for i := 0; i < n; i++ {
+			users = append(users, b.Add(x, x))
+		}
+		b.Ret(nil)
+		if x.NumUses() != 2*n {
+			return false
+		}
+		x.ReplaceAllUsesWith(y)
+		if x.HasUses() || y.NumUses() != 2*n {
+			return false
+		}
+		for _, u := range users {
+			if u.Arg(0) != Value(y) || u.Arg(1) != Value(y) {
+				return false
+			}
+		}
+		return Verify(f) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package ir implements an SSA intermediate representation closely modelled
+// on LLVM IR: typed values, basic blocks ending in explicit terminators, phi
+// nodes at control-flow merges, and a module/function/block/instruction
+// hierarchy. It is the substrate on which all analyses and transformations in
+// this repository — including the paper's unroll-and-unmerge pass — operate.
+package ir
+
+import "fmt"
+
+// Kind enumerates the primitive type kinds of the IR.
+type Kind int
+
+// Type kinds. The IR is deliberately small: the GPU kernels in the evaluation
+// only need scalar integers, floats, booleans, and pointers to scalars.
+const (
+	KindVoid Kind = iota
+	KindI1
+	KindI8
+	KindI32
+	KindI64
+	KindF32
+	KindF64
+	KindPtr
+)
+
+// Type describes the type of an IR value. Types are interned: equal types are
+// pointer-identical, so == compares types.
+type Type struct {
+	Kind Kind
+	Elem *Type // element type for KindPtr, nil otherwise
+}
+
+// Interned singleton types.
+var (
+	Void = &Type{Kind: KindVoid}
+	I1   = &Type{Kind: KindI1}
+	I8   = &Type{Kind: KindI8}
+	I32  = &Type{Kind: KindI32}
+	I64  = &Type{Kind: KindI64}
+	F32  = &Type{Kind: KindF32}
+	F64  = &Type{Kind: KindF64}
+)
+
+var ptrCache = map[*Type]*Type{}
+
+// PointerTo returns the interned pointer type with element type elem.
+func PointerTo(elem *Type) *Type {
+	if p, ok := ptrCache[elem]; ok {
+		return p
+	}
+	p := &Type{Kind: KindPtr, Elem: elem}
+	ptrCache[elem] = p
+	return p
+}
+
+// IsInt reports whether t is an integer type (including i1).
+func (t *Type) IsInt() bool {
+	switch t.Kind {
+	case KindI1, KindI8, KindI32, KindI64:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a floating-point type.
+func (t *Type) IsFloat() bool { return t.Kind == KindF32 || t.Kind == KindF64 }
+
+// IsPtr reports whether t is a pointer type.
+func (t *Type) IsPtr() bool { return t.Kind == KindPtr }
+
+// Bits returns the bit width of an integer or float type, and 64 for
+// pointers (the simulated machine is 64-bit). Void has width 0.
+func (t *Type) Bits() int {
+	switch t.Kind {
+	case KindI1:
+		return 1
+	case KindI8:
+		return 8
+	case KindI32, KindF32:
+		return 32
+	case KindI64, KindF64, KindPtr:
+		return 64
+	}
+	return 0
+}
+
+// Size returns the size in bytes of a value of this type as laid out in
+// simulated device memory.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case KindI1, KindI8:
+		return 1
+	case KindI32, KindF32:
+		return 4
+	case KindI64, KindF64, KindPtr:
+		return 8
+	}
+	return 0
+}
+
+// String returns the LLVM-like spelling of the type.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindI1:
+		return "i1"
+	case KindI8:
+		return "i8"
+	case KindI32:
+		return "i32"
+	case KindI64:
+		return "i64"
+	case KindF32:
+		return "f32"
+	case KindF64:
+		return "f64"
+	case KindPtr:
+		return t.Elem.String() + "*"
+	}
+	return fmt.Sprintf("type(%d)", int(t.Kind))
+}
+
+// TypeByName maps a type spelling back to the interned type; used by the
+// textual IR parser. It returns nil for unknown names.
+func TypeByName(s string) *Type {
+	switch s {
+	case "void":
+		return Void
+	case "i1":
+		return I1
+	case "i8":
+		return I8
+	case "i32":
+		return I32
+	case "i64":
+		return I64
+	case "f32":
+		return F32
+	case "f64":
+		return F64
+	}
+	return nil
+}

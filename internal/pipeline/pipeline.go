@@ -1,0 +1,267 @@
+// Package pipeline assembles the optimization pass pipelines the paper's
+// evaluation compares (Section IV-B): baseline -O3, -O3 + unroll, -O3 +
+// unmerge, -O3 + u&u, and -O3 + the u&u heuristic. The loop transformation
+// is placed early in the pipeline — right after SSA construction and a first
+// canonicalization round — "to maximize subsequent optimizations enabled
+// through those transformations", exactly as the paper positions its pass.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"uu/internal/analysis"
+	"uu/internal/core"
+	"uu/internal/ir"
+	"uu/internal/transform"
+)
+
+// Config names one of the evaluation's five compiler configurations.
+type Config string
+
+// The five configurations of the paper's methodology section.
+const (
+	Baseline    Config = "baseline"
+	UnrollOnly  Config = "unroll"
+	UnmergeOnly Config = "unmerge"
+	UU          Config = "uu"
+	UUHeuristic Config = "uu-heuristic"
+)
+
+// Configs lists all configurations in the paper's order.
+var Configs = []Config{Baseline, UnrollOnly, UnmergeOnly, UU, UUHeuristic}
+
+// Options selects the configuration and its parameters.
+type Options struct {
+	Config Config
+	// LoopID selects the loop for the per-loop configurations (unroll,
+	// unmerge, uu), using the deterministic loop numbering computed on the
+	// canonicalized function ("the pass assigns consistent, deterministic
+	// unique ids to loops", Section III-C). Ignored by baseline/heuristic.
+	LoopID int
+	// Factor is the unroll factor for the unroll and uu configurations.
+	Factor int
+	// Heuristic parameters (uu-heuristic only); zero value means the
+	// paper's defaults (c=1024, u_max=8).
+	Heuristic core.HeuristicParams
+	// Unmerge options (direct-successor ablation, block cap).
+	Unmerge core.Options
+	// GVN options; zero value means all capabilities enabled.
+	GVN *transform.GVNOptions
+	// DisableIfConvert removes backend predication from the pipeline
+	// (ablation: without it the baseline has no selp-style code).
+	DisableIfConvert bool
+	// VerifyEachPass runs the IR verifier after every pass (tests).
+	VerifyEachPass bool
+}
+
+// PassTime records the wall-clock cost of one pass invocation.
+type PassTime struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Stats reports what the pipeline did.
+type Stats struct {
+	CompileTime time.Duration
+	PassTimes   []PassTime
+	// Decisions taken by the heuristic (uu-heuristic only).
+	Decisions []core.Decision
+	// LoopTransformed reports whether the selected loop transformation
+	// actually applied (false for baseline or when it bailed out).
+	LoopTransformed bool
+}
+
+// PassTimeByName aggregates pass times by pass name.
+func (s *Stats) PassTimeByName() map[string]time.Duration {
+	m := map[string]time.Duration{}
+	for _, pt := range s.PassTimes {
+		m[pt.Name] += pt.Duration
+	}
+	return m
+}
+
+// Optimize runs the selected configuration's pipeline on f in place.
+func Optimize(f *ir.Function, opts Options) (*Stats, error) {
+	st := &Stats{}
+	start := time.Now()
+	run := func(name string, pass func(*ir.Function) bool) error {
+		t0 := time.Now()
+		pass(f)
+		st.PassTimes = append(st.PassTimes, PassTime{name, time.Since(t0)})
+		if opts.VerifyEachPass {
+			if err := ir.Verify(f); err != nil {
+				return fmt.Errorf("pipeline %s: after %s: %w", opts.Config, name, err)
+			}
+		}
+		return nil
+	}
+	gvnOpts := transform.DefaultGVNOptions()
+	if opts.GVN != nil {
+		gvnOpts = *opts.GVN
+	}
+	gvn := func(f *ir.Function) bool { return transform.GVN(f, gvnOpts) }
+
+	// Phase 1: SSA construction and canonicalization. Loop IDs are assigned
+	// on this canonical form, identically across configurations.
+	for _, p := range []struct {
+		name string
+		pass func(*ir.Function) bool
+	}{
+		{"mem2reg", transform.Mem2Reg},
+		{"simplifycfg", transform.SimplifyCFG},
+		{"instsimplify", transform.InstSimplify},
+		{"dce", transform.DCE},
+	} {
+		if err := run(p.name, p.pass); err != nil {
+			return st, err
+		}
+	}
+
+	// Phase 2: the loop transformation under evaluation, placed early.
+	skipAuto := map[*ir.Block]bool{}
+	markSkip := func(header *ir.Block) { skipAuto[header] = true }
+	var loopErr error
+	t0 := time.Now()
+	switch opts.Config {
+	case Baseline:
+		// nothing
+	case UnrollOnly:
+		header, err := headerOfLoop(f, opts.LoopID)
+		if err != nil {
+			loopErr = err
+			break
+		}
+		dt := analysis.NewDomTree(f)
+		li := analysis.NewLoopInfo(f, dt)
+		l := li.LoopByID(opts.LoopID)
+		if transform.UnrollLoop(f, l, opts.Factor) {
+			st.LoopTransformed = true
+			markSkip(header)
+		} else {
+			loopErr = fmt.Errorf("pipeline: loop #%d not unrollable", opts.LoopID)
+		}
+	case UnmergeOnly, UU:
+		factor := opts.Factor
+		if opts.Config == UnmergeOnly {
+			factor = 1
+		}
+		header, err := headerOfLoop(f, opts.LoopID)
+		if err != nil {
+			loopErr = err
+			break
+		}
+		changed, err := core.UnrollAndUnmerge(f, opts.LoopID, factor, opts.Unmerge)
+		st.LoopTransformed = changed
+		if err != nil {
+			loopErr = err
+		}
+		if changed {
+			markSkip(header)
+		}
+	case UUHeuristic:
+		params := opts.Heuristic
+		if params.C == 0 && params.UMax == 0 {
+			params = core.DefaultHeuristicParams()
+		}
+		st.Decisions = core.ApplyHeuristic(f, params, opts.Unmerge)
+		st.LoopTransformed = len(st.Decisions) > 0
+		for _, d := range st.Decisions {
+			markSkip(d.Header)
+		}
+	default:
+		return st, fmt.Errorf("pipeline: unknown config %q", opts.Config)
+	}
+	st.PassTimes = append(st.PassTimes, PassTime{string(opts.Config) + "-loop-pass", time.Since(t0)})
+	if opts.VerifyEachPass {
+		if err := ir.Verify(f); err != nil {
+			return st, fmt.Errorf("pipeline %s: after loop pass: %w", opts.Config, err)
+		}
+	}
+
+	// Phase 3: the -O3-style middle end that exploits the transformation.
+	cleanupRound := []struct {
+		name string
+		pass func(*ir.Function) bool
+	}{
+		{"sccp", transform.SCCP},
+		{"simplifycfg", transform.SimplifyCFG},
+		{"instsimplify", transform.InstSimplify},
+		{"instcombine", transform.InstCombine},
+		{"gvn", gvn},
+		{"dce", transform.DCE},
+		{"simplifycfg", transform.SimplifyCFG},
+	}
+	for round := 0; round < 3; round++ {
+		for _, p := range cleanupRound {
+			if err := run(p.name, p.pass); err != nil {
+				return st, err
+			}
+		}
+	}
+	if err := run("licm", transform.LICM); err != nil {
+		return st, err
+	}
+	if err := run("gvn", gvn); err != nil {
+		return st, err
+	}
+	if err := run("dce", transform.DCE); err != nil {
+		return st, err
+	}
+
+	// Phase 4: baseline automatic unrolling (skips transformed loops), then
+	// another cleanup round to evaluate fully unrolled loops.
+	if err := run("loop-unroll(auto)", func(f *ir.Function) bool {
+		return transform.AutoUnroll(f, skipAuto)
+	}); err != nil {
+		return st, err
+	}
+	for round := 0; round < 2; round++ {
+		for _, p := range cleanupRound {
+			if err := run(p.name, p.pass); err != nil {
+				return st, err
+			}
+		}
+	}
+
+	// Phase 5: backend-style predication (selp formation) and final cleanup.
+	if !opts.DisableIfConvert {
+		if err := run("ifconvert", transform.IfConvert); err != nil {
+			return st, err
+		}
+	}
+	for _, p := range cleanupRound {
+		if err := run(p.name, p.pass); err != nil {
+			return st, err
+		}
+	}
+
+	st.CompileTime = time.Since(start)
+	if loopErr != nil {
+		return st, loopErr
+	}
+	return st, nil
+}
+
+func headerOfLoop(f *ir.Function, id int) (*ir.Block, error) {
+	dt := analysis.NewDomTree(f)
+	li := analysis.NewLoopInfo(f, dt)
+	l := li.LoopByID(id)
+	if l == nil {
+		return nil, fmt.Errorf("pipeline: %s has no loop #%d (%d loops)", f.Name, id, len(li.Loops))
+	}
+	return l.Header, nil
+}
+
+// CanonicalLoopCount reports how many loops the per-loop configurations can
+// address in f: the loop count after phase-1 canonicalization, which is
+// where Optimize assigns the deterministic loop IDs. f is modified only by
+// the canonicalization passes (mem2reg, SimplifyCFG, InstSimplify, DCE),
+// which every configuration applies identically anyway.
+func CanonicalLoopCount(f *ir.Function) int {
+	transform.Mem2Reg(f)
+	transform.SimplifyCFG(f)
+	transform.InstSimplify(f)
+	transform.DCE(f)
+	return core.LoopCount(f)
+}

@@ -1,0 +1,494 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uu/internal/analysis"
+	"uu/internal/ir"
+)
+
+// GVNOptions controls the optional capabilities of the GVN pass; both are on
+// in the standard pipelines and can be disabled for ablation studies.
+type GVNOptions struct {
+	// PropagateEqualities records branch-condition facts on dominated edges
+	// (c is true below the taken edge, a == b below an eq-comparison) and
+	// rewrites dominated uses accordingly. This is the mechanism that turns
+	// the control-flow provenance exposed by unmerging into deleted
+	// condition checks (bezier-surface, rainflow).
+	PropagateEqualities bool
+	// EliminateLoads forwards stores to loads and unifies redundant loads
+	// using the alias analysis. This is the "read elimination" the paper
+	// credits for rainflow's and XSBench's data-movement savings.
+	EliminateLoads bool
+}
+
+// DefaultGVNOptions enables every capability.
+func DefaultGVNOptions() GVNOptions {
+	return GVNOptions{PropagateEqualities: true, EliminateLoads: true}
+}
+
+// GVN performs dominator-scoped global value numbering: a DFS over the
+// dominator tree carries a scoped expression table (CSE), a scoped
+// replacement map fed by branch-edge equalities, and a scoped list of memory
+// facts for load elimination. Memory facts honor the alias analysis and are
+// invalidated across loop boundaries using per-loop store summaries, and
+// across sibling subtrees by bubbling clobbers up to the parent scope.
+func GVN(f *ir.Function, opts GVNOptions) bool {
+	g := &gvnState{
+		opts:     opts,
+		ids:      map[ir.Value]int{},
+		constIDs: map[string]int{},
+		leaders:  map[string]ir.Value{},
+		repl:     map[ir.Value]ir.Value{},
+	}
+	dt := analysis.NewDomTree(f)
+	li := analysis.NewLoopInfo(f, dt)
+	rpo := map[*ir.Block]int{}
+	{
+		i := 0
+		seen := map[*ir.Block]bool{}
+		var order []*ir.Block
+		var dfs func(b *ir.Block)
+		dfs = func(b *ir.Block) {
+			seen[b] = true
+			for _, s := range b.Succs() {
+				if !seen[s] {
+					dfs(s)
+				}
+			}
+			order = append(order, b)
+		}
+		dfs(f.Entry())
+		for j := len(order) - 1; j >= 0; j-- {
+			rpo[order[j]] = i
+			i++
+		}
+	}
+	g.walk(f.Entry(), dt, li, rpo)
+	return g.changed
+}
+
+type memFact struct {
+	ptr        ir.Value // nil for clobber-all
+	val        ir.Value // forwarded value; nil for pseudo-clobbers
+	isStore    bool
+	clobberAll bool
+}
+
+type scopeUndo struct {
+	leaderKeys []string
+	leaderPrev []ir.Value
+	replKeys   []ir.Value
+	replPrev   []ir.Value
+	factMark   int
+	clobbers   []memFact // clobbers performed in this scope (bubble to parent)
+}
+
+type gvnState struct {
+	opts     GVNOptions
+	ids      map[ir.Value]int
+	constIDs map[string]int
+	nextID   int
+	leaders  map[string]ir.Value
+	repl     map[ir.Value]ir.Value
+	facts    []memFact
+	scopes   []*scopeUndo
+	changed  bool
+}
+
+func (g *gvnState) id(v ir.Value) int {
+	if id, ok := g.ids[v]; ok {
+		return id
+	}
+	if c, ok := v.(*ir.Const); ok {
+		// Constants get content-based ids so equal constants share a number.
+		key := "c:" + c.Typ.String() + ":" + c.Ref()
+		if id, ok := g.constIDs[key]; ok {
+			g.ids[v] = id
+			return id
+		}
+		g.nextID++
+		g.constIDs[key] = g.nextID
+		g.ids[v] = g.nextID
+		return g.nextID
+	}
+	g.nextID++
+	g.ids[v] = g.nextID
+	return g.nextID
+}
+
+func (g *gvnState) scope() *scopeUndo { return g.scopes[len(g.scopes)-1] }
+
+func (g *gvnState) pushScope() {
+	g.scopes = append(g.scopes, &scopeUndo{factMark: len(g.facts)})
+}
+
+func (g *gvnState) popScope() *scopeUndo {
+	s := g.scope()
+	for i := len(s.leaderKeys) - 1; i >= 0; i-- {
+		if s.leaderPrev[i] == nil {
+			delete(g.leaders, s.leaderKeys[i])
+		} else {
+			g.leaders[s.leaderKeys[i]] = s.leaderPrev[i]
+		}
+	}
+	for i := len(s.replKeys) - 1; i >= 0; i-- {
+		if s.replPrev[i] == nil {
+			delete(g.repl, s.replKeys[i])
+		} else {
+			g.repl[s.replKeys[i]] = s.replPrev[i]
+		}
+	}
+	g.facts = g.facts[:s.factMark]
+	g.scopes = g.scopes[:len(g.scopes)-1]
+	return s
+}
+
+func (g *gvnState) setLeader(key string, v ir.Value) {
+	s := g.scope()
+	s.leaderKeys = append(s.leaderKeys, key)
+	s.leaderPrev = append(s.leaderPrev, g.leaders[key])
+	g.leaders[key] = v
+}
+
+func (g *gvnState) setRepl(from, to ir.Value) {
+	if from == to {
+		return
+	}
+	s := g.scope()
+	s.replKeys = append(s.replKeys, from)
+	s.replPrev = append(s.replPrev, g.repl[from])
+	g.repl[from] = to
+}
+
+// resolve follows the replacement chain for v.
+func (g *gvnState) resolve(v ir.Value) ir.Value {
+	for i := 0; i < 64; i++ {
+		nv, ok := g.repl[v]
+		if !ok {
+			return v
+		}
+		v = nv
+	}
+	return v
+}
+
+func (g *gvnState) addClobber(c memFact) {
+	g.facts = append(g.facts, c)
+	g.scope().clobbers = append(g.scope().clobbers, c)
+}
+
+// exprKey builds the hash key of a pure instruction, canonicalizing
+// commutative operands and comparison direction.
+func (g *gvnState) exprKey(in *ir.Instr) (string, bool) {
+	switch in.Op {
+	case ir.OpLoad, ir.OpStore, ir.OpAlloca, ir.OpBarrier,
+		ir.OpBr, ir.OpCondBr, ir.OpRet,
+		ir.OpTID, ir.OpNTID, ir.OpCTAID, ir.OpNCTAID:
+		return "", false
+	}
+	var sb strings.Builder
+	a0, a1 := 0, 0
+	if in.NumArgs() >= 1 {
+		a0 = g.id(in.Arg(0))
+	}
+	if in.NumArgs() >= 2 {
+		a1 = g.id(in.Arg(1))
+	}
+	pred := in.Pred
+	switch {
+	case in.IsCommutative() && in.NumArgs() == 2:
+		if a0 > a1 {
+			a0, a1 = a1, a0
+		}
+	case in.Op == ir.OpICmp || in.Op == ir.OpFCmp:
+		if a0 > a1 {
+			a0, a1 = a1, a0
+			pred = pred.Swapped()
+		}
+	case in.IsPhi():
+		// Phis are keyed by their block plus sorted (block, value) pairs.
+		fmt.Fprintf(&sb, "phi@%p:%s", in.Block(), in.Type())
+		type pair struct {
+			b string
+			v int
+		}
+		var pairs []pair
+		for i := 0; i < in.NumArgs(); i++ {
+			pairs = append(pairs, pair{fmt.Sprintf("%p", in.BlockArg(i)), g.id(in.Arg(i))})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].b != pairs[j].b {
+				return pairs[i].b < pairs[j].b
+			}
+			return pairs[i].v < pairs[j].v
+		})
+		for _, p := range pairs {
+			fmt.Fprintf(&sb, "|%s:%d", p.b, p.v)
+		}
+		return sb.String(), true
+	}
+	fmt.Fprintf(&sb, "%d:%s:%d", int(in.Op), in.Type(), int(pred))
+	fmt.Fprintf(&sb, "|%d|%d", a0, a1)
+	for i := 2; i < in.NumArgs(); i++ {
+		fmt.Fprintf(&sb, "|%d", g.id(in.Arg(i)))
+	}
+	return sb.String(), true
+}
+
+// cmpKeys returns the expression keys for a comparison and its inverse, so
+// edge assertions can seed both the taken condition and its negation.
+func (g *gvnState) cmpKeys(in *ir.Instr) (key, invKey string, ok bool) {
+	if in.Op != ir.OpICmp && in.Op != ir.OpFCmp {
+		return "", "", false
+	}
+	a0, a1 := g.id(in.Arg(0)), g.id(in.Arg(1))
+	pred := in.Pred
+	if a0 > a1 {
+		a0, a1 = a1, a0
+		pred = pred.Swapped()
+	}
+	mk := func(p ir.Pred) string {
+		return fmt.Sprintf("%d:%s:%d|%d|%d", int(in.Op), in.Type(), int(p), a0, a1)
+	}
+	return mk(pred), mk(pred.Inverse()), true
+}
+
+// replaceAndErase replaces in with v everywhere, patches memory facts that
+// reference in, and erases it.
+func (g *gvnState) replaceAndErase(in *ir.Instr, v ir.Value) {
+	for i := range g.facts {
+		if g.facts[i].ptr == ir.Value(in) {
+			g.facts[i].ptr = v
+		}
+		if g.facts[i].val == ir.Value(in) {
+			g.facts[i].val = v
+		}
+	}
+	for si := range g.scopes {
+		for ci := range g.scopes[si].clobbers {
+			if g.scopes[si].clobbers[ci].ptr == ir.Value(in) {
+				g.scopes[si].clobbers[ci].ptr = v
+			}
+		}
+	}
+	in.ReplaceAllUsesWith(v)
+	in.Block().Erase(in)
+	g.changed = true
+}
+
+func (g *gvnState) walk(b *ir.Block, dt *analysis.DomTree, li *analysis.LoopInfo, rpo map[*ir.Block]int) {
+	g.pushScope()
+
+	// Entering a loop header: every fact established outside the loop that a
+	// store anywhere in the loop may clobber must die, because the path from
+	// the fact to uses inside the loop can pass through the whole body
+	// (previous iterations).
+	for _, l := range li.Loops {
+		if l.Header != b {
+			continue
+		}
+		for _, lb := range l.Blocks() {
+			for _, in := range lb.Instrs() {
+				switch in.Op {
+				case ir.OpStore:
+					g.addClobber(memFact{ptr: in.Arg(1)})
+				case ir.OpBarrier:
+					g.addClobber(memFact{clobberAll: true})
+				}
+			}
+		}
+	}
+
+	for _, in := range append([]*ir.Instr(nil), b.Instrs()...) {
+		if in.Block() == nil {
+			continue // already erased
+		}
+		if in.IsTerminator() {
+			// Canonicalize branch/return operands (no CSE on terminators);
+			// this is what folds a re-tested condition to a constant when a
+			// dominating edge already decided it.
+			if g.opts.PropagateEqualities {
+				for i := 0; i < in.NumArgs(); i++ {
+					if nv := g.resolve(in.Arg(i)); nv != in.Arg(i) {
+						in.SetArg(i, nv)
+						g.changed = true
+					}
+				}
+			}
+			break
+		}
+		// Canonicalize operands through the replacement map (not for phis:
+		// phi operands are rewritten from the predecessor's scope below).
+		if !in.IsPhi() && g.opts.PropagateEqualities {
+			for i := 0; i < in.NumArgs(); i++ {
+				if nv := g.resolve(in.Arg(i)); nv != in.Arg(i) {
+					in.SetArg(i, nv)
+					g.changed = true
+				}
+			}
+		}
+		// Local simplification after canonicalization.
+		if v := simplifyInstr(in); v != nil {
+			g.replaceAndErase(in, v)
+			continue
+		}
+		switch in.Op {
+		case ir.OpLoad:
+			if g.handleLoad(in) {
+				continue
+			}
+		case ir.OpStore:
+			g.addClobber(memFact{ptr: in.Arg(1), val: in.Arg(0), isStore: true})
+			continue
+		case ir.OpBarrier:
+			g.addClobber(memFact{clobberAll: true})
+			continue
+		}
+		key, ok := g.exprKey(in)
+		if !ok {
+			continue
+		}
+		if leader, found := g.leaders[key]; found {
+			if leader.Type() == in.Type() {
+				g.replaceAndErase(in, g.resolve(leader))
+				continue
+			}
+		}
+		g.setLeader(key, in)
+	}
+
+	// Rewrite successor-phi incomings through this block's replacement map:
+	// the use point of a phi operand is the end of the incoming block.
+	if g.opts.PropagateEqualities {
+		for _, s := range b.Succs() {
+			for _, phi := range s.Phis() {
+				for i := 0; i < phi.NumArgs(); i++ {
+					if phi.BlockArg(i) != b {
+						continue
+					}
+					if nv := g.resolve(phi.Arg(i)); nv != phi.Arg(i) {
+						phi.SetArg(i, nv)
+						g.changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Recurse over dominator-tree children in reverse postorder, so that
+	// clobbers from earlier-executing siblings are visible to later ones.
+	children := append([]*ir.Block(nil), dt.Children(b)...)
+	sort.Slice(children, func(i, j int) bool { return rpo[children[i]] < rpo[children[j]] })
+	for _, c := range children {
+		g.walkChildWithAssertions(b, c, dt, li, rpo)
+	}
+
+	s := g.popScope()
+	// Bubble this scope's clobbers into the parent so later siblings see
+	// them as pseudo-clobbers.
+	if len(g.scopes) > 0 {
+		for _, c := range s.clobbers {
+			g.addClobber(memFact{ptr: c.ptr, clobberAll: c.clobberAll})
+		}
+	}
+}
+
+// walkChildWithAssertions wraps a child walk in a scope holding the edge
+// assertions valid on the b->child edge. The dedicated scope keeps the
+// assertions from leaking to later dominator-tree siblings, where the edge
+// facts would not hold.
+func (g *gvnState) walkChildWithAssertions(b, child *ir.Block, dt *analysis.DomTree, li *analysis.LoopInfo, rpo map[*ir.Block]int) {
+	g.pushScope()
+	g.installEdgeAssertions(b, child)
+	g.walk(child, dt, li, rpo)
+	s := g.popScope()
+	if len(g.scopes) > 0 {
+		for _, c := range s.clobbers {
+			g.addClobber(memFact{ptr: c.ptr, clobberAll: c.clobberAll})
+		}
+	}
+}
+
+func (g *gvnState) installEdgeAssertions(b, child *ir.Block) {
+	if !g.opts.PropagateEqualities {
+		return
+	}
+	t := b.Term()
+	if t == nil || t.Op != ir.OpCondBr {
+		return
+	}
+	if len(child.Preds()) != 1 || child.Preds()[0] != b {
+		return
+	}
+	cond := t.Arg(0)
+	var taken bool
+	switch child {
+	case t.BlockArg(0):
+		taken = true
+	case t.BlockArg(1):
+		taken = false
+	default:
+		return
+	}
+	truth := ir.ConstBool(taken)
+	g.setRepl(cond, truth)
+	if ci, ok := cond.(*ir.Instr); ok {
+		if key, invKey, ok := g.cmpKeys(ci); ok {
+			g.setLeader(key, truth)
+			g.setLeader(invKey, ir.ConstBool(!taken))
+			// Value equalities from equality predicates.
+			if (ci.Pred == ir.EQ && taken) || (ci.Pred == ir.NE && !taken) ||
+				(ci.Pred == ir.OEQ && taken) {
+				a, bb := ci.Arg(0), ci.Arg(1)
+				if _, isC := a.(*ir.Const); isC {
+					g.setRepl(bb, a)
+				} else {
+					g.setRepl(a, bb)
+				}
+			}
+		}
+	}
+}
+
+// handleLoad tries to reuse a previous load or forwarded store for in.
+// Returns true if the load was replaced.
+func (g *gvnState) handleLoad(in *ir.Instr) bool {
+	if !g.opts.EliminateLoads {
+		return false
+	}
+	p := in.Arg(0)
+	for i := len(g.facts) - 1; i >= 0; i-- {
+		f := g.facts[i]
+		if f.clobberAll {
+			break
+		}
+		res := analysis.Alias(p, f.ptr)
+		if f.isStore && f.val != nil {
+			if res == analysis.MustAlias && f.val.Type() == in.Type() {
+				g.replaceAndErase(in, f.val)
+				return true
+			}
+			if res != analysis.NoAlias {
+				break // may clobber
+			}
+			continue
+		}
+		if f.val == nil && f.ptr != nil {
+			// Pseudo-clobber (store summary / sibling bubble-up).
+			if res != analysis.NoAlias {
+				break
+			}
+			continue
+		}
+		// Previous load.
+		if res == analysis.MustAlias && f.val.Type() == in.Type() {
+			g.replaceAndErase(in, g.resolve(f.val))
+			return true
+		}
+	}
+	g.facts = append(g.facts, memFact{ptr: p, val: in})
+	return false
+}

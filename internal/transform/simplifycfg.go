@@ -1,0 +1,159 @@
+package transform
+
+import "uu/internal/ir"
+
+// SimplifyCFG performs the classic CFG cleanups until a fixpoint:
+//
+//   - fold conditional branches on constants
+//   - delete unreachable blocks
+//   - collapse single-incoming phis
+//   - remove empty forwarding blocks (a lone unconditional branch)
+//   - merge a block into its unique predecessor when that predecessor has a
+//     single successor
+//
+// It returns true when anything changed.
+func SimplifyCFG(f *ir.Function) bool {
+	changed := false
+	for {
+		c := false
+		c = foldConstantBranches(f) || c
+		c = RemoveUnreachable(f) || c
+		c = CollapseSinglePredPhis(f) || c
+		c = removeForwardingBlocks(f) || c
+		c = mergeIntoPreds(f) || c
+		if !c {
+			return changed
+		}
+		changed = true
+	}
+}
+
+func foldConstantBranches(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks() {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		c, ok := t.Arg(0).(*ir.Const)
+		if !ok {
+			continue
+		}
+		keep := t.BlockArg(0)
+		if c.Int == 0 {
+			keep = t.BlockArg(1)
+		}
+		FoldToUncond(b, keep)
+		changed = true
+	}
+	return changed
+}
+
+// removeForwardingBlocks eliminates blocks containing only "br %succ" by
+// routing their predecessors directly to the successor.
+func removeForwardingBlocks(f *ir.Function) bool {
+	changed := false
+	for _, b := range append([]*ir.Block(nil), f.Blocks()...) {
+		if b == f.Entry() || b.NumInstrs() != 1 {
+			continue
+		}
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		succ := t.BlockArg(0)
+		if succ == b {
+			continue // self loop
+		}
+		if !canThreadPreds(b, succ) {
+			continue
+		}
+		// Values flowing through b into succ's phis.
+		preds := append([]*ir.Block(nil), b.Preds()...)
+		for _, phi := range succ.Phis() {
+			v := phi.PhiIncoming(b)
+			phi.PhiRemoveIncoming(b)
+			for _, p := range preds {
+				phi.PhiAddIncoming(v, p)
+			}
+		}
+		for _, p := range preds {
+			p.ReplaceSucc(b, succ)
+		}
+		f.RemoveBlock(b)
+		changed = true
+	}
+	return changed
+}
+
+// canThreadPreds checks that routing b's preds into succ neither creates a
+// condbr with identical targets nor a duplicate (pred, succ) edge that would
+// confuse phis.
+func canThreadPreds(b, succ *ir.Block) bool {
+	if len(b.Preds()) == 0 {
+		return false
+	}
+	for _, p := range b.Preds() {
+		pt := p.Term()
+		if pt.Op == ir.OpCondBr {
+			other := pt.BlockArg(0)
+			if other == b {
+				other = pt.BlockArg(1)
+			}
+			if other == succ {
+				return false // would make both targets identical
+			}
+		}
+		if succ.HasPred(p) {
+			return false // duplicate edge; phis could not distinguish
+		}
+	}
+	return true
+}
+
+// mergeIntoPreds merges blocks that have a unique predecessor whose only
+// successor is the block.
+func mergeIntoPreds(f *ir.Function) bool {
+	changed := false
+	for _, b := range append([]*ir.Block(nil), f.Blocks()...) {
+		if b == f.Entry() || len(b.Preds()) != 1 {
+			continue
+		}
+		p := b.Preds()[0]
+		if p == b || len(p.Succs()) != 1 {
+			continue
+		}
+		// Single-pred phis collapse.
+		phis := append([]*ir.Instr(nil), b.Phis()...)
+		for _, phi := range phis {
+			v := phi.Arg(0)
+			phi.ReplaceAllUsesWith(v)
+			b.Erase(phi)
+		}
+		// Move instructions from b into p.
+		p.Erase(p.Term())
+		for _, in := range append([]*ir.Instr(nil), b.Instrs()...) {
+			isTerm := in.IsTerminator()
+			var succs []*ir.Block
+			if isTerm {
+				succs = append(succs, b.Succs()...)
+			}
+			b.Remove(in)
+			p.Append(in)
+			if isTerm {
+				for _, s := range succs {
+					for _, phi := range s.Phis() {
+						for i := 0; i < phi.NumBlocks(); i++ {
+							if phi.BlockArg(i) == b {
+								phi.SetBlockArg(i, p)
+							}
+						}
+					}
+				}
+			}
+		}
+		f.RemoveBlock(b)
+		changed = true
+	}
+	return changed
+}

@@ -1,0 +1,209 @@
+package transform
+
+import (
+	"fmt"
+
+	"uu/internal/analysis"
+	"uu/internal/ir"
+)
+
+// UnrollLoop unrolls l by the given factor (>= 2), keeping every exit test:
+// the new loop body is `factor` chained copies of the original body, each
+// still able to leave the loop early. This multi-exit ("peeled-iteration")
+// unrolling handles non-counted loops such as XSBench's binary search, which
+// is exactly the setting of the paper's unroll-and-unmerge.
+//
+// Requirements: l must have a unique latch. The function is put into
+// preheader + LCSSA form first. Returns false (leaving f untouched) when the
+// loop shape is unsupported.
+func UnrollLoop(f *ir.Function, l *analysis.Loop, factor int) bool {
+	return UnrollLoopWithOrigins(f, l, factor, nil)
+}
+
+// UnrollLoopWithOrigins is UnrollLoop, additionally recording in origins the
+// original instruction each clone stems from (transitively through earlier
+// recorded clones). Used for provenance reporting.
+func UnrollLoopWithOrigins(f *ir.Function, l *analysis.Loop, factor int, origins map[*ir.Instr]*ir.Instr) bool {
+	if factor < 2 {
+		return false
+	}
+	latch := l.Latch()
+	if latch == nil {
+		return false
+	}
+	EnsurePreheader(f, l)
+	EnsureLCSSA(f, l)
+	if !loopIsClosed(l) {
+		return false // LCSSA could not be established (ambiguous exits)
+	}
+
+	header := l.Header
+	loopBlocks := append([]*ir.Block(nil), l.Blocks()...)
+
+	// Snapshot the header phis and their back-edge values.
+	type phiInfo struct {
+		phi      *ir.Instr
+		latchVal ir.Value
+	}
+	var phis []phiInfo
+	for _, phi := range header.Phis() {
+		phis = append(phis, phiInfo{phi, phi.PhiIncoming(latch)})
+	}
+
+	// Snapshot exit-block phi incomings from inside the loop, so each copy
+	// can add matching incomings (LCSSA guarantees all loop values escape
+	// through these phis).
+	type exitInc struct {
+		phi  *ir.Instr
+		from *ir.Block
+		val  ir.Value
+	}
+	var exitIncs []exitInc
+	for _, e := range l.ExitBlocks() {
+		for _, phi := range e.Phis() {
+			for i := 0; i < phi.NumArgs(); i++ {
+				if l.Contains(phi.BlockArg(i)) {
+					exitIncs = append(exitIncs, exitInc{phi, phi.BlockArg(i), phi.Arg(i)})
+				}
+			}
+		}
+	}
+
+	// Clone every copy from the pristine original body first, so each clone's
+	// back edge is self-contained (cloned latch -> cloned header). Rewiring
+	// afterwards chains them: L -> H1, L1 -> H2, ..., L_{u-1} -> H.
+	bmaps := make([]map[*ir.Block]*ir.Block, factor)
+	vmaps := make([]ir.ValueMap, factor)
+	for j := 1; j < factor; j++ {
+		bmap, vmap := ir.CloneBlocks(f, loopBlocks, fmt.Sprintf(".u%d", j))
+		if origins != nil {
+			for orig, clone := range vmap {
+				co, ok := clone.(*ir.Instr)
+				if !ok {
+					continue
+				}
+				root, _ := orig.(*ir.Instr)
+				if root == nil {
+					continue
+				}
+				if r, ok := origins[root]; ok {
+					root = r
+				}
+				origins[co] = root
+			}
+		}
+		for _, ei := range exitIncs {
+			ei.phi.PhiAddIncoming(vmap.Lookup(ei.val), bmap[ei.from])
+		}
+		bmaps[j], vmaps[j] = bmap, vmap
+	}
+	prevLatch := latch   // latch of the previous copy in the chain
+	prevHeader := header // block the previous latch's back edge targets
+	prevMap := ir.ValueMap{}
+	for j := 1; j < factor; j++ {
+		hj := bmaps[j][header]
+		// Chain the previous copy's back edge into this copy's header.
+		prevLatch.ReplaceSucc(prevHeader, hj)
+		// This copy's header has one real predecessor (the previous latch),
+		// so each cloned header phi resolves to the previous copy's
+		// back-edge value.
+		for _, pi := range phis {
+			phiJ := vmaps[j][pi.phi].(*ir.Instr)
+			val := prevMap.Lookup(pi.latchVal)
+			phiJ.ReplaceAllUsesWith(val)
+			hj.Erase(phiJ)
+			vmaps[j][pi.phi] = val // keep the map usable for the next copy
+		}
+		prevLatch = bmaps[j][latch]
+		prevHeader = hj
+		prevMap = vmaps[j]
+	}
+	// Close the chain: the last copy's latch branches back to the original
+	// header, which now carries the last copy's back-edge values.
+	prevLatch.ReplaceSucc(prevHeader, header)
+	for _, pi := range phis {
+		pi.phi.PhiRemoveIncoming(latch)
+		pi.phi.PhiAddIncoming(prevMap.Lookup(pi.latchVal), prevLatch)
+	}
+	return true
+}
+
+// AutoUnrollMaxTrip and AutoUnrollMaxSize bound the baseline pipeline's full
+// unrolling, mirroring LLVM's -O3 full-unroll thresholds in spirit.
+const (
+	AutoUnrollMaxTrip = 32
+	AutoUnrollMaxSize = 512
+)
+
+// AutoUnroll is the baseline pipeline's loop unroller: it fully unrolls
+// loops with a small constant trip count (SCCP + SimplifyCFG then evaluate
+// away the chained exit tests and the dead back edge). Loops whose header
+// blocks are in skip are left alone — the paper's pass excludes loops it
+// transformed from LLVM's unroller, which is also how the `coordinates`
+// speedup arises.
+func AutoUnroll(f *ir.Function, skip map[*ir.Block]bool) bool {
+	changed := false
+	for rounds := 0; rounds < 8; rounds++ {
+		dt := analysis.NewDomTree(f)
+		li := analysis.NewLoopInfo(f, dt)
+		done := true
+		// Innermost first (reverse of the outer-first ordering).
+		for i := len(li.Loops) - 1; i >= 0; i-- {
+			l := li.Loops[i]
+			if skip != nil && skip[l.Header] {
+				continue
+			}
+			tc, ok := analysis.ConstantTripCount(l)
+			if !ok || tc < 2 || tc > AutoUnrollMaxTrip {
+				continue
+			}
+			if int64(analysis.LoopSize(l))*tc > AutoUnrollMaxSize {
+				continue
+			}
+			if UnrollLoop(f, l, int(tc)) {
+				changed = true
+				done = false
+				break // loop structures changed; recompute analyses
+			}
+		}
+		if done {
+			break
+		}
+	}
+	return changed
+}
+
+// loopIsClosed reports whether every use of a loop-defined value outside the
+// loop is a phi in an exit block (loop-closed SSA form).
+func loopIsClosed(l *analysis.Loop) bool {
+	exitSet := map[*ir.Block]bool{}
+	for _, e := range l.ExitBlocks() {
+		exitSet[e] = true
+	}
+	for _, b := range l.Blocks() {
+		for _, in := range b.Instrs() {
+			for _, u := range in.Users() {
+				if u.IsPhi() {
+					for i := 0; i < u.NumArgs(); i++ {
+						if u.Arg(i) != ir.Value(in) {
+							continue
+						}
+						ib := u.BlockArg(i)
+						if l.Contains(ib) {
+							continue
+						}
+						// Incoming from outside the loop must be an exit phi.
+						if !exitSet[u.Block()] {
+							return false
+						}
+					}
+					continue
+				}
+				if !l.Contains(u.Block()) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
