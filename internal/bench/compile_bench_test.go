@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+
+	"uu/internal/pipeline"
+)
+
+// BenchmarkPipelineCompile measures per-kernel compile time through the
+// baseline pipeline — the quantity behind the paper's Fig. 6c ratios and the
+// number the pass-manager's analysis caching is meant to cut.
+func BenchmarkPipelineCompile(b *testing.B) {
+	for _, app := range Suite {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(app, pipeline.Options{Config: pipeline.Baseline}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineCompileUU is the same measurement through the paper's
+// unroll-and-unmerge configuration (loop 0, factor 2), which exercises the
+// loop-transform phase and its analysis invalidation on top of the cleanup
+// rounds.
+func BenchmarkPipelineCompileUU(b *testing.B) {
+	for _, app := range Suite {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(app, pipeline.Options{Config: pipeline.UU, LoopID: 0, Factor: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunExperiments measures the full-suite sweep wall clock (every
+// app, every configuration, factors 2/4/8) — the uubench end-to-end cost.
+func BenchmarkRunExperiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiments(HarnessOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
