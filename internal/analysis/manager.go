@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"uu/internal/ir"
+)
+
+// AnalysisID identifies one per-function analysis managed by the
+// AnalysisManager.
+type AnalysisID int
+
+// The managed analyses.
+const (
+	DomTreeID AnalysisID = iota
+	PostDomTreeID
+	LoopInfoID
+	DivergenceID
+	AliasID
+	numAnalyses
+)
+
+var analysisNames = [numAnalyses]string{"domtree", "postdomtree", "loopinfo", "divergence", "alias"}
+
+// String returns the analysis's short name as used in cache statistics.
+func (id AnalysisID) String() string {
+	if id < 0 || id >= numAnalyses {
+		return fmt.Sprintf("analysis(%d)", int(id))
+	}
+	return analysisNames[id]
+}
+
+// PreservedAnalyses is a pass's declaration of which cached analyses remain
+// valid after it ran, in the style of LLVM's new pass manager. It also
+// carries whether the pass changed the function at all — the signal the
+// pipeline's change-driven fixpoint driver keys on.
+type PreservedAnalyses struct {
+	changed bool
+	keep    [numAnalyses]bool
+}
+
+// Unchanged reports that the pass did not modify the function; every cached
+// analysis remains valid.
+func Unchanged() PreservedAnalyses {
+	pa := PreserveAll()
+	pa.changed = false
+	return pa
+}
+
+// PreserveAll reports a change that nonetheless keeps every analysis valid
+// (rare; e.g. a pure renaming).
+func PreserveAll() PreservedAnalyses {
+	pa := PreservedAnalyses{changed: true}
+	for i := range pa.keep {
+		pa.keep[i] = true
+	}
+	return pa
+}
+
+// PreserveNone reports a change that invalidates every cached analysis —
+// the declaration of CFG-restructuring passes (SimplifyCFG, unroll, unmerge).
+func PreserveNone() PreservedAnalyses {
+	return PreservedAnalyses{changed: true}
+}
+
+// PreserveCFG reports a change that only touched instructions, not the
+// control-flow graph: dominator/post-dominator trees and loop info stay
+// valid, while value-sensitive analyses (divergence, alias memos) drop.
+func PreserveCFG() PreservedAnalyses {
+	pa := PreserveNone()
+	pa.keep[DomTreeID] = true
+	pa.keep[PostDomTreeID] = true
+	pa.keep[LoopInfoID] = true
+	return pa
+}
+
+// If returns whenChanged when changed is true and Unchanged otherwise — the
+// common tail of a converted pass.
+func If(changed bool, whenChanged PreservedAnalyses) PreservedAnalyses {
+	if !changed {
+		return Unchanged()
+	}
+	return whenChanged
+}
+
+// Changed reports whether the pass modified the function.
+func (pa PreservedAnalyses) Changed() bool { return pa.changed }
+
+// Preserves reports whether the analysis survives the pass.
+func (pa PreservedAnalyses) Preserves(id AnalysisID) bool {
+	return !pa.changed || pa.keep[id]
+}
+
+// Pass is the common interface of all transformation passes: run on a
+// function, consuming cached analyses from the manager, and declare which
+// analyses were preserved. Callers must hand the returned value to
+// AnalysisManager.Invalidate (the pipeline driver does this).
+type Pass interface {
+	Name() string
+	Run(f *ir.Function, am *AnalysisManager) PreservedAnalyses
+}
+
+// CacheStats counts analysis cache traffic: Hits (a query answered from
+// cache), Misses (a query that had to compute), and Invalidated (a cached
+// result dropped by Invalidate). Indexed by AnalysisID.
+type CacheStats struct {
+	Hits        [numAnalyses]int
+	Misses      [numAnalyses]int
+	Invalidated [numAnalyses]int
+}
+
+// TotalHits sums hits across analyses.
+func (s *CacheStats) TotalHits() int { return sum(s.Hits) }
+
+// TotalMisses sums misses across analyses.
+func (s *CacheStats) TotalMisses() int { return sum(s.Misses) }
+
+// TotalInvalidated sums invalidations across analyses.
+func (s *CacheStats) TotalInvalidated() int { return sum(s.Invalidated) }
+
+// HitRate is hits / (hits+misses), or 0 with no queries.
+func (s *CacheStats) HitRate() float64 {
+	h, m := s.TotalHits(), s.TotalMisses()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Sub returns the counter deltas s - o. With o a snapshot taken before a
+// pass and s one taken after, the result is the traffic attributable to
+// that pass (counters are monotonically increasing).
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	var d CacheStats
+	for i := 0; i < int(numAnalyses); i++ {
+		d.Hits[i] = s.Hits[i] - o.Hits[i]
+		d.Misses[i] = s.Misses[i] - o.Misses[i]
+		d.Invalidated[i] = s.Invalidated[i] - o.Invalidated[i]
+	}
+	return d
+}
+
+// Add accumulates o into s.
+func (s *CacheStats) Add(o CacheStats) {
+	for i := 0; i < int(numAnalyses); i++ {
+		s.Hits[i] += o.Hits[i]
+		s.Misses[i] += o.Misses[i]
+		s.Invalidated[i] += o.Invalidated[i]
+	}
+}
+
+// String formats the per-analysis counters, skipping unqueried analyses.
+func (s *CacheStats) String() string {
+	var b strings.Builder
+	for id := AnalysisID(0); id < numAnalyses; id++ {
+		if s.Hits[id]+s.Misses[id]+s.Invalidated[id] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s:%dh/%dm/%di", id, s.Hits[id], s.Misses[id], s.Invalidated[id])
+	}
+	return b.String()
+}
+
+func sum(a [numAnalyses]int) int {
+	t := 0
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
+// AnalysisManager lazily computes and caches the per-function analyses for
+// one function. Passes query analyses through it instead of constructing
+// them directly; the pipeline driver invalidates after each pass according
+// to the pass's PreservedAnalyses declaration. Passes that mutate the
+// function mid-run (e.g. loop transforms re-resolving loops after each
+// structural edit) call InvalidateAll themselves before re-querying.
+//
+// A manager is bound to a single function and is not safe for concurrent
+// use; the experiment harness gives each compilation its own manager.
+type AnalysisManager struct {
+	f     *ir.Function
+	valid [numAnalyses]bool
+
+	domTree     *DomTree
+	postDomTree *DomTree
+	loopInfo    *LoopInfo
+	divergence  *Divergence
+	alias       *AliasInfo
+
+	stats CacheStats
+}
+
+// NewAnalysisManager returns an empty manager for f.
+func NewAnalysisManager(f *ir.Function) *AnalysisManager {
+	return &AnalysisManager{f: f}
+}
+
+// Function returns the function the manager is bound to.
+func (am *AnalysisManager) Function() *ir.Function { return am.f }
+
+func (am *AnalysisManager) hit(id AnalysisID) bool {
+	if am.valid[id] {
+		am.stats.Hits[id]++
+		return true
+	}
+	am.stats.Misses[id]++
+	am.valid[id] = true
+	return false
+}
+
+// DomTree returns the cached dominator tree, computing it on a miss.
+func (am *AnalysisManager) DomTree() *DomTree {
+	if !am.hit(DomTreeID) {
+		am.domTree = NewDomTree(am.f)
+	}
+	return am.domTree
+}
+
+// PostDomTree returns the cached post-dominator tree.
+func (am *AnalysisManager) PostDomTree() *DomTree {
+	if !am.hit(PostDomTreeID) {
+		am.postDomTree = NewPostDomTree(am.f)
+	}
+	return am.postDomTree
+}
+
+// LoopInfo returns the cached loop forest (computed over the cached
+// dominator tree).
+func (am *AnalysisManager) LoopInfo() *LoopInfo {
+	if !am.hit(LoopInfoID) {
+		am.loopInfo = NewLoopInfo(am.f, am.DomTree())
+	}
+	return am.loopInfo
+}
+
+// Divergence returns the cached SIMT divergence analysis.
+func (am *AnalysisManager) Divergence() *Divergence {
+	if !am.hit(DivergenceID) {
+		am.divergence = NewDivergence(am.f)
+	}
+	return am.divergence
+}
+
+// Alias returns the cached (memoizing) alias analysis.
+func (am *AnalysisManager) Alias() *AliasInfo {
+	if !am.hit(AliasID) {
+		am.alias = NewAliasInfo()
+	}
+	return am.alias
+}
+
+// Invalidate drops every cached analysis the pass did not preserve.
+func (am *AnalysisManager) Invalidate(pa PreservedAnalyses) {
+	if !pa.changed {
+		return
+	}
+	for id := AnalysisID(0); id < numAnalyses; id++ {
+		if pa.keep[id] || !am.valid[id] {
+			continue
+		}
+		am.valid[id] = false
+		am.stats.Invalidated[id]++
+	}
+	// Release dropped results for the GC.
+	if !am.valid[DomTreeID] {
+		am.domTree = nil
+	}
+	if !am.valid[PostDomTreeID] {
+		am.postDomTree = nil
+	}
+	if !am.valid[LoopInfoID] {
+		am.loopInfo = nil
+	}
+	if !am.valid[DivergenceID] {
+		am.divergence = nil
+	}
+	if !am.valid[AliasID] {
+		am.alias = nil
+	}
+}
+
+// InvalidateAll drops every cached analysis — for callers that mutated the
+// CFG outside a Pass boundary.
+func (am *AnalysisManager) InvalidateAll() { am.Invalidate(PreserveNone()) }
+
+// Stats returns a copy of the accumulated cache counters.
+func (am *AnalysisManager) Stats() CacheStats { return am.stats }
+
+// AliasInfo memoizes Alias queries for the lifetime of one cached analysis
+// generation. Alias itself is a pure function of the two pointer values, so
+// the memo stays valid until instructions change (the manager drops it on
+// any non-preserving pass).
+type AliasInfo struct {
+	memo map[[2]ir.Value]AliasResult
+}
+
+// NewAliasInfo returns an empty memo table.
+func NewAliasInfo() *AliasInfo {
+	return &AliasInfo{memo: map[[2]ir.Value]AliasResult{}}
+}
+
+// Reset drops all memoized results. Passes that rewrite instruction
+// operands mid-run (GVN's equality canonicalization can rewrite GEP
+// arguments, which Alias decomposes) must call it after each mutation so a
+// later query never sees a pre-rewrite classification.
+func (ai *AliasInfo) Reset() {
+	ai.memo = map[[2]ir.Value]AliasResult{}
+}
+
+// Alias returns the memoized alias classification of p and q.
+func (ai *AliasInfo) Alias(p, q ir.Value) AliasResult {
+	key := [2]ir.Value{p, q}
+	if r, ok := ai.memo[key]; ok {
+		return r
+	}
+	r := Alias(p, q)
+	ai.memo[key] = r
+	ai.memo[[2]ir.Value{q, p}] = r
+	return r
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"testing"
+
+	"uu/internal/ir"
+	"uu/internal/irparse"
+)
+
+// managerTestFunc is a minimal single-loop function.
+const managerSrc = `
+func @mtest(i64 %n) {
+entry:
+  br %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %inc, %head ]
+  %inc = add i64 %i, i64 1
+  %c = icmp slt i64 %inc, i64 %n
+  condbr i1 %c, %head, %exit
+exit:
+  ret
+}
+`
+
+func TestManagerCachesAndCounts(t *testing.T) {
+	f := parse(t, managerSrc)
+	am := NewAnalysisManager(f)
+	if am.Function() != f {
+		t.Fatalf("Function() mismatch")
+	}
+
+	dt1 := am.DomTree()
+	dt2 := am.DomTree()
+	if dt1 != dt2 {
+		t.Fatalf("DomTree not cached: distinct pointers")
+	}
+	li1 := am.LoopInfo()
+	li2 := am.LoopInfo()
+	if li1 != li2 {
+		t.Fatalf("LoopInfo not cached")
+	}
+	if len(li1.Loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(li1.Loops))
+	}
+	st := am.Stats()
+	// DomTree: 1 miss + 1 hit from the direct queries + 1 hit from
+	// LoopInfo's dependency; LoopInfo: 1 miss + 1 hit.
+	if st.Misses[DomTreeID] != 1 || st.Hits[DomTreeID] != 2 {
+		t.Errorf("domtree counters: %+v", st)
+	}
+	if st.Misses[LoopInfoID] != 1 || st.Hits[LoopInfoID] != 1 {
+		t.Errorf("loopinfo counters: %+v", st)
+	}
+	if st.HitRate() <= 0 {
+		t.Errorf("hit rate not positive: %v", st.HitRate())
+	}
+}
+
+func TestManagerInvalidation(t *testing.T) {
+	f := parse(t, managerSrc)
+	am := NewAnalysisManager(f)
+	dt1 := am.DomTree()
+	am.LoopInfo()
+	am.Divergence()
+
+	// A CFG-preserving change keeps the trees but drops divergence.
+	am.Invalidate(PreserveCFG())
+	if am.DomTree() != dt1 {
+		t.Fatalf("PreserveCFG dropped the dominator tree")
+	}
+	st := am.Stats()
+	if st.Invalidated[DivergenceID] != 1 || st.Invalidated[DomTreeID] != 0 {
+		t.Errorf("PreserveCFG invalidation counters: %+v", st)
+	}
+	missesBefore := am.Stats().Misses[DivergenceID]
+	am.Divergence()
+	if am.Stats().Misses[DivergenceID] != missesBefore+1 {
+		t.Errorf("divergence not recomputed after invalidation")
+	}
+
+	// Unchanged invalidates nothing.
+	am.Invalidate(Unchanged())
+	if am.DomTree() != dt1 {
+		t.Fatalf("Unchanged dropped the dominator tree")
+	}
+
+	// PreserveNone drops everything.
+	am.InvalidateAll()
+	if am.DomTree() == dt1 {
+		t.Fatalf("InvalidateAll kept the old dominator tree")
+	}
+}
+
+func TestPreservedAnalyses(t *testing.T) {
+	if Unchanged().Changed() {
+		t.Error("Unchanged reports changed")
+	}
+	if !Unchanged().Preserves(DomTreeID) {
+		t.Error("Unchanged must preserve everything")
+	}
+	pa := PreserveCFG()
+	if !pa.Changed() || !pa.Preserves(LoopInfoID) || pa.Preserves(DivergenceID) || pa.Preserves(AliasID) {
+		t.Errorf("PreserveCFG wrong shape: %+v", pa)
+	}
+	if PreserveNone().Preserves(DomTreeID) {
+		t.Error("PreserveNone preserves domtree")
+	}
+	if !If(false, PreserveNone()).Preserves(DomTreeID) {
+		t.Error("If(false) must be Unchanged")
+	}
+	if If(true, PreserveNone()).Preserves(DomTreeID) {
+		t.Error("If(true) must pass through")
+	}
+}
+
+func TestAliasInfoMemo(t *testing.T) {
+	src := `
+func @amemo(f64* noalias %x, f64* noalias %y, i64 %i) {
+entry:
+  %px = gep f64* %x, i64 %i
+  %py = gep f64* %y, i64 %i
+  %l = load f64* %px
+  store f64 %l, f64* %py
+  ret
+}
+`
+	f, err := irparse.ParseFunc(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var px, py ir.Value
+	for _, in := range f.Entry().Instrs() {
+		switch in.Name() {
+		case "px":
+			px = in
+		case "py":
+			py = in
+		}
+	}
+	ai := NewAliasInfo()
+	if got := ai.Alias(px, py); got != NoAlias {
+		t.Fatalf("restrict arrays: want NoAlias, got %v", got)
+	}
+	// Symmetric query answered from the memo.
+	if got := ai.Alias(py, px); got != NoAlias {
+		t.Fatalf("symmetric query: want NoAlias, got %v", got)
+	}
+	if len(ai.memo) != 2 {
+		t.Fatalf("memo should hold both directions, has %d entries", len(ai.memo))
+	}
+}

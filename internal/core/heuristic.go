@@ -39,11 +39,16 @@ type Decision struct {
 // convergent operations, without a unique latch, or without any control flow
 // to unmerge (single path) are skipped.
 func HeuristicDecide(f *ir.Function, params HeuristicParams) []Decision {
-	dt := analysis.NewDomTree(f)
-	li := analysis.NewLoopInfo(f, dt)
+	return heuristicDecide(f, analysis.NewAnalysisManager(f), params)
+}
+
+// heuristicDecide is HeuristicDecide against a caller-provided analysis
+// manager. It only reads the function.
+func heuristicDecide(f *ir.Function, am *analysis.AnalysisManager, params HeuristicParams) []Decision {
+	li := am.LoopInfo()
 	var div *analysis.Divergence
 	if params.SkipDivergent {
-		div = analysis.NewDivergence(f)
+		div = am.Divergence()
 	}
 
 	chosen := map[*analysis.Loop]bool{}
@@ -98,17 +103,30 @@ func hasChosenDescendant(l *analysis.Loop, chosen map[*analysis.Loop]bool) bool 
 // (deepest selections were decided first and are applied first). It returns
 // the decisions taken.
 func ApplyHeuristic(f *ir.Function, params HeuristicParams, opts Options) []Decision {
-	decisions := HeuristicDecide(f, params)
+	return applyHeuristic(f, analysis.NewAnalysisManager(f), params, opts)
+}
+
+// ApplyHeuristicWith is ApplyHeuristic sharing the caller's analysis
+// manager (and operating on the function it is bound to). Callers must
+// treat the manager as fully invalid afterwards.
+func ApplyHeuristicWith(am *analysis.AnalysisManager, params HeuristicParams, opts Options) []Decision {
+	return applyHeuristic(am.Function(), am, params, opts)
+}
+
+// applyHeuristic is ApplyHeuristic against a caller-provided analysis
+// manager. The manager must be considered fully invalid on return (uuLoop
+// normalizes loops even on error paths).
+func applyHeuristic(f *ir.Function, am *analysis.AnalysisManager, params HeuristicParams, opts Options) []Decision {
+	decisions := heuristicDecide(f, am, params)
 	for _, d := range decisions {
-		ndt := analysis.NewDomTree(f)
-		nli := analysis.NewLoopInfo(f, ndt)
-		l := loopWithHeader(nli, d.Header)
+		// Re-resolve through the manager: earlier applications invalidated it.
+		l := loopWithHeader(am.LoopInfo(), d.Header)
 		if l == nil {
 			continue
 		}
 		// Errors here mean the loop became untransformable after an earlier
 		// application (possible for overlapping nests); skip it.
-		_, _ = uuLoop(f, l, d.Factor, opts)
+		_, _ = uuLoop(f, am, l, d.Factor, opts)
 	}
 	return decisions
 }

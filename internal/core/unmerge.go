@@ -52,6 +52,16 @@ const DefaultMaxBlocks = 4096
 // the paper's use of LLVM's convergence analysis. Returns whether the CFG
 // changed.
 func Unmerge(f *ir.Function, l *analysis.Loop, opts Options) bool {
+	return unmerge(f, analysis.NewAnalysisManager(f), l, opts)
+}
+
+// unmerge is Unmerge against a caller-provided analysis manager. The
+// duplication loop mutates the CFG repeatedly; the manager is invalidated
+// after every structural edit so each dominance query (direct-successor
+// region selection) sees the current graph. The manager is always
+// invalidated on return: establishing preheader/LCSSA form can mutate even
+// when no merge block is duplicated.
+func unmerge(f *ir.Function, am *analysis.AnalysisManager, l *analysis.Loop, opts Options) bool {
 	if l.HasConvergentOp() {
 		return false
 	}
@@ -64,6 +74,7 @@ func Unmerge(f *ir.Function, l *analysis.Loop, opts Options) bool {
 	}
 	transform.EnsurePreheader(f, l)
 	transform.EnsureLCSSA(f, l)
+	am.InvalidateAll()
 
 	// Working copy of the loop's block set; clones are added as we go.
 	loopSet := map[*ir.Block]bool{}
@@ -79,8 +90,7 @@ func Unmerge(f *ir.Function, l *analysis.Loop, opts Options) bool {
 	// inside a duplicated tail. Clones inherit the exemption.
 	innerBlock := map[*ir.Block]bool{}
 	{
-		dt := analysis.NewDomTree(f)
-		li := analysis.NewLoopInfo(f, dt)
+		li := am.LoopInfo()
 		for _, il := range li.Loops {
 			if il.Header != header && l.Contains(il.Header) {
 				for _, ib := range il.Blocks() {
@@ -146,7 +156,7 @@ func Unmerge(f *ir.Function, l *analysis.Loop, opts Options) bool {
 		}
 		for _, pi := range inPreds[1:] {
 			dupCount++
-			region := tailRegion(b, header, loopSet, opts.DirectSuccessorOnly)
+			region := tailRegion(am, b, header, loopSet, opts.DirectSuccessorOnly)
 			bmap, vmap := ir.CloneBlocks(f, region, fmt.Sprintf(".d%d", dupCount))
 			recordOrigins(opts.Origins, vmap)
 			inRegion := map[*ir.Block]bool{}
@@ -209,6 +219,7 @@ func Unmerge(f *ir.Function, l *analysis.Loop, opts Options) bool {
 			for _, phi := range b.Phis() {
 				phi.PhiRemoveIncoming(pi)
 			}
+			am.InvalidateAll()
 			changed = true
 		}
 	}
@@ -282,9 +293,9 @@ func findMergeBlock(f *ir.Function, header *ir.Block, loopSet, innerBlock map[*i
 // smallest SSA-closed region around the merge block: b plus the blocks it
 // dominates (values defined there are only used inside it or through phis),
 // which approximates the DBDS-style "duplicate only the merge block" of [8].
-func tailRegion(b, header *ir.Block, loopSet map[*ir.Block]bool, directOnly bool) []*ir.Block {
+func tailRegion(am *analysis.AnalysisManager, b, header *ir.Block, loopSet map[*ir.Block]bool, directOnly bool) []*ir.Block {
 	if directOnly {
-		dt := analysis.NewDomTree(b.Func())
+		dt := am.DomTree()
 		region := []*ir.Block{}
 		var walkDom func(x *ir.Block)
 		walkDom = func(x *ir.Block) {

@@ -18,17 +18,33 @@ import (
 // does not exist or the loop is not transformable (convergent operations,
 // no unique latch).
 func UnrollAndUnmerge(f *ir.Function, loopID, factor int, opts Options) (bool, error) {
-	dt := analysis.NewDomTree(f)
-	li := analysis.NewLoopInfo(f, dt)
+	return unrollAndUnmerge(f, analysis.NewAnalysisManager(f), loopID, factor, opts)
+}
+
+// UnrollAndUnmergeWith is UnrollAndUnmerge sharing the caller's analysis
+// manager (and operating on the function it is bound to), so already-cached
+// analyses are reused for loop resolution. Callers must treat the manager
+// as fully invalid afterwards: the transformation normalizes loops
+// (preheader, LCSSA) even on paths that end in an error.
+func UnrollAndUnmergeWith(am *analysis.AnalysisManager, loopID, factor int, opts Options) (bool, error) {
+	return unrollAndUnmerge(am.Function(), am, loopID, factor, opts)
+}
+
+// unrollAndUnmerge is UnrollAndUnmerge against a caller-provided analysis
+// manager. The manager must be considered fully invalid on return: the
+// transformation establishes preheader/LCSSA form even on paths that end in
+// an error.
+func unrollAndUnmerge(f *ir.Function, am *analysis.AnalysisManager, loopID, factor int, opts Options) (bool, error) {
+	li := am.LoopInfo()
 	l := li.LoopByID(loopID)
 	if l == nil {
 		return false, fmt.Errorf("core: function %s has no loop #%d (%d loops)", f.Name, loopID, len(li.Loops))
 	}
-	return uuLoop(f, l, factor, opts)
+	return uuLoop(f, am, l, factor, opts)
 }
 
 // uuLoop is UnrollAndUnmerge on a resolved loop.
-func uuLoop(f *ir.Function, l *analysis.Loop, factor int, opts Options) (bool, error) {
+func uuLoop(f *ir.Function, am *analysis.AnalysisManager, l *analysis.Loop, factor int, opts Options) (bool, error) {
 	if l.HasConvergentOp() {
 		return false, fmt.Errorf("core: loop #%d contains a convergent operation", l.ID)
 	}
@@ -41,41 +57,40 @@ func uuLoop(f *ir.Function, l *analysis.Loop, factor int, opts Options) (bool, e
 	// not unrolled"). Headers identify loops across recomputation.
 	innerHeaders := innerLoopHeaders(l)
 	for _, h := range innerHeaders {
-		ndt := analysis.NewDomTree(f)
-		nli := analysis.NewLoopInfo(f, ndt)
-		inner := loopWithHeader(nli, h)
+		// Structures may have changed; re-resolve through the manager
+		// (unmerge invalidates it whenever it mutates).
+		inner := loopWithHeader(am.LoopInfo(), h)
 		if inner == nil {
 			continue
 		}
-		if Unmerge(f, inner, opts) {
+		if unmerge(f, am, inner, opts) {
 			changed = true
 		}
+		am.InvalidateAll() // unmerge may normalize the loop even when !changed
 	}
 
 	header := l.Header
 	if factor >= 2 {
-		// Structures may have changed; re-resolve the target loop.
-		ndt := analysis.NewDomTree(f)
-		nli := analysis.NewLoopInfo(f, ndt)
-		tl := loopWithHeader(nli, header)
+		tl := loopWithHeader(am.LoopInfo(), header)
 		if tl == nil {
 			return changed, fmt.Errorf("core: loop header %s vanished", header.Name)
 		}
-		if !transform.UnrollLoopWithOrigins(f, tl, factor, opts.Origins) {
+		ok := transform.UnrollLoopWithOrigins(f, tl, factor, opts.Origins)
+		am.InvalidateAll() // UnrollLoop normalizes the loop even on failure
+		if !ok {
 			return changed, fmt.Errorf("core: loop #%d could not be unrolled", l.ID)
 		}
 		changed = true
 	}
 
-	ndt := analysis.NewDomTree(f)
-	nli := analysis.NewLoopInfo(f, ndt)
-	tl := loopWithHeader(nli, header)
+	tl := loopWithHeader(am.LoopInfo(), header)
 	if tl == nil {
 		return changed, fmt.Errorf("core: loop header %s vanished after unrolling", header.Name)
 	}
-	if Unmerge(f, tl, opts) {
+	if unmerge(f, am, tl, opts) {
 		changed = true
 	}
+	am.InvalidateAll()
 	return changed, nil
 }
 
@@ -111,6 +126,5 @@ func loopWithHeader(li *analysis.LoopInfo, h *ir.Block) *analysis.Loop {
 // LoopCount returns the number of natural loops in f — the `L` column of the
 // paper's Table I.
 func LoopCount(f *ir.Function) int {
-	dt := analysis.NewDomTree(f)
-	return len(analysis.NewLoopInfo(f, dt).Loops)
+	return len(analysis.NewAnalysisManager(f).LoopInfo().Loops)
 }

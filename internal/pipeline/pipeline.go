@@ -4,6 +4,14 @@
 // is placed early in the pipeline — right after SSA construction and a first
 // canonicalization round — "to maximize subsequent optimizations enabled
 // through those transformations", exactly as the paper positions its pass.
+//
+// The pipeline is described declaratively as a sequence of PhaseSpecs and
+// executed by a change-driven driver: every pass implements analysis.Pass,
+// consumes cached analyses from one analysis.AnalysisManager shared across
+// the whole compilation, and declares which analyses it preserved. The
+// driver invalidates the cache accordingly after each pass, stops a
+// fixpoint phase as soon as a full round reports no change, and records
+// per-pass wall time, change flags, and cache traffic in Stats.
 package pipeline
 
 import (
@@ -55,16 +63,50 @@ type Options struct {
 	VerifyEachPass bool
 }
 
-// PassTime records the wall-clock cost of one pass invocation.
+// PhaseSpec declares one stage of the pipeline: an ordered pass list run up
+// to MaxRounds times. The driver re-runs the list only while some pass in
+// the previous round reported a change, so a phase with MaxRounds > 1 is a
+// bounded fixpoint iteration. Deterministic passes leave unchanged IR
+// unchanged, so stopping early yields byte-identical output to always
+// running MaxRounds rounds.
+type PhaseSpec struct {
+	Name      string
+	Passes    []analysis.Pass
+	MaxRounds int
+}
+
+// PassTime records the wall-clock cost of one pass invocation, whether it
+// changed the function, and the analysis-cache traffic (hits, misses,
+// invalidations) attributable to it.
 type PassTime struct {
 	Name     string
 	Duration time.Duration
+	Changed  bool
+	Cache    analysis.CacheStats
+}
+
+// PhaseRounds records how many rounds of a fixpoint phase actually ran.
+type PhaseRounds struct {
+	Phase     string
+	Rounds    int
+	MaxRounds int
 }
 
 // Stats reports what the pipeline did.
 type Stats struct {
 	CompileTime time.Duration
-	PassTimes   []PassTime
+	// VerifyTime is the total verifier wall time when VerifyEachPass is on.
+	// It is included in CompileTime (the verifier really ran) but reported
+	// separately — and as "verify" PassTimes entries — so measurements of
+	// verified runs can subtract it instead of silently charging it to the
+	// optimizer.
+	VerifyTime time.Duration
+	PassTimes  []PassTime
+	// Rounds lists, per fixpoint phase, how many rounds ran before the
+	// change-driven driver stopped.
+	Rounds []PhaseRounds
+	// Analysis is the compilation's total analysis-cache traffic.
+	Analysis analysis.CacheStats
 	// Decisions taken by the heuristic (uu-heuristic only).
 	Decisions []core.Decision
 	// LoopTransformed reports whether the selected loop transformation
@@ -81,61 +123,197 @@ func (s *Stats) PassTimeByName() map[string]time.Duration {
 	return m
 }
 
+// canonicalizationPasses is the phase-1 pipeline: SSA construction and a
+// first canonicalization round. This list is the single source of truth for
+// "the canonical form" — loop IDs are assigned on its output, and
+// CanonicalLoopCount replays exactly this list.
+func canonicalizationPasses() []analysis.Pass {
+	return []analysis.Pass{
+		transform.Mem2RegPass(),
+		transform.SimplifyCFGPass(),
+		transform.InstSimplifyPass(),
+		transform.DCEPass(),
+	}
+}
+
+// cleanupPasses is the -O3-style middle-end round run (to fixpoint) after
+// the loop transformation, after automatic unrolling, and after predication.
+func cleanupPasses(gvnOpts transform.GVNOptions) []analysis.Pass {
+	return []analysis.Pass{
+		transform.SCCPPass(),
+		transform.SimplifyCFGPass(),
+		transform.InstSimplifyPass(),
+		transform.InstCombinePass(),
+		transform.GVNPass(gvnOpts),
+		transform.DCEPass(),
+		transform.SimplifyCFGPass(),
+	}
+}
+
+// driver executes PhaseSpecs against one function and its analysis manager,
+// recording instrumentation into st.
+type driver struct {
+	f    *ir.Function
+	am   *analysis.AnalysisManager
+	st   *Stats
+	opts Options
+}
+
+// runPass executes one pass: time it, apply its invalidation declaration,
+// attribute the cache traffic to it, and optionally verify the IR.
+func (d *driver) runPass(p analysis.Pass) (bool, error) {
+	before := d.am.Stats()
+	t0 := time.Now()
+	pa := p.Run(d.f, d.am)
+	dur := time.Since(t0)
+	d.am.Invalidate(pa)
+	d.st.PassTimes = append(d.st.PassTimes, PassTime{
+		Name:     p.Name(),
+		Duration: dur,
+		Changed:  pa.Changed(),
+		Cache:    d.am.Stats().Sub(before),
+	})
+	if d.opts.VerifyEachPass {
+		v0 := time.Now()
+		err := ir.Verify(d.f)
+		vd := time.Since(v0)
+		d.st.VerifyTime += vd
+		d.st.PassTimes = append(d.st.PassTimes, PassTime{Name: "verify", Duration: vd})
+		if err != nil {
+			return false, fmt.Errorf("pipeline %s: after %s: %w", d.opts.Config, p.Name(), err)
+		}
+	}
+	return pa.Changed(), nil
+}
+
+// runPhase executes a phase's rounds, stopping after the first round in
+// which no pass reported a change.
+func (d *driver) runPhase(ph PhaseSpec) error {
+	rounds := 0
+	for ; rounds < ph.MaxRounds; rounds++ {
+		roundChanged := false
+		for _, p := range ph.Passes {
+			changed, err := d.runPass(p)
+			if err != nil {
+				return err
+			}
+			if changed {
+				roundChanged = true
+			}
+		}
+		if !roundChanged {
+			rounds++
+			break
+		}
+	}
+	d.st.Rounds = append(d.st.Rounds, PhaseRounds{ph.Name, rounds, ph.MaxRounds})
+	return nil
+}
+
 // Optimize runs the selected configuration's pipeline on f in place.
 func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 	st := &Stats{}
-	start := time.Now()
-	run := func(name string, pass func(*ir.Function) bool) error {
-		t0 := time.Now()
-		pass(f)
-		st.PassTimes = append(st.PassTimes, PassTime{name, time.Since(t0)})
-		if opts.VerifyEachPass {
-			if err := ir.Verify(f); err != nil {
-				return fmt.Errorf("pipeline %s: after %s: %w", opts.Config, name, err)
-			}
-		}
-		return nil
+	switch opts.Config {
+	case Baseline, UnrollOnly, UnmergeOnly, UU, UUHeuristic:
+	default:
+		return st, fmt.Errorf("pipeline: unknown config %q", opts.Config)
 	}
+	start := time.Now()
+	am := analysis.NewAnalysisManager(f)
+	d := &driver{f: f, am: am, st: st, opts: opts}
 	gvnOpts := transform.DefaultGVNOptions()
 	if opts.GVN != nil {
 		gvnOpts = *opts.GVN
 	}
-	gvn := func(f *ir.Function) bool { return transform.GVN(f, gvnOpts) }
 
 	// Phase 1: SSA construction and canonicalization. Loop IDs are assigned
 	// on this canonical form, identically across configurations.
-	for _, p := range []struct {
-		name string
-		pass func(*ir.Function) bool
-	}{
-		{"mem2reg", transform.Mem2Reg},
-		{"simplifycfg", transform.SimplifyCFG},
-		{"instsimplify", transform.InstSimplify},
-		{"dce", transform.DCE},
-	} {
-		if err := run(p.name, p.pass); err != nil {
-			return st, err
+	if err := d.runPhase(PhaseSpec{"canonicalize", canonicalizationPasses(), 1}); err != nil {
+		return st, err
+	}
+
+	// Phase 2: the loop transformation under evaluation, placed early. Its
+	// error (unknown loop, untransformable shape) does not stop the
+	// pipeline: the remaining phases still run and the error is returned at
+	// the end, so callers get both a diagnosis and a valid compilation.
+	skipAuto := map[*ir.Block]bool{}
+	loopErr := d.runLoopTransform(skipAuto)
+	if opts.VerifyEachPass {
+		if err := ir.Verify(f); err != nil {
+			return st, fmt.Errorf("pipeline %s: after loop pass: %w", opts.Config, err)
 		}
 	}
 
-	// Phase 2: the loop transformation under evaluation, placed early.
-	skipAuto := map[*ir.Block]bool{}
+	// Phase 3: the -O3-style middle end that exploits the transformation,
+	// then one loop-optimization sweep.
+	cleanup := cleanupPasses(gvnOpts)
+	if err := d.runPhase(PhaseSpec{"cleanup", cleanup, 3}); err != nil {
+		return st, err
+	}
+	if err := d.runPhase(PhaseSpec{"loop-opts", []analysis.Pass{
+		transform.LICMPass(),
+		transform.GVNPass(gvnOpts),
+		transform.DCEPass(),
+	}, 1}); err != nil {
+		return st, err
+	}
+
+	// Phase 4: baseline automatic unrolling (skips transformed loops), then
+	// another cleanup fixpoint to evaluate fully unrolled loops.
+	if err := d.runPhase(PhaseSpec{"auto-unroll", []analysis.Pass{
+		transform.AutoUnrollPass(skipAuto),
+	}, 1}); err != nil {
+		return st, err
+	}
+	if err := d.runPhase(PhaseSpec{"cleanup-post-unroll", cleanup, 2}); err != nil {
+		return st, err
+	}
+
+	// Phase 5: backend-style predication (selp formation) and final cleanup.
+	if !opts.DisableIfConvert {
+		if err := d.runPhase(PhaseSpec{"ifconvert", []analysis.Pass{
+			transform.IfConvertPass(),
+		}, 1}); err != nil {
+			return st, err
+		}
+	}
+	if err := d.runPhase(PhaseSpec{"cleanup-final", cleanup, 1}); err != nil {
+		return st, err
+	}
+
+	st.Analysis = am.Stats()
+	st.CompileTime = time.Since(start)
+	if loopErr != nil {
+		return st, loopErr
+	}
+	return st, nil
+}
+
+// runLoopTransform executes phase 2: the config-specific loop
+// transformation, instrumented like a single pass named
+// "<config>-loop-pass". Transformed loop headers are added to skipAuto so
+// automatic unrolling leaves them alone. The analysis manager is shared
+// with the transformation and conservatively invalidated afterwards: the
+// loop passes normalize loops (preheader/LCSSA) even when they fail.
+func (d *driver) runLoopTransform(skipAuto map[*ir.Block]bool) error {
+	f, st, opts := d.f, d.st, d.opts
 	markSkip := func(header *ir.Block) { skipAuto[header] = true }
 	var loopErr error
+	before := d.am.Stats()
 	t0 := time.Now()
 	switch opts.Config {
 	case Baseline:
 		// nothing
 	case UnrollOnly:
-		header, err := headerOfLoop(f, opts.LoopID)
+		header, err := d.headerOfLoop(opts.LoopID)
 		if err != nil {
 			loopErr = err
 			break
 		}
-		dt := analysis.NewDomTree(f)
-		li := analysis.NewLoopInfo(f, dt)
-		l := li.LoopByID(opts.LoopID)
-		if transform.UnrollLoop(f, l, opts.Factor) {
+		l := d.am.LoopInfo().LoopByID(opts.LoopID)
+		ok := transform.UnrollLoop(f, l, opts.Factor)
+		d.am.InvalidateAll() // UnrollLoop normalizes the loop even on failure
+		if ok {
 			st.LoopTransformed = true
 			markSkip(header)
 		} else {
@@ -146,12 +324,13 @@ func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 		if opts.Config == UnmergeOnly {
 			factor = 1
 		}
-		header, err := headerOfLoop(f, opts.LoopID)
+		header, err := d.headerOfLoop(opts.LoopID)
 		if err != nil {
 			loopErr = err
 			break
 		}
-		changed, err := core.UnrollAndUnmerge(f, opts.LoopID, factor, opts.Unmerge)
+		changed, err := core.UnrollAndUnmergeWith(d.am, opts.LoopID, factor, opts.Unmerge)
+		d.am.InvalidateAll()
 		st.LoopTransformed = changed
 		if err != nil {
 			loopErr = err
@@ -164,104 +343,42 @@ func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 		if params.C == 0 && params.UMax == 0 {
 			params = core.DefaultHeuristicParams()
 		}
-		st.Decisions = core.ApplyHeuristic(f, params, opts.Unmerge)
+		st.Decisions = core.ApplyHeuristicWith(d.am, params, opts.Unmerge)
+		d.am.InvalidateAll()
 		st.LoopTransformed = len(st.Decisions) > 0
-		for _, d := range st.Decisions {
-			markSkip(d.Header)
-		}
-	default:
-		return st, fmt.Errorf("pipeline: unknown config %q", opts.Config)
-	}
-	st.PassTimes = append(st.PassTimes, PassTime{string(opts.Config) + "-loop-pass", time.Since(t0)})
-	if opts.VerifyEachPass {
-		if err := ir.Verify(f); err != nil {
-			return st, fmt.Errorf("pipeline %s: after loop pass: %w", opts.Config, err)
+		for _, dec := range st.Decisions {
+			markSkip(dec.Header)
 		}
 	}
-
-	// Phase 3: the -O3-style middle end that exploits the transformation.
-	cleanupRound := []struct {
-		name string
-		pass func(*ir.Function) bool
-	}{
-		{"sccp", transform.SCCP},
-		{"simplifycfg", transform.SimplifyCFG},
-		{"instsimplify", transform.InstSimplify},
-		{"instcombine", transform.InstCombine},
-		{"gvn", gvn},
-		{"dce", transform.DCE},
-		{"simplifycfg", transform.SimplifyCFG},
-	}
-	for round := 0; round < 3; round++ {
-		for _, p := range cleanupRound {
-			if err := run(p.name, p.pass); err != nil {
-				return st, err
-			}
-		}
-	}
-	if err := run("licm", transform.LICM); err != nil {
-		return st, err
-	}
-	if err := run("gvn", gvn); err != nil {
-		return st, err
-	}
-	if err := run("dce", transform.DCE); err != nil {
-		return st, err
-	}
-
-	// Phase 4: baseline automatic unrolling (skips transformed loops), then
-	// another cleanup round to evaluate fully unrolled loops.
-	if err := run("loop-unroll(auto)", func(f *ir.Function) bool {
-		return transform.AutoUnroll(f, skipAuto)
-	}); err != nil {
-		return st, err
-	}
-	for round := 0; round < 2; round++ {
-		for _, p := range cleanupRound {
-			if err := run(p.name, p.pass); err != nil {
-				return st, err
-			}
-		}
-	}
-
-	// Phase 5: backend-style predication (selp formation) and final cleanup.
-	if !opts.DisableIfConvert {
-		if err := run("ifconvert", transform.IfConvert); err != nil {
-			return st, err
-		}
-	}
-	for _, p := range cleanupRound {
-		if err := run(p.name, p.pass); err != nil {
-			return st, err
-		}
-	}
-
-	st.CompileTime = time.Since(start)
-	if loopErr != nil {
-		return st, loopErr
-	}
-	return st, nil
+	st.PassTimes = append(st.PassTimes, PassTime{
+		Name:     string(opts.Config) + "-loop-pass",
+		Duration: time.Since(t0),
+		Changed:  st.LoopTransformed,
+		Cache:    d.am.Stats().Sub(before),
+	})
+	return loopErr
 }
 
-func headerOfLoop(f *ir.Function, id int) (*ir.Block, error) {
-	dt := analysis.NewDomTree(f)
-	li := analysis.NewLoopInfo(f, dt)
+func (d *driver) headerOfLoop(id int) (*ir.Block, error) {
+	li := d.am.LoopInfo()
 	l := li.LoopByID(id)
 	if l == nil {
-		return nil, fmt.Errorf("pipeline: %s has no loop #%d (%d loops)", f.Name, id, len(li.Loops))
+		return nil, fmt.Errorf("pipeline: %s has no loop #%d (%d loops)", d.f.Name, id, len(li.Loops))
 	}
 	return l.Header, nil
 }
 
 // CanonicalLoopCount reports how many loops the per-loop configurations can
 // address in f: the loop count after phase-1 canonicalization, which is
-// where Optimize assigns the deterministic loop IDs. f is modified only by
-// the canonicalization passes (mem2reg, SimplifyCFG, InstSimplify, DCE),
-// which every configuration applies identically anyway.
+// where Optimize assigns the deterministic loop IDs.
+//
+// NOTE: f is mutated — the canonicalization passes (exactly Optimize's
+// phase-1 list) run on it in place. Callers that need the original function
+// afterwards must compile a fresh copy.
 func CanonicalLoopCount(f *ir.Function) int {
-	transform.Mem2Reg(f)
-	transform.SimplifyCFG(f)
-	transform.InstSimplify(f)
-	transform.DCE(f)
-	return core.LoopCount(f)
+	am := analysis.NewAnalysisManager(f)
+	for _, p := range canonicalizationPasses() {
+		am.Invalidate(p.Run(f, am))
+	}
+	return len(am.LoopInfo().Loops)
 }

@@ -36,6 +36,13 @@ func DefaultGVNOptions() GVNOptions {
 // invalidated across loop boundaries using per-loop store summaries, and
 // across sibling subtrees by bubbling clobbers up to the parent scope.
 func GVN(f *ir.Function, opts GVNOptions) bool {
+	return gvn(f, analysis.NewAnalysisManager(f), opts)
+}
+
+// gvn is GVN against a caller-provided analysis manager. GVN never changes
+// the CFG (it only replaces and erases instructions), so the cached trees
+// stay valid throughout.
+func gvn(f *ir.Function, am *analysis.AnalysisManager, opts GVNOptions) bool {
 	g := &gvnState{
 		opts:     opts,
 		ids:      map[ir.Value]int{},
@@ -43,8 +50,8 @@ func GVN(f *ir.Function, opts GVNOptions) bool {
 		leaders:  map[string]ir.Value{},
 		repl:     map[ir.Value]ir.Value{},
 	}
-	dt := analysis.NewDomTree(f)
-	li := analysis.NewLoopInfo(f, dt)
+	dt := am.DomTree()
+	li := am.LoopInfo()
 	rpo := map[*ir.Block]int{}
 	{
 		i := 0
@@ -279,6 +286,12 @@ func (g *gvnState) replaceAndErase(in *ir.Instr, v ir.Value) {
 	g.changed = true
 }
 
+// setArg rewrites an operand and records the change.
+func (g *gvnState) setArg(in *ir.Instr, i int, v ir.Value) {
+	in.SetArg(i, v)
+	g.changed = true
+}
+
 func (g *gvnState) walk(b *ir.Block, dt *analysis.DomTree, li *analysis.LoopInfo, rpo map[*ir.Block]int) {
 	g.pushScope()
 
@@ -313,8 +326,7 @@ func (g *gvnState) walk(b *ir.Block, dt *analysis.DomTree, li *analysis.LoopInfo
 			if g.opts.PropagateEqualities {
 				for i := 0; i < in.NumArgs(); i++ {
 					if nv := g.resolve(in.Arg(i)); nv != in.Arg(i) {
-						in.SetArg(i, nv)
-						g.changed = true
+						g.setArg(in, i, nv)
 					}
 				}
 			}
@@ -325,8 +337,7 @@ func (g *gvnState) walk(b *ir.Block, dt *analysis.DomTree, li *analysis.LoopInfo
 		if !in.IsPhi() && g.opts.PropagateEqualities {
 			for i := 0; i < in.NumArgs(); i++ {
 				if nv := g.resolve(in.Arg(i)); nv != in.Arg(i) {
-					in.SetArg(i, nv)
-					g.changed = true
+					g.setArg(in, i, nv)
 				}
 			}
 		}
@@ -370,8 +381,7 @@ func (g *gvnState) walk(b *ir.Block, dt *analysis.DomTree, li *analysis.LoopInfo
 						continue
 					}
 					if nv := g.resolve(phi.Arg(i)); nv != phi.Arg(i) {
-						phi.SetArg(i, nv)
-						g.changed = true
+						g.setArg(phi, i, nv)
 					}
 				}
 			}
@@ -465,6 +475,10 @@ func (g *gvnState) handleLoad(in *ir.Instr) bool {
 		if f.clobberAll {
 			break
 		}
+		// Deliberately the unmemoized query: GVN's equality canonicalization
+		// rewrites GEP operands mid-run, which would force a memo flush per
+		// mutation (see AliasInfo.Reset) — and Alias itself is a short
+		// pointer chase, cheaper than the map traffic of memoizing it here.
 		res := analysis.Alias(p, f.ptr)
 		if f.isStore && f.val != nil {
 			if res == analysis.MustAlias && f.val.Type() == in.Type() {

@@ -9,20 +9,35 @@ import (
 // store in the loop may clobber) into the loop preheader. Innermost loops
 // are processed first so invariants bubble outward.
 func LICM(f *ir.Function) bool {
-	dt := analysis.NewDomTree(f)
-	li := analysis.NewLoopInfo(f, dt)
-	changed := false
+	return licm(f, analysis.NewAnalysisManager(f))
+}
+
+// licm is LICM against a caller-provided analysis manager. It invalidates
+// the manager whenever it inserts a preheader, so every dominance query
+// below sees the current CFG — but queries between mutations share one
+// cached tree instead of recomputing per query.
+func licm(f *ir.Function, am *analysis.AnalysisManager) bool {
+	li := am.LoopInfo()
 	// Innermost first: LoopInfo orders outer loops before inner, so reverse.
-	for i := len(li.Loops) - 1; i >= 0; i-- {
-		if hoistLoop(f, li.Loops[i]) {
+	// Snapshot the loop list: hoistLoop may invalidate the manager.
+	loops := append([]*analysis.Loop(nil), li.Loops...)
+	changed := false
+	for i := len(loops) - 1; i >= 0; i-- {
+		if hoistLoop(f, am, loops[i]) {
 			changed = true
 		}
 	}
 	return changed
 }
 
-func hoistLoop(f *ir.Function, l *analysis.Loop) bool {
-	ph := EnsurePreheader(f, l)
+func hoistLoop(f *ir.Function, am *analysis.AnalysisManager, l *analysis.Loop) bool {
+	changed := false
+	if l.Preheader() == nil {
+		EnsurePreheader(f, l)
+		am.InvalidateAll() // new block and rerouted edges
+		changed = true
+	}
+	ph := l.Preheader()
 	invariant := map[ir.Value]bool{}
 	isInv := func(v ir.Value) bool {
 		if invariant[v] {
@@ -52,15 +67,15 @@ func hoistLoop(f *ir.Function, l *analysis.Loop) bool {
 		if hasClobberAll {
 			return false
 		}
+		aa := am.Alias()
 		for _, sp := range storedPtrs {
-			if analysis.Alias(p, sp) != analysis.NoAlias {
+			if aa.Alias(p, sp) != analysis.NoAlias {
 				return false
 			}
 		}
 		return true
 	}
 
-	changed := false
 	for again := true; again; {
 		again = false
 		for _, b := range l.Blocks() {
@@ -79,7 +94,7 @@ func hoistLoop(f *ir.Function, l *analysis.Loop) bool {
 					continue
 				}
 				hoistable := in.IsSpeculatable() ||
-					(in.Op == ir.OpLoad && loadSafe(in.Arg(0)) && executesOnEveryIteration(l, b))
+					(in.Op == ir.OpLoad && loadSafe(in.Arg(0)) && executesOnEveryIteration(am, l, b))
 				if !hoistable {
 					continue
 				}
@@ -100,11 +115,11 @@ func hoistLoop(f *ir.Function, l *analysis.Loop) bool {
 // loop body runs at least once. Hoisting into the preheader of a loop that
 // may run zero times would introduce a load that never executed; we accept
 // this for kernels (device loads do not fault in our memory model).
-func executesOnEveryIteration(l *analysis.Loop, b *ir.Block) bool {
+func executesOnEveryIteration(am *analysis.AnalysisManager, l *analysis.Loop, b *ir.Block) bool {
 	if b == l.Header {
 		return true
 	}
-	dt := analysis.NewDomTree(b.Func())
+	dt := am.DomTree()
 	for _, latch := range l.Latches() {
 		if !dt.Dominates(b, latch) {
 			return false

@@ -12,6 +12,11 @@ import (
 // this pass is what establishes "real" SSA form; it runs first in every
 // pipeline.
 func Mem2Reg(f *ir.Function) bool {
+	return mem2reg(f, analysis.NewAnalysisManager(f))
+}
+
+// mem2reg is Mem2Reg against a caller-provided analysis manager.
+func mem2reg(f *ir.Function, am *analysis.AnalysisManager) bool {
 	var allocas []*ir.Instr
 	for _, in := range f.Entry().Instrs() {
 		if in.Op == ir.OpAlloca && promotable(in) {
@@ -21,7 +26,7 @@ func Mem2Reg(f *ir.Function) bool {
 	if len(allocas) == 0 {
 		return false
 	}
-	dt := analysis.NewDomTree(f)
+	dt := am.DomTree()
 	df := dt.Frontier(f)
 
 	// Phi placement: iterated dominance frontier of the store blocks.

@@ -24,6 +24,14 @@ type latVal struct {
 // Afterwards, constant instructions are replaced and one-sided conditional
 // branches folded; SimplifyCFG removes the unreachable remains.
 func SCCP(f *ir.Function) bool {
+	changed, _ := sccp(f)
+	return changed
+}
+
+// sccp is SCCP's body; it additionally reports whether the rewrite changed
+// the CFG (folded a one-sided conditional branch), which decides whether the
+// pass can preserve the cached dominator trees.
+func sccp(f *ir.Function) (changed, cfgChanged bool) {
 	vals := map[*ir.Instr]latVal{}
 	execEdge := map[[2]*ir.Block]bool{}
 	execBlock := map[*ir.Block]bool{}
@@ -182,7 +190,6 @@ func SCCP(f *ir.Function) bool {
 	}
 
 	// Rewrite: replace constant instructions, fold one-sided branches.
-	changed := false
 	for _, b := range f.Blocks() {
 		if !execBlock[b] {
 			continue // unreachable; SimplifyCFG removes it
@@ -207,8 +214,9 @@ func SCCP(f *ir.Function) bool {
 				}
 				FoldToUncond(b, keep)
 				changed = true
+				cfgChanged = true
 			}
 		}
 	}
-	return changed
+	return changed, cfgChanged
 }

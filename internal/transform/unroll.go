@@ -142,14 +142,23 @@ const (
 // transformed from LLVM's unroller, which is also how the `coordinates`
 // speedup arises.
 func AutoUnroll(f *ir.Function, skip map[*ir.Block]bool) bool {
+	return autoUnroll(f, analysis.NewAnalysisManager(f), skip)
+}
+
+// autoUnroll is AutoUnroll against a caller-provided analysis manager. Each
+// round resolves loops through the manager; any unroll attempt invalidates
+// it, because UnrollLoop establishes preheader + LCSSA form even when it
+// then rejects the loop shape.
+func autoUnroll(f *ir.Function, am *analysis.AnalysisManager, skip map[*ir.Block]bool) bool {
 	changed := false
 	for rounds := 0; rounds < 8; rounds++ {
-		dt := analysis.NewDomTree(f)
-		li := analysis.NewLoopInfo(f, dt)
+		li := am.LoopInfo()
 		done := true
-		// Innermost first (reverse of the outer-first ordering).
-		for i := len(li.Loops) - 1; i >= 0; i-- {
-			l := li.Loops[i]
+		// Innermost first (reverse of the outer-first ordering). Snapshot the
+		// list: an unroll attempt invalidates the manager.
+		loops := append([]*analysis.Loop(nil), li.Loops...)
+		for i := len(loops) - 1; i >= 0; i-- {
+			l := loops[i]
 			if skip != nil && skip[l.Header] {
 				continue
 			}
@@ -160,6 +169,7 @@ func AutoUnroll(f *ir.Function, skip map[*ir.Block]bool) bool {
 			if int64(analysis.LoopSize(l))*tc > AutoUnrollMaxSize {
 				continue
 			}
+			am.InvalidateAll()
 			if UnrollLoop(f, l, int(tc)) {
 				changed = true
 				done = false
