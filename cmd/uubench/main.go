@@ -39,6 +39,7 @@ func main() {
 		verify    = flag.Bool("verify", false, "validate every run against the reference interpreter")
 		outDir    = flag.String("out", "", "write artifacts into this directory instead of stdout")
 		quiet     = flag.Bool("q", false, "suppress per-run progress")
+		workers   = flag.Int("workers", 0, "concurrent measurement goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *all {
@@ -49,7 +50,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := bench.HarnessOptions{Verify: *verify}
+	opts := bench.HarnessOptions{Verify: *verify, Workers: *workers}
 	if *appsCSV != "" {
 		opts.Apps = strings.Split(*appsCSV, ",")
 	}

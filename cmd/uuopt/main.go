@@ -42,6 +42,7 @@ func main() {
 		noIfConv  = flag.Bool("no-ifconvert", false, "disable backend predication (ablation)")
 		noOpt     = flag.Bool("O0", false, "skip the pipeline entirely (frontend output)")
 		passTimes = flag.Bool("pass-times", false, "print per-pass wall-clock times")
+		passStats = flag.Bool("pass-stats", false, "print the full pass log: per-pass time, changed bit, cache traffic, fixpoint rounds")
 	)
 	flag.Parse()
 
@@ -77,6 +78,9 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "%-20s %v\n", "total", stats.CompileTime)
 		}
+		if *passStats {
+			printPassStats(stats)
+		}
 		for _, d := range stats.Decisions {
 			fmt.Fprintf(os.Stderr, "heuristic: loop #%d (header %s): factor %d (p=%d s=%d f=%d)\n",
 				d.LoopID, d.Header.Name, d.Factor, d.Paths, d.Size, d.Estimated)
@@ -110,6 +114,32 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -emit %q", *emit))
 	}
+}
+
+// printPassStats writes the instrumented pass log to stderr: every pass
+// execution in pipeline order with its wall-clock time, whether it changed
+// the function, and its analysis-cache traffic, followed by the fixpoint
+// round counts and the whole-compile cache summary.
+func printPassStats(stats *pipeline.Stats) {
+	fmt.Fprintf(os.Stderr, "%-24s %12s  %-7s %s\n", "pass", "time", "changed", "cache")
+	for _, pt := range stats.PassTimes {
+		changed := "-"
+		if pt.Changed {
+			changed = "yes"
+		}
+		cache := pt.Cache.String()
+		if cache == "" {
+			cache = "-"
+		}
+		fmt.Fprintf(os.Stderr, "%-24s %12v  %-7s %s\n", pt.Name, pt.Duration, changed, cache)
+	}
+	for _, r := range stats.Rounds {
+		fmt.Fprintf(os.Stderr, "phase %-18s %d/%d rounds\n", r.Phase, r.Rounds, r.MaxRounds)
+	}
+	fmt.Fprintf(os.Stderr, "analysis cache: %d hits / %d misses (%.0f%% hit rate), %d invalidations\n",
+		stats.Analysis.TotalHits(), stats.Analysis.TotalMisses(),
+		100*stats.Analysis.HitRate(), stats.Analysis.TotalInvalidated())
+	fmt.Fprintf(os.Stderr, "verify: %v   compile: %v\n", stats.VerifyTime, stats.CompileTime)
 }
 
 func loadFunction(srcPath, irPath, kernel string) (*ir.Function, error) {

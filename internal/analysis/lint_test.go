@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoDirectAnalysisConstruction enforces the pass-manager invariant: passes
+// and the pipeline must obtain dominator trees and loop info through the
+// AnalysisManager (which caches and invalidates them), never by constructing
+// them directly — a direct construction silently bypasses the cache and brings
+// back the per-query recomputation this refactor removed. Constructing other
+// analyses (divergence, path counts) directly is fine; only the two hot,
+// cached ones are locked down.
+func TestNoDirectAnalysisConstruction(t *testing.T) {
+	banned := []string{"analysis.NewDomTree(", "analysis.NewLoopInfo("}
+	for _, dir := range []string{"../transform", "../core", "../pipeline"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range banned {
+				if strings.Contains(string(src), b) {
+					t.Errorf("%s uses %s — query the AnalysisManager instead (am.DomTree()/am.LoopInfo())", path, strings.TrimSuffix(b, "("))
+				}
+			}
+		}
+	}
+}

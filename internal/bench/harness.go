@@ -3,7 +3,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"uu/internal/core"
@@ -53,14 +56,40 @@ type HarnessOptions struct {
 	Factors []int    // nil = {2,4,8} as in the paper
 	Verify  bool     // check every run against the interpreter oracle
 	Device  *gpusim.DeviceConfig
-	// Progress receives one line per completed run when non-nil.
+	// Progress receives one line per completed run when non-nil. Lines are
+	// written atomically but, with Workers > 1, in completion order rather
+	// than campaign order.
 	Progress io.Writer
+	// Workers caps the number of concurrent measurement goroutines;
+	// 0 means GOMAXPROCS. Results are identical and identically ordered
+	// regardless of the worker count — every run is an independent
+	// compile+simulate on its own function, so only wall clock changes.
+	Workers int
+}
+
+// harnessJob is one planned (application, configuration, loop, factor)
+// measurement. Jobs are enumerated in campaign order up front; workers pick
+// them up in that order and write results by index, so the assembled
+// Results are identical regardless of concurrency.
+type harnessJob struct {
+	b      *Benchmark
+	w      *Workload
+	ref    *interp.Memory // verification oracle, nil unless opts.Verify
+	cfg    pipeline.Options
+	loopID int
+	factor int
+	// destination: exactly one of these is set
+	isBaseline  bool
+	isHeuristic bool
 }
 
 // RunExperiments executes the paper's measurement campaign: for every
 // application the baseline and heuristic configurations, plus — applying the
 // pass to one loop at a time exactly as the methodology section describes —
 // unroll-only and u&u for each unroll factor and unmerge-only per loop.
+//
+// Runs are independent (each compiles its own fresh kernel function), so
+// they execute on a worker pool of opts.Workers goroutines.
 func RunExperiments(opts HarnessOptions) (*Results, error) {
 	factors := opts.Factors
 	if factors == nil {
@@ -88,12 +117,10 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 		Heuristic: map[string]*RunRecord{},
 		LoopCount: map[string]int{},
 	}
-	logf := func(format string, args ...any) {
-		if opts.Progress != nil {
-			fmt.Fprintf(opts.Progress, format+"\n", args...)
-		}
-	}
 
+	// Plan the campaign serially: per-app workload, verification oracle and
+	// loop count, then the job list in the paper's order.
+	var jobs []harnessJob
 	for _, b := range apps {
 		w := b.NewWorkload()
 		var ref *interp.Memory
@@ -106,61 +133,103 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 		}
 		res.LoopCount[b.Name] = LoopCount(b)
 
-		one := func(cfg pipeline.Options, loopID, factor int) (*RunRecord, error) {
-			rec := &RunRecord{App: b.Name, Config: cfg.Config, LoopID: loopID, Factor: factor}
-			cr, err := Compile(b, cfg)
-			if err != nil {
-				rec.Skipped = err.Error()
-				return rec, nil
-			}
-			rec.CompileMs = float64(cr.Stats.CompileTime.Microseconds()) / 1000
-			rec.CodeBytes = cr.Program.CodeBytes()
-			rec.Decisions = cr.Stats.Decisions
-			rec.PassTimes = cr.Stats.PassTimeByName()
-			m, err := Execute(cr, w, dev, ref)
-			if err != nil {
-				return nil, fmt.Errorf("bench %s %s loop %d u%d: %w", b.Name, cfg.Config, loopID, factor, err)
-			}
-			rec.Metrics = m
-			rec.Millis = m.KernelMillis(dev)
-			logf("%-16s %-12s loop=%-3d u=%-2d %10.4f ms  code=%6d B  compile=%7.2f ms",
-				b.Name, cfg.Config, loopID, factor, rec.Millis, rec.CodeBytes, rec.CompileMs)
-			return rec, nil
+		add := func(cfg pipeline.Options, loopID, factor int) *harnessJob {
+			jobs = append(jobs, harnessJob{b: b, w: w, ref: ref, cfg: cfg, loopID: loopID, factor: factor})
+			return &jobs[len(jobs)-1]
 		}
-
-		base, err := one(pipeline.Options{Config: pipeline.Baseline}, -1, 0)
-		if err != nil {
-			return nil, err
-		}
-		res.Baseline[b.Name] = base
-
-		heur, err := one(pipeline.Options{Config: pipeline.UUHeuristic}, -1, 0)
-		if err != nil {
-			return nil, err
-		}
-		res.Heuristic[b.Name] = heur
-
+		add(pipeline.Options{Config: pipeline.Baseline}, -1, 0).isBaseline = true
+		add(pipeline.Options{Config: pipeline.UUHeuristic}, -1, 0).isHeuristic = true
 		for loop := 0; loop < res.LoopCount[b.Name]; loop++ {
-			rec, err := one(pipeline.Options{Config: pipeline.UnmergeOnly, LoopID: loop}, loop, 1)
-			if err != nil {
-				return nil, err
-			}
-			res.PerLoop = append(res.PerLoop, rec)
+			add(pipeline.Options{Config: pipeline.UnmergeOnly, LoopID: loop}, loop, 1)
 			for _, u := range factors {
-				rec, err := one(pipeline.Options{Config: pipeline.UnrollOnly, LoopID: loop, Factor: u}, loop, u)
-				if err != nil {
-					return nil, err
-				}
-				res.PerLoop = append(res.PerLoop, rec)
-				rec, err = one(pipeline.Options{Config: pipeline.UU, LoopID: loop, Factor: u}, loop, u)
-				if err != nil {
-					return nil, err
-				}
-				res.PerLoop = append(res.PerLoop, rec)
+				add(pipeline.Options{Config: pipeline.UnrollOnly, LoopID: loop, Factor: u}, loop, u)
+				add(pipeline.Options{Config: pipeline.UU, LoopID: loop, Factor: u}, loop, u)
 			}
 		}
 	}
+
+	// Execute on a worker pool. recs/errs are indexed by job so assembly
+	// below is deterministic; the progress writer is the only shared sink
+	// and is guarded by a mutex.
+	var progressMu sync.Mutex
+	logf := func(format string, args ...any) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		fmt.Fprintf(opts.Progress, format+"\n", args...)
+	}
+	recs := make([]*RunRecord, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(jobs) {
+					return
+				}
+				recs[idx], errs[idx] = runJob(&jobs[idx], dev, logf)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Assemble in campaign order.
+	for i := range jobs {
+		j, rec := &jobs[i], recs[i]
+		switch {
+		case j.isBaseline:
+			res.Baseline[j.b.Name] = rec
+		case j.isHeuristic:
+			res.Heuristic[j.b.Name] = rec
+		default:
+			res.PerLoop = append(res.PerLoop, rec)
+		}
+	}
 	return res, nil
+}
+
+// runJob performs one measurement: compile (an untransformable loop is
+// recorded as skipped, not an error), simulate, optionally verify against
+// the oracle. Execution failures are fatal — they mean a miscompilation or
+// a simulator bug, not an expected bail-out.
+func runJob(j *harnessJob, dev gpusim.DeviceConfig, logf func(string, ...any)) (*RunRecord, error) {
+	rec := &RunRecord{App: j.b.Name, Config: j.cfg.Config, LoopID: j.loopID, Factor: j.factor}
+	cr, err := Compile(j.b, j.cfg)
+	if err != nil {
+		rec.Skipped = err.Error()
+		return rec, nil
+	}
+	rec.CompileMs = float64((cr.Stats.CompileTime - cr.Stats.VerifyTime).Microseconds()) / 1000
+	rec.CodeBytes = cr.Program.CodeBytes()
+	rec.Decisions = cr.Stats.Decisions
+	rec.PassTimes = cr.Stats.PassTimeByName()
+	m, err := Execute(cr, j.w, dev, j.ref)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s %s loop %d u%d: %w", j.b.Name, j.cfg.Config, j.loopID, j.factor, err)
+	}
+	rec.Metrics = m
+	rec.Millis = m.KernelMillis(dev)
+	logf("%-16s %-12s loop=%-3d u=%-2d %10.4f ms  code=%6d B  compile=%7.2f ms",
+		j.b.Name, j.cfg.Config, j.loopID, j.factor, rec.Millis, rec.CodeBytes, rec.CompileMs)
+	return rec, nil
 }
 
 // Best returns the best (highest-speedup) per-loop record for the app with

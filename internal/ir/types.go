@@ -5,7 +5,10 @@
 // this repository — including the paper's unroll-and-unmerge pass — operate.
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind enumerates the primitive type kinds of the IR.
 type Kind int
@@ -41,10 +44,17 @@ var (
 	F64  = &Type{Kind: KindF64}
 )
 
-var ptrCache = map[*Type]*Type{}
+var (
+	ptrCacheMu sync.Mutex
+	ptrCache   = map[*Type]*Type{}
+)
 
-// PointerTo returns the interned pointer type with element type elem.
+// PointerTo returns the interned pointer type with element type elem. It is
+// safe for concurrent use (the experiment harness compiles kernels from
+// several goroutines).
 func PointerTo(elem *Type) *Type {
+	ptrCacheMu.Lock()
+	defer ptrCacheMu.Unlock()
 	if p, ok := ptrCache[elem]; ok {
 		return p
 	}
