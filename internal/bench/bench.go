@@ -154,12 +154,18 @@ func Compile(b *Benchmark, opts pipeline.Options) (*CompileResult, error) {
 // Execute runs a compiled kernel on the simulator. When verifyAgainst is
 // non-nil the resulting memory is checked against it.
 func Execute(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, verifyAgainst *interp.Memory) (*gpusim.Metrics, error) {
+	return ExecuteWorkers(cr, w, cfg, verifyAgainst, 1)
+}
+
+// ExecuteWorkers is Execute with an explicit simulator warp-scheduling
+// worker count (gpusim.RunWorkers); metrics are identical for any count.
+func ExecuteWorkers(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, verifyAgainst *interp.Memory, workers int) (*gpusim.Metrics, error) {
 	mem := w.NewMemory()
 	launch := w.Launch
 	if verifyAgainst != nil {
 		launch.SampleWarps = 0 // full run required for verification
 	}
-	m, err := gpusim.Run(cr.Program, w.Args, mem, launch, cfg)
+	m, err := gpusim.RunWorkers(cr.Program, w.Args, mem, launch, cfg, workers)
 	if err != nil {
 		return nil, err
 	}

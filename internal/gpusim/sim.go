@@ -33,6 +33,12 @@ const MaxWarpSteps = int64(1) << 34
 // this schedule (kernels relying on cross-warp shared-memory communication
 // are out of scope).
 func Run(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig) (*Metrics, error) {
+	return RunWorkers(p, args, mem, launch, cfg, 1)
+}
+
+// RunWorkers is Run with an explicit warp-scheduling worker count. Metrics
+// are identical for every worker count (workers only changes wall clock).
+func RunWorkers(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, workers int) (*Metrics, error) {
 	if len(args) != len(p.ParamRegs) {
 		return nil, fmt.Errorf("gpusim: kernel %s expects %d args, got %d", p.Name, len(p.ParamRegs), len(args))
 	}

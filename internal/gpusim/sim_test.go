@@ -10,7 +10,7 @@ import (
 )
 
 // build compiles MiniCU source through the given pipeline config to VPTX.
-func build(t *testing.T, src string, cfg pipeline.Options) *codegen.Program {
+func build(t testing.TB, src string, cfg pipeline.Options) *codegen.Program {
 	t.Helper()
 	f := lang.MustCompileKernel(src)
 	cfg.VerifyEachPass = true
