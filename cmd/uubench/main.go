@@ -25,21 +25,22 @@ import (
 
 func main() {
 	var (
-		all       = flag.Bool("all", false, "produce every table and figure")
-		table1    = flag.Bool("table1", false, "produce Table I")
-		fig6a     = flag.Bool("fig6a", false, "produce Figure 6a (speedup)")
-		fig6b     = flag.Bool("fig6b", false, "produce Figure 6b (code size)")
-		fig6c     = flag.Bool("fig6c", false, "produce Figure 6c (compile time)")
-		fig7      = flag.Bool("fig7", false, "produce Figure 7 (uu vs unroll vs unmerge)")
-		fig8      = flag.Bool("fig8", false, "produce Figures 8a/8b (scatter data)")
-		counters  = flag.Bool("counters", false, "produce the Section V counter reports")
-		ablations = flag.Bool("ablations", false, "produce the design-choice ablation tables")
-		appsCSV   = flag.String("apps", "", "comma-separated subset of applications (default: all 16)")
-		factors   = flag.String("factors", "2,4,8", "unroll factors to sweep")
-		verify    = flag.Bool("verify", false, "validate every run against the reference interpreter")
-		outDir    = flag.String("out", "", "write artifacts into this directory instead of stdout")
-		quiet     = flag.Bool("q", false, "suppress per-run progress")
-		workers   = flag.Int("workers", 0, "concurrent measurement goroutines (0 = GOMAXPROCS)")
+		all        = flag.Bool("all", false, "produce every table and figure")
+		table1     = flag.Bool("table1", false, "produce Table I")
+		fig6a      = flag.Bool("fig6a", false, "produce Figure 6a (speedup)")
+		fig6b      = flag.Bool("fig6b", false, "produce Figure 6b (code size)")
+		fig6c      = flag.Bool("fig6c", false, "produce Figure 6c (compile time)")
+		fig7       = flag.Bool("fig7", false, "produce Figure 7 (uu vs unroll vs unmerge)")
+		fig8       = flag.Bool("fig8", false, "produce Figures 8a/8b (scatter data)")
+		counters   = flag.Bool("counters", false, "produce the Section V counter reports")
+		ablations  = flag.Bool("ablations", false, "produce the design-choice ablation tables")
+		appsCSV    = flag.String("apps", "", "comma-separated subset of applications (default: all 16)")
+		factors    = flag.String("factors", "2,4,8", "unroll factors to sweep")
+		verify     = flag.Bool("verify", false, "validate every run against the reference interpreter")
+		outDir     = flag.String("out", "", "write artifacts into this directory instead of stdout")
+		quiet      = flag.Bool("q", false, "suppress per-run progress")
+		workers    = flag.Int("workers", 0, "concurrent measurement goroutines (0 = GOMAXPROCS)")
+		simWorkers = flag.Int("sim-workers", 1, "warp-scheduling workers per simulation (metrics are identical for any count)")
 	)
 	flag.Parse()
 	if *all {
@@ -50,7 +51,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := bench.HarnessOptions{Verify: *verify, Workers: *workers}
+	opts := bench.HarnessOptions{Verify: *verify, Workers: *workers, SimWorkers: *simWorkers}
 	if *appsCSV != "" {
 		opts.Apps = strings.Split(*appsCSV, ",")
 	}

@@ -65,6 +65,12 @@ type HarnessOptions struct {
 	// regardless of the worker count — every run is an independent
 	// compile+simulate on its own function, so only wall clock changes.
 	Workers int
+	// SimWorkers is the warp-scheduling worker count passed to
+	// gpusim.RunWorkers for every simulation; <= 0 means 1 (fully
+	// sequential). Metrics are identical for any count, so this too only
+	// changes wall clock. Figure 6c compile-time columns are wall-clock
+	// measurements and should be compared with Workers == 1 regardless.
+	SimWorkers int
 }
 
 // harnessJob is one planned (application, configuration, loop, factor)
@@ -166,6 +172,10 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	simWorkers := opts.SimWorkers
+	if simWorkers <= 0 {
+		simWorkers = 1
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -180,7 +190,7 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 				if idx >= len(jobs) {
 					return
 				}
-				recs[idx], errs[idx] = runJob(&jobs[idx], dev, logf)
+				recs[idx], errs[idx] = runJob(&jobs[idx], dev, simWorkers, logf)
 			}
 		}()
 	}
@@ -210,7 +220,7 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 // recorded as skipped, not an error), simulate, optionally verify against
 // the oracle. Execution failures are fatal — they mean a miscompilation or
 // a simulator bug, not an expected bail-out.
-func runJob(j *harnessJob, dev gpusim.DeviceConfig, logf func(string, ...any)) (*RunRecord, error) {
+func runJob(j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(string, ...any)) (*RunRecord, error) {
 	rec := &RunRecord{App: j.b.Name, Config: j.cfg.Config, LoopID: j.loopID, Factor: j.factor}
 	cr, err := Compile(j.b, j.cfg)
 	if err != nil {
@@ -221,7 +231,7 @@ func runJob(j *harnessJob, dev gpusim.DeviceConfig, logf func(string, ...any)) (
 	rec.CodeBytes = cr.Program.CodeBytes()
 	rec.Decisions = cr.Stats.Decisions
 	rec.PassTimes = cr.Stats.PassTimeByName()
-	m, err := Execute(cr, j.w, dev, j.ref)
+	m, err := ExecuteWorkers(cr, j.w, dev, j.ref, simWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s %s loop %d u%d: %w", j.b.Name, j.cfg.Config, j.loopID, j.factor, err)
 	}

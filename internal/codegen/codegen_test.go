@@ -191,3 +191,43 @@ m:
 		t.Fatalf("ipdom(m) = %d, want -1 (exit)", p.IPDom[mIdx])
 	}
 }
+
+func TestLowerRecordsCvtSrcType(t *testing.T) {
+	// Every conversion must carry its operand type: the simulator's zext
+	// relies on SrcType for the zero-extension mask instead of guessing
+	// the width from the runtime value.
+	p := lower(t, `
+func @k(i8* noalias %p, i64* noalias %q, i1 %b) {
+entry:
+  %v = load i8* %p
+  %z = zext i8 %v to i64
+  %w = zext i1 %b to i64
+  %s = add i64 %z, i64 %w
+  store i64 %s, i64* %q
+  ret
+}
+`)
+	var zexts []*Instr
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Kind == KCvt {
+				if in.SrcType == nil {
+					t.Fatalf("KCvt %s without SrcType:\n%s", in.IROp, p.String())
+				}
+				if in.IROp == ir.OpZExt {
+					zexts = append(zexts, in)
+				}
+			}
+		}
+	}
+	if len(zexts) != 2 {
+		t.Fatalf("want 2 zexts, got %d:\n%s", len(zexts), p.String())
+	}
+	if zexts[0].SrcType != ir.I8 || zexts[0].Type != ir.I64 {
+		t.Fatalf("zext i8->i64 recorded as %s->%s", zexts[0].SrcType, zexts[0].Type)
+	}
+	if zexts[1].SrcType != ir.I1 {
+		t.Fatalf("zext i1->i64 recorded source %s", zexts[1].SrcType)
+	}
+}

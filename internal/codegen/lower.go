@@ -167,8 +167,8 @@ func (lw *lowerer) lowerInstr(vb *Block, in *ir.Instr) error {
 		lw.emit(vb, Instr{Kind: KSelp, Type: in.Type(), Dst: dst,
 			Srcs: []Operand{lw.operand(in.Arg(0)), lw.operand(in.Arg(1)), lw.operand(in.Arg(2))}})
 	case ir.OpTrunc, ir.OpZExt, ir.OpSExt, ir.OpSIToFP, ir.OpFPToSI, ir.OpFPExt, ir.OpFPTrunc:
-		lw.emit(vb, Instr{Kind: KCvt, IROp: in.Op, Type: in.Type(), Dst: dst,
-			Srcs: []Operand{lw.operand(in.Arg(0))}})
+		lw.emit(vb, Instr{Kind: KCvt, IROp: in.Op, Type: in.Type(), SrcType: in.Arg(0).Type(),
+			Dst: dst, Srcs: []Operand{lw.operand(in.Arg(0))}})
 	case ir.OpLoad:
 		lw.emit(vb, Instr{Kind: KLd, Type: in.Type(), Dst: dst,
 			Srcs: []Operand{lw.operand(in.Arg(0))}})
@@ -201,7 +201,7 @@ func (lw *lowerer) lowerGEP(vb *Block, in *ir.Instr, dst Reg) {
 	idxT := in.Arg(1).Type()
 	if idxT != ir.I64 {
 		ext := lw.newReg()
-		lw.emit(vb, Instr{Kind: KCvt, IROp: ir.OpSExt, Type: ir.I64, Dst: ext, Srcs: []Operand{idx}})
+		lw.emit(vb, Instr{Kind: KCvt, IROp: ir.OpSExt, Type: ir.I64, SrcType: idxT, Dst: ext, Srcs: []Operand{idx}})
 		idx = regOp(ext)
 	}
 	size := in.Type().Elem.Size()

@@ -9,6 +9,7 @@ package codegen
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"uu/internal/ir"
 )
@@ -82,10 +83,13 @@ func immOp(c *ir.Const) Operand { return Operand{Reg: NoReg, Imm: c} }
 
 // Instr is one VPTX instruction.
 type Instr struct {
-	Kind    Kind
-	IROp    ir.Op   // semantic opcode for KCompute/KSetp/KCvt/KSpecial
-	Pred    ir.Pred // for KSetp
-	Type    *ir.Type
+	Kind Kind
+	IROp ir.Op   // semantic opcode for KCompute/KSetp/KCvt/KSpecial
+	Pred ir.Pred // for KSetp
+	Type *ir.Type
+	// SrcType is the operand type of a KCvt instruction (the width a zext
+	// widens *from*); nil for every other kind.
+	SrcType *ir.Type
 	Dst     Reg
 	Srcs    []Operand
 	Targets [2]int // block indexes for KBra/KCondBra
@@ -146,6 +150,14 @@ type Program struct {
 	// ipdom[b] is the immediate post-dominator block index of b (-1 = exit);
 	// the simulator's reconvergence stack uses it.
 	IPDom []int
+
+	// DecodedOnce guards Decoded, an opaque slot where a consumer caches a
+	// derived form of the program. The simulator stores its pre-decoded
+	// instruction stream here so decoding happens once per compiled program
+	// and is shared across warps, launches, and worker counts. Programs are
+	// immutable after Lower, so the cache never invalidates.
+	DecodedOnce sync.Once
+	Decoded     any
 }
 
 // NumInstrs returns the total instruction count.

@@ -3,6 +3,8 @@ package gpusim
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"runtime"
 
 	"uu/internal/codegen"
 	"uu/internal/interp"
@@ -36,36 +38,80 @@ func Run(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Lau
 	return RunWorkers(p, args, mem, launch, cfg, 1)
 }
 
-// RunWorkers is Run with an explicit warp-scheduling worker count. Metrics
-// are identical for every worker count (workers only changes wall clock).
+// RunWorkers is Run with an explicit warp-scheduling worker count
+// (workers <= 0 means GOMAXPROCS). Metrics and final memory are identical
+// for every worker count — workers only changes wall clock. See
+// parallel.go for how the parallel schedule reproduces the sequential
+// one exactly (and falls back to it when it cannot).
+//
+// Two parallel-mode caveats, both confined to runs that fail anyway: on
+// error, shared memory is left unmodified (the sequential schedule stops
+// at the failing warp with every earlier warp's writes applied), and the
+// error returned is deterministically the failing warp with the lowest
+// index. Every error path discards results, so no caller observes the
+// difference.
 func RunWorkers(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, workers int) (*Metrics, error) {
 	if len(args) != len(p.ParamRegs) {
 		return nil, fmt.Errorf("gpusim: kernel %s expects %d args, got %d", p.Name, len(p.ParamRegs), len(args))
 	}
+	dp := decoded(p)
 	total := launch.Threads()
-	warpSize := cfg.WarpSize
-	totalWarps := (total + warpSize - 1) / warpSize
+	totalWarps := (total + cfg.WarpSize - 1) / cfg.WarpSize
 	simWarps := totalWarps
 	if launch.SampleWarps > 0 && launch.SampleWarps < totalWarps {
 		simWarps = launch.SampleWarps
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > simWarps {
+		workers = simWarps
+	}
+	fits := dp.numLines(cfg.ICacheLineInstrs) <= cfg.ICacheLines
 	m := &Metrics{}
-	w := newWarpSim(p, cfg, mem)
-	for wi := 0; wi < simWarps; wi++ {
-		firstThread := wi * warpSize
-		count := warpSize
-		if firstThread+count > total {
-			count = total - firstThread
-		}
-		if err := w.run(args, launch, firstThread, count, m); err != nil {
-			return nil, err
-		}
-		m.Warps++
+	var err error
+	if workers <= 1 || !fits {
+		err = runSequential(dp, args, mem, launch, cfg, simWarps, total, m)
+	} else {
+		err = runParallel(dp, args, mem, launch, cfg, simWarps, total, workers, m)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if simWarps < totalWarps {
 		m.Scale(float64(totalWarps) / float64(simWarps))
 	}
 	return m, nil
+}
+
+func warpBounds(wi, warpSize, total int) (first, count int) {
+	first = wi * warpSize
+	count = warpSize
+	if first+count > total {
+		count = total - first
+	}
+	return first, count
+}
+
+func bitWords(n int) int { return (n + 63) / 64 }
+
+func runSequential(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total int, m *Metrics) error {
+	w := newWarpSim(dp, cfg, mem)
+	if numLines := dp.numLines(cfg.ICacheLineInstrs); numLines <= cfg.ICacheLines {
+		w.fetchMode = fetchBitset
+		w.touched = make([]uint64, bitWords(numLines))
+	} else {
+		w.fetchMode = fetchLRU
+		w.lru.init(numLines, cfg.ICacheLines)
+	}
+	for wi := 0; wi < simWarps; wi++ {
+		first, count := warpBounds(wi, cfg.WarpSize, total)
+		if err := w.run(args, launch, first, count, m); err != nil {
+			return err
+		}
+		m.Warps++
+	}
+	return nil
 }
 
 type stackEntry struct {
@@ -74,109 +120,113 @@ type stackEntry struct {
 	mask uint32
 }
 
+// Instruction-fetch accounting modes; see RunWorkers.
+const (
+	fetchWarm   uint8 = iota // record touched lines, charge nothing
+	fetchBitset              // miss = first touch (program fits the icache)
+	fetchLRU                 // full LRU model (program overflows the icache)
+)
+
 type warpSim struct {
-	p     *codegen.Program
-	cfg   DeviceConfig
-	mem   *interp.Memory
-	regs  [][]interp.Value // [lane][reg]
-	ready []float64        // scoreboard: cycle at which each register's value is available
+	dp  *decodedProgram
+	cfg DeviceConfig
+	mem *interp.Memory
 
-	// instruction cache: line -> LRU tick
-	icache map[int]int64
-	tick   int64
+	nregs int
+	regs  []interp.Value // [lane*nregs + reg]
+	ready []float64      // scoreboard: cycle at which each register's value is available
+	stack []stackEntry
 
-	// global instruction index of the first instruction of each block
-	blockBase []int
+	// instruction cache state, interpreted per fetchMode
+	lines     []int32 // global instruction index -> icache line
+	fetchMode uint8
+	touched   []uint64
+	lru       lruICache
+
+	lanesTID []int32
+	lanesCTA []int32
+	addrBuf  []int64 // scratch: active lanes' addresses, lane order
+	segBuf   []segSpan
+
+	// optimistic-parallel instrumentation (nil in sequential mode):
+	// per-warp byte ranges read/written and the ordered store log the
+	// audit pass replays — see parallel.go
+	rSet     *spanSet
+	wSet     *spanSet
+	writeLog *[]memWrite
+
+	scale  [33]float64 // issue scale by active-lane count
+	latTab [4]float64  // scoreboard latency by latClass
 }
 
-func newWarpSim(p *codegen.Program, cfg DeviceConfig, mem *interp.Memory) *warpSim {
-	w := &warpSim{p: p, cfg: cfg, mem: mem}
-	w.regs = make([][]interp.Value, cfg.WarpSize)
-	for i := range w.regs {
-		w.regs[i] = make([]interp.Value, p.NumRegs)
+func newWarpSim(dp *decodedProgram, cfg DeviceConfig, mem *interp.Memory) *warpSim {
+	w := &warpSim{dp: dp, cfg: cfg, mem: mem, nregs: dp.numRegs}
+	w.regs = make([]interp.Value, cfg.WarpSize*dp.numRegs)
+	w.ready = make([]float64, dp.numRegs)
+	w.stack = make([]stackEntry, 0, 8)
+	w.lines = dp.lines(cfg.ICacheLineInstrs)
+	w.lanesTID = make([]int32, cfg.WarpSize)
+	w.lanesCTA = make([]int32, cfg.WarpSize)
+	w.addrBuf = make([]int64, cfg.WarpSize)
+	w.segBuf = make([]segSpan, 0, cfg.WarpSize)
+	for n := 0; n <= cfg.WarpSize && n < len(w.scale); n++ {
+		frac := float64(n) / float64(cfg.WarpSize)
+		w.scale[n] = 1 - cfg.ITSOverlap*(1-frac)
 	}
-	w.ready = make([]float64, p.NumRegs)
-	w.icache = make(map[int]int64, cfg.ICacheLines+1)
-	w.blockBase = make([]int, len(p.Blocks))
-	base := 0
-	for i, b := range p.Blocks {
-		w.blockBase[i] = base
-		base += len(b.Instrs)
-	}
+	w.latTab = [4]float64{cfg.MemLoadLatency, 24, 20, 5}
 	return w
 }
 
+// srcVal reads an operand for the lane whose register block starts at
+// base. It is a free function over the register slice (rather than a
+// method) so the hot loops below can hoist w.regs into a local and keep
+// the read inlinable.
+func srcVal(regs []interp.Value, base int, s *dSrc) interp.Value {
+	if s.reg < 0 {
+		return s.imm
+	}
+	return regs[base+int(s.reg)]
+}
+
+// run executes one warp. The steady-state path performs no heap
+// allocations: all per-warp state lives in reusable buffers sized at
+// construction (the reconvergence stack may grow once on unusually deep
+// divergence, then keeps its capacity).
 func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int, m *Metrics) error {
 	cfg := w.cfg
+	dp := w.dp
+	nr := w.nregs
 	// Reset per-warp state.
 	for lane := 0; lane < count; lane++ {
-		regs := w.regs[lane]
+		regs := w.regs[lane*nr : lane*nr+nr]
 		for i := range regs {
 			regs[i] = interp.Value{}
 		}
-		for pi, r := range w.p.ParamRegs {
+		for pi, r := range dp.paramRegs {
 			regs[r] = args[pi]
 		}
+		gid := firstThread + lane
+		w.lanesTID[lane] = int32(gid % launch.BlockDim)
+		w.lanesCTA[lane] = int32(gid / launch.BlockDim)
 	}
 	for i := range w.ready {
 		w.ready[i] = 0
 	}
-	// The icache stays warm across warps: resident warps share the SM's
-	// instruction cache, so only capacity misses (large unmerged bodies)
-	// keep stalling after warm-up.
-
-	fullMask := uint32(0)
-	for lane := 0; lane < count; lane++ {
-		fullMask |= 1 << uint(lane)
+	fullMask := ^uint32(0)
+	if count < 32 {
+		fullMask = 1<<uint(count) - 1
 	}
-	lanesTID := make([]int32, count)
-	lanesCTA := make([]int32, count)
-	for lane := 0; lane < count; lane++ {
-		gid := firstThread + lane
-		lanesTID[lane] = int32(gid % launch.BlockDim)
-		lanesCTA[lane] = int32(gid / launch.BlockDim)
-	}
+	ntid := interp.IntVal(int64(launch.BlockDim))
+	nctaid := interp.IntVal(int64(launch.GridDim))
 
-	stack := []stackEntry{{pc: 0, rpc: -1, mask: fullMask}}
+	w.stack = append(w.stack[:0], stackEntry{pc: 0, rpc: -1, mask: fullMask})
 	var steps int64
 	var cycles float64   // warp issue clock
 	var stallAcc float64 // exposed dependency stalls (metrics only)
-	issueScale := func(nActive int) float64 {
-		frac := float64(nActive) / float64(cfg.WarpSize)
-		return 1 - cfg.ITSOverlap*(1-frac)
-	}
-	// srcReady returns the scoreboard ready time of an operand.
-	srcReady := func(o codegen.Operand) float64 {
-		if o.IsImm() {
-			return 0
-		}
-		return w.ready[o.Reg]
-	}
-	// account charges issue plus the exposed fraction of dependency stalls,
-	// and returns the completion time for the destination's scoreboard entry.
-	account := func(in *codegen.Instr, nActive int) {
-		dep := 0.0
-		for _, s := range in.Srcs {
-			if r := srcReady(s); r > dep {
-				dep = r
-			}
-		}
-		if stall := dep - cycles; stall > 0 {
-			// Sub-warp stalls overlap with sibling paths and other warps
-			// (independent thread scheduling), so they scale like issue.
-			exposed := stall * cfg.StallExposure * issueScale(nActive)
-			cycles += exposed
-			stallAcc += exposed
-		}
-		cycles += float64(in.IssueCycles()) * issueScale(nActive)
-		if in.Dst != codegen.NoReg {
-			w.ready[in.Dst] = cycles + instrLatency(in, cfg)
-		}
-	}
-	for len(stack) > 0 {
-		e := &stack[len(stack)-1]
+	for len(w.stack) > 0 {
+		e := &w.stack[len(w.stack)-1]
 		if e.mask == 0 {
-			stack = stack[:len(stack)-1]
+			w.stack = w.stack[:len(w.stack)-1]
 			continue
 		}
 		if e.pc == e.rpc {
@@ -187,11 +237,11 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 			mask := e.mask
 			pc := e.pc
 			rpc := e.rpc
-			stack = stack[:len(stack)-1]
+			w.stack = w.stack[:len(w.stack)-1]
 			merged := false
-			for i := len(stack) - 1; i >= 0; i-- {
-				if stack[i].pc == pc {
-					stack[i].mask |= mask
+			for i := len(w.stack) - 1; i >= 0; i-- {
+				if w.stack[i].pc == pc {
+					w.stack[i].mask |= mask
 					merged = true
 					break
 				}
@@ -201,184 +251,360 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 				// opportunistic back-edge merges); keep executing from here
 				// with the reconvergence point cleared.
 				outer := -1
-				if len(stack) > 0 {
-					outer = stack[len(stack)-1].rpc
+				if len(w.stack) > 0 {
+					outer = w.stack[len(w.stack)-1].rpc
 				}
 				if outer == rpc {
 					outer = -1
 				}
-				stack = append(stack, stackEntry{pc: pc, rpc: outer, mask: mask})
+				w.stack = append(w.stack, stackEntry{pc: pc, rpc: outer, mask: mask})
 			}
 			continue
 		}
-		blk := w.p.Blocks[e.pc]
+		blkIdx := e.pc
+		start, end := dp.blockStart[blkIdx], dp.blockEnd[blkIdx]
 		active := e.mask
-		nActive := popcount(active)
+		nActive := bits.OnesCount32(active)
+		iss := w.scale[nActive]
 		var brTaken, brNot uint32
 		branched := false
 		exited := uint32(0)
-		var nextPC = -2
-		for ii := range blk.Instrs {
-			in := &blk.Instrs[ii]
+		nextPC := -2
+		for gi := start; gi < end; gi++ {
+			in := &dp.instrs[gi]
 			steps++
 			if steps > MaxWarpSteps {
-				return fmt.Errorf("gpusim: step budget exhausted in %s", w.p.Name)
+				return fmt.Errorf("gpusim: step budget exhausted in %s", dp.name)
 			}
 			// Fetch: icache model on the global instruction index.
-			if w.fetch(w.blockBase[e.pc]+ii, m) {
-				cycles += float64(cfg.ICacheMissCycles)
+			switch line := w.lines[gi]; w.fetchMode {
+			case fetchBitset:
+				word, bit := line>>6, uint64(1)<<uint(line&63)
+				if w.touched[word]&bit == 0 {
+					w.touched[word] |= bit
+					m.StallInstFetch += cfg.ICacheMissCycles
+					cycles += float64(cfg.ICacheMissCycles)
+				}
+			case fetchWarm:
+				w.touched[line>>6] |= 1 << uint(line&63)
+			default: // fetchLRU
+				if w.lru.fetch(line) {
+					m.StallInstFetch += cfg.ICacheMissCycles
+					cycles += float64(cfg.ICacheMissCycles)
+				}
 			}
 
 			m.WarpInstrs++
 			m.ActiveSum += int64(nActive)
 			m.ThreadInstrs += int64(nActive)
-			m.ClassThread[in.Class()] += int64(nActive)
-			account(in, nActive)
+			m.ClassThread[in.class] += int64(nActive)
 
-			switch in.Kind {
-			case codegen.KBra:
-				nextPC = in.Targets[0]
-			case codegen.KRet:
+			// Scoreboard: charge issue plus the exposed fraction of
+			// dependency stalls. Sub-warp stalls overlap with sibling paths
+			// and other warps (independent thread scheduling), so they scale
+			// like issue.
+			dep := 0.0
+			for si := uint8(0); si < in.nSrcs; si++ {
+				if r := in.srcs[si].reg; r >= 0 {
+					if t := w.ready[r]; t > dep {
+						dep = t
+					}
+				}
+			}
+			if stall := dep - cycles; stall > 0 {
+				exposed := stall * cfg.StallExposure * iss
+				cycles += exposed
+				stallAcc += exposed
+			}
+			cycles += in.issue * iss
+			if in.dst >= 0 {
+				w.ready[in.dst] = cycles + w.latTab[in.latClass]
+			}
+
+			switch in.exec {
+			case xBra:
+				nextPC = int(in.t0)
+			case xRet:
 				exited = active
 				nextPC = -1
-			case codegen.KCondBra:
-				for lane := 0; lane < count; lane++ {
-					if active&(1<<uint(lane)) == 0 {
-						continue
-					}
-					if w.evalOperand(lane, in.Srcs[0]).I != 0 {
+			case xCondBra:
+				s := &in.srcs[0]
+				for rem := active; rem != 0; rem &= rem - 1 {
+					lane := bits.TrailingZeros32(rem)
+					if srcVal(w.regs, lane*nr, s).I != 0 {
 						brTaken |= 1 << uint(lane)
 					} else {
 						brNot |= 1 << uint(lane)
 					}
 				}
 				branched = true
-			case codegen.KLd:
-				cycles += w.access(lane2addr(w, active, count, in.Srcs[0]), in.Type.Size(), true, m)
-				for lane := 0; lane < count; lane++ {
-					if active&(1<<uint(lane)) == 0 {
-						continue
-					}
-					addr := w.evalOperand(lane, in.Srcs[0]).I
-					v, err := w.mem.Load(in.Type, addr)
-					if err != nil {
-						return fmt.Errorf("gpusim: %s: %w", w.p.Name, err)
-					}
-					w.regs[lane][in.Dst] = v
+			case xLd:
+				n := w.gatherAddrs(active, &in.srcs[0])
+				if w.rSet != nil {
+					lo, hi := addrRange(w.addrBuf[:n], in.memSize)
+					w.rSet.add(lo, hi)
 				}
-			case codegen.KSt:
-				cycles += w.access(lane2addr(w, active, count, in.Srcs[1]), in.Type.Size(), false, m)
-				for lane := 0; lane < count; lane++ {
-					if active&(1<<uint(lane)) == 0 {
-						continue
+				cycles += w.access(n, in.memSize, true, m)
+				dst := int(in.dst)
+				k := ir.Kind(in.memKind)
+				ai := 0
+				for rem := active; rem != 0; rem &= rem - 1 {
+					lane := bits.TrailingZeros32(rem)
+					addr := w.addrBuf[ai]
+					ai++
+					v, ok := w.mem.LoadKind(k, in.memSize, addr)
+					if !ok {
+						_, err := w.mem.Load(in.typ, addr)
+						return fmt.Errorf("gpusim: %s: %w", dp.name, err)
 					}
-					addr := w.evalOperand(lane, in.Srcs[1]).I
-					if err := w.mem.Store(in.Type, addr, w.evalOperand(lane, in.Srcs[0])); err != nil {
-						return fmt.Errorf("gpusim: %s: %w", w.p.Name, err)
+					w.regs[lane*nr+dst] = v
+				}
+			case xSt:
+				n := w.gatherAddrs(active, &in.srcs[1])
+				if w.wSet != nil {
+					lo, hi := addrRange(w.addrBuf[:n], in.memSize)
+					w.wSet.add(lo, hi)
+				}
+				cycles += w.access(n, in.memSize, false, m)
+				k := ir.Kind(in.memKind)
+				ai := 0
+				for rem := active; rem != 0; rem &= rem - 1 {
+					lane := bits.TrailingZeros32(rem)
+					addr := w.addrBuf[ai]
+					ai++
+					v := srcVal(w.regs, lane*nr, &in.srcs[0])
+					if !w.mem.StoreKind(k, in.memSize, addr, v) {
+						err := w.mem.Store(in.typ, addr, v)
+						return fmt.Errorf("gpusim: %s: %w", dp.name, err)
+					}
+					if w.writeLog != nil {
+						*w.writeLog = append(*w.writeLog, memWrite{addr: addr, val: v, size: int32(in.memSize), kind: in.memKind})
 					}
 				}
-			case codegen.KBar:
+			case xBar:
 				// No-op under sequential warp scheduling.
-			case codegen.KSpecial:
-				for lane := 0; lane < count; lane++ {
-					if active&(1<<uint(lane)) == 0 {
-						continue
+			case xTID:
+				dst := int(in.dst)
+				for rem := active; rem != 0; rem &= rem - 1 {
+					lane := bits.TrailingZeros32(rem)
+					w.regs[lane*nr+dst] = interp.IntVal(int64(w.lanesTID[lane]))
+				}
+			case xNTID:
+				dst := int(in.dst)
+				for rem := active; rem != 0; rem &= rem - 1 {
+					lane := bits.TrailingZeros32(rem)
+					w.regs[lane*nr+dst] = ntid
+				}
+			case xCTAID:
+				dst := int(in.dst)
+				for rem := active; rem != 0; rem &= rem - 1 {
+					lane := bits.TrailingZeros32(rem)
+					w.regs[lane*nr+dst] = interp.IntVal(int64(w.lanesCTA[lane]))
+				}
+			case xNCTAID:
+				dst := int(in.dst)
+				for rem := active; rem != 0; rem &= rem - 1 {
+					lane := bits.TrailingZeros32(rem)
+					w.regs[lane*nr+dst] = nctaid
+				}
+			// The remaining cases are scalar per-lane ops. The frequent
+			// ones get dedicated lane loops (dispatch once per
+			// instruction, not once per lane); the long tail falls
+			// through to evalScalar.
+			case xMov:
+				regs := w.regs
+				dst := int(in.dst)
+				if s := &in.srcs[0]; s.reg < 0 {
+					v := s.imm
+					for rem := active; rem != 0; rem &= rem - 1 {
+						regs[bits.TrailingZeros32(rem)*nr+dst] = v
 					}
-					var v int64
-					switch in.IROp {
-					case ir.OpTID:
-						v = int64(lanesTID[lane])
-					case ir.OpNTID:
-						v = int64(launch.BlockDim)
-					case ir.OpCTAID:
-						v = int64(lanesCTA[lane])
-					case ir.OpNCTAID:
-						v = int64(launch.GridDim)
+				} else {
+					sr := int(s.reg)
+					for rem := active; rem != 0; rem &= rem - 1 {
+						base := bits.TrailingZeros32(rem) * nr
+						regs[base+dst] = regs[base+sr]
 					}
-					w.regs[lane][in.Dst] = interp.IntVal(v)
+				}
+			case xSelp:
+				regs := w.regs
+				dst := int(in.dst)
+				s0, s1, s2 := &in.srcs[0], &in.srcs[1], &in.srcs[2]
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					if srcVal(regs, base, s0).I != 0 {
+						regs[base+dst] = srcVal(regs, base, s1)
+					} else {
+						regs[base+dst] = srcVal(regs, base, s2)
+					}
+				}
+			case xSetpI:
+				regs := w.regs
+				dst := int(in.dst)
+				s0, s1 := &in.srcs[0], &in.srcs[1]
+				pred, aux := in.pred, in.aux
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					a, b := srcVal(regs, base, s0).I, srcVal(regs, base, s1).I
+					var r bool
+					switch pred {
+					case ir.EQ:
+						r = a == b
+					case ir.NE:
+						r = a != b
+					case ir.SLT:
+						r = a < b
+					case ir.SLE:
+						r = a <= b
+					case ir.SGT:
+						r = a > b
+					case ir.SGE:
+						r = a >= b
+					case ir.ULT:
+						r = uint64(a)&aux < uint64(b)&aux
+					case ir.ULE:
+						r = uint64(a)&aux <= uint64(b)&aux
+					case ir.UGT:
+						r = uint64(a)&aux > uint64(b)&aux
+					case ir.UGE:
+						r = uint64(a)&aux >= uint64(b)&aux
+					}
+					regs[base+dst] = boolVal(r)
+				}
+			case xSExt:
+				regs := w.regs
+				dst := int(in.dst)
+				s := &in.srcs[0]
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					regs[base+dst] = interp.IntVal(srcVal(regs, base, s).I)
+				}
+			case xAdd:
+				regs := w.regs
+				dst := int(in.dst)
+				s0, s1 := &in.srcs[0], &in.srcs[1]
+				tr := in.trunc
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					r := srcVal(regs, base, s0).I + srcVal(regs, base, s1).I
+					regs[base+dst] = interp.IntVal(truncTag(tr, r))
+				}
+			case xSub:
+				regs := w.regs
+				dst := int(in.dst)
+				s0, s1 := &in.srcs[0], &in.srcs[1]
+				tr := in.trunc
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					r := srcVal(regs, base, s0).I - srcVal(regs, base, s1).I
+					regs[base+dst] = interp.IntVal(truncTag(tr, r))
+				}
+			case xMul:
+				regs := w.regs
+				dst := int(in.dst)
+				s0, s1 := &in.srcs[0], &in.srcs[1]
+				tr := in.trunc
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					r := srcVal(regs, base, s0).I * srcVal(regs, base, s1).I
+					regs[base+dst] = interp.IntVal(truncTag(tr, r))
+				}
+			case xAnd:
+				regs := w.regs
+				dst := int(in.dst)
+				s0, s1 := &in.srcs[0], &in.srcs[1]
+				tr := in.trunc
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					r := srcVal(regs, base, s0).I & srcVal(regs, base, s1).I
+					regs[base+dst] = interp.IntVal(truncTag(tr, r))
+				}
+			case xShl:
+				regs := w.regs
+				dst := int(in.dst)
+				s0, s1 := &in.srcs[0], &in.srcs[1]
+				tr, aux := in.trunc, in.aux
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					r := srcVal(regs, base, s0).I << (uint64(srcVal(regs, base, s1).I) & aux)
+					regs[base+dst] = interp.IntVal(truncTag(tr, r))
+				}
+			case xFAdd:
+				regs := w.regs
+				dst := int(in.dst)
+				s0, s1 := &in.srcs[0], &in.srcs[1]
+				rnd := in.rndF32
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					r := srcVal(regs, base, s0).F + srcVal(regs, base, s1).F
+					if rnd {
+						r = float64(float32(r))
+					}
+					regs[base+dst] = interp.FloatVal(r)
+				}
+			case xFSub:
+				regs := w.regs
+				dst := int(in.dst)
+				s0, s1 := &in.srcs[0], &in.srcs[1]
+				rnd := in.rndF32
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					r := srcVal(regs, base, s0).F - srcVal(regs, base, s1).F
+					if rnd {
+						r = float64(float32(r))
+					}
+					regs[base+dst] = interp.FloatVal(r)
+				}
+			case xFMul:
+				regs := w.regs
+				dst := int(in.dst)
+				s0, s1 := &in.srcs[0], &in.srcs[1]
+				rnd := in.rndF32
+				for rem := active; rem != 0; rem &= rem - 1 {
+					base := bits.TrailingZeros32(rem) * nr
+					r := srcVal(regs, base, s0).F * srcVal(regs, base, s1).F
+					if rnd {
+						r = float64(float32(r))
+					}
+					regs[base+dst] = interp.FloatVal(r)
 				}
 			default:
-				for lane := 0; lane < count; lane++ {
-					if active&(1<<uint(lane)) == 0 {
-						continue
-					}
-					w.regs[lane][in.Dst] = w.evalInstr(lane, in)
+				dst := int(in.dst)
+				for rem := active; rem != 0; rem &= rem - 1 {
+					lane := bits.TrailingZeros32(rem)
+					base := lane * nr
+					w.regs[base+dst] = w.evalScalar(in, base)
 				}
 			}
 		}
 
-		// moveTo retargets the current (top) entry to pc. Back edges (to an
-		// earlier block in the layout) are where Volta's scheduler
-		// opportunistically re-merges divergent threads whose PCs coincide:
-		// the entry merges with a sibling already waiting at that pc, or is
-		// parked below its siblings (but above its continuation) so they can
-		// catch up before the next trip runs.
-		moveTo := func(pc int) {
-			cur := len(stack) - 1
-			if pc >= stack[cur].pc { // forward edge: keep running
-				stack[cur].pc = pc
-				return
-			}
-			ent := stack[cur]
-			ent.pc = pc
-			stack = stack[:cur]
-			// Merge with any entry already waiting at the same block —
-			// regardless of its rpc: an entry's threads are exactly those
-			// whose next block is its pc, so same-pc merging is sound, and
-			// the merged threads simply pop wherever the entry later
-			// reconverges.
-			for i := len(stack) - 1; i >= 0; i-- {
-				if stack[i].pc == pc {
-					stack[i].mask |= ent.mask
-					if ent.rpc != stack[i].rpc {
-						// Conservative: clear an ambiguous reconvergence
-						// point; the entry then runs to another merge or ret.
-						stack[i].rpc = -1
-					}
-					return
-				}
-			}
-			// Park below the still-running siblings of this divergence (the
-			// continuation entries waiting at their rpc stay put).
-			ins := len(stack)
-			for ins > 0 && stack[ins-1].pc != stack[ins-1].rpc && stack[ins-1].rpc == ent.rpc {
-				ins--
-			}
-			stack = append(stack, stackEntry{})
-			copy(stack[ins+1:], stack[ins:])
-			stack[ins] = ent
-		}
 		switch {
 		case nextPC == -1: // ret
 			// Retire the exited threads from the whole stack.
-			for i := range stack {
-				stack[i].mask &^= exited
+			for i := range w.stack {
+				w.stack[i].mask &^= exited
 			}
 		case branched:
-			rpc := w.p.IPDom[e.pc]
+			term := &dp.instrs[end-1]
+			rpc := dp.ipdom[blkIdx]
 			switch {
 			case brNot == 0:
-				moveTo(in0Target(blk))
+				w.moveTo(int(term.t0))
 			case brTaken == 0:
-				moveTo(in1Target(blk))
+				w.moveTo(int(term.t1))
 			default:
 				// Divergence: current entry becomes the continuation at the
-				// reconvergence point; push both sides.
-				taken, not := in0Target(blk), in1Target(blk)
-				cont := *e
+				// reconvergence point (mask refilled as paths reconverge, or
+				// both paths run to ret when rpc == -1); push both sides.
+				cont := w.stack[len(w.stack)-1]
 				cont.pc = rpc
-				stack[len(stack)-1] = cont
-				if rpc == -1 {
-					// No reconvergence before exit: both paths run to ret.
-					stack[len(stack)-1].mask = 0
-				} else {
-					stack[len(stack)-1].mask = 0 // refilled as paths reconverge
-				}
-				stack = append(stack, stackEntry{pc: not, rpc: rpc, mask: brNot})
-				stack = append(stack, stackEntry{pc: taken, rpc: rpc, mask: brTaken})
+				cont.mask = 0
+				w.stack[len(w.stack)-1] = cont
+				w.stack = append(w.stack, stackEntry{pc: int(term.t1), rpc: rpc, mask: brNot})
+				w.stack = append(w.stack, stackEntry{pc: int(term.t0), rpc: rpc, mask: brTaken})
 			}
 		default:
-			moveTo(nextPC)
+			w.moveTo(nextPC)
 		}
 	}
 	m.Cycles += int64(cycles + 0.5)
@@ -386,159 +612,189 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 	return nil
 }
 
-func in0Target(b *codegen.Block) int { return b.Instrs[len(b.Instrs)-1].Targets[0] }
-func in1Target(b *codegen.Block) int { return b.Instrs[len(b.Instrs)-1].Targets[1] }
+// moveTo retargets the current (top) entry to pc. Back edges (to an
+// earlier block in the layout) are where Volta's scheduler
+// opportunistically re-merges divergent threads whose PCs coincide: the
+// entry merges with a sibling already waiting at that pc, or is parked
+// below its siblings (but above its continuation) so they can catch up
+// before the next trip runs.
+func (w *warpSim) moveTo(pc int) {
+	cur := len(w.stack) - 1
+	if pc >= w.stack[cur].pc { // forward edge: keep running
+		w.stack[cur].pc = pc
+		return
+	}
+	ent := w.stack[cur]
+	ent.pc = pc
+	w.stack = w.stack[:cur]
+	// Merge with any entry already waiting at the same block — regardless
+	// of its rpc: an entry's threads are exactly those whose next block is
+	// its pc, so same-pc merging is sound, and the merged threads simply
+	// pop wherever the entry later reconverges.
+	for i := len(w.stack) - 1; i >= 0; i-- {
+		if w.stack[i].pc == pc {
+			w.stack[i].mask |= ent.mask
+			if ent.rpc != w.stack[i].rpc {
+				// Conservative: clear an ambiguous reconvergence point; the
+				// entry then runs to another merge or ret.
+				w.stack[i].rpc = -1
+			}
+			return
+		}
+	}
+	// Park below the still-running siblings of this divergence (the
+	// continuation entries waiting at their rpc stay put).
+	ins := len(w.stack)
+	for ins > 0 && w.stack[ins-1].pc != w.stack[ins-1].rpc && w.stack[ins-1].rpc == ent.rpc {
+		ins--
+	}
+	w.stack = append(w.stack, stackEntry{})
+	copy(w.stack[ins+1:], w.stack[ins:])
+	w.stack[ins] = ent
+}
 
-func popcount(m uint32) int {
+// gatherAddrs evaluates the address operand for every active lane into
+// addrBuf (in lane order) and returns how many there are.
+func (w *warpSim) gatherAddrs(active uint32, s *dSrc) int {
 	n := 0
-	for ; m != 0; m &= m - 1 {
+	if s.reg < 0 {
+		imm := s.imm.I
+		for rem := active; rem != 0; rem &= rem - 1 {
+			w.addrBuf[n] = imm
+			n++
+		}
+		return n
+	}
+	r := int(s.reg)
+	nr := w.nregs
+	for rem := active; rem != 0; rem &= rem - 1 {
+		lane := bits.TrailingZeros32(rem)
+		w.addrBuf[n] = w.regs[lane*nr+r].I
 		n++
 	}
 	return n
 }
 
-// lane2addr evaluates the address operand for every active lane.
-func lane2addr(w *warpSim, mask uint32, count int, op codegen.Operand) []int64 {
-	addrs := make([]int64, 0, count)
-	for lane := 0; lane < count; lane++ {
-		if mask&(1<<uint(lane)) == 0 {
-			continue
+// addrRange returns the half-open byte range [lo, hi) covered by a warp
+// memory access with the given per-lane addresses.
+func addrRange(addrs []int64, size int64) (lo, hi int64) {
+	lo, hi = addrs[0], addrs[0]
+	for _, a := range addrs[1:] {
+		if a < lo {
+			lo = a
 		}
-		addrs = append(addrs, w.evalOperand(lane, op).I)
+		if a > hi {
+			hi = a
+		}
 	}
-	return addrs
+	return lo, hi + size
 }
 
-// access applies the coalescing model: the warp's addresses split into
-// 32-byte segments; each segment is one transaction paying a bandwidth cost
-// (latency is modelled by the scoreboard, not here). It returns the
-// bandwidth cycles for the caller's clock.
-func (w *warpSim) access(addrs []int64, size int64, isLoad bool, m *Metrics) float64 {
-	segs := map[int64]bool{}
-	for _, a := range addrs {
-		first := a / w.cfg.SegmentBytes
-		last := (a + size - 1) / w.cfg.SegmentBytes
-		for s := first; s <= last; s++ {
-			segs[s] = true
+// segSpan is the closed segment interval [first, last] one lane's access
+// covers.
+type segSpan struct {
+	first, last int64
+}
+
+// access applies the coalescing model: the warp's addresses (the first n
+// entries of addrBuf) split into SegmentBytes segments; each distinct
+// segment is one transaction paying a bandwidth cost (latency is modelled
+// by the scoreboard, not here). It returns the bandwidth cycles for the
+// caller's clock. Distinct segments are counted by sorting the per-lane
+// segment intervals and sweeping their union — no per-access set.
+func (w *warpSim) access(n int, size int64, isLoad bool, m *Metrics) float64 {
+	sb := w.cfg.SegmentBytes
+	segs := w.segBuf[:0]
+	for _, a := range w.addrBuf[:n] {
+		segs = append(segs, segSpan{a / sb, (a + size - 1) / sb})
+	}
+	// Insertion sort by first segment: n <= warp size and warps are
+	// usually nearly sorted already.
+	for i := 1; i < len(segs); i++ {
+		s := segs[i]
+		j := i - 1
+		for j >= 0 && segs[j].first > s.first {
+			segs[j+1] = segs[j]
+			j--
+		}
+		segs[j+1] = s
+	}
+	var count int64
+	covered := int64(math.MinInt64) // highest segment counted so far
+	for _, s := range segs {
+		if s.first > covered {
+			count += s.last - s.first + 1
+			covered = s.last
+		} else if s.last > covered {
+			count += s.last - covered
+			covered = s.last
 		}
 	}
-	n := int64(len(segs))
-	bytes := int64(len(addrs)) * size
+	bytes := int64(n) * size
 	if isLoad {
-		m.GldTransactions += n
+		m.GldTransactions += count
 		m.GldBytes += bytes
 	} else {
-		m.GstTransactions += n
+		m.GstTransactions += count
 		m.GstBytes += bytes
 	}
-	return float64(n * w.cfg.MemPerTransaction)
+	return float64(count * w.cfg.MemPerTransaction)
 }
 
-// instrLatency is the result latency of an instruction for the scoreboard.
-func instrLatency(in *codegen.Instr, cfg DeviceConfig) float64 {
-	switch in.Kind {
-	case codegen.KLd:
-		return cfg.MemLoadLatency
-	case codegen.KCompute:
-		switch in.IROp {
-		case ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem, ir.OpFDiv:
-			return 24
-		case ir.OpSqrt, ir.OpExp, ir.OpLog, ir.OpSin, ir.OpCos, ir.OpPow:
-			return 20
-		}
-		return 5
-	default:
-		return 5
-	}
-}
-
-// fetch records an instruction-cache access; it reports whether it missed.
-func (w *warpSim) fetch(globalIdx int, m *Metrics) bool {
-	line := globalIdx / w.cfg.ICacheLineInstrs
-	w.tick++
-	if _, ok := w.icache[line]; ok {
-		w.icache[line] = w.tick
-		return false
-	}
-	m.StallInstFetch += w.cfg.ICacheMissCycles
-	if len(w.icache) >= w.cfg.ICacheLines {
-		// Evict LRU.
-		var lruLine int
-		lru := int64(math.MaxInt64)
-		for l, t := range w.icache {
-			if t < lru {
-				lru = t
-				lruLine = l
-			}
-		}
-		delete(w.icache, lruLine)
-	}
-	w.icache[line] = w.tick
-	return true
-}
-
-func (w *warpSim) evalOperand(lane int, op codegen.Operand) interp.Value {
-	if op.IsImm() {
-		c := op.Imm.(*ir.Const)
-		if c.Typ.IsFloat() {
-			return interp.FloatVal(c.Float)
-		}
-		return interp.IntVal(c.Int)
-	}
-	return w.regs[lane][op.Reg]
-}
-
-// evalInstr executes a compute/setp/selp/mov/cvt instruction for one lane.
-func (w *warpSim) evalInstr(lane int, in *codegen.Instr) interp.Value {
-	get := func(i int) interp.Value { return w.evalOperand(lane, in.Srcs[i]) }
-	switch in.Kind {
-	case codegen.KMov:
-		return get(0)
-	case codegen.KSelp:
-		if get(0).I != 0 {
-			return get(1)
-		}
-		return get(2)
-	case codegen.KSetp:
-		return evalSetp(in, get(0), get(1))
-	case codegen.KCvt:
-		return evalCvt(in, get(0))
-	case codegen.KCompute:
-		return evalCompute(in, get)
-	}
-	panic("gpusim: unhandled instruction kind")
-}
-
-func truncI(t *ir.Type, v int64) int64 {
-	switch t.Kind {
-	case ir.KindI1:
+// truncTag truncates v per the decoded truncation tag (the canonical
+// in-register form: narrow ints are stored sign-extended, i1 as 0/1).
+func truncTag(tag uint8, v int64) int64 {
+	switch tag {
+	case tI1:
 		return v & 1
-	case ir.KindI8:
+	case tI8:
 		return int64(int8(v))
-	case ir.KindI32:
+	case tI32:
 		return int64(int32(v))
-	default:
-		return v
-	}
-}
-
-func roundF(t *ir.Type, v float64) float64 {
-	if t == ir.F32 {
-		return float64(float32(v))
 	}
 	return v
 }
 
-func evalSetp(in *codegen.Instr, a, b interp.Value) interp.Value {
-	var r bool
-	if in.IROp == ir.OpICmp {
-		t := in.Type
-		ua := uint64(truncI(t, a.I))
-		ub := uint64(truncI(t, b.I))
-		if t == ir.I32 {
-			ua, ub = uint64(uint32(a.I)), uint64(uint32(b.I))
+// toUTag reinterprets a canonically stored value as unsigned at the
+// width the truncation tag encodes.
+func toUTag(tag uint8, v int64) uint64 {
+	switch tag {
+	case tI1:
+		return uint64(v) & 1
+	case tI8:
+		return uint64(uint8(v))
+	case tI32:
+		return uint64(uint32(v))
+	}
+	return uint64(v)
+}
+
+func boolVal(r bool) interp.Value {
+	if r {
+		return interp.IntVal(1)
+	}
+	return interp.IntVal(0)
+}
+
+// evalScalar executes a decoded compute/setp/selp/mov/cvt instruction for
+// the lane whose register block starts at base.
+func (w *warpSim) evalScalar(in *dInstr, base int) interp.Value {
+	a := srcVal(w.regs, base, &in.srcs[0])
+	switch in.exec {
+	case xMov:
+		return a
+	case xSelp:
+		if a.I != 0 {
+			return srcVal(w.regs, base, &in.srcs[1])
 		}
-		switch in.Pred {
+		return srcVal(w.regs, base, &in.srcs[2])
+	case xSetpI:
+		// Unsigned predicates compare the operands zero-extended from
+		// their declared width (in.aux is that width's mask); everything
+		// else compares the canonical sign-extended form directly.
+		b := srcVal(w.regs, base, &in.srcs[1])
+		var r bool
+		switch in.pred {
 		case ir.EQ:
 			r = a.I == b.I
 		case ir.NE:
@@ -552,16 +808,19 @@ func evalSetp(in *codegen.Instr, a, b interp.Value) interp.Value {
 		case ir.SGE:
 			r = a.I >= b.I
 		case ir.ULT:
-			r = ua < ub
+			r = uint64(a.I)&in.aux < uint64(b.I)&in.aux
 		case ir.ULE:
-			r = ua <= ub
+			r = uint64(a.I)&in.aux <= uint64(b.I)&in.aux
 		case ir.UGT:
-			r = ua > ub
+			r = uint64(a.I)&in.aux > uint64(b.I)&in.aux
 		case ir.UGE:
-			r = ua >= ub
+			r = uint64(a.I)&in.aux >= uint64(b.I)&in.aux
 		}
-	} else {
-		switch in.Pred {
+		return boolVal(r)
+	case xSetpF:
+		b := srcVal(w.regs, base, &in.srcs[1])
+		var r bool
+		switch in.pred {
 		case ir.OEQ:
 			r = a.F == b.F
 		case ir.ONE:
@@ -575,153 +834,122 @@ func evalSetp(in *codegen.Instr, a, b interp.Value) interp.Value {
 		case ir.OGE:
 			r = a.F >= b.F
 		}
-	}
-	if r {
-		return interp.IntVal(1)
-	}
-	return interp.IntVal(0)
-}
-
-func evalCvt(in *codegen.Instr, a interp.Value) interp.Value {
-	switch in.IROp {
-	case ir.OpTrunc:
-		return interp.IntVal(truncI(in.Type, a.I))
-	case ir.OpZExt:
-		// The source width is unknown here; zext from i1/i32 covers the
-		// frontend's uses (bool->int and i32 indexes are sign-extended via
-		// SExt instead).
-		if a.I == 0 || a.I == 1 {
-			return interp.IntVal(a.I)
-		}
-		return interp.IntVal(int64(uint32(a.I)))
-	case ir.OpSExt:
+		return boolVal(r)
+	case xTrunc:
+		return interp.IntVal(truncTag(in.trunc, a.I))
+	case xZExt:
+		// in.aux masks to the recorded source width — exact for every
+		// source type, unlike the old 0/1-value heuristic.
+		return interp.IntVal(int64(uint64(a.I) & in.aux))
+	case xSExt:
 		return interp.IntVal(a.I)
-	case ir.OpSIToFP:
-		return interp.FloatVal(roundF(in.Type, float64(a.I)))
-	case ir.OpFPToSI:
+	case xSIToFP:
+		v := float64(a.I)
+		if in.rndF32 {
+			v = float64(float32(v))
+		}
+		return interp.FloatVal(v)
+	case xFPToSI:
 		if math.IsNaN(a.F) || math.IsInf(a.F, 0) {
 			return interp.IntVal(0)
 		}
-		return interp.IntVal(truncI(in.Type, int64(a.F)))
-	case ir.OpFPExt:
+		return interp.IntVal(truncTag(in.trunc, int64(a.F)))
+	case xFPExt:
 		return interp.FloatVal(a.F)
-	case ir.OpFPTrunc:
-		return interp.FloatVal(roundF(in.Type, a.F))
+	case xFPTrunc:
+		v := a.F
+		if in.rndF32 {
+			v = float64(float32(v))
+		}
+		return interp.FloatVal(v)
 	}
-	panic("gpusim: bad conversion " + in.IROp.String())
-}
-
-func evalCompute(in *codegen.Instr, get func(int) interp.Value) interp.Value {
-	t := in.Type
-	if t.IsFloat() {
-		a := get(0).F
+	if in.exec >= xFAdd { // tag order: float compute ops are the last group
+		af := a.F
 		var b float64
-		if len(in.Srcs) > 1 {
-			b = get(1).F
+		if in.nSrcs > 1 {
+			b = srcVal(w.regs, base, &in.srcs[1]).F
 		}
 		var r float64
-		switch in.IROp {
-		case ir.OpFAdd:
-			r = a + b
-		case ir.OpFSub:
-			r = a - b
-		case ir.OpFMul:
-			r = a * b
-		case ir.OpFDiv:
-			r = a / b
-		case ir.OpPow:
-			r = math.Pow(a, b)
-		case ir.OpFMin:
-			r = math.Min(a, b)
-		case ir.OpFMax:
-			r = math.Max(a, b)
-		case ir.OpSqrt:
-			r = math.Sqrt(a)
-		case ir.OpFAbs:
-			r = math.Abs(a)
-		case ir.OpExp:
-			r = math.Exp(a)
-		case ir.OpLog:
-			r = math.Log(a)
-		case ir.OpSin:
-			r = math.Sin(a)
-		case ir.OpCos:
-			r = math.Cos(a)
-		case ir.OpFloor:
-			r = math.Floor(a)
-		default:
-			panic("gpusim: bad float op " + in.IROp.String())
+		switch in.exec {
+		case xFAdd:
+			r = af + b
+		case xFSub:
+			r = af - b
+		case xFMul:
+			r = af * b
+		case xFDiv:
+			r = af / b
+		case xPow:
+			r = math.Pow(af, b)
+		case xFMin:
+			r = math.Min(af, b)
+		case xFMax:
+			r = math.Max(af, b)
+		case xSqrt:
+			r = math.Sqrt(af)
+		case xFAbs:
+			r = math.Abs(af)
+		case xExp:
+			r = math.Exp(af)
+		case xLog:
+			r = math.Log(af)
+		case xSin:
+			r = math.Sin(af)
+		case xCos:
+			r = math.Cos(af)
+		case xFloor:
+			r = math.Floor(af)
 		}
-		return interp.FloatVal(roundF(t, r))
+		if in.rndF32 {
+			r = float64(float32(r))
+		}
+		return interp.FloatVal(r)
 	}
-	a := get(0).I
+	ai := a.I
 	var b int64
-	if len(in.Srcs) > 1 {
-		b = get(1).I
+	if in.nSrcs > 1 {
+		b = srcVal(w.regs, base, &in.srcs[1]).I
 	}
 	var r int64
-	switch in.IROp {
-	case ir.OpAdd:
-		r = a + b
-	case ir.OpSub:
-		r = a - b
-	case ir.OpMul:
-		r = a * b
-	case ir.OpSDiv:
-		if b == 0 {
-			r = 0
-		} else {
-			r = a / b
+	switch in.exec {
+	case xAdd:
+		r = ai + b
+	case xSub:
+		r = ai - b
+	case xMul:
+		r = ai * b
+	case xSDiv:
+		if b != 0 {
+			r = ai / b
 		}
-	case ir.OpUDiv:
-		if b == 0 {
-			r = 0
-		} else {
-			r = int64(toU(t, a) / toU(t, b))
+	case xUDiv:
+		if b != 0 {
+			r = int64(toUTag(in.trunc, ai) / toUTag(in.trunc, b))
 		}
-	case ir.OpSRem:
-		if b == 0 {
-			r = 0
-		} else {
-			r = a % b
+	case xSRem:
+		if b != 0 {
+			r = ai % b
 		}
-	case ir.OpURem:
-		if b == 0 {
-			r = 0
-		} else {
-			r = int64(toU(t, a) % toU(t, b))
+	case xURem:
+		if b != 0 {
+			r = int64(toUTag(in.trunc, ai) % toUTag(in.trunc, b))
 		}
-	case ir.OpShl:
-		r = a << (uint64(b) & uint64(t.Bits()-1))
-	case ir.OpLShr:
-		r = int64(toU(t, a) >> (uint64(b) & uint64(t.Bits()-1)))
-	case ir.OpAShr:
-		r = a >> (uint64(b) & uint64(t.Bits()-1))
-	case ir.OpAnd:
-		r = a & b
-	case ir.OpOr:
-		r = a | b
-	case ir.OpXor:
-		r = a ^ b
-	case ir.OpSMin:
-		r = min(a, b)
-	case ir.OpSMax:
-		r = max(a, b)
-	default:
-		panic("gpusim: bad int op " + in.IROp.String())
+	case xShl:
+		r = ai << (uint64(b) & in.aux)
+	case xLShr:
+		r = int64(toUTag(in.trunc, ai) >> (uint64(b) & in.aux))
+	case xAShr:
+		r = ai >> (uint64(b) & in.aux)
+	case xAnd:
+		r = ai & b
+	case xOr:
+		r = ai | b
+	case xXor:
+		r = ai ^ b
+	case xSMin:
+		r = min(ai, b)
+	case xSMax:
+		r = max(ai, b)
 	}
-	return interp.IntVal(truncI(t, r))
-}
-
-func toU(t *ir.Type, v int64) uint64 {
-	switch t.Kind {
-	case ir.KindI1:
-		return uint64(v) & 1
-	case ir.KindI8:
-		return uint64(uint8(v))
-	case ir.KindI32:
-		return uint64(uint32(v))
-	default:
-		return uint64(v)
-	}
+	return interp.IntVal(truncTag(in.trunc, r))
 }

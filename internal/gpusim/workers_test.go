@@ -1,0 +1,114 @@
+package gpusim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"uu/internal/interp"
+	"uu/internal/pipeline"
+)
+
+// TestRunWorkersDeterminism checks the central contract of the parallel
+// scheduler: for every worker count, metrics and final memory are
+// byte-identical to the sequential schedule. The table covers the
+// interesting regimes: a data-parallel kernel (optimistic path accepted),
+// a divergent kernel with a partial final warp, a cross-warp-dependent
+// kernel (conflict detected, sequential fallback), and a tiny icache that
+// forces the LRU path (parallel mode refused up front).
+func TestRunWorkersDeterminism(t *testing.T) {
+	chainSrc := `
+kernel chain(long* restrict x, long n) {
+  long i = (long)global_id();
+  if (i < n) {
+    long v = 1;
+    if (i >= 32) {
+      v = x[i - 32] + 1;
+    }
+    x[i] = v;
+  }
+}
+`
+	divergentSrc := `
+kernel div(double* restrict x, long n) {
+  long i = (long)global_id();
+  if (i < n) {
+    double v = x[i];
+    if (i % 3 == 0) {
+      v = v * 2.0 + 1.0;
+    } else if (i % 3 == 1) {
+      v = v / 3.0;
+    }
+    x[i] = v + 0.5;
+  }
+}
+`
+	tiny := V100()
+	tiny.ICacheLines = 2 // overflow: every worker count must take the LRU path
+
+	cases := []struct {
+		name   string
+		src    string
+		launch Launch
+		cfg    DeviceConfig
+		check  func(t *testing.T, mem *interp.Memory)
+	}{
+		{"compute", axpySrc, Launch{GridDim: 4, BlockDim: 64}, V100(), nil},
+		{"partial_warp_divergent", divergentSrc, Launch{GridDim: 3, BlockDim: 40}, V100(), nil},
+		{"cross_warp_chain", chainSrc, Launch{GridDim: 2, BlockDim: 64}, V100(),
+			func(t *testing.T, mem *interp.Memory) {
+				// Warp w reads warp w-1's writes; the sequential order makes
+				// x[i] = i/32 + 1. Any schedule that let the optimistic
+				// results through would compute x[i] = 1 for i >= 32.
+				for i := int64(0); i < 128; i++ {
+					if got, want := mem.I64(0, i), i/32+1; got != want {
+						t.Fatalf("x[%d] = %d, want %d", i, got, want)
+					}
+				}
+			}},
+		{"icache_thrash", axpySrc, Launch{GridDim: 4, BlockDim: 64}, tiny, nil},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := build(t, tc.src, pipeline.Options{Config: pipeline.Baseline})
+			init := interp.NewMemory(1 << 15)
+			for i := int64(0); i < 256; i++ {
+				init.SetF64(0, i, float64(i)*0.25)
+			}
+			n := int64(tc.launch.Threads())
+			args := make([]interp.Value, len(p.ParamRegs))
+			for i := range args {
+				args[i] = interp.IntVal(0)
+			}
+			args[len(args)-1] = interp.IntVal(n)
+			if tc.name == "compute" {
+				// axpy(x, y, a, n)
+				args = []interp.Value{interp.IntVal(0), interp.IntVal(8 * n), interp.FloatVal(3), interp.IntVal(n)}
+			}
+
+			var refM *Metrics
+			var refMem []byte
+			for _, workers := range []int{1, 2, 4, 8} {
+				mem := &interp.Memory{Data: append([]byte(nil), init.Data...)}
+				m, err := RunWorkers(p, args, mem, tc.launch, tc.cfg, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if refM == nil {
+					refM, refMem = m, mem.Data
+					if tc.check != nil {
+						tc.check(t, mem)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(m, refM) {
+					t.Errorf("workers=%d: metrics diverge:\n got %+v\nwant %+v", workers, m, refM)
+				}
+				if !bytes.Equal(mem.Data, refMem) {
+					t.Errorf("workers=%d: final memory diverges from sequential", workers)
+				}
+			}
+		})
+	}
+}

@@ -79,6 +79,51 @@ func (m *Memory) Store(t *ir.Type, addr int64, v Value) error {
 	return nil
 }
 
+// LoadKind is the hot-path variant of Load for callers that have
+// pre-decoded the type: k and size are t.Kind and t.Size(). It reports
+// ok=false instead of building an error, so the success path stays free
+// of allocations. Unsupported kinds also report false.
+func (m *Memory) LoadKind(k ir.Kind, size, addr int64) (Value, bool) {
+	if addr < 0 || addr+size > int64(len(m.Data)) {
+		return Value{}, false
+	}
+	switch k {
+	case ir.KindI1, ir.KindI8:
+		return IntVal(int64(int8(m.Data[addr]))), true
+	case ir.KindI32:
+		return IntVal(int64(int32(binary.LittleEndian.Uint32(m.Data[addr:])))), true
+	case ir.KindI64, ir.KindPtr:
+		return IntVal(int64(binary.LittleEndian.Uint64(m.Data[addr:]))), true
+	case ir.KindF32:
+		return FloatVal(float64(math.Float32frombits(binary.LittleEndian.Uint32(m.Data[addr:])))), true
+	case ir.KindF64:
+		return FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(m.Data[addr:]))), true
+	}
+	return Value{}, false
+}
+
+// StoreKind is the hot-path variant of Store; see LoadKind.
+func (m *Memory) StoreKind(k ir.Kind, size, addr int64, v Value) bool {
+	if addr < 0 || addr+size > int64(len(m.Data)) {
+		return false
+	}
+	switch k {
+	case ir.KindI1, ir.KindI8:
+		m.Data[addr] = byte(v.I)
+	case ir.KindI32:
+		binary.LittleEndian.PutUint32(m.Data[addr:], uint32(v.I))
+	case ir.KindI64, ir.KindPtr:
+		binary.LittleEndian.PutUint64(m.Data[addr:], uint64(v.I))
+	case ir.KindF32:
+		binary.LittleEndian.PutUint32(m.Data[addr:], math.Float32bits(float32(v.F)))
+	case ir.KindF64:
+		binary.LittleEndian.PutUint64(m.Data[addr:], math.Float64bits(v.F))
+	default:
+		return false
+	}
+	return true
+}
+
 // SetF64 stores a float64 at index i of an array starting at base.
 func (m *Memory) SetF64(base int64, i int64, v float64) {
 	binary.LittleEndian.PutUint64(m.Data[base+8*i:], math.Float64bits(v))
