@@ -41,6 +41,8 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		workers    = flag.Int("workers", 0, "concurrent measurement goroutines (0 = GOMAXPROCS)")
 		simWorkers = flag.Int("sim-workers", 1, "warp-scheduling workers per simulation (metrics are identical for any count)")
+		contain    = flag.Bool("contain", false, "run every compilation under the crash-containment guard: a crashing pass is rolled back and skipped instead of aborting the campaign")
+		verifyEach = flag.Bool("verify-each", false, "run the IR verifier after every pass (a rejected pass counts as a contained failure with -contain)")
 	)
 	flag.Parse()
 	if *all {
@@ -51,7 +53,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := bench.HarnessOptions{Verify: *verify, Workers: *workers, SimWorkers: *simWorkers}
+	opts := bench.HarnessOptions{
+		Verify:     *verify,
+		Workers:    *workers,
+		SimWorkers: *simWorkers,
+		Contain:    *contain,
+		VerifyEach: *verifyEach,
+	}
 	if *appsCSV != "" {
 		opts.Apps = strings.Split(*appsCSV, ",")
 	}
@@ -72,6 +80,9 @@ func main() {
 		res, err = bench.RunExperiments(opts)
 		if err != nil {
 			fatal(err)
+		}
+		for _, pf := range res.Failures {
+			fmt.Fprintf(os.Stderr, "uubench: contained pass failure: %s\n", pf.String())
 		}
 	}
 
@@ -150,6 +161,13 @@ func main() {
 			}
 		}
 		done()
+	}
+
+	// Artifacts produced under contained failures describe degraded
+	// pipelines (the crashing passes were skipped); flag that to callers.
+	if res != nil && len(res.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "uubench: %d pass invocations were contained; results reflect skipped passes\n", len(res.Failures))
+		os.Exit(1)
 	}
 }
 

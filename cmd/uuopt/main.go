@@ -11,17 +11,26 @@
 //
 //	uuopt -src bsearch.cu -config baseline -emit vptx
 //	uuopt -src bsearch.cu -config uu -loop 0 -factor 2 -emit dot | dot -Tpdf > cfg.pdf
+//
+// Fuzzing mode runs generated kernels through the differential oracle
+// (interpreter vs optimized interpreter vs simulator) across every pipeline
+// configuration, exits nonzero on any miscompile or contained pass crash,
+// and with -reduce writes minimized reproducers:
+//
+//	uuopt -fuzz 500 -seed 1 -verify-each -reduce
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"uu/internal/analysis"
 	"uu/internal/codegen"
 	"uu/internal/core"
 	"uu/internal/dot"
+	"uu/internal/harden/fuzz"
 	"uu/internal/ir"
 	"uu/internal/irparse"
 	"uu/internal/lang"
@@ -43,8 +52,18 @@ func main() {
 		noOpt     = flag.Bool("O0", false, "skip the pipeline entirely (frontend output)")
 		passTimes = flag.Bool("pass-times", false, "print per-pass wall-clock times")
 		passStats = flag.Bool("pass-stats", false, "print the full pass log: per-pass time, changed bit, cache traffic, fixpoint rounds")
+
+		fuzzN      = flag.Int("fuzz", 0, "run a differential fuzzing campaign over this many generated kernels, then exit")
+		fuzzSeed   = flag.Int64("seed", 1, "first seed of the fuzzing campaign")
+		verifyEach = flag.Bool("verify-each", false, "fuzzing: run the IR verifier after every pass (contained)")
+		reduce     = flag.Bool("reduce", false, "fuzzing: minimize each finding and write a reproducer")
+		reproDir   = flag.String("repro-dir", filepath.Join("testdata", "repro"), "fuzzing: directory for minimized reproducers")
 	)
 	flag.Parse()
+
+	if *fuzzN > 0 {
+		os.Exit(runFuzz(*fuzzN, *fuzzSeed, *verifyEach, *reduce, *reproDir))
+	}
 
 	f, err := loadFunction(*srcPath, *irPath, *kernel)
 	if err != nil {
@@ -219,6 +238,42 @@ func emitProvenance(f *ir.Function, loopID, factor int) {
 	}
 	fmt.Println()
 	fmt.Print(dot.CFG(f, dot.Options{Loops: true, Labels: labels}))
+}
+
+// runFuzz executes the differential fuzzing campaign and returns the
+// process exit code: 0 when every check was clean, 1 on any miscompile or
+// contained pass failure.
+func runFuzz(count int, seed int64, verifyEach, reduce bool, reproDir string) int {
+	opts := fuzz.CampaignOptions{
+		Count:      count,
+		Seed:       seed,
+		VerifyEach: verifyEach,
+		Reduce:     reduce,
+		Log:        os.Stderr,
+	}
+	if reduce {
+		opts.ReproDir = reproDir
+	}
+	res, err := fuzz.RunCampaign(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uuopt:", err)
+		return 1
+	}
+	fmt.Printf("fuzz: %d kernels, %d checks, %d refusals, %d findings, %d contained pass failures\n",
+		res.Kernels, res.Checks, res.Refusals, len(res.Findings), len(res.Failures))
+	for _, pf := range res.Failures {
+		fmt.Printf("  contained: %s\n", pf.String())
+	}
+	for _, f := range res.Findings {
+		fmt.Printf("  finding: %s\n", f.Div.String())
+		if f.ReproPath != "" {
+			fmt.Printf("    reproducer: %s (stop-after %d)\n", f.ReproPath, f.StopAfter)
+		}
+	}
+	if len(res.Findings) > 0 || len(res.Failures) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -63,15 +63,31 @@ type Benchmark struct {
 	AppCompileMs float64
 }
 
-// Kernel compiles the benchmark's kernel to fresh IR (frontend only).
+// Kernel compiles the benchmark's kernel to fresh IR (frontend only). It
+// panics on malformed source — fine for the suite's constant sources;
+// error-checking paths use CompileKernel.
 func (b *Benchmark) Kernel() *ir.Function {
 	return lang.MustCompileKernel(b.Source)
+}
+
+// CompileKernel is Kernel with the frontend error returned instead of
+// panicking, so harness and CLI paths can surface bad input as a normal
+// failed run.
+func (b *Benchmark) CompileKernel() (*ir.Function, error) {
+	f, err := lang.CompileKernel(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	return f, nil
 }
 
 // Reference executes the unoptimized kernel with the sequential interpreter
 // over every thread of the launch grid, producing the oracle memory image.
 func Reference(b *Benchmark, w *Workload) (*interp.Memory, error) {
-	f := b.Kernel()
+	f, err := b.CompileKernel()
+	if err != nil {
+		return nil, err
+	}
 	mem := w.NewMemory()
 	total := w.Launch.Threads()
 	for tid := 0; tid < total; tid++ {
@@ -139,7 +155,10 @@ type CompileResult struct {
 // Compile lowers the benchmark's kernel through the given pipeline
 // configuration down to VPTX.
 func Compile(b *Benchmark, opts pipeline.Options) (*CompileResult, error) {
-	f := b.Kernel()
+	f, err := b.CompileKernel()
+	if err != nil {
+		return nil, err
+	}
 	stats, err := pipeline.Optimize(f, opts)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s (%s): %w", b.Name, opts.Config, err)

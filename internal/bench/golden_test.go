@@ -26,13 +26,18 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden fr
 // exists for all of them. Configurations that fail to apply record the
 // error text instead of VPTX, so "this loop is untransformable" is part of
 // the golden contract too.
+//
+// Every case runs with the crash-containment guard and per-pass verifier
+// enabled: the corpora were captured without them, so matching byte for
+// byte proves the guard's snapshot/verify/rollback machinery is invisible
+// on the healthy path.
 func goldenCases() []pipeline.Options {
 	return []pipeline.Options{
-		{Config: pipeline.Baseline},
-		{Config: pipeline.UnrollOnly, LoopID: 0, Factor: 2},
-		{Config: pipeline.UnmergeOnly, LoopID: 0},
-		{Config: pipeline.UU, LoopID: 0, Factor: 2},
-		{Config: pipeline.UUHeuristic},
+		{Config: pipeline.Baseline, Contain: true, VerifyEachPass: true},
+		{Config: pipeline.UnrollOnly, LoopID: 0, Factor: 2, Contain: true, VerifyEachPass: true},
+		{Config: pipeline.UnmergeOnly, LoopID: 0, Contain: true, VerifyEachPass: true},
+		{Config: pipeline.UU, LoopID: 0, Factor: 2, Contain: true, VerifyEachPass: true},
+		{Config: pipeline.UUHeuristic, Contain: true, VerifyEachPass: true},
 	}
 }
 

@@ -9,8 +9,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uu/internal/analysis"
 	"uu/internal/core"
 	"uu/internal/gpusim"
+	"uu/internal/harden"
 	"uu/internal/interp"
 	"uu/internal/pipeline"
 )
@@ -29,6 +31,11 @@ type RunRecord struct {
 	Decisions []core.Decision // heuristic only
 	PassTimes map[string]time.Duration
 	Skipped   string // non-empty when the loop was untransformable
+	// Failures lists pass invocations the guard contained during this
+	// run's compilation (HarnessOptions.Contain). A run with contained
+	// failures still produced a program — the failing passes were rolled
+	// back and skipped — but its numbers describe that degraded pipeline.
+	Failures []harden.PassFailure
 }
 
 // Speedup returns base.Millis / r.Millis (the paper's speedup definition,
@@ -48,6 +55,9 @@ type Results struct {
 	Heuristic map[string]*RunRecord // app -> heuristic u&u
 	PerLoop   []*RunRecord          // unroll/unmerge/uu per loop and factor
 	LoopCount map[string]int
+	// Failures aggregates every contained pass failure across the sweep
+	// (see RunRecord.Failures); empty unless HarnessOptions.Contain.
+	Failures []harden.PassFailure
 }
 
 // HarnessOptions configures an experiment sweep.
@@ -71,6 +81,17 @@ type HarnessOptions struct {
 	// changes wall clock. Figure 6c compile-time columns are wall-clock
 	// measurements and should be compared with Workers == 1 regardless.
 	SimWorkers int
+	// Contain runs every compilation under the crash-containment guard: a
+	// panicking (or, with VerifyEach, verifier-rejected) pass is rolled
+	// back and skipped, the failure is recorded on the run and aggregated
+	// into Results.Failures, and the campaign keeps going instead of
+	// aborting. The healthy path is byte-identical with or without it.
+	Contain bool
+	// VerifyEach runs the IR verifier after every pass of every run.
+	VerifyEach bool
+	// Inject appends extra passes to every compilation — the fault
+	// injection hook the end-to-end containment tests use.
+	Inject []analysis.Pass
 }
 
 // harnessJob is one planned (application, configuration, loop, factor)
@@ -140,6 +161,9 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 		res.LoopCount[b.Name] = LoopCount(b)
 
 		add := func(cfg pipeline.Options, loopID, factor int) *harnessJob {
+			cfg.Contain = opts.Contain
+			cfg.VerifyEachPass = opts.VerifyEach
+			cfg.Inject = opts.Inject
 			jobs = append(jobs, harnessJob{b: b, w: w, ref: ref, cfg: cfg, loopID: loopID, factor: factor})
 			return &jobs[len(jobs)-1]
 		}
@@ -204,6 +228,7 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 	// Assemble in campaign order.
 	for i := range jobs {
 		j, rec := &jobs[i], recs[i]
+		res.Failures = append(res.Failures, rec.Failures...)
 		switch {
 		case j.isBaseline:
 			res.Baseline[j.b.Name] = rec
@@ -231,6 +256,7 @@ func runJob(j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(st
 	rec.CodeBytes = cr.Program.CodeBytes()
 	rec.Decisions = cr.Stats.Decisions
 	rec.PassTimes = cr.Stats.PassTimeByName()
+	rec.Failures = cr.Stats.Failures
 	m, err := ExecuteWorkers(cr, j.w, dev, j.ref, simWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s %s loop %d u%d: %w", j.b.Name, j.cfg.Config, j.loopID, j.factor, err)

@@ -39,6 +39,12 @@ type DeviceConfig struct {
 	// one. Effective issue cost = issue * (1 - ITSOverlap*(1 - active/32)).
 	// 0 reproduces pre-Volta lockstep serialization.
 	ITSOverlap float64
+	// MaxWarpSteps bounds the instructions a single warp may execute before
+	// the run is abandoned with ErrCycleBudget. 0 selects the package-level
+	// MaxWarpSteps default, which no terminating kernel approaches; the
+	// fuzzer sets a small budget so a miscompiled loop fails fast instead
+	// of hanging the campaign.
+	MaxWarpSteps int64
 }
 
 // V100 returns a configuration loosely modelled after the NVIDIA V100 the

@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -25,8 +26,16 @@ type Launch struct {
 // Threads returns the total thread count.
 func (l Launch) Threads() int { return l.GridDim * l.BlockDim }
 
-// MaxWarpSteps bounds per-warp execution.
+// MaxWarpSteps bounds per-warp execution when DeviceConfig.MaxWarpSteps is
+// zero. It is generous enough that no terminating kernel in this repository
+// comes near it; a kernel that exhausts it is looping forever.
 const MaxWarpSteps = int64(1) << 34
+
+// ErrCycleBudget reports that a warp executed more instructions than the
+// configured step budget allows. A miscompiled terminator or a fuzzer-built
+// kernel can loop forever; the budget turns that hang into a diagnosable
+// error (match with errors.Is).
+var ErrCycleBudget = errors.New("warp step budget exhausted")
 
 // Run executes the program over the launch grid against mem (shared by all
 // threads, as global device memory is) and returns the aggregated metrics.
@@ -221,6 +230,10 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 
 	w.stack = append(w.stack[:0], stackEntry{pc: 0, rpc: -1, mask: fullMask})
 	var steps int64
+	budget := cfg.MaxWarpSteps
+	if budget <= 0 {
+		budget = MaxWarpSteps
+	}
 	var cycles float64   // warp issue clock
 	var stallAcc float64 // exposed dependency stalls (metrics only)
 	for len(w.stack) > 0 {
@@ -273,8 +286,8 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 		for gi := start; gi < end; gi++ {
 			in := &dp.instrs[gi]
 			steps++
-			if steps > MaxWarpSteps {
-				return fmt.Errorf("gpusim: step budget exhausted in %s", dp.name)
+			if steps > budget {
+				return fmt.Errorf("gpusim: %s after %d steps: %w", dp.name, steps-1, ErrCycleBudget)
 			}
 			// Fetch: icache model on the global instruction index.
 			switch line := w.lines[gi]; w.fetchMode {

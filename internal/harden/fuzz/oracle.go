@@ -1,0 +1,173 @@
+// Package fuzz closes the gap the verifier cannot: a pass that produces
+// well-formed but wrong IR. It runs generated kernels (internal/harden's
+// Generate) through a differential matrix — the sequential interpreter on
+// the unoptimized IR as the reference, then the interpreter on the
+// optimized IR and the SIMT simulator at one and several workers — and
+// reports any output disagreement as a miscompile. Findings shrink through
+// an llvm-reduce-style reducer (reduce.go) into small reproducers.
+package fuzz
+
+import (
+	"fmt"
+	"math"
+
+	"uu/internal/codegen"
+	"uu/internal/gpusim"
+	"uu/internal/harden"
+	"uu/internal/interp"
+	"uu/internal/ir"
+	"uu/internal/pipeline"
+)
+
+// Execution budgets. Generated kernels run a few hundred instructions per
+// thread; a miscompile that turns a bounded loop into an unbounded one
+// should fail fast, not hang the campaign.
+const (
+	interpStepBudget = int64(1) << 20 // per thread
+	simStepBudget    = int64(1) << 22 // per warp (32 threads in lockstep)
+)
+
+// Divergence describes one differential failure: a leg of the execution
+// matrix that disagreed with the unoptimized-interpreter reference, or
+// errored where the reference did not.
+type Divergence struct {
+	Seed   int64
+	Config pipeline.Config
+	// Stage identifies the leg: "optimize", "codegen", "interp-opt",
+	// "gpusim-w1", or "gpusim-w4".
+	Stage string
+	// Detail is the first mismatching element or the leg's error text.
+	Detail string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("seed %d config %s: %s: %s", d.Seed, d.Config, d.Stage, d.Detail)
+}
+
+// newMemory builds the kernel's initial memory image: deterministic input
+// buffers, zeroed outputs.
+func newMemory(k *harden.Kernel) *interp.Memory {
+	mem := interp.NewMemory(k.MemSize)
+	for i, v := range k.F64Init {
+		mem.SetF64(k.In0Base, int64(i), v)
+	}
+	for i, v := range k.I64Init {
+		mem.SetI64(k.In1Base, int64(i), v)
+	}
+	return mem
+}
+
+func kernelArgs(k *harden.Kernel) []interp.Value {
+	args := make([]interp.Value, len(k.Args))
+	for i, a := range k.Args {
+		args[i] = interp.IntVal(a)
+	}
+	return args
+}
+
+// runInterp executes f once per thread of the kernel's launch under the
+// sequential interpreter and returns the final memory.
+func runInterp(f *ir.Function, k *harden.Kernel) (*interp.Memory, error) {
+	mem := newMemory(k)
+	args := kernelArgs(k)
+	total := k.Threads()
+	for tid := 0; tid < total; tid++ {
+		env := interp.Env{
+			TID:    int32(tid % k.BlockDim),
+			NTID:   int32(k.BlockDim),
+			CTAID:  int32(tid / k.BlockDim),
+			NCTAID: int32(k.GridDim),
+		}
+		if _, err := interp.RunSteps(f, args, mem, env, interpStepBudget, nil); err != nil {
+			return nil, fmt.Errorf("thread %d: %w", tid, err)
+		}
+	}
+	return mem, nil
+}
+
+// runSim executes the lowered program under the SIMT simulator with the
+// given worker count and a small step budget.
+func runSim(prog *codegen.Program, k *harden.Kernel, workers int) (*interp.Memory, error) {
+	mem := newMemory(k)
+	cfg := gpusim.V100()
+	cfg.MaxWarpSteps = simStepBudget
+	launch := gpusim.Launch{GridDim: k.GridDim, BlockDim: k.BlockDim}
+	if _, err := gpusim.RunWorkers(prog, kernelArgs(k), mem, launch, cfg, workers); err != nil {
+		return nil, err
+	}
+	return mem, nil
+}
+
+// diffOutputs compares the kernel's two output regions and returns a
+// description of the first mismatch, or "" if they agree. Floats compare
+// with the same relative tolerance the benchmark harness uses (identities
+// like x+0 => x may flip signed zeros); integers compare exactly.
+func diffOutputs(k *harden.Kernel, want, got *interp.Memory) string {
+	const relTol = 1e-9
+	feq := func(a, b float64) bool {
+		if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+			return true
+		}
+		d := math.Abs(a - b)
+		return d <= relTol*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for i := int64(0); i < int64(k.Threads()); i++ {
+		if a, b := want.F64(k.FOutBase, i), got.F64(k.FOutBase, i); !feq(a, b) {
+			return fmt.Sprintf("fout[%d]: want %v, got %v", i, a, b)
+		}
+		if a, b := want.I64(k.IOutBase, i), got.I64(k.IOutBase, i); a != b {
+			return fmt.Sprintf("iout[%d]: want %d, got %d", i, a, b)
+		}
+	}
+	return ""
+}
+
+// Check runs f through one pipeline configuration and the full differential
+// matrix. f is not mutated: the pipeline runs on a clone. A nil Divergence
+// means every leg agreed with the unoptimized-interpreter reference. The
+// returned error reports infrastructure problems only (the reference itself
+// failing), never findings.
+func Check(f *ir.Function, k *harden.Kernel, opts pipeline.Options) (*Divergence, error) {
+	d, _, err := check(f, k, opts)
+	return d, err
+}
+
+// check is Check, additionally exposing the pipeline stats of the optimized
+// build so the reducer can bisect the pass list and the campaign can
+// aggregate contained pass failures.
+func check(f *ir.Function, k *harden.Kernel, opts pipeline.Options) (*Divergence, *pipeline.Stats, error) {
+	div := func(stage, detail string) *Divergence {
+		return &Divergence{Seed: k.Seed, Config: opts.Config, Stage: stage, Detail: detail}
+	}
+	ref, err := runInterp(f, k)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fuzz: reference execution of %s failed: %w", f.Name, err)
+	}
+	opt := ir.Clone(f)
+	stats, err := pipeline.Optimize(opt, opts)
+	if err != nil {
+		return div("optimize", err.Error()), stats, nil
+	}
+	optMem, err := runInterp(opt, k)
+	if err != nil {
+		return div("interp-opt", err.Error()), stats, nil
+	}
+	if d := diffOutputs(k, ref, optMem); d != "" {
+		return div("interp-opt", d), stats, nil
+	}
+	prog, err := codegen.Lower(opt)
+	if err != nil {
+		return div("codegen", err.Error()), stats, nil
+	}
+	for _, workers := range []int{1, 4} {
+		stage := fmt.Sprintf("gpusim-w%d", workers)
+		simMem, err := runSim(prog, k, workers)
+		if err != nil {
+			return div(stage, err.Error()), stats, nil
+		}
+		if d := diffOutputs(k, ref, simMem); d != "" {
+			return div(stage, d), stats, nil
+		}
+	}
+	return nil, stats, nil
+}

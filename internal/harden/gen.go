@@ -1,0 +1,395 @@
+package harden
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uu/internal/ir"
+)
+
+// BufElems is the element count of each read-only input buffer. A power of
+// two, so generated indices stay in bounds under a single and-mask.
+const BufElems = 64
+
+// Generated launch geometry: 4 warps across 2 blocks — enough for real
+// warp divergence and cross-block ids while keeping a 500-kernel fuzz
+// campaign fast.
+const (
+	genBlockDim = 64
+	genGridDim  = 2
+)
+
+// Kernel is one generated fuzz case: a verifier-clean function plus the
+// memory layout, launch geometry, and deterministic input data needed to
+// execute it. The function reads the two input buffers, mixes the values
+// through random control flow, and writes only out[gid] slots (one f64 and
+// one i64 per thread), so any execution order over threads — the
+// sequential interpreter or the SIMT simulator — must produce identical
+// memory. That property is what makes output divergence a miscompile
+// rather than a scheduling artifact.
+type Kernel struct {
+	F    *ir.Function
+	Seed int64
+
+	BlockDim, GridDim int
+
+	// Byte offsets of the buffers inside one flat memory.
+	In0Base  int64 // f64[BufElems] input
+	In1Base  int64 // i64[BufElems] input
+	FOutBase int64 // f64[threads] output
+	IOutBase int64 // i64[threads] output
+	MemSize  int64
+
+	// Args lists the kernel arguments in parameter order: the four buffer
+	// bases then the scalar n.
+	Args []int64
+	N    int64
+
+	// Deterministic input data for in0/in1, derived from Seed.
+	F64Init []float64
+	I64Init []int64
+}
+
+// Threads is the total thread count of the generated launch.
+func (k *Kernel) Threads() int { return k.BlockDim * k.GridDim }
+
+// pool tracks the values available at the current insertion point, one
+// slice per type. Every value in a pool dominates the insertion point by
+// construction: values born inside a diamond arm enter the outer pool only
+// through merge phis, and values born inside a loop body only through
+// header phis — so the generated IR is dominance-clean without ever
+// running a verifier mid-build.
+type pool struct {
+	i32, i64, f64, i1 []ir.Value
+}
+
+func (p *pool) clone() *pool {
+	return &pool{
+		i32: append([]ir.Value(nil), p.i32...),
+		i64: append([]ir.Value(nil), p.i64...),
+		f64: append([]ir.Value(nil), p.f64...),
+		i1:  append([]ir.Value(nil), p.i1...),
+	}
+}
+
+type gen struct {
+	rng    *rand.Rand
+	f      *ir.Function
+	b      *ir.Builder
+	budget int
+
+	in0, in1, fout, iout ir.Value // buffer pointer params
+	n                    ir.Value // uniform scalar param
+	gid64                ir.Value
+	blkn                 int
+	namen                int
+}
+
+// Generate builds the fuzz kernel for one seed. The same seed always
+// yields byte-identical IR and input data. The result is guaranteed
+// verifier-clean: Generate panics if its own output fails ir.Verify,
+// since that is a generator bug, not a fuzz finding.
+func Generate(seed int64) *Kernel {
+	rng := rand.New(rand.NewSource(seed))
+	threads := int64(genBlockDim * genGridDim)
+
+	k := &Kernel{
+		Seed:     seed,
+		BlockDim: genBlockDim,
+		GridDim:  genGridDim,
+		In0Base:  0,
+		In1Base:  8 * BufElems,
+		FOutBase: 16 * BufElems,
+		IOutBase: 16*BufElems + 8*threads,
+		MemSize:  16*BufElems + 16*threads,
+	}
+	k.N = int64(1 + rng.Intn(15))
+	k.Args = []int64{k.In0Base, k.In1Base, k.FOutBase, k.IOutBase, k.N}
+	k.F64Init = make([]float64, BufElems)
+	k.I64Init = make([]int64, BufElems)
+	for i := range k.F64Init {
+		k.F64Init[i] = (rng.Float64() - 0.5) * 64
+	}
+	for i := range k.I64Init {
+		k.I64Init[i] = int64(rng.Intn(1<<16) - 1<<15)
+	}
+
+	f := ir.NewFunction(fmt.Sprintf("fuzz%d", seed), ir.Void)
+	g := &gen{rng: rng, f: f, budget: 24 + rng.Intn(40)}
+	g.in0 = f.AddParam("in0", ir.PointerTo(ir.F64), true)
+	g.in1 = f.AddParam("in1", ir.PointerTo(ir.I64), true)
+	g.fout = f.AddParam("fout", ir.PointerTo(ir.F64), true)
+	g.iout = f.AddParam("iout", ir.PointerTo(ir.I64), true)
+	g.n = f.AddParam("n", ir.I64, false)
+
+	entry := f.NewBlock("entry")
+	g.b = ir.NewBuilder(entry)
+	tid := g.b.TID()
+	ntid := g.b.NTID()
+	cta := g.b.CTAID()
+	gid32 := g.b.Add(g.b.Mul(cta, ntid), tid)
+	g.gid64 = g.b.Conv(ir.OpSExt, gid32, ir.I64)
+
+	p := &pool{
+		i32: []ir.Value{gid32, tid, ir.ConstInt(ir.I32, 3)},
+		i64: []ir.Value{g.gid64, g.n, ir.ConstInt(ir.I64, 5), ir.ConstInt(ir.I64, -7)},
+		f64: []ir.Value{ir.ConstFloat(ir.F64, 0.5), ir.ConstFloat(ir.F64, -2.25)},
+	}
+	p.f64 = append(p.f64, g.loadF64(p))
+	p.i64 = append(p.i64, g.loadI64(p))
+
+	g.seq(p, 0, true)
+
+	// Every thread ends by writing its own slots; the stores are the
+	// observable result the differential oracle compares.
+	g.b.Store(g.pickF64(p), g.b.GEP(g.fout, g.gid64))
+	g.b.Store(g.pickI64(p), g.b.GEP(g.iout, g.gid64))
+	g.b.Ret(nil)
+
+	if err := ir.Verify(f); err != nil {
+		panic(fmt.Sprintf("harden: generator emitted bad IR (seed %d): %v", seed, err))
+	}
+	k.F = f
+	return k
+}
+
+func (g *gen) newBlock(prefix string) *ir.Block {
+	g.blkn++
+	return g.f.NewBlock(fmt.Sprintf("%s%d", prefix, g.blkn))
+}
+
+// uniq makes a function-unique value name. Instruction names are not
+// deduplicated by the IR (frontends are expected to emit unique ones), and
+// a kernel with several loops would otherwise carry several "%i" phis —
+// well-defined in memory, ambiguous once printed or reparsed.
+func (g *gen) uniq(prefix string) string {
+	g.namen++
+	return fmt.Sprintf("%s%d", prefix, g.namen)
+}
+
+func pick[T any](rng *rand.Rand, s []T) T { return s[rng.Intn(len(s))] }
+
+func (g *gen) pickF64(p *pool) ir.Value { return pick(g.rng, p.f64) }
+func (g *gen) pickI64(p *pool) ir.Value { return pick(g.rng, p.i64) }
+func (g *gen) pickI32(p *pool) ir.Value { return pick(g.rng, p.i32) }
+
+// loadF64 emits an in-bounds load from in0: the index is and-masked into
+// [0, BufElems).
+func (g *gen) loadF64(p *pool) ir.Value {
+	idx := g.b.And(g.pickI64(p), ir.ConstInt(ir.I64, BufElems-1))
+	return g.b.Load(g.b.GEP(g.in0, idx))
+}
+
+func (g *gen) loadI64(p *pool) ir.Value {
+	idx := g.b.And(g.pickI64(p), ir.ConstInt(ir.I64, BufElems-1))
+	return g.b.Load(g.b.GEP(g.in1, idx))
+}
+
+// takeBool returns an i1: an existing one, or a fresh comparison over the
+// pool (and remembers it).
+func (g *gen) takeBool(p *pool) ir.Value {
+	if len(p.i1) > 0 && g.rng.Intn(2) == 0 {
+		return pick(g.rng, p.i1)
+	}
+	var c ir.Value
+	if g.rng.Intn(3) == 0 {
+		preds := []ir.Pred{ir.OLT, ir.OLE, ir.OGT, ir.OGE, ir.OEQ, ir.ONE}
+		c = g.b.FCmp(pick(g.rng, preds), g.pickF64(p), g.pickF64(p))
+	} else {
+		preds := []ir.Pred{ir.EQ, ir.NE, ir.SLT, ir.SLE, ir.SGT, ir.SGE, ir.ULT, ir.UGE}
+		c = g.b.ICmp(pick(g.rng, preds), g.pickI64(p), g.pickI64(p))
+	}
+	p.i1 = append(p.i1, c)
+	return c
+}
+
+// seq emits a statement sequence at the current insertion point, growing p
+// with every value it defines there. uniform reports whether all threads
+// of a block reach this point together (required for barriers).
+func (g *gen) seq(p *pool, depth int, uniform bool) {
+	steps := 2 + g.rng.Intn(5)
+	for s := 0; s < steps && g.budget > 0; s++ {
+		g.budget--
+		switch c := g.rng.Intn(100); {
+		case c < 52:
+			g.arith(p)
+		case c < 68 && depth < 3:
+			g.diamond(p, depth)
+		case c < 82 && depth < 2:
+			g.loop(p, depth, uniform)
+		case c < 92:
+			g.store(p)
+		case uniform:
+			g.b.Barrier()
+		default:
+			g.arith(p)
+		}
+	}
+}
+
+// arith emits one scalar computation and adds the result to the pool.
+func (g *gen) arith(p *pool) {
+	switch g.rng.Intn(10) {
+	case 0, 1, 2: // i64 arithmetic
+		ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor}
+		v := g.b.Bin(pick(g.rng, ops), g.pickI64(p), g.pickI64(p))
+		p.i64 = append(p.i64, v)
+	case 3: // division/remainder with a nonzero divisor
+		ops := []ir.Op{ir.OpSDiv, ir.OpUDiv, ir.OpSRem, ir.OpURem}
+		div := g.b.Or(g.pickI64(p), ir.ConstInt(ir.I64, 1))
+		p.i64 = append(p.i64, g.b.Bin(pick(g.rng, ops), g.pickI64(p), div))
+	case 4: // masked shift
+		ops := []ir.Op{ir.OpShl, ir.OpLShr, ir.OpAShr}
+		amt := g.b.And(g.pickI64(p), ir.ConstInt(ir.I64, 63))
+		p.i64 = append(p.i64, g.b.Bin(pick(g.rng, ops), g.pickI64(p), amt))
+	case 5: // f64 arithmetic and intrinsics
+		switch g.rng.Intn(6) {
+		case 0:
+			ops := []ir.Op{ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv}
+			p.f64 = append(p.f64, g.b.Bin(pick(g.rng, ops), g.pickF64(p), g.pickF64(p)))
+		case 1:
+			ops := []ir.Op{ir.OpFMin, ir.OpFMax}
+			p.f64 = append(p.f64, g.b.MathBinary(pick(g.rng, ops), g.pickF64(p), g.pickF64(p)))
+		case 2:
+			p.f64 = append(p.f64, g.b.MathUnary(ir.OpFAbs, g.pickF64(p)))
+		case 3:
+			p.f64 = append(p.f64, g.b.MathUnary(ir.OpFloor, g.pickF64(p)))
+		case 4:
+			p.f64 = append(p.f64, g.b.MathUnary(ir.OpSqrt, g.b.MathUnary(ir.OpFAbs, g.pickF64(p))))
+		default:
+			p.f64 = append(p.f64, g.b.Conv(ir.OpSIToFP, g.pickI64(p), ir.F64))
+		}
+	case 6: // f64 -> i64, clamped so the conversion is in range everywhere
+		x := g.b.MathBinary(ir.OpFMax, g.b.MathBinary(ir.OpFMin, g.pickF64(p), ir.ConstFloat(ir.F64, 1e9)), ir.ConstFloat(ir.F64, -1e9))
+		p.i64 = append(p.i64, g.b.Conv(ir.OpFPToSI, x, ir.I64))
+	case 7: // mixed integer widths
+		switch g.rng.Intn(4) {
+		case 0:
+			p.i32 = append(p.i32, g.b.Conv(ir.OpTrunc, g.pickI64(p), ir.I32))
+		case 1:
+			p.i64 = append(p.i64, g.b.Conv(ir.OpSExt, g.pickI32(p), ir.I64))
+		case 2:
+			p.i64 = append(p.i64, g.b.Conv(ir.OpZExt, g.pickI32(p), ir.I64))
+		default:
+			ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpXor}
+			p.i32 = append(p.i32, g.b.Bin(pick(g.rng, ops), g.pickI32(p), g.pickI32(p)))
+		}
+	case 8: // select
+		if g.rng.Intn(2) == 0 {
+			p.f64 = append(p.f64, g.b.Select(g.takeBool(p), g.pickF64(p), g.pickF64(p)))
+		} else {
+			p.i64 = append(p.i64, g.b.Select(g.takeBool(p), g.pickI64(p), g.pickI64(p)))
+		}
+	default: // a fresh input load
+		if g.rng.Intn(2) == 0 {
+			p.f64 = append(p.f64, g.loadF64(p))
+		} else {
+			p.i64 = append(p.i64, g.loadI64(p))
+		}
+	}
+}
+
+// store writes a pool value to the thread's own output slot. Mid-kernel
+// stores exercise store handling under divergence; they are safe because
+// each thread only ever touches index gid.
+func (g *gen) store(p *pool) {
+	if g.rng.Intn(2) == 0 {
+		g.b.Store(g.pickF64(p), g.b.GEP(g.fout, g.gid64))
+	} else {
+		g.b.Store(g.pickI64(p), g.b.GEP(g.iout, g.gid64))
+	}
+}
+
+// diamond emits an if/else that rejoins at a merge block, with phis
+// joining values from the two arms — the merged-diamond shape
+// control-flow unmerging targets.
+func (g *gen) diamond(p *pool, depth int) {
+	cond := g.takeBool(p)
+	then := g.newBlock("then")
+	els := g.newBlock("else")
+	merge := g.newBlock("merge")
+	g.b.CondBr(cond, then, els)
+
+	g.b.SetBlock(then)
+	tp := p.clone()
+	g.seq(tp, depth+1, false)
+	thenEnd := g.b.Block()
+	g.b.Br(merge)
+
+	g.b.SetBlock(els)
+	ep := p.clone()
+	g.seq(ep, depth+1, false)
+	elsEnd := g.b.Block()
+	g.b.Br(merge)
+
+	g.b.SetBlock(merge)
+	for k := g.rng.Intn(3); k >= 0; k-- {
+		var phi *ir.Instr
+		switch g.rng.Intn(3) {
+		case 0:
+			phi = g.b.Phi(ir.F64, g.uniq("m"))
+			phi.PhiAddIncoming(pick(g.rng, tp.f64), thenEnd)
+			phi.PhiAddIncoming(pick(g.rng, ep.f64), elsEnd)
+			p.f64 = append(p.f64, phi)
+		case 1:
+			phi = g.b.Phi(ir.I64, g.uniq("m"))
+			phi.PhiAddIncoming(pick(g.rng, tp.i64), thenEnd)
+			phi.PhiAddIncoming(pick(g.rng, ep.i64), elsEnd)
+			p.i64 = append(p.i64, phi)
+		default:
+			phi = g.b.Phi(ir.I32, g.uniq("m"))
+			phi.PhiAddIncoming(pick(g.rng, tp.i32), thenEnd)
+			phi.PhiAddIncoming(pick(g.rng, ep.i32), elsEnd)
+			p.i32 = append(p.i32, phi)
+		}
+	}
+}
+
+// loop emits a counted loop (constant or n-derived trip count) with an
+// induction variable and up to two accumulators carried by header phis.
+// The header phis dominate the exit, so they join the outer pool.
+func (g *gen) loop(p *pool, depth int, uniform bool) {
+	var trip ir.Value
+	if g.rng.Intn(2) == 0 {
+		trip = ir.ConstInt(ir.I64, int64(1+g.rng.Intn(6)))
+	} else {
+		// 1..8, uniform across threads because n is a kernel parameter.
+		trip = g.b.Add(g.b.And(g.n, ir.ConstInt(ir.I64, 7)), ir.ConstInt(ir.I64, 1))
+	}
+	pre := g.b.Block()
+	header := g.newBlock("header")
+	body := g.newBlock("body")
+	exit := g.newBlock("exit")
+	fInit := g.pickF64(p)
+	iInit := g.pickI64(p)
+	g.b.Br(header)
+
+	g.b.SetBlock(header)
+	iv := g.b.Phi(ir.I64, g.uniq("i"))
+	iv.PhiAddIncoming(ir.ConstInt(ir.I64, 0), pre)
+	fAcc := g.b.Phi(ir.F64, g.uniq("facc"))
+	fAcc.PhiAddIncoming(fInit, pre)
+	iAcc := g.b.Phi(ir.I64, g.uniq("iacc"))
+	iAcc.PhiAddIncoming(iInit, pre)
+	cond := g.b.ICmp(ir.SLT, iv, trip)
+	g.b.CondBr(cond, body, exit)
+
+	g.b.SetBlock(body)
+	bp := p.clone()
+	bp.i64 = append(bp.i64, iv, iAcc)
+	bp.f64 = append(bp.f64, fAcc)
+	g.seq(bp, depth+1, uniform)
+	// Latch: advance the accumulators and the induction variable.
+	fNext := g.b.FAdd(fAcc, g.pickF64(bp))
+	iNext := g.b.Xor(iAcc, g.pickI64(bp))
+	inc := g.b.Add(iv, ir.ConstInt(ir.I64, 1))
+	latch := g.b.Block()
+	g.b.Br(header)
+	iv.PhiAddIncoming(inc, latch)
+	fAcc.PhiAddIncoming(fNext, latch)
+	iAcc.PhiAddIncoming(iNext, latch)
+
+	g.b.SetBlock(exit)
+	p.f64 = append(p.f64, fAcc)
+	p.i64 = append(p.i64, iv, iAcc)
+}

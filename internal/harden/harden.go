@@ -1,0 +1,178 @@
+// Package harden supplies the pass-pipeline crash-containment layer: a
+// Guard that runs each pass invocation against an IR snapshot, recovers
+// panics, optionally verifies the IR afterwards, and rolls the function
+// back to the snapshot on failure so one bad pass degrades a single kernel
+// to its pre-pass form instead of killing a whole experiment campaign. The
+// package also hosts the seeded random kernel generator (gen.go) that
+// feeds the differential fuzzer in harden/fuzz.
+//
+// harden is deliberately a leaf: it imports only ir and analysis, so the
+// pipeline can depend on it while the fuzzer's oracle (which needs the
+// pipeline, interpreter, and simulator) lives in the harden/fuzz
+// subpackage.
+package harden
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"uu/internal/analysis"
+	"uu/internal/ir"
+)
+
+// FailureKind classifies what the guard caught.
+type FailureKind string
+
+// The two containment triggers.
+const (
+	// FailurePanic means the pass panicked; the function was rolled back to
+	// the pre-pass snapshot.
+	FailurePanic FailureKind = "panic"
+	// FailureVerify means the pass returned but left IR the verifier
+	// rejects; the function was rolled back to the pre-pass snapshot.
+	FailureVerify FailureKind = "verify"
+)
+
+// PassFailure is the structured record of one contained pass failure.
+type PassFailure struct {
+	Pass     string      // pass (or phase) name as instrumented in Stats
+	Function string      // function being compiled
+	Kind     FailureKind // panic or verify
+	Err      string      // panic value or verifier error
+	Stack    string      // goroutine stack at the recovery point (panics only)
+	IR       string      // pre-pass IR snapshot, the reproducer input
+	IRDump   string      // file the snapshot was written to (when DumpDir set)
+}
+
+// String formats the failure as a one-line report entry.
+func (pf *PassFailure) String() string {
+	s := fmt.Sprintf("%s: %s in %s: %s", pf.Function, pf.Kind, pf.Pass, firstLine(pf.Err))
+	if pf.IRDump != "" {
+		s += " (ir: " + pf.IRDump + ")"
+	}
+	return s
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Guard contains pass failures. The zero value contains panics only; set
+// Verify to also reject IR the verifier refuses. A Guard may be shared by
+// concurrent compilations (the experiment harness shares one across its
+// worker pool); the failure list is mutex-protected.
+type Guard struct {
+	// Verify runs ir.Verify after every contained invocation and treats a
+	// rejection like a crash (rollback + record).
+	Verify bool
+	// DumpDir, when set, receives one pre-pass IR file per failure; the
+	// path is recorded in PassFailure.IRDump. Dump errors are ignored (the
+	// in-memory IR field always carries the snapshot).
+	DumpDir string
+
+	mu       sync.Mutex
+	failures []PassFailure
+	dumpSeq  int
+}
+
+// Failures returns a snapshot of the failures recorded so far.
+func (g *Guard) Failures() []PassFailure {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]PassFailure(nil), g.failures...)
+}
+
+// Run executes run (one pass invocation on f) under containment: the IR is
+// snapshotted first; a panic or — with Verify set — a post-run verifier
+// rejection rolls f back to the snapshot, invalidates every cached
+// analysis (the restored body is made of fresh objects), records a
+// PassFailure, and reports failed=true with an Unchanged declaration so a
+// fixpoint driver does not loop on the rollback. verifyTime is the wall
+// time spent in ir.Verify (zero when Verify is off), reported separately
+// so callers can keep their verify-time accounting exact.
+func (g *Guard) Run(name string, f *ir.Function, am *analysis.AnalysisManager, run func() analysis.PreservedAnalyses) (pa analysis.PreservedAnalyses, verifyTime time.Duration, failed bool) {
+	snap := ir.Clone(f)
+	pa, panicVal, stack := invoke(run)
+	if stack != "" {
+		g.contain(name, f, am, snap, FailurePanic, panicVal, stack)
+		return analysis.Unchanged(), 0, true
+	}
+	if g.Verify {
+		v0 := time.Now()
+		err := ir.Verify(f)
+		verifyTime = time.Since(v0)
+		if err != nil {
+			g.contain(name, f, am, snap, FailureVerify, err.Error(), "")
+			return analysis.Unchanged(), verifyTime, true
+		}
+	}
+	return pa, verifyTime, false
+}
+
+// RunPass is Run specialized to an analysis.Pass.
+func (g *Guard) RunPass(p analysis.Pass, f *ir.Function, am *analysis.AnalysisManager) (analysis.PreservedAnalyses, time.Duration, bool) {
+	return g.Run(p.Name(), f, am, func() analysis.PreservedAnalyses { return p.Run(f, am) })
+}
+
+// invoke runs the pass body, converting a panic into (message, stack).
+// stack is non-empty exactly when the body panicked.
+func invoke(run func() analysis.PreservedAnalyses) (pa analysis.PreservedAnalyses, panicVal, stack string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicVal = fmt.Sprint(r)
+			stack = string(debug.Stack())
+		}
+	}()
+	pa = run()
+	return
+}
+
+// contain rolls f back to snap and records the failure. The snapshot text
+// is captured before Restore guts the snapshot function.
+func (g *Guard) contain(name string, f *ir.Function, am *analysis.AnalysisManager, snap *ir.Function, kind FailureKind, msg, stack string) {
+	irText := snap.String()
+	ir.Restore(f, snap)
+	am.InvalidateAll()
+	pf := PassFailure{
+		Pass:     name,
+		Function: f.Name,
+		Kind:     kind,
+		Err:      msg,
+		Stack:    stack,
+		IR:       irText,
+	}
+	g.mu.Lock()
+	g.dumpSeq++
+	seq := g.dumpSeq
+	g.mu.Unlock()
+	if g.DumpDir != "" {
+		name := fmt.Sprintf("%s-%s-%d.ir", sanitize(f.Name), sanitize(name), seq)
+		path := filepath.Join(g.DumpDir, name)
+		if err := os.MkdirAll(g.DumpDir, 0o755); err == nil {
+			if err := os.WriteFile(path, []byte(irText), 0o644); err == nil {
+				pf.IRDump = path
+			}
+		}
+	}
+	g.mu.Lock()
+	g.failures = append(g.failures, pf)
+	g.mu.Unlock()
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}

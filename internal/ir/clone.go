@@ -12,6 +12,107 @@ func (vm ValueMap) Lookup(v Value) Value {
 	return v
 }
 
+// Clone returns a deep copy of f: fresh parameters, blocks, and instructions
+// with identical names, IDs, and structure, sharing only immutable values
+// (constants, types). Clone(f).String() == f.String(), and mutating the clone
+// never affects f — the guard in internal/harden relies on this to snapshot
+// the IR before every pass and roll back on a crash or verifier failure.
+func Clone(f *Function) *Function {
+	nf := &Function{
+		Name:      f.Name,
+		RetTyp:    f.RetTyp,
+		nextID:    f.nextID,
+		nameCount: make(map[string]int, len(f.nameCount)),
+	}
+	for k, v := range f.nameCount {
+		nf.nameCount[k] = v
+	}
+	vmap := ValueMap{}
+	for _, p := range f.Params {
+		np := &Param{Name: p.Name, Typ: p.Typ, Index: p.Index, Restrict: p.Restrict, fn: nf}
+		nf.Params = append(nf.Params, np)
+		vmap[p] = np
+	}
+	bmap := make(map[*Block]*Block, len(f.blocks))
+	for _, b := range f.blocks {
+		nb := &Block{Name: b.Name, fn: nf}
+		nf.blocks = append(nf.blocks, nb)
+		bmap[b] = nb
+	}
+	// First pass: create detached clones so forward references (phis, and
+	// any use of a later definition) resolve in the second pass.
+	clones := make(map[*Instr]*Instr, f.NumInstrs())
+	for _, b := range f.blocks {
+		for _, in := range b.instrs {
+			ci := &Instr{Op: in.Op, Typ: in.Typ, Pred: in.Pred, id: in.id, name: in.name}
+			clones[in] = ci
+			vmap[in] = ci
+		}
+	}
+	// Second pass: attach operands and block references, then append in
+	// order. Append wires successor/predecessor edges for terminators.
+	for _, b := range f.blocks {
+		nb := bmap[b]
+		for _, in := range b.instrs {
+			ci := clones[in]
+			for _, a := range in.args {
+				ci.AddArg(vmap.Lookup(a))
+			}
+			for _, tb := range in.blocks {
+				ci.AddBlockArg(bmap[tb])
+			}
+			nb.Append(ci)
+		}
+	}
+	// Third pass: replicate the original's historical orderings. The loop
+	// above rebuilt predecessor lists and def-use chains in block order,
+	// but the original's lists are in mutation-history order — and passes
+	// iterate both, so a rollback that reordered them could send the rest
+	// of the compilation down a different (equally valid) path than a run
+	// that never failed. Containment must be invisible, so match exactly.
+	for _, b := range f.blocks {
+		nb := bmap[b]
+		nb.preds = nb.preds[:0]
+		for _, p := range b.preds {
+			nb.preds = append(nb.preds, bmap[p])
+		}
+	}
+	for _, b := range f.blocks {
+		for _, in := range b.instrs {
+			ci := clones[in]
+			ci.uses = ci.uses[:0]
+			for _, u := range in.uses {
+				ci.uses = append(ci.uses, use{clones[u.user], u.idx})
+			}
+		}
+	}
+	return nf
+}
+
+// Restore replaces dst's entire body (parameters, blocks, instructions, name
+// and ID counters) with snapshot's, rebinding ownership so callers holding
+// the *Function pointer observe the snapshot state. The snapshot must not be
+// used afterwards — its body now belongs to dst. Pair with Clone for
+// speculative pass execution: snap := Clone(f); run pass; on failure
+// Restore(f, snap).
+func Restore(dst, snapshot *Function) {
+	dst.Name = snapshot.Name
+	dst.RetTyp = snapshot.RetTyp
+	dst.Params = snapshot.Params
+	dst.blocks = snapshot.blocks
+	dst.nextID = snapshot.nextID
+	dst.nameCount = snapshot.nameCount
+	for _, p := range dst.Params {
+		p.fn = dst
+	}
+	for _, b := range dst.blocks {
+		b.fn = dst
+	}
+	snapshot.Params = nil
+	snapshot.blocks = nil
+	snapshot.nameCount = nil
+}
+
 // CloneBlocks duplicates the given blocks within f, appending suffix to block
 // names. Instruction operands and phi/branch block references that point
 // inside the cloned region are remapped to the clones; references to values

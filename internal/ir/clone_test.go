@@ -1,0 +1,262 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloneFunctionRoundTrips(t *testing.T) {
+	f, _ := buildCountLoop(t)
+	want := f.String()
+	c := Clone(f)
+	if err := Verify(c); err != nil {
+		t.Fatalf("Verify(clone): %v", err)
+	}
+	if got := c.String(); got != want {
+		t.Fatalf("clone print differs:\n--- original\n%s\n--- clone\n%s", want, got)
+	}
+	// No structural sharing: every block and instruction of the clone is a
+	// fresh object.
+	origBlocks := map[*Block]bool{}
+	origInstrs := map[*Instr]bool{}
+	for _, b := range f.Blocks() {
+		origBlocks[b] = true
+		for _, in := range b.Instrs() {
+			origInstrs[in] = true
+		}
+	}
+	for _, b := range c.Blocks() {
+		if origBlocks[b] {
+			t.Fatalf("clone shares block %s with original", b.Name)
+		}
+		if b.Func() != c {
+			t.Fatalf("clone block %s has wrong function link", b.Name)
+		}
+		for _, in := range b.Instrs() {
+			if origInstrs[in] {
+				t.Fatalf("clone shares instruction %s with original", in.Ref())
+			}
+			for _, a := range in.Args() {
+				if ai, ok := a.(*Instr); ok && origInstrs[ai] {
+					t.Fatalf("clone instruction %s uses original operand %s", in.Ref(), ai.Ref())
+				}
+			}
+		}
+	}
+	for i, p := range c.Params {
+		if p == f.Params[i] {
+			t.Fatalf("clone shares parameter %s", p.Name)
+		}
+	}
+}
+
+func TestCloneMutationDoesNotAliasOriginal(t *testing.T) {
+	f, _ := buildCountLoop(t)
+	want := f.String()
+	c := Clone(f)
+	// Aggressively rewrite the clone: replace a value, retarget an edge,
+	// append a block.
+	loop := c.BlockByName("loop")
+	inc := loop.Phis()[0].PhiIncoming(loop).(*Instr)
+	inc.ReplaceAllUsesWith(ConstInt(I64, 99))
+	extra := c.NewBlock("extra")
+	NewBuilder(extra).Ret(nil)
+	if got := f.String(); got != want {
+		t.Fatalf("mutating clone changed original:\n--- before\n%s\n--- after\n%s", want, got)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify(original) after clone mutation: %v", err)
+	}
+}
+
+// Clone must replicate predecessor-list and use-list ORDER, not just
+// content: passes iterate both, so a rollback that reordered them could
+// steer later passes differently than a run that never rolled back.
+func TestClonePreservesHistoricalOrder(t *testing.T) {
+	f, _ := buildCountLoop(t)
+	// Force a pred order that differs from what edge wiring in block order
+	// would produce: route the backedge through a new latch, then detach
+	// and re-append entry's branch so loop's preds end up [latch, entry].
+	loop := f.BlockByName("loop")
+	latch := f.NewBlock("latch")
+	loop.ReplaceSucc(loop, latch)
+	NewBuilder(latch).Br(loop)
+	for _, phi := range loop.Phis() {
+		for i := 0; i < phi.NumBlocks(); i++ {
+			if phi.BlockArg(i) == loop {
+				phi.SetBlockArg(i, latch)
+			}
+		}
+	}
+	entry := f.BlockByName("entry")
+	br := entry.Term()
+	entry.Remove(br)
+	entry.Append(br)
+	if err := Verify(f); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if loop.Preds()[0] != latch {
+		t.Fatalf("setup failed to reorder preds: %v", loop.Preds())
+	}
+	c := Clone(f)
+	for _, b := range f.Blocks() {
+		cb := c.BlockByName(b.Name)
+		if len(cb.Preds()) != len(b.Preds()) {
+			t.Fatalf("block %s: pred count differs", b.Name)
+		}
+		for i, p := range b.Preds() {
+			if cb.Preds()[i].Name != p.Name {
+				t.Fatalf("block %s pred[%d]: got %s, want %s", b.Name, i, cb.Preds()[i].Name, p.Name)
+			}
+		}
+		for j, in := range b.Instrs() {
+			ci := cb.Instrs()[j]
+			us, cus := in.Users(), ci.Users()
+			if len(us) != len(cus) {
+				t.Fatalf("%s: use count differs", in.Ref())
+			}
+			for k := range us {
+				if us[k].Ref() != cus[k].Ref() {
+					t.Fatalf("%s use[%d]: got %s, want %s", in.Ref(), k, cus[k].Ref(), us[k].Ref())
+				}
+			}
+		}
+	}
+}
+
+func TestRestoreRollsBack(t *testing.T) {
+	f, nsum := buildCountLoop(t)
+	want := f.String()
+	snap := Clone(f)
+	// Wreck the original: RAUW the sum and delete the exit's ret operand path.
+	nsum.ReplaceAllUsesWith(ConstInt(I64, 0))
+	Restore(f, snap)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify after Restore: %v", err)
+	}
+	if got := f.String(); got != want {
+		t.Fatalf("Restore did not reproduce the snapshot:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	// Ownership has moved: blocks and params report f as their function.
+	for _, b := range f.Blocks() {
+		if b.Func() != f {
+			t.Fatalf("restored block %s not owned by f", b.Name)
+		}
+	}
+	// The function remains usable for further construction.
+	nb := f.NewBlock("post")
+	NewBuilder(nb).Ret(ConstInt(I64, 1))
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify after post-restore construction: %v", err)
+	}
+}
+
+func TestVerifyDominanceAcceptsCountLoop(t *testing.T) {
+	f, _ := buildCountLoop(t)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify rejected dominance-clean function: %v", err)
+	}
+}
+
+// A use in a sibling branch is not dominated by a definition in the other arm.
+func TestVerifyDominanceRejectsCrossArmUse(t *testing.T) {
+	f := NewFunction("bad", Void)
+	p := f.AddParam("c", I1, false)
+	entry := f.NewBlock("entry")
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	exit := f.NewBlock("exit")
+	b := NewBuilder(entry)
+	b.CondBr(p, left, right)
+	b.SetBlock(left)
+	x := b.Add(ConstInt(I64, 1), ConstInt(I64, 2))
+	b.Br(exit)
+	b.SetBlock(right)
+	y := NewInstr(OpAdd, I64, x, ConstInt(I64, 3)) // uses left's def — not dominated
+	right.Append(y)
+	b.SetBlock(right)
+	b.Br(exit)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	err := Verify(f)
+	if err == nil {
+		t.Fatalf("Verify accepted a use not dominated by its definition")
+	}
+	if !strings.Contains(err.Error(), "not dominated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// A phi incoming must be dominated at the end of the corresponding
+// predecessor, not merely defined somewhere.
+func TestVerifyDominanceRejectsBadPhiIncoming(t *testing.T) {
+	f := NewFunction("badphi", Void)
+	p := f.AddParam("c", I1, false)
+	entry := f.NewBlock("entry")
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	exit := f.NewBlock("exit")
+	b := NewBuilder(entry)
+	b.CondBr(p, left, right)
+	b.SetBlock(left)
+	x := b.Add(ConstInt(I64, 1), ConstInt(I64, 2))
+	b.Br(exit)
+	b.SetBlock(right)
+	b.Br(exit)
+	b.SetBlock(exit)
+	phi := b.Phi(I64, "m")
+	phi.PhiAddIncoming(x, left)
+	phi.PhiAddIncoming(x, right) // x does not dominate right's terminator
+	b.Ret(nil)
+	err := Verify(f)
+	if err == nil {
+		t.Fatalf("Verify accepted phi incoming not dominated in its predecessor")
+	}
+	if !strings.Contains(err.Error(), "not dominated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyRejectsBadConversions(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+		from *Type
+		val  Value
+		to   *Type
+	}{
+		{"zext-narrowing", OpZExt, I64, ConstInt(I64, 1), I32},
+		{"trunc-widening", OpTrunc, I32, ConstInt(I32, 1), I64},
+		{"sext-same-width", OpSExt, I32, ConstInt(I32, 1), I32},
+		{"sitofp-from-float", OpSIToFP, F64, ConstFloat(F64, 1), F64},
+		{"fptosi-from-int", OpFPToSI, I64, ConstInt(I64, 1), I64},
+		{"fpext-from-f64", OpFPExt, F64, ConstFloat(F64, 1), F64},
+		{"fptrunc-from-f32", OpFPTrunc, F32, ConstFloat(F32, 1), F32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := NewFunction("conv", Void)
+			entry := f.NewBlock("entry")
+			entry.Append(NewInstr(tc.op, tc.to, tc.val))
+			NewBuilder(entry).Ret(nil)
+			if err := Verify(f); err == nil {
+				t.Fatalf("Verify accepted %s %s -> %s", tc.op, tc.from, tc.to)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsDuplicateInstrIDs(t *testing.T) {
+	f, _ := buildCountLoop(t)
+	// Forge a duplicate ID by cloning and splicing an instruction that keeps
+	// the original's ID (what a buggy snapshot/restore would produce).
+	loop := f.BlockByName("loop")
+	orig := loop.Instrs()[loop.FirstNonPhi()]
+	dup := &Instr{Op: OpAdd, Typ: I64, id: orig.id}
+	dup.AddArg(ConstInt(I64, 1))
+	dup.AddArg(ConstInt(I64, 2))
+	loop.InsertBefore(dup, loop.Term())
+	if err := Verify(f); err == nil {
+		t.Fatalf("Verify accepted duplicate instruction IDs")
+	}
+}

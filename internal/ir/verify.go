@@ -20,6 +20,9 @@ func Verify(f *Function) error {
 	if len(f.Entry().preds) != 0 {
 		return fmt.Errorf("verify %s: entry block has predecessors", f.Name)
 	}
+	if err := verifyUnique(f); err != nil {
+		return err
+	}
 	inFunc := map[*Block]bool{}
 	for _, b := range f.blocks {
 		inFunc[b] = true
@@ -191,7 +194,10 @@ func checkSig(in *Instr) error {
 			return fmt.Errorf("ret: too many operands")
 		}
 	case OpTrunc, OpZExt, OpSExt, OpSIToFP, OpFPToSI, OpFPExt, OpFPTrunc:
-		return nargs(1)
+		if err := nargs(1); err != nil {
+			return err
+		}
+		return checkConvSig(in)
 	case OpSqrt, OpFAbs, OpExp, OpLog, OpSin, OpCos, OpFloor:
 		if err := nargs(1); err != nil {
 			return err
@@ -213,6 +219,71 @@ func checkSig(in *Instr) error {
 		return nargs(0)
 	default:
 		return fmt.Errorf("unknown opcode %d", int(in.Op))
+	}
+	return nil
+}
+
+// checkConvSig checks the operand/result type relationship of a conversion.
+func checkConvSig(in *Instr) error {
+	from, to := in.args[0].Type(), in.Typ
+	bad := func() error {
+		return fmt.Errorf("%s: bad conversion %s -> %s", in.Op, from, to)
+	}
+	switch in.Op {
+	case OpTrunc:
+		if !from.IsInt() || !to.IsInt() || to.Bits() >= from.Bits() {
+			return bad()
+		}
+	case OpZExt, OpSExt:
+		if !from.IsInt() || !to.IsInt() || to.Bits() <= from.Bits() {
+			return bad()
+		}
+	case OpSIToFP:
+		if !from.IsInt() || !to.IsFloat() {
+			return bad()
+		}
+	case OpFPToSI:
+		if !from.IsFloat() || !to.IsInt() {
+			return bad()
+		}
+	case OpFPExt:
+		if from != F32 || to != F64 {
+			return bad()
+		}
+	case OpFPTrunc:
+		if from != F64 || to != F32 {
+			return bad()
+		}
+	}
+	return nil
+}
+
+// verifyUnique checks that no block appears twice in the block list and that
+// attached instructions carry function-unique IDs — the invariants a broken
+// clone/restore or a double Append would violate first.
+func verifyUnique(f *Function) error {
+	seenBlock := make(map[*Block]bool, len(f.blocks))
+	seenName := make(map[string]bool, len(f.blocks))
+	seenID := map[int]string{}
+	for _, b := range f.blocks {
+		if seenBlock[b] {
+			return fmt.Errorf("verify %s: block %s appears twice in the block list", f.Name, b.Name)
+		}
+		seenBlock[b] = true
+		if seenName[b.Name] {
+			return fmt.Errorf("verify %s: duplicate block name %s", f.Name, b.Name)
+		}
+		seenName[b.Name] = true
+		for _, in := range b.instrs {
+			if in.id == 0 {
+				continue // detached-then-reattached instrs may legally lack IDs mid-build
+			}
+			if prev, ok := seenID[in.id]; ok {
+				return fmt.Errorf("verify %s: instruction ID %d used by both %s and %s",
+					f.Name, in.id, prev, in.Ref())
+			}
+			seenID[in.id] = in.Ref()
+		}
 	}
 	return nil
 }

@@ -27,17 +27,28 @@ func Compile(src string) (*ir.Module, error) {
 	return m, nil
 }
 
+// CompileKernel compiles a single-kernel source, returning an error on a
+// parse/lowering failure or when the source does not define exactly one
+// kernel. Use this on any input that is not a compile-time constant.
+func CompileKernel(src string) (*ir.Function, error) {
+	m, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Funcs()) != 1 {
+		return nil, fmt.Errorf("lang: expected 1 kernel, got %d", len(m.Funcs()))
+	}
+	return m.Funcs()[0], nil
+}
+
 // MustCompileKernel compiles a single-kernel source, panicking on error;
 // intended for the benchmark kernel definitions, which are constant.
 func MustCompileKernel(src string) *ir.Function {
-	m, err := Compile(src)
+	f, err := CompileKernel(src)
 	if err != nil {
 		panic(err)
 	}
-	if len(m.Funcs()) != 1 {
-		panic(fmt.Sprintf("lang: expected 1 kernel, got %d", len(m.Funcs())))
-	}
-	return m.Funcs()[0]
+	return f
 }
 
 // LowerKernel lowers one parsed kernel to an IR function.

@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"testing"
+
+	"uu/internal/analysis"
+	"uu/internal/harden"
+	"uu/internal/lang"
+	"uu/internal/transform"
+)
+
+func optimized(t *testing.T, opts Options) (string, *Stats) {
+	t.Helper()
+	f, err := lang.CompileKernel(bsearchSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	stats, err := Optimize(f, opts)
+	if err != nil {
+		t.Fatalf("optimize %s: %v", opts.Config, err)
+	}
+	return f.String(), stats
+}
+
+func TestContainmentRecoversInjectedPanic(t *testing.T) {
+	clean, _ := optimized(t, Options{Config: UU, LoopID: 0, Factor: 2, VerifyEachPass: true})
+	got, stats := optimized(t, Options{
+		Config: UU, LoopID: 0, Factor: 2, VerifyEachPass: true, Contain: true,
+		Inject: []analysis.Pass{transform.ChaosPass(transform.ChaosPanic)},
+	})
+	if len(stats.Failures) != 1 {
+		t.Fatalf("want 1 contained failure, got %+v", stats.Failures)
+	}
+	pf := stats.Failures[0]
+	if pf.Kind != harden.FailurePanic || pf.Pass != "chaos-panic" {
+		t.Fatalf("unexpected failure record: %+v", pf)
+	}
+	if got != clean {
+		t.Fatalf("contained panic changed the compilation result:\n--- clean\n%s\n--- contained\n%s", clean, got)
+	}
+}
+
+func TestContainmentRollsBackVerifierRejection(t *testing.T) {
+	clean, _ := optimized(t, Options{Config: Baseline, VerifyEachPass: true})
+	got, stats := optimized(t, Options{
+		Config: Baseline, VerifyEachPass: true, Contain: true,
+		Inject: []analysis.Pass{transform.ChaosPass(transform.ChaosCorrupt)},
+	})
+	if len(stats.Failures) != 1 || stats.Failures[0].Kind != harden.FailureVerify {
+		t.Fatalf("want 1 verify failure, got %+v", stats.Failures)
+	}
+	if got != clean {
+		t.Fatalf("contained corruption changed the compilation result")
+	}
+	if stats.Failures[0].IR == "" {
+		t.Fatalf("failure record carries no reproducer IR")
+	}
+}
+
+func TestVerifyRejectionWithoutContainmentErrors(t *testing.T) {
+	f, err := lang.CompileKernel(bsearchSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	_, err = Optimize(f, Options{
+		Config: Baseline, VerifyEachPass: true,
+		Inject: []analysis.Pass{transform.ChaosPass(transform.ChaosCorrupt)},
+	})
+	if err == nil {
+		t.Fatalf("uncontained verifier rejection must surface as an error")
+	}
+}
+
+func TestContainmentHealthyPathByteIdentical(t *testing.T) {
+	for _, cfg := range Configs {
+		opts := Options{Config: cfg, LoopID: 0, Factor: 2, VerifyEachPass: true}
+		clean, cleanStats := optimized(t, opts)
+		opts.Contain = true
+		contained, stats := optimized(t, opts)
+		if len(stats.Failures) != 0 {
+			t.Fatalf("%s: healthy run recorded failures: %+v", cfg, stats.Failures)
+		}
+		if contained != clean {
+			t.Fatalf("%s: containment changed healthy output", cfg)
+		}
+		if len(stats.PassTimes) != len(cleanStats.PassTimes) {
+			t.Fatalf("%s: containment changed the pass schedule: %d vs %d entries",
+				cfg, len(stats.PassTimes), len(cleanStats.PassTimes))
+		}
+	}
+}
+
+func TestMiscompileInjectionEvadesVerifier(t *testing.T) {
+	// The chaos miscompile is verifier-clean by design: containment with
+	// verify-each must NOT catch it. This pins down why the differential
+	// oracle exists (harden/fuzz catches it; see that package's tests).
+	clean, _ := optimized(t, Options{Config: Baseline, VerifyEachPass: true})
+	got, stats := optimized(t, Options{
+		Config: Baseline, VerifyEachPass: true, Contain: true,
+		Inject: []analysis.Pass{transform.ChaosPass(transform.ChaosMiscompile)},
+	})
+	if len(stats.Failures) != 0 {
+		t.Fatalf("verifier unexpectedly caught the miscompile: %+v", stats.Failures)
+	}
+	if got == clean {
+		t.Fatalf("miscompile injection had no effect on the output")
+	}
+}
+
+func nonVerifyPasses(st *Stats) []string {
+	var names []string
+	for _, pt := range st.PassTimes {
+		if pt.Name != "verify" {
+			names = append(names, pt.Name)
+		}
+	}
+	return names
+}
+
+func TestStopAfterTruncatesPipeline(t *testing.T) {
+	_, full := optimized(t, Options{Config: UU, LoopID: 0, Factor: 2})
+	total := len(nonVerifyPasses(full))
+	if total < 6 {
+		t.Fatalf("pipeline unexpectedly short: %d invocations", total)
+	}
+	for _, k := range []int{1, 3, total} {
+		_, st := optimized(t, Options{Config: UU, LoopID: 0, Factor: 2, StopAfter: k})
+		got := nonVerifyPasses(st)
+		if len(got) != k {
+			t.Fatalf("StopAfter=%d ran %d invocations (%v)", k, len(got), got)
+		}
+		want := nonVerifyPasses(full)[:k]
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("StopAfter=%d invocation %d: got %s, want %s", k, i, got[i], want[i])
+			}
+		}
+	}
+	// A limit beyond the pipeline's length is a no-op.
+	_, st := optimized(t, Options{Config: UU, LoopID: 0, Factor: 2, StopAfter: total + 100})
+	if len(nonVerifyPasses(st)) != total {
+		t.Fatalf("oversized StopAfter changed the pipeline")
+	}
+}

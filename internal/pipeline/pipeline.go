@@ -20,6 +20,7 @@ import (
 
 	"uu/internal/analysis"
 	"uu/internal/core"
+	"uu/internal/harden"
 	"uu/internal/ir"
 	"uu/internal/transform"
 )
@@ -61,6 +62,24 @@ type Options struct {
 	DisableIfConvert bool
 	// VerifyEachPass runs the IR verifier after every pass (tests).
 	VerifyEachPass bool
+	// Contain runs every pass invocation under a harden.Guard: the IR is
+	// snapshotted before the pass, panics are recovered, and — with
+	// VerifyEachPass — verifier-rejected output is rolled back too. A
+	// contained failure skips the pass (the function keeps its pre-pass
+	// form), is recorded in Stats.Failures, and never aborts compilation.
+	Contain bool
+	// FailureDumpDir, when set with Contain, receives one pre-pass IR file
+	// per contained failure.
+	FailureDumpDir string
+	// Inject appends extra passes in their own phase right after
+	// canonicalization — the hook fault-injection tests and the fuzzer's
+	// pass bisection use to place a known-bad pass at a known position.
+	Inject []analysis.Pass
+	// StopAfter, when > 0, truncates the pipeline after that many pass
+	// invocations (the loop transformation counts as one). The fuzzer's
+	// reducer bisects this limit to find the first invocation after which
+	// a failure reproduces.
+	StopAfter int
 }
 
 // PhaseSpec declares one stage of the pipeline: an ordered pass list run up
@@ -112,6 +131,9 @@ type Stats struct {
 	// LoopTransformed reports whether the selected loop transformation
 	// actually applied (false for baseline or when it bailed out).
 	LoopTransformed bool
+	// Failures lists the pass failures contained during this compilation
+	// (Options.Contain). Empty on a healthy run.
+	Failures []harden.PassFailure
 }
 
 // PassTimeByName aggregates pass times by pass name.
@@ -157,13 +179,51 @@ type driver struct {
 	am   *analysis.AnalysisManager
 	st   *Stats
 	opts Options
+	// guard contains pass failures when Options.Contain is set (nil
+	// otherwise). invoked counts pass invocations for Options.StopAfter.
+	guard   *harden.Guard
+	invoked int
+}
+
+// limitReached consumes one invocation slot and reports whether the
+// StopAfter truncation point has been passed. Skipped invocations leave no
+// PassTimes entry, so Stats.PassTimes lists exactly what ran.
+func (d *driver) limitReached() bool {
+	if d.opts.StopAfter > 0 && d.invoked >= d.opts.StopAfter {
+		return true
+	}
+	d.invoked++
+	return false
 }
 
 // runPass executes one pass: time it, apply its invalidation declaration,
-// attribute the cache traffic to it, and optionally verify the IR.
+// attribute the cache traffic to it, and optionally verify the IR. Under
+// containment (Options.Contain) the invocation runs through the guard:
+// a panic or verifier rejection rolls the function back and is recorded
+// instead of propagating.
 func (d *driver) runPass(p analysis.Pass) (bool, error) {
+	if d.limitReached() {
+		return false, nil
+	}
 	before := d.am.Stats()
 	t0 := time.Now()
+	if d.guard != nil {
+		pa, vd, failed := d.guard.RunPass(p, d.f, d.am)
+		dur := time.Since(t0) - vd
+		d.am.Invalidate(pa)
+		d.st.PassTimes = append(d.st.PassTimes, PassTime{
+			Name:     p.Name(),
+			Duration: dur,
+			Changed:  pa.Changed(),
+			Cache:    d.am.Stats().Sub(before),
+		})
+		if vd > 0 {
+			d.st.VerifyTime += vd
+			d.st.PassTimes = append(d.st.PassTimes, PassTime{Name: "verify", Duration: vd})
+		}
+		_ = failed // recorded in the guard; aggregated into Stats at the end
+		return pa.Changed(), nil
+	}
 	pa := p.Run(d.f, d.am)
 	dur := time.Since(t0)
 	d.am.Invalidate(pa)
@@ -221,6 +281,9 @@ func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 	start := time.Now()
 	am := analysis.NewAnalysisManager(f)
 	d := &driver{f: f, am: am, st: st, opts: opts}
+	if opts.Contain {
+		d.guard = &harden.Guard{Verify: opts.VerifyEachPass, DumpDir: opts.FailureDumpDir}
+	}
 	gvnOpts := transform.DefaultGVNOptions()
 	if opts.GVN != nil {
 		gvnOpts = *opts.GVN
@@ -232,14 +295,31 @@ func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 		return st, err
 	}
 
+	// Injected passes (fault-injection tests, fuzz bisection) run in their
+	// own phase right after canonicalization.
+	if len(opts.Inject) > 0 {
+		if err := d.runPhase(PhaseSpec{"inject", opts.Inject, 1}); err != nil {
+			return st, err
+		}
+	}
+
 	// Phase 2: the loop transformation under evaluation, placed early. Its
 	// error (unknown loop, untransformable shape) does not stop the
 	// pipeline: the remaining phases still run and the error is returned at
 	// the end, so callers get both a diagnosis and a valid compilation.
 	skipAuto := map[*ir.Block]bool{}
 	loopErr := d.runLoopTransform(skipAuto)
-	if opts.VerifyEachPass {
-		if err := ir.Verify(f); err != nil {
+	if opts.VerifyEachPass && d.guard == nil {
+		// Under containment the guard already verified (and rolled back on
+		// rejection) inside runLoopTransform; here the rejection is fatal.
+		// Accounted like every other verify so the pass schedule is
+		// identical with and without containment.
+		v0 := time.Now()
+		err := ir.Verify(f)
+		vd := time.Since(v0)
+		st.VerifyTime += vd
+		st.PassTimes = append(st.PassTimes, PassTime{Name: "verify", Duration: vd})
+		if err != nil {
 			return st, fmt.Errorf("pipeline %s: after loop pass: %w", opts.Config, err)
 		}
 	}
@@ -283,6 +363,9 @@ func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 
 	st.Analysis = am.Stats()
 	st.CompileTime = time.Since(start)
+	if d.guard != nil {
+		st.Failures = d.guard.Failures()
+	}
 	if loopErr != nil {
 		return st, loopErr
 	}
@@ -296,11 +379,52 @@ func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 // with the transformation and conservatively invalidated afterwards: the
 // loop passes normalize loops (preheader/LCSSA) even when they fail.
 func (d *driver) runLoopTransform(skipAuto map[*ir.Block]bool) error {
+	if d.limitReached() {
+		return nil
+	}
 	f, st, opts := d.f, d.st, d.opts
 	markSkip := func(header *ir.Block) { skipAuto[header] = true }
 	var loopErr error
 	before := d.am.Stats()
 	t0 := time.Now()
+	var verifyDur time.Duration
+	run := func() analysis.PreservedAnalyses {
+		d.loopTransformBody(skipAuto, markSkip, &loopErr)
+		return analysis.If(st.LoopTransformed, analysis.PreserveNone())
+	}
+	if d.guard != nil {
+		var failed bool
+		_, verifyDur, failed = d.guard.Run(string(opts.Config)+"-loop-pass", f, d.am, run)
+		if failed {
+			// The rollback undid any partial transformation; report the
+			// loop as untouched so auto-unroll and the harness see the
+			// degraded-to-baseline truth. Stale skipAuto entries point at
+			// dead pre-rollback blocks and match nothing.
+			st.LoopTransformed = false
+			st.Decisions = nil
+			loopErr = nil
+		}
+	} else {
+		run()
+	}
+	st.PassTimes = append(st.PassTimes, PassTime{
+		Name:     string(opts.Config) + "-loop-pass",
+		Duration: time.Since(t0) - verifyDur,
+		Changed:  st.LoopTransformed,
+		Cache:    d.am.Stats().Sub(before),
+	})
+	if verifyDur > 0 {
+		st.VerifyTime += verifyDur
+		st.PassTimes = append(st.PassTimes, PassTime{Name: "verify", Duration: verifyDur})
+	}
+	return loopErr
+}
+
+// loopTransformBody is the config-specific switch, factored out so the
+// guard can run it under containment.
+func (d *driver) loopTransformBody(skipAuto map[*ir.Block]bool, markSkip func(*ir.Block), loopErrOut *error) {
+	f, st, opts := d.f, d.st, d.opts
+	var loopErr error
 	switch opts.Config {
 	case Baseline:
 		// nothing
@@ -350,13 +474,7 @@ func (d *driver) runLoopTransform(skipAuto map[*ir.Block]bool) error {
 			markSkip(dec.Header)
 		}
 	}
-	st.PassTimes = append(st.PassTimes, PassTime{
-		Name:     string(opts.Config) + "-loop-pass",
-		Duration: time.Since(t0),
-		Changed:  st.LoopTransformed,
-		Cache:    d.am.Stats().Sub(before),
-	})
-	return loopErr
+	*loopErrOut = loopErr
 }
 
 func (d *driver) headerOfLoop(id int) (*ir.Block, error) {

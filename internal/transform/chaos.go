@@ -1,0 +1,69 @@
+package transform
+
+import (
+	"uu/internal/analysis"
+	"uu/internal/ir"
+)
+
+// ChaosMode selects which failure a ChaosPass injects.
+type ChaosMode string
+
+// The three injected failure shapes, one per containment layer: a crash
+// (recover), structurally invalid IR (verify-each), and a semantics-only
+// miscompile that only a differential oracle can see.
+const (
+	// ChaosPanic panics mid-pass after a partial (still well-formed)
+	// mutation, exercising recover + rollback.
+	ChaosPanic ChaosMode = "panic"
+	// ChaosCorrupt detaches a terminator: the pass returns normally but
+	// leaves IR the verifier rejects.
+	ChaosCorrupt ChaosMode = "corrupt"
+	// ChaosMiscompile flips the predicate of the first branch-feeding
+	// comparison: verifier-clean, wrong answers — visible only to the
+	// differential oracle.
+	ChaosMiscompile ChaosMode = "miscompile"
+)
+
+// ChaosPass returns a deliberately-broken pass used by fault-injection
+// tests and the fuzzer's self-checks. It is never part of a real pipeline.
+func ChaosPass(mode ChaosMode) analysis.Pass {
+	return NewPass("chaos-"+string(mode), func(f *ir.Function, am *analysis.AnalysisManager) analysis.PreservedAnalyses {
+		switch mode {
+		case ChaosPanic:
+			if e := f.Entry(); e != nil && e.NumInstrs() > 1 {
+				// A partial, well-formed mutation first, so rollback (not
+				// just recovery) is what restores the function.
+				e.Term().SetName("doomed")
+			}
+			panic("chaos: injected panic")
+		case ChaosCorrupt:
+			for _, b := range f.Blocks() {
+				if t := b.Term(); t != nil {
+					b.Remove(t)
+					return analysis.PreserveNone()
+				}
+			}
+		case ChaosMiscompile:
+			for _, b := range f.Blocks() {
+				for _, in := range b.Instrs() {
+					if in.Op != ir.OpICmp && in.Op != ir.OpFCmp {
+						continue
+					}
+					feedsBranch := false
+					for _, u := range in.Users() {
+						if u.Op == ir.OpCondBr {
+							feedsBranch = true
+							break
+						}
+					}
+					if !feedsBranch {
+						continue
+					}
+					in.Pred = in.Pred.Inverse()
+					return analysis.PreserveCFG()
+				}
+			}
+		}
+		return analysis.Unchanged()
+	})
+}

@@ -1163,3 +1163,81 @@ m:
 		t.Fatalf("phi incoming not moved to the split block")
 	}
 }
+
+// sharedExitSrc has two sequential do-while loops where the first loop's
+// only exit block is the second loop's header: %h2 is reached both from
+// inside loop 1 (via %h1) and from outside it (its own backedge). Before
+// exits were made dedicated, EnsureLCSSA placed the %i2 LCSSA phi directly
+// in %h2 with a def incoming for the backedge pred, so after unrolling the
+// phi re-read a stale pre-unroll value on every loop-2 iteration.
+const sharedExitSrc = `
+func @shared(i64 %n) -> i64 {
+entry:
+  br %h1
+h1:
+  %i = phi i64 [ 0, %entry ], [ %i2, %h1 ]
+  %i2 = add i64 %i, i64 1
+  %c1 = icmp slt i64 %i2, i64 %n
+  condbr i1 %c1, %h1, %h2
+h2:
+  %j = phi i64 [ 0, %h1 ], [ %j2, %h2 ]
+  %j2 = add i64 %j, i64 1
+  %c2 = icmp slt i64 %j2, i64 3
+  condbr i1 %c2, %h2, %exit
+exit:
+  %s = add i64 %j2, i64 %i2
+  ret i64 %s
+}
+`
+
+func TestEnsureDedicatedExits(t *testing.T) {
+	f := parse(t, sharedExitSrc)
+	li := analysis.NewLoopInfo(f, analysis.NewDomTree(f))
+	l := li.Loops[0]
+	if l.Header.Name != "h1" {
+		l = li.Loops[1]
+	}
+	if !EnsureDedicatedExits(f, l) {
+		t.Fatalf("shared exit not split")
+	}
+	mustVerify(t, f, "dedicated exits")
+	for _, e := range l.ExitBlocks() {
+		for _, p := range e.Preds() {
+			if !l.Contains(p) {
+				t.Fatalf("exit %s still has out-of-loop pred %s:\n%s", e.Name, p.Name, f.String())
+			}
+		}
+	}
+	if EnsureDedicatedExits(f, l) {
+		t.Fatalf("second EnsureDedicatedExits changed the CFG")
+	}
+}
+
+func TestUnrollLoopSharedExitHeader(t *testing.T) {
+	for _, factor := range []int{2, 3, 4} {
+		for n := int64(1); n <= 9; n++ {
+			ref := parse(t, sharedExitSrc)
+			want, err := interp.Run(ref, []interp.Value{interp.IntVal(n)}, interp.NewMemory(0), interp.Env{})
+			if err != nil {
+				t.Fatalf("ref interp n=%d: %v", n, err)
+			}
+			f := parse(t, sharedExitSrc)
+			li := analysis.NewLoopInfo(f, analysis.NewDomTree(f))
+			l := li.Loops[0]
+			if l.Header.Name != "h1" {
+				l = li.Loops[1]
+			}
+			if !UnrollLoop(f, l, factor) {
+				t.Fatalf("unroll by %d failed", factor)
+			}
+			mustVerify(t, f, "unroll shared-exit loop")
+			got, err := interp.Run(f, []interp.Value{interp.IntVal(n)}, interp.NewMemory(0), interp.Env{})
+			if err != nil {
+				t.Fatalf("interp factor=%d n=%d: %v\n%s", factor, n, err, f.String())
+			}
+			if got.I != want.I {
+				t.Fatalf("factor=%d n=%d: got %d want %d\n%s", factor, n, got.I, want.I, f.String())
+			}
+		}
+	}
+}

@@ -86,11 +86,71 @@ func SplitCriticalEdge(f *ir.Function, from, to *ir.Block) *ir.Block {
 	return mid
 }
 
+// EnsureDedicatedExits gives l dedicated exit blocks: every exit block's
+// predecessors all lie inside the loop (LLVM's loop-simplify invariant).
+// An exit that is also reachable from outside the loop — e.g. a following
+// loop's header whose backedge re-enters it — is split, rerouting the
+// in-loop edges through a fresh forwarding block that becomes the exit.
+// Without this an LCSSA phi placed in the shared block would need an
+// incoming value for the outside edges, and no correct one exists: on a
+// re-entry edge the phi must keep its previous value, which a plain
+// def-per-pred phi cannot express. Returns true if the CFG changed.
+func EnsureDedicatedExits(f *ir.Function, l *analysis.Loop) bool {
+	changed := false
+	for _, e := range l.ExitBlocks() {
+		var inPreds, outPreds []*ir.Block
+		for _, p := range e.Preds() {
+			if l.Contains(p) {
+				inPreds = append(inPreds, p)
+			} else {
+				outPreds = append(outPreds, p)
+			}
+		}
+		if len(outPreds) == 0 {
+			continue
+		}
+		ded := f.NewBlock(e.Name + ".dexit")
+		// Move the in-loop incomings of e's phis into phis in the dedicated
+		// block (or pass a unique value through directly).
+		phis := append([]*ir.Instr(nil), e.Phis()...)
+		for i := len(phis) - 1; i >= 0; i-- {
+			phi := phis[i]
+			var v ir.Value
+			if len(inPreds) == 1 {
+				v = phi.PhiIncoming(inPreds[0])
+			} else {
+				nphi := ir.NewInstr(ir.OpPhi, phi.Type())
+				if phi.Name() != "" {
+					nphi.SetName(phi.Name() + ".de")
+				}
+				ded.InsertAtFront(nphi)
+				for _, p := range inPreds {
+					nphi.PhiAddIncoming(phi.PhiIncoming(p), p)
+				}
+				v = nphi
+			}
+			for _, p := range inPreds {
+				phi.PhiRemoveIncoming(p)
+			}
+			phi.PhiAddIncoming(v, ded)
+		}
+		ir.NewBuilder(ded).Br(e)
+		for _, p := range inPreds {
+			p.ReplaceSucc(e, ded)
+		}
+		changed = true
+	}
+	return changed
+}
+
 // EnsureLCSSA puts l into loop-closed SSA form: every value defined inside
 // the loop that is used outside it is routed through a phi in the exit block
 // that the use reaches. Loop transforms (unrolling, unmerging) rely on this
 // so that duplicating the body only requires fixing exit-block phis.
+// Exits are first made dedicated (see EnsureDedicatedExits) so that every
+// exit-block predecessor lies inside the loop.
 func EnsureLCSSA(f *ir.Function, l *analysis.Loop) {
+	EnsureDedicatedExits(f, l)
 	exitSet := map[*ir.Block]bool{}
 	for _, e := range l.ExitBlocks() {
 		exitSet[e] = true
