@@ -21,6 +21,7 @@ import (
 	"uu/internal/bench"
 	"uu/internal/gpusim"
 	"uu/internal/pipeline"
+	"uu/internal/remark"
 )
 
 func main() {
@@ -43,6 +44,8 @@ func main() {
 		simWorkers = flag.Int("sim-workers", 1, "warp-scheduling workers per simulation (metrics are identical for any count)")
 		contain    = flag.Bool("contain", false, "run every compilation under the crash-containment guard: a crashing pass is rolled back and skipped instead of aborting the campaign")
 		verifyEach = flag.Bool("verify-each", false, "run the IR verifier after every pass (a rejected pass counts as a contained failure with -contain)")
+		remarksStr = flag.String("remarks", "", "collect optimization remarks and write them as remarks.yaml: all|passed|missed|analysis (comma-separable); deterministic across -workers/-sim-workers counts")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON of the whole campaign (compiles, passes, simulations) to this file")
 	)
 	flag.Parse()
 	if *all {
@@ -59,6 +62,20 @@ func main() {
 		SimWorkers: *simWorkers,
 		Contain:    *contain,
 		VerifyEach: *verifyEach,
+	}
+	var remarkKinds map[remark.Kind]bool
+	if *remarksStr != "" {
+		kinds, err := remark.ParseKinds(*remarksStr)
+		if err != nil {
+			fatal(err)
+		}
+		remarkKinds = kinds
+		opts.Remarks = true
+	}
+	var trace *remark.Trace
+	if *tracePath != "" {
+		trace = remark.NewTrace()
+		opts.Trace = trace
 	}
 	if *appsCSV != "" {
 		opts.Apps = strings.Split(*appsCSV, ",")
@@ -161,6 +178,26 @@ func main() {
 			}
 		}
 		done()
+	}
+
+	if opts.Remarks && res != nil {
+		w, done := sink("remarks.yaml")
+		if err := remark.WriteYAML(w, res.Remarks, remarkKinds); err != nil {
+			fatal(err)
+		}
+		done()
+	}
+	if trace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	// Artifacts produced under contained failures describe degraded

@@ -35,6 +35,7 @@ import (
 	"uu/internal/irparse"
 	"uu/internal/lang"
 	"uu/internal/pipeline"
+	"uu/internal/remark"
 	"uu/internal/transform"
 )
 
@@ -52,6 +53,8 @@ func main() {
 		noOpt     = flag.Bool("O0", false, "skip the pipeline entirely (frontend output)")
 		passTimes = flag.Bool("pass-times", false, "print per-pass wall-clock times")
 		passStats = flag.Bool("pass-stats", false, "print the full pass log: per-pass time, changed bit, cache traffic, fixpoint rounds")
+		remarks   = flag.String("remarks", "", "emit optimization remarks to stderr as a YAML document stream: all|passed|missed|analysis (comma-separable)")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the compilation to this file (load in Perfetto or chrome://tracing)")
 
 		fuzzN      = flag.Int("fuzz", 0, "run a differential fuzzing campaign over this many generated kernels, then exit")
 		fuzzSeed   = flag.Int64("seed", 1, "first seed of the fuzzing campaign")
@@ -78,6 +81,21 @@ func main() {
 		return
 	}
 
+	var remarkKinds map[remark.Kind]bool
+	var collector *remark.Collector
+	if *remarks != "" {
+		kinds, err := remark.ParseKinds(*remarks)
+		if err != nil {
+			fatal(err)
+		}
+		remarkKinds = kinds
+		collector = remark.NewCollector()
+	}
+	var trace *remark.Trace
+	if *tracePath != "" {
+		trace = remark.NewTrace()
+	}
+
 	if !*noOpt {
 		opts := pipeline.Options{
 			Config:           pipeline.Config(*config),
@@ -85,6 +103,8 @@ func main() {
 			Factor:           *factor,
 			DisableIfConvert: *noIfConv,
 			VerifyEachPass:   true,
+			Remarks:          collector,
+			Trace:            trace,
 		}
 		opts.Unmerge.DirectSuccessorOnly = *direct
 		stats, err := pipeline.Optimize(f, opts)
@@ -106,11 +126,19 @@ func main() {
 		}
 	}
 
+	if collector != nil {
+		if err := remark.WriteYAML(os.Stderr, collector.Remarks(), remarkKinds); err != nil {
+			fatal(err)
+		}
+	}
+
 	switch *emit {
 	case "ir":
 		fmt.Print(f.String())
 	case "vptx":
+		done := trace.Span(0, "codegen:"+f.Name, "codegen")
 		p, err := codegen.Lower(f)
+		done()
 		if err != nil {
 			fatal(err)
 		}
@@ -133,6 +161,25 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -emit %q", *emit))
 	}
+
+	if trace != nil {
+		if err := writeTrace(trace, *tracePath); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTrace dumps a recorded trace as Chrome trace_event JSON.
+func writeTrace(tr *remark.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printPassStats writes the instrumented pass log to stderr: every pass

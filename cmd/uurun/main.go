@@ -21,6 +21,7 @@ import (
 	"uu/internal/interp"
 	"uu/internal/lang"
 	"uu/internal/pipeline"
+	"uu/internal/remark"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		loopID    = flag.Int("loop", 0, "loop id for per-loop configs")
 		factor    = flag.Int("factor", 2, "unroll factor")
 		verify    = flag.Bool("verify", false, "check results against the reference interpreter (suite benchmarks only)")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the compile and simulation to this file")
 	)
 	flag.Parse()
 
@@ -46,10 +48,31 @@ func main() {
 		return
 	}
 
+	var trace *remark.Trace
+	if *tracePath != "" {
+		trace = remark.NewTrace()
+	}
+	writeTrace := func() {
+		if trace == nil {
+			return
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
 	opts := pipeline.Options{
 		Config: pipeline.Config(*config),
 		LoopID: *loopID,
 		Factor: *factor,
+		Trace:  trace,
 	}
 	dev := gpusim.V100()
 
@@ -69,7 +92,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		m, err := bench.Execute(cr, w, dev, ref)
+		m, err := bench.ExecuteWorkersTraced(cr, w, dev, ref, 1, trace, 0)
 		if err != nil {
 			fatal(err)
 		}
@@ -77,6 +100,7 @@ func main() {
 			fmt.Println("verification: OK")
 		}
 		report(m, dev, cr.Program)
+		writeTrace()
 		return
 	}
 
@@ -98,7 +122,9 @@ func main() {
 	if _, err := pipeline.Optimize(f, opts); err != nil {
 		fatal(err)
 	}
+	done := trace.Span(0, "codegen:"+f.Name, "codegen")
 	prog, err := codegen.Lower(f)
+	done()
 	if err != nil {
 		fatal(err)
 	}
@@ -107,11 +133,12 @@ func main() {
 		fatal(err)
 	}
 	mem := interp.NewMemory(*memSize)
-	metrics, err := gpusim.Run(prog, args, mem, gpusim.Launch{GridDim: *grid, BlockDim: *block}, dev)
+	metrics, err := gpusim.RunWorkersTraced(prog, args, mem, gpusim.Launch{GridDim: *grid, BlockDim: *block}, dev, 1, trace, 0)
 	if err != nil {
 		fatal(err)
 	}
 	report(metrics, dev, prog)
+	writeTrace()
 }
 
 func parseArgs(spec string) ([]interp.Value, error) {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"uu/internal/ir"
+	"uu/internal/remark"
 )
 
 // AnalysisID identifies one per-function analysis managed by the
@@ -193,6 +194,12 @@ type AnalysisManager struct {
 	alias       *AliasInfo
 
 	stats CacheStats
+
+	// remarks is the compilation's optimization-remark sink. The manager
+	// carries it so every pass reaches the sink through the *AnalysisManager
+	// it already receives, without widening the Pass interface. Nil (the
+	// default) disables emission.
+	remarks *remark.Collector
 }
 
 // NewAnalysisManager returns an empty manager for f.
@@ -202,6 +209,15 @@ func NewAnalysisManager(f *ir.Function) *AnalysisManager {
 
 // Function returns the function the manager is bound to.
 func (am *AnalysisManager) Function() *ir.Function { return am.f }
+
+// SetRemarks attaches the compilation's remark sink. Passing nil disables
+// emission (the default).
+func (am *AnalysisManager) SetRemarks(c *remark.Collector) { am.remarks = c }
+
+// Remarks returns the attached remark sink; nil means disabled. Emission
+// sites guard on Remarks().Enabled() — safe on the nil collector — before
+// building a remark.
+func (am *AnalysisManager) Remarks() *remark.Collector { return am.remarks }
 
 func (am *AnalysisManager) hit(id AnalysisID) bool {
 	if am.valid[id] {

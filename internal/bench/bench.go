@@ -14,6 +14,7 @@ import (
 	"uu/internal/ir"
 	"uu/internal/lang"
 	"uu/internal/pipeline"
+	"uu/internal/remark"
 )
 
 // Region describes an output range used for verification.
@@ -163,7 +164,9 @@ func Compile(b *Benchmark, opts pipeline.Options) (*CompileResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench %s (%s): %w", b.Name, opts.Config, err)
 	}
+	done := opts.Trace.Span(opts.TraceTID, "codegen:"+f.Name, "codegen")
 	prog, err := codegen.Lower(f)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("bench %s (%s): %w", b.Name, opts.Config, err)
 	}
@@ -179,12 +182,18 @@ func Execute(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, verifyAgai
 // ExecuteWorkers is Execute with an explicit simulator warp-scheduling
 // worker count (gpusim.RunWorkers); metrics are identical for any count.
 func ExecuteWorkers(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, verifyAgainst *interp.Memory, workers int) (*gpusim.Metrics, error) {
+	return ExecuteWorkersTraced(cr, w, cfg, verifyAgainst, workers, nil, 0)
+}
+
+// ExecuteWorkersTraced is ExecuteWorkers with launch spans and a metrics
+// counter sample recorded into tr on lane tid (nil tr disables tracing).
+func ExecuteWorkersTraced(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, verifyAgainst *interp.Memory, workers int, tr *remark.Trace, tid int) (*gpusim.Metrics, error) {
 	mem := w.NewMemory()
 	launch := w.Launch
 	if verifyAgainst != nil {
 		launch.SampleWarps = 0 // full run required for verification
 	}
-	m, err := gpusim.RunWorkers(cr.Program, w.Args, mem, launch, cfg, workers)
+	m, err := gpusim.RunWorkersTraced(cr.Program, w.Args, mem, launch, cfg, workers, tr, tid)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"uu/internal/pipeline"
+	"uu/internal/remark"
 )
 
 // BenchmarkPipelineCompile measures per-kernel compile time through the
@@ -32,6 +33,42 @@ func BenchmarkPipelineCompileUU(b *testing.B) {
 		b.Run(app.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := Compile(app, pipeline.Options{Config: pipeline.UU, LoopID: 0, Factor: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineCompileRemarks measures the same u&u compile with the
+// sinks in each state, so the disabled-path overhead can be read directly:
+//
+//	go test ./internal/bench -bench CompileRemarks -count 10
+//
+// The "off" variant is the bound the remark layer must hold — every
+// emission site is a nil check and nothing else, so compile time with a nil
+// sink must stay within noise (<2%) of the pre-remark pipeline.
+func BenchmarkPipelineCompileRemarks(b *testing.B) {
+	app := ByName("xsbench")
+	for _, tc := range []struct {
+		name string
+		opts func() pipeline.Options
+	}{
+		{"off", func() pipeline.Options {
+			return pipeline.Options{Config: pipeline.UU, LoopID: 0, Factor: 2}
+		}},
+		{"on", func() pipeline.Options {
+			return pipeline.Options{Config: pipeline.UU, LoopID: 0, Factor: 2,
+				Remarks: remark.NewCollector()}
+		}},
+		{"on+trace", func() pipeline.Options {
+			return pipeline.Options{Config: pipeline.UU, LoopID: 0, Factor: 2,
+				Remarks: remark.NewCollector(), Trace: remark.NewTrace()}
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(app, tc.opts()); err != nil {
 					b.Fatal(err)
 				}
 			}

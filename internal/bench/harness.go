@@ -15,6 +15,7 @@ import (
 	"uu/internal/harden"
 	"uu/internal/interp"
 	"uu/internal/pipeline"
+	"uu/internal/remark"
 )
 
 // RunRecord is one (application, configuration, loop, factor) measurement.
@@ -36,6 +37,10 @@ type RunRecord struct {
 	// failures still produced a program — the failing passes were rolled
 	// back and skipped — but its numbers describe that degraded pipeline.
 	Failures []harden.PassFailure
+	// Remarks is this run's optimization-remark stream, in emission order
+	// (HarnessOptions.Remarks). The final entry is the gpusim SimMetrics
+	// remark for runs that simulated.
+	Remarks []remark.Remark
 }
 
 // Speedup returns base.Millis / r.Millis (the paper's speedup definition,
@@ -58,6 +63,11 @@ type Results struct {
 	// Failures aggregates every contained pass failure across the sweep
 	// (see RunRecord.Failures); empty unless HarnessOptions.Contain.
 	Failures []harden.PassFailure
+	// Remarks is every run's remark stream concatenated in campaign order
+	// (HarnessOptions.Remarks). Each run emits into its own collector, so
+	// this assembled stream is byte-identical for any Workers/SimWorkers
+	// count.
+	Remarks []remark.Remark
 }
 
 // HarnessOptions configures an experiment sweep.
@@ -92,6 +102,13 @@ type HarnessOptions struct {
 	// Inject appends extra passes to every compilation — the fault
 	// injection hook the end-to-end containment tests use.
 	Inject []analysis.Pass
+	// Remarks collects every run's optimization remarks (RunRecord.Remarks,
+	// Results.Remarks). Off by default: a disabled sink costs nothing.
+	Remarks bool
+	// Trace, when non-nil, records wall-clock spans for every compilation
+	// and simulation. Each harness worker tags its spans with its worker
+	// index as the trace lane.
+	Trace *remark.Trace
 }
 
 // harnessJob is one planned (application, configuration, loop, factor)
@@ -207,16 +224,16 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				idx := int(next.Add(1)) - 1
 				if idx >= len(jobs) {
 					return
 				}
-				recs[idx], errs[idx] = runJob(&jobs[idx], dev, simWorkers, logf)
+				recs[idx], errs[idx] = runJob(&jobs[idx], dev, simWorkers, logf, &opts, worker)
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -225,10 +242,13 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 		}
 	}
 
-	// Assemble in campaign order.
+	// Assemble in campaign order. Remarks concatenate here — not as the
+	// workers finish — which is what makes the assembled stream independent
+	// of the worker count.
 	for i := range jobs {
 		j, rec := &jobs[i], recs[i]
 		res.Failures = append(res.Failures, rec.Failures...)
+		res.Remarks = append(res.Remarks, rec.Remarks...)
 		switch {
 		case j.isBaseline:
 			res.Baseline[j.b.Name] = rec
@@ -245,11 +265,22 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 // recorded as skipped, not an error), simulate, optionally verify against
 // the oracle. Execution failures are fatal — they mean a miscompilation or
 // a simulator bug, not an expected bail-out.
-func runJob(j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(string, ...any)) (*RunRecord, error) {
+func runJob(j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(string, ...any), hopts *HarnessOptions, worker int) (*RunRecord, error) {
 	rec := &RunRecord{App: j.b.Name, Config: j.cfg.Config, LoopID: j.loopID, Factor: j.factor}
-	cr, err := Compile(j.b, j.cfg)
+	// Copy the planned options before attaching per-run sinks: jobs are
+	// shared planning state and must stay immutable once the pool starts.
+	cfg := j.cfg
+	var rc *remark.Collector
+	if hopts.Remarks {
+		rc = remark.NewCollector()
+		cfg.Remarks = rc
+	}
+	cfg.Trace = hopts.Trace
+	cfg.TraceTID = worker
+	cr, err := Compile(j.b, cfg)
 	if err != nil {
 		rec.Skipped = err.Error()
+		rec.Remarks = rc.Remarks()
 		return rec, nil
 	}
 	rec.CompileMs = float64((cr.Stats.CompileTime - cr.Stats.VerifyTime).Microseconds()) / 1000
@@ -257,12 +288,28 @@ func runJob(j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(st
 	rec.Decisions = cr.Stats.Decisions
 	rec.PassTimes = cr.Stats.PassTimeByName()
 	rec.Failures = cr.Stats.Failures
-	m, err := ExecuteWorkers(cr, j.w, dev, j.ref, simWorkers)
+	m, err := ExecuteWorkersTraced(cr, j.w, dev, j.ref, simWorkers, hopts.Trace, worker)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s %s loop %d u%d: %w", j.b.Name, j.cfg.Config, j.loopID, j.factor, err)
 	}
 	rec.Metrics = m
 	rec.Millis = m.KernelMillis(dev)
+	if rc.Enabled() {
+		// Metrics are identical for any SimWorkers count, so this remark is
+		// as deterministic as the compile-time ones.
+		rc.Emit(remark.Remark{Kind: remark.Analysis, Pass: "gpusim", Name: "SimMetrics",
+			Function: cr.Func.Name, Args: []remark.Arg{
+				remark.Int("Cycles", m.Cycles),
+				remark.Int("WarpInstrs", m.WarpInstrs),
+				remark.Int("ThreadInstrs", m.ThreadInstrs),
+				remark.Float("WarpExecutionEfficiency", m.WarpExecutionEfficiency(dev)),
+				remark.Int("GldTransactions", m.GldTransactions),
+				remark.Int("GstTransactions", m.GstTransactions),
+				remark.Int("StallInstFetch", m.StallInstFetch),
+				remark.Int("DepStallCycles", m.DepStallCycles),
+			}})
+	}
+	rec.Remarks = rc.Remarks()
 	logf("%-16s %-12s loop=%-3d u=%-2d %10.4f ms  code=%6d B  compile=%7.2f ms",
 		j.b.Name, j.cfg.Config, j.loopID, j.factor, rec.Millis, rec.CodeBytes, rec.CompileMs)
 	return rec, nil

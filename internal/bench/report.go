@@ -9,16 +9,31 @@ import (
 	"uu/internal/pipeline"
 )
 
-// geomean returns the geometric mean of xs (1.0 for empty input).
-func geomean(xs []float64) float64 {
+// geomean returns the geometric mean of xs. ok is false when the mean is
+// undefined — empty input, or any non-positive/non-finite ratio (a skipped
+// run can leave a 0 speedup; log would turn it into -Inf and poison the
+// whole mean).
+func geomean(xs []float64) (v float64, ok bool) {
 	if len(xs) == 0 {
-		return 1
+		return 0, false
 	}
 	s := 0.0
 	for _, x := range xs {
+		if x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			return 0, false
+		}
 		s += math.Log(x)
 	}
-	return math.Exp(s / float64(len(xs)))
+	return math.Exp(s / float64(len(xs))), true
+}
+
+// fmtGeomean renders a geomean value, or "n/a" when it is undefined.
+func fmtGeomean(xs []float64) string {
+	v, ok := geomean(xs)
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", v)
 }
 
 func appsOf(r *Results) []string {
@@ -79,7 +94,7 @@ func WriteFig6a(w io.Writer, r *Results) {
 			fmt.Fprintf(w, "\n")
 		}
 	}
-	fmt.Fprintf(w, "heuristic geomean speedup: %.3f\n", geomean(heurSpeedups))
+	fmt.Fprintf(w, "heuristic geomean speedup: %s\n", fmtGeomean(heurSpeedups))
 }
 
 // WriteFig6b renders Figure 6b: code size increase over baseline.
@@ -138,7 +153,7 @@ func writeRatioFigure(w io.Writer, r *Results, title string,
 			fmt.Fprintf(w, "\n")
 		}
 	}
-	fmt.Fprintf(w, "heuristic geomean: %.3f\n", geomean(heurRatios))
+	fmt.Fprintf(w, "heuristic geomean: %s\n", fmtGeomean(heurRatios))
 }
 
 // WriteFig7 renders Figure 7: the best per-loop speedup per application for

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"io"
+	"math"
 	"strings"
 	"testing"
 
@@ -107,11 +108,21 @@ func TestResultsAccessors(t *testing.T) {
 }
 
 func TestGeomean(t *testing.T) {
-	if g := geomean(nil); g != 1 {
-		t.Fatalf("geomean(nil) = %v", g)
+	if g, ok := geomean([]float64{2, 8}); !ok || g != 4 {
+		t.Fatalf("geomean(2,8) = %v, %v, want 4, true", g, ok)
 	}
-	if g := geomean([]float64{2, 8}); g != 4 {
-		t.Fatalf("geomean(2,8) = %v, want 4", g)
+	// Undefined cases: empty input, a zero ratio (a skipped run's 0
+	// speedup used to drive the mean to -Inf), and non-finite poison.
+	for _, xs := range [][]float64{nil, {}, {1, 0, 2}, {-1}, {math.Inf(1)}, {math.NaN()}} {
+		if g, ok := geomean(xs); ok {
+			t.Fatalf("geomean(%v) = %v, want undefined", xs, g)
+		}
+	}
+	if s := fmtGeomean(nil); s != "n/a" {
+		t.Fatalf("fmtGeomean(nil) = %q, want n/a", s)
+	}
+	if s := fmtGeomean([]float64{2, 8}); s != "4.000" {
+		t.Fatalf("fmtGeomean(2,8) = %q", s)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"uu/internal/analysis"
 	"uu/internal/ir"
+	"uu/internal/remark"
 )
 
 // HeuristicParams are the knobs of the paper's selection heuristic
@@ -51,22 +52,42 @@ func heuristicDecide(f *ir.Function, am *analysis.AnalysisManager, params Heuris
 		div = am.Divergence()
 	}
 
+	rc := am.Remarks()
+	missed := func(l *analysis.Loop, name string, args ...remark.Arg) {
+		if !rc.Enabled() {
+			return
+		}
+		rc.Emit(remark.Remark{
+			Kind: remark.Missed, Pass: "uu-heuristic", Name: name,
+			Function: f.Name, Block: l.Header.Name,
+			Args: append([]remark.Arg{remark.Int("Loop", int64(l.ID))}, args...),
+		})
+	}
+
 	chosen := map[*analysis.Loop]bool{}
 	var decisions []Decision
 	// Innermost-first: loops are ordered outer-first, so iterate backwards.
 	for i := len(li.Loops) - 1; i >= 0; i-- {
 		l := li.Loops[i]
 		if hasChosenDescendant(l, chosen) {
+			missed(l, "InnerLoopChosen")
 			continue
 		}
-		if l.HasConvergentOp() || l.Latch() == nil {
+		if l.HasConvergentOp() {
+			missed(l, "ConvergentOp")
+			continue
+		}
+		if l.Latch() == nil {
+			missed(l, "MultipleLatches")
 			continue
 		}
 		if div != nil && div.LoopHasDivergentBranch(l) {
+			missed(l, "DivergentBranch")
 			continue
 		}
 		p := analysis.CountPaths(l)
 		if p < 2 {
+			missed(l, "SinglePath")
 			continue // nothing to unmerge
 		}
 		s := analysis.LoopSize(l)
@@ -79,6 +100,11 @@ func heuristicDecide(f *ir.Function, am *analysis.AnalysisManager, params Heuris
 			}
 		}
 		if factor == 0 {
+			missed(l, "SizeOverBudget",
+				remark.Int("Paths", int64(p)),
+				remark.Int("Size", int64(s)),
+				remark.Int("EstimatedAtUMin", analysis.UnmergedSize(p, s, 2)),
+				remark.Int("C", int64(params.C)))
 			continue
 		}
 		chosen[l] = true
@@ -86,6 +112,20 @@ func heuristicDecide(f *ir.Function, am *analysis.AnalysisManager, params Heuris
 			LoopID: l.ID, Header: l.Header, Factor: factor,
 			Paths: p, Size: s, Estimated: est,
 		})
+		if rc.Enabled() {
+			rc.Emit(remark.Remark{
+				Kind: remark.Passed, Pass: "uu-heuristic", Name: "LoopSelected",
+				Function: f.Name, Block: l.Header.Name,
+				Args: []remark.Arg{
+					remark.Int("Loop", int64(l.ID)),
+					remark.Int("Paths", int64(p)),
+					remark.Int("Size", int64(s)),
+					remark.Int("Factor", int64(factor)),
+					remark.Int("Estimated", est),
+					remark.Int("C", int64(params.C)),
+				},
+			})
+		}
 	}
 	return decisions
 }

@@ -5,6 +5,7 @@ import (
 
 	"uu/internal/analysis"
 	"uu/internal/ir"
+	"uu/internal/remark"
 	"uu/internal/transform"
 )
 
@@ -45,10 +46,23 @@ func unrollAndUnmerge(f *ir.Function, am *analysis.AnalysisManager, loopID, fact
 
 // uuLoop is UnrollAndUnmerge on a resolved loop.
 func uuLoop(f *ir.Function, am *analysis.AnalysisManager, l *analysis.Loop, factor int, opts Options) (bool, error) {
+	rc := am.Remarks()
+	emit := func(kind remark.Kind, name, block string, args ...remark.Arg) {
+		if !rc.Enabled() {
+			return
+		}
+		rc.Emit(remark.Remark{
+			Kind: kind, Pass: "uu", Name: name,
+			Function: f.Name, Block: block,
+			Args: append([]remark.Arg{remark.Int("Loop", int64(l.ID))}, args...),
+		})
+	}
 	if l.HasConvergentOp() {
+		emit(remark.Missed, "ConvergentOp", l.Header.Name)
 		return false, fmt.Errorf("core: loop #%d contains a convergent operation", l.ID)
 	}
 	if l.Latch() == nil {
+		emit(remark.Missed, "MultipleLatches", l.Header.Name)
 		return false, fmt.Errorf("core: loop #%d has multiple latches", l.ID)
 	}
 	changed := false
@@ -65,6 +79,7 @@ func uuLoop(f *ir.Function, am *analysis.AnalysisManager, l *analysis.Loop, fact
 		}
 		if unmerge(f, am, inner, opts) {
 			changed = true
+			emit(remark.Passed, "InnerLoopUnmerged", h.Name)
 		}
 		am.InvalidateAll() // unmerge may normalize the loop even when !changed
 	}
@@ -78,9 +93,11 @@ func uuLoop(f *ir.Function, am *analysis.AnalysisManager, l *analysis.Loop, fact
 		ok := transform.UnrollLoopWithOrigins(f, tl, factor, opts.Origins)
 		am.InvalidateAll() // UnrollLoop normalizes the loop even on failure
 		if !ok {
+			emit(remark.Missed, "UnrollFailed", header.Name, remark.Int("Factor", int64(factor)))
 			return changed, fmt.Errorf("core: loop #%d could not be unrolled", l.ID)
 		}
 		changed = true
+		emit(remark.Passed, "Unrolled", header.Name, remark.Int("Factor", int64(factor)))
 	}
 
 	tl := loopWithHeader(am.LoopInfo(), header)
@@ -89,6 +106,7 @@ func uuLoop(f *ir.Function, am *analysis.AnalysisManager, l *analysis.Loop, fact
 	}
 	if unmerge(f, am, tl, opts) {
 		changed = true
+		emit(remark.Passed, "Unmerged", header.Name)
 	}
 	am.InvalidateAll()
 	return changed, nil

@@ -44,7 +44,10 @@ kernel d(double* restrict x, long n) {
 			}
 			launch := Launch{GridDim: 4, BlockDim: 64}
 
-			dp := decoded(p)
+			dp, err := decoded(p)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
 			w := newWarpSim(dp, cfg, mem)
 			w.fetchMode = fetchBitset
 			w.touched = make([]uint64, bitWords(dp.numLines(cfg.ICacheLineInstrs)))

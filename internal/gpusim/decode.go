@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -8,6 +9,15 @@ import (
 	"uu/internal/interp"
 	"uu/internal/ir"
 )
+
+// ErrDecode reports that a program is not valid VPTX as far as the
+// simulator's decoder is concerned — an unknown special register, a zext
+// with no recorded source type, an unhandled instruction kind, a bad
+// operand count. These are malformed-input conditions (a buggy or
+// hand-crafted Program), not simulator invariants, so they surface as
+// wrapped errors through Run/RunWorkers instead of panics; match with
+// errors.Is(err, ErrDecode).
+var ErrDecode = errors.New("invalid program")
 
 // This file builds the pre-decoded execution form of a VPTX program. The
 // interpreter loop in sim.go re-derived static facts dynamically on every
@@ -151,10 +161,21 @@ type decodedProgram struct {
 	lineMemo map[int][]int32
 }
 
+// decodeResult caches the outcome of decodeProgram — including a decode
+// failure, which is a property of the program and equally permanent.
+type decodeResult struct {
+	dp  *decodedProgram
+	err error
+}
+
 // decoded returns the cached decoded form of p, building it on first use.
-func decoded(p *codegen.Program) *decodedProgram {
-	p.DecodedOnce.Do(func() { p.Decoded = decodeProgram(p) })
-	return p.Decoded.(*decodedProgram)
+func decoded(p *codegen.Program) (*decodedProgram, error) {
+	p.DecodedOnce.Do(func() {
+		dp, err := decodeProgram(p)
+		p.Decoded = decodeResult{dp, err}
+	})
+	r := p.Decoded.(decodeResult)
+	return r.dp, r.err
 }
 
 // lines returns the icache line index of every instruction for the given
@@ -178,7 +199,7 @@ func (dp *decodedProgram) numLines(lineInstrs int) int {
 	return (len(dp.instrs) + lineInstrs - 1) / lineInstrs
 }
 
-func decodeProgram(p *codegen.Program) *decodedProgram {
+func decodeProgram(p *codegen.Program) (*decodedProgram, error) {
 	dp := &decodedProgram{
 		name:       p.Name,
 		blockStart: make([]int32, len(p.Blocks)),
@@ -197,12 +218,16 @@ func decodeProgram(p *codegen.Program) *decodedProgram {
 		dp.blockEnd[i] = int32(n)
 	}
 	dp.instrs = make([]dInstr, 0, n)
-	for _, b := range p.Blocks {
+	for bi, b := range p.Blocks {
 		for i := range b.Instrs {
-			dp.instrs = append(dp.instrs, decodeInstr(p, &b.Instrs[i]))
+			d, err := decodeInstr(p, &b.Instrs[i])
+			if err != nil {
+				return nil, fmt.Errorf("gpusim: %s block %d instr %d: %w", p.Name, bi, i, err)
+			}
+			dp.instrs = append(dp.instrs, d)
 		}
 	}
-	return dp
+	return dp, nil
 }
 
 // uMask returns the mask that zero-extends a value of integer type t:
@@ -233,7 +258,7 @@ func truncTagOf(t *ir.Type) uint8 {
 	}
 }
 
-func decodeInstr(p *codegen.Program, in *codegen.Instr) dInstr {
+func decodeInstr(p *codegen.Program, in *codegen.Instr) (dInstr, error) {
 	d := dInstr{
 		class:    uint8(in.Class()),
 		latClass: latClassOf(in),
@@ -248,7 +273,7 @@ func decodeInstr(p *codegen.Program, in *codegen.Instr) dInstr {
 		d.dst = -1
 	}
 	if len(in.Srcs) > 3 {
-		panic(fmt.Sprintf("gpusim: decode %s: %d operands", p.Name, len(in.Srcs)))
+		return dInstr{}, fmt.Errorf("%w: %d operands", ErrDecode, len(in.Srcs))
 	}
 	d.nSrcs = uint8(len(in.Srcs))
 	for i, s := range in.Srcs {
@@ -292,7 +317,7 @@ func decodeInstr(p *codegen.Program, in *codegen.Instr) dInstr {
 		case ir.OpNCTAID:
 			d.exec = xNCTAID
 		default:
-			panic("gpusim: bad special register " + in.IROp.String())
+			return dInstr{}, fmt.Errorf("%w: bad special register %s", ErrDecode, in.IROp)
 		}
 	case codegen.KMov:
 		d.exec = xMov
@@ -315,7 +340,7 @@ func decodeInstr(p *codegen.Program, in *codegen.Instr) dInstr {
 			d.exec = xTrunc
 		case ir.OpZExt:
 			if in.SrcType == nil {
-				panic("gpusim: zext without a recorded source type in " + p.Name)
+				return dInstr{}, fmt.Errorf("%w: zext without a recorded source type", ErrDecode)
 			}
 			d.exec = xZExt
 			d.aux = uMask(in.SrcType)
@@ -330,7 +355,7 @@ func decodeInstr(p *codegen.Program, in *codegen.Instr) dInstr {
 		case ir.OpFPTrunc:
 			d.exec = xFPTrunc
 		default:
-			panic("gpusim: bad conversion " + in.IROp.String())
+			return dInstr{}, fmt.Errorf("%w: bad conversion %s", ErrDecode, in.IROp)
 		}
 	case codegen.KCompute:
 		d.trunc = truncTagOf(in.Type)
@@ -366,7 +391,7 @@ func decodeInstr(p *codegen.Program, in *codegen.Instr) dInstr {
 			case ir.OpFloor:
 				d.exec = xFloor
 			default:
-				panic("gpusim: bad float op " + in.IROp.String())
+				return dInstr{}, fmt.Errorf("%w: bad float op %s", ErrDecode, in.IROp)
 			}
 		} else {
 			switch in.IROp {
@@ -404,13 +429,13 @@ func decodeInstr(p *codegen.Program, in *codegen.Instr) dInstr {
 			case ir.OpSMax:
 				d.exec = xSMax
 			default:
-				panic("gpusim: bad int op " + in.IROp.String())
+				return dInstr{}, fmt.Errorf("%w: bad int op %s", ErrDecode, in.IROp)
 			}
 		}
 	default:
-		panic("gpusim: unhandled instruction kind")
+		return dInstr{}, fmt.Errorf("%w: unhandled instruction kind %d", ErrDecode, in.Kind)
 	}
-	return d
+	return d, nil
 }
 
 // latClassOf mirrors the scoreboard result-latency model of instrLatency.

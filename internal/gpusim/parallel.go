@@ -8,6 +8,7 @@ import (
 
 	"uu/internal/interp"
 	"uu/internal/ir"
+	"uu/internal/remark"
 )
 
 // Parallel warp scheduling that reproduces the sequential schedule
@@ -152,7 +153,7 @@ func crossWarpConflict(reads, writes []spanSet) bool {
 	return false
 }
 
-func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total, workers int, m *Metrics) error {
+func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total, workers int, m *Metrics, tr *remark.Trace, tid int) error {
 	bw := bitWords(dp.numLines(cfg.ICacheLineInstrs))
 	wm := make([]Metrics, simWarps)
 	touched := make([]uint64, simWarps*bw)
@@ -161,13 +162,18 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 	writes := make([]spanSet, simWarps)
 	logs := make([][]memWrite, simWarps)
 
-	// Phase A: optimistic concurrent execution on private memories.
+	// Phase A: optimistic concurrent execution on private memories. Each
+	// worker's whole shard is one trace span; sim-worker lanes nest under
+	// the caller's lane as tid*100+1+i (trace layout only — metrics are
+	// unaffected).
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			done := tr.Span(tid*100+1+worker, "sim-shard", "gpusim")
+			defer done()
 			priv := &interp.Memory{Data: append([]byte(nil), mem.Data...)}
 			w := newWarpSim(dp, cfg, priv)
 			w.fetchMode = fetchWarm
@@ -181,12 +187,13 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 				first, count := warpBounds(wi, cfg.WarpSize, total)
 				errs[wi] = w.run(args, launch, first, count, &wm[wi])
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 
 	if crossWarpConflict(reads, writes) {
-		return runSequential(dp, args, mem, launch, cfg, simWarps, total, m)
+		tr.Instant(tid, "sim-conflict-fallback", "gpusim", nil)
+		return runSequential(dp, args, mem, launch, cfg, simWarps, total, m, tr, tid)
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -195,6 +202,7 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 	}
 
 	// Phase B: in-order audit — replay stores, fix up fetch stalls.
+	defer tr.Span(tid, "sim-audit", "gpusim")()
 	global := make([]uint64, bw)
 	var audit *warpSim
 	for wi := 0; wi < simWarps; wi++ {

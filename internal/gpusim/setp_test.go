@@ -62,7 +62,10 @@ func TestSetpUnsignedPredicates(t *testing.T) {
 	for _, typ := range types {
 		for _, pred := range preds {
 			p := setpProgram(typ, pred)
-			dp := decoded(p)
+			dp, err := decoded(p)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
 			for _, pair := range pairs {
 				// Canonical register form: sign-extended, as the simulator
 				// keeps all integer registers.

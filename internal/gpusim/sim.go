@@ -6,10 +6,12 @@ import (
 	"math"
 	"math/bits"
 	"runtime"
+	"time"
 
 	"uu/internal/codegen"
 	"uu/internal/interp"
 	"uu/internal/ir"
+	"uu/internal/remark"
 )
 
 // Launch describes the 1-D kernel launch geometry.
@@ -60,10 +62,21 @@ func Run(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Lau
 // index. Every error path discards results, so no caller observes the
 // difference.
 func RunWorkers(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, workers int) (*Metrics, error) {
+	return RunWorkersTraced(p, args, mem, launch, cfg, workers, nil, 0)
+}
+
+// RunWorkersTraced is RunWorkers additionally recording trace spans (the
+// launch, each warp batch) and a final metrics counter sample into tr on
+// lane tid. A nil tr disables all trace work; metrics are byte-identical
+// with and without tracing.
+func RunWorkersTraced(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, workers int, tr *remark.Trace, tid int) (*Metrics, error) {
 	if len(args) != len(p.ParamRegs) {
 		return nil, fmt.Errorf("gpusim: kernel %s expects %d args, got %d", p.Name, len(p.ParamRegs), len(args))
 	}
-	dp := decoded(p)
+	dp, err := decoded(p)
+	if err != nil {
+		return nil, err
+	}
 	total := launch.Threads()
 	totalWarps := (total + cfg.WarpSize - 1) / cfg.WarpSize
 	simWarps := totalWarps
@@ -78,11 +91,17 @@ func RunWorkers(p *codegen.Program, args []interp.Value, mem *interp.Memory, lau
 	}
 	fits := dp.numLines(cfg.ICacheLineInstrs) <= cfg.ICacheLines
 	m := &Metrics{}
-	var err error
+	start := time.Now()
 	if workers <= 1 || !fits {
-		err = runSequential(dp, args, mem, launch, cfg, simWarps, total, m)
+		err = runSequential(dp, args, mem, launch, cfg, simWarps, total, m, tr, tid)
 	} else {
-		err = runParallel(dp, args, mem, launch, cfg, simWarps, total, workers, m)
+		err = runParallel(dp, args, mem, launch, cfg, simWarps, total, workers, m, tr, tid)
+	}
+	if tr.Enabled() {
+		tr.Complete(tid, "sim:"+dp.name, "gpusim", start, time.Since(start), map[string]any{
+			"warps":   simWarps,
+			"workers": workers,
+		})
 	}
 	if err != nil {
 		return nil, err
@@ -90,8 +109,23 @@ func RunWorkers(p *codegen.Program, args []interp.Value, mem *interp.Memory, lau
 	if simWarps < totalWarps {
 		m.Scale(float64(totalWarps) / float64(simWarps))
 	}
+	if tr.Enabled() {
+		tr.Counter(tid, "gpusim:"+dp.name, map[string]float64{
+			"cycles":                    float64(m.Cycles),
+			"warp_instrs":               float64(m.WarpInstrs),
+			"thread_instrs":             float64(m.ThreadInstrs),
+			"warp_execution_efficiency": m.WarpExecutionEfficiency(cfg),
+			"gld_transactions":          float64(m.GldTransactions),
+			"gst_transactions":          float64(m.GstTransactions),
+			"stall_inst_fetch":          float64(m.StallInstFetch),
+			"dep_stall_cycles":          float64(m.DepStallCycles),
+		})
+	}
 	return m, nil
 }
+
+// simBatchWarps is how many warps one sequential-mode trace span covers.
+const simBatchWarps = 256
 
 func warpBounds(wi, warpSize, total int) (first, count int) {
 	first = wi * warpSize
@@ -104,7 +138,7 @@ func warpBounds(wi, warpSize, total int) (first, count int) {
 
 func bitWords(n int) int { return (n + 63) / 64 }
 
-func runSequential(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total int, m *Metrics) error {
+func runSequential(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total int, m *Metrics, tr *remark.Trace, tid int) error {
 	w := newWarpSim(dp, cfg, mem)
 	if numLines := dp.numLines(cfg.ICacheLineInstrs); numLines <= cfg.ICacheLines {
 		w.fetchMode = fetchBitset
@@ -113,12 +147,22 @@ func runSequential(dp *decodedProgram, args []interp.Value, mem *interp.Memory, 
 		w.fetchMode = fetchLRU
 		w.lru.init(numLines, cfg.ICacheLines)
 	}
+	batchStart := time.Time{}
+	if tr.Enabled() {
+		batchStart = time.Now()
+	}
 	for wi := 0; wi < simWarps; wi++ {
 		first, count := warpBounds(wi, cfg.WarpSize, total)
 		if err := w.run(args, launch, first, count, m); err != nil {
 			return err
 		}
 		m.Warps++
+		if tr.Enabled() && ((wi+1)%simBatchWarps == 0 || wi == simWarps-1) {
+			lo := wi + 1 - (wi % simBatchWarps) - 1
+			tr.Complete(tid, fmt.Sprintf("warps[%d:%d]", lo, wi+1), "gpusim", batchStart,
+				time.Since(batchStart), nil)
+			batchStart = time.Now()
+		}
 	}
 	return nil
 }

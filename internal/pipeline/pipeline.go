@@ -22,6 +22,7 @@ import (
 	"uu/internal/core"
 	"uu/internal/harden"
 	"uu/internal/ir"
+	"uu/internal/remark"
 	"uu/internal/transform"
 )
 
@@ -80,6 +81,20 @@ type Options struct {
 	// reducer bisects this limit to find the first invocation after which
 	// a failure reproduces.
 	StopAfter int
+	// Remarks, when non-nil, collects optimization remarks from every pass
+	// of this compilation. The collector is attached to the compilation's
+	// AnalysisManager so passes reach it without signature changes. Remark
+	// content is deterministic: no timestamps, no pointers, emission order
+	// only.
+	Remarks *remark.Collector
+	// Trace, when non-nil, records wall-clock spans for the pipeline, each
+	// pass invocation, and each phase. Unlike remarks, traces carry real
+	// timestamps and are not expected to be reproducible byte-for-byte.
+	Trace *remark.Trace
+	// TraceTID is the trace lane (Chrome trace_event tid) this compilation's
+	// spans are tagged with; parallel harness workers use their worker index
+	// so lanes render separately.
+	TraceTID int
 }
 
 // PhaseSpec declares one stage of the pipeline: an ordered pass list run up
@@ -211,6 +226,7 @@ func (d *driver) runPass(p analysis.Pass) (bool, error) {
 		pa, vd, failed := d.guard.RunPass(p, d.f, d.am)
 		dur := time.Since(t0) - vd
 		d.am.Invalidate(pa)
+		d.tracePass(p.Name(), t0, dur, pa.Changed())
 		d.st.PassTimes = append(d.st.PassTimes, PassTime{
 			Name:     p.Name(),
 			Duration: dur,
@@ -227,6 +243,7 @@ func (d *driver) runPass(p analysis.Pass) (bool, error) {
 	pa := p.Run(d.f, d.am)
 	dur := time.Since(t0)
 	d.am.Invalidate(pa)
+	d.tracePass(p.Name(), t0, dur, pa.Changed())
 	d.st.PassTimes = append(d.st.PassTimes, PassTime{
 		Name:     p.Name(),
 		Duration: dur,
@@ -246,9 +263,20 @@ func (d *driver) runPass(p analysis.Pass) (bool, error) {
 	return pa.Changed(), nil
 }
 
+// tracePass records one pass invocation as a trace span. Args are only
+// built when tracing is on.
+func (d *driver) tracePass(name string, t0 time.Time, dur time.Duration, changed bool) {
+	if !d.opts.Trace.Enabled() {
+		return
+	}
+	d.opts.Trace.Complete(d.opts.TraceTID, name, "pass", t0, dur,
+		map[string]any{"function": d.f.Name, "changed": changed})
+}
+
 // runPhase executes a phase's rounds, stopping after the first round in
 // which no pass reported a change.
 func (d *driver) runPhase(ph PhaseSpec) error {
+	defer d.opts.Trace.Span(d.opts.TraceTID, "phase:"+ph.Name, "pipeline")()
 	rounds := 0
 	for ; rounds < ph.MaxRounds; rounds++ {
 		roundChanged := false
@@ -280,6 +308,7 @@ func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 	}
 	start := time.Now()
 	am := analysis.NewAnalysisManager(f)
+	am.SetRemarks(opts.Remarks)
 	d := &driver{f: f, am: am, st: st, opts: opts}
 	if opts.Contain {
 		d.guard = &harden.Guard{Verify: opts.VerifyEachPass, DumpDir: opts.FailureDumpDir}
@@ -363,6 +392,10 @@ func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 
 	st.Analysis = am.Stats()
 	st.CompileTime = time.Since(start)
+	if opts.Trace.Enabled() {
+		opts.Trace.Complete(opts.TraceTID, "optimize:"+f.Name, "pipeline", start,
+			st.CompileTime, map[string]any{"config": string(opts.Config)})
+	}
 	if d.guard != nil {
 		st.Failures = d.guard.Failures()
 	}
@@ -407,6 +440,7 @@ func (d *driver) runLoopTransform(skipAuto map[*ir.Block]bool) error {
 	} else {
 		run()
 	}
+	d.tracePass(string(opts.Config)+"-loop-pass", t0, time.Since(t0)-verifyDur, st.LoopTransformed)
 	st.PassTimes = append(st.PassTimes, PassTime{
 		Name:     string(opts.Config) + "-loop-pass",
 		Duration: time.Since(t0) - verifyDur,
@@ -440,8 +474,28 @@ func (d *driver) loopTransformBody(skipAuto map[*ir.Block]bool, markSkip func(*i
 		if ok {
 			st.LoopTransformed = true
 			markSkip(header)
+			if d.am.Remarks().Enabled() {
+				d.am.Remarks().Emit(remark.Remark{
+					Kind: remark.Passed, Pass: "loop-pass", Name: "Unrolled",
+					Function: f.Name, Block: header.Name,
+					Args: []remark.Arg{
+						remark.Int("Loop", int64(opts.LoopID)),
+						remark.Int("Factor", int64(opts.Factor)),
+					},
+				})
+			}
 		} else {
 			loopErr = fmt.Errorf("pipeline: loop #%d not unrollable", opts.LoopID)
+			if d.am.Remarks().Enabled() {
+				d.am.Remarks().Emit(remark.Remark{
+					Kind: remark.Missed, Pass: "loop-pass", Name: "NotUnrollable",
+					Function: f.Name, Block: header.Name,
+					Args: []remark.Arg{
+						remark.Int("Loop", int64(opts.LoopID)),
+						remark.Int("Factor", int64(opts.Factor)),
+					},
+				})
+			}
 		}
 	case UnmergeOnly, UU:
 		factor := opts.Factor

@@ -7,6 +7,12 @@ import "uu/internal/ir"
 // terminators) or is transitively used by a live instruction. Cycles of
 // otherwise-unused phis die together, which simple use-count DCE misses.
 func DCE(f *ir.Function) bool {
+	return dceCount(f) > 0
+}
+
+// dceCount is DCE returning how many instructions it deleted (the payload of
+// the pass's DeadInstructions remark).
+func dceCount(f *ir.Function) int {
 	live := map[*ir.Instr]bool{}
 	var work []*ir.Instr
 	mark := func(in *ir.Instr) {
@@ -40,8 +46,8 @@ func DCE(f *ir.Function) bool {
 		}
 	}
 	if len(dead) == 0 {
-		return false
+		return 0
 	}
 	ir.EraseInstrs(dead)
-	return true
+	return len(dead)
 }

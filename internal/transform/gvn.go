@@ -7,6 +7,7 @@ import (
 
 	"uu/internal/analysis"
 	"uu/internal/ir"
+	"uu/internal/remark"
 )
 
 // GVNOptions controls the optional capabilities of the GVN pass; both are on
@@ -74,6 +75,16 @@ func gvn(f *ir.Function, am *analysis.AnalysisManager, opts GVNOptions) bool {
 		}
 	}
 	g.walk(f.Entry(), dt, li, rpo)
+	if g.changed && am.Remarks().Enabled() {
+		am.Remarks().Emit(remark.Remark{
+			Kind: remark.Analysis, Pass: "gvn", Name: "ValueNumbering",
+			Function: f.Name,
+			Args: []remark.Arg{
+				remark.Int("Erased", int64(g.erased)),
+				remark.Int("OperandRewrites", int64(g.rewrites)),
+			},
+		})
+	}
 	return g.changed
 }
 
@@ -103,6 +114,11 @@ type gvnState struct {
 	facts    []memFact
 	scopes   []*scopeUndo
 	changed  bool
+	// erased counts instructions deleted (CSE hits, forwarded loads,
+	// simplifications); rewrites counts operand replacements from propagated
+	// equalities. Both feed the pass's ValueNumbering remark.
+	erased   int
+	rewrites int
 }
 
 func (g *gvnState) id(v ir.Value) int {
@@ -284,12 +300,14 @@ func (g *gvnState) replaceAndErase(in *ir.Instr, v ir.Value) {
 	in.ReplaceAllUsesWith(v)
 	in.Block().Erase(in)
 	g.changed = true
+	g.erased++
 }
 
 // setArg rewrites an operand and records the change.
 func (g *gvnState) setArg(in *ir.Instr, i int, v ir.Value) {
 	in.SetArg(i, v)
 	g.changed = true
+	g.rewrites++
 }
 
 func (g *gvnState) walk(b *ir.Block, dt *analysis.DomTree, li *analysis.LoopInfo, rpo map[*ir.Block]int) {

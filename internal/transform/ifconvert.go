@@ -1,6 +1,9 @@
 package transform
 
-import "uu/internal/ir"
+import (
+	"uu/internal/ir"
+	"uu/internal/remark"
+)
 
 // IfConvertThreshold is the maximum per-side instruction count (size cost)
 // that if-conversion will speculate, mirroring the small predication
@@ -20,6 +23,12 @@ const IfConvertThreshold = 8
 //	          speculatable instructions
 //	triangle: B -> (T|M), T -> M, same conditions on T
 func IfConvert(f *ir.Function) bool {
+	return ifConvert(f, nil)
+}
+
+// ifConvert is IfConvert with an optional remark sink recording each
+// conversion's shape and branch block.
+func ifConvert(f *ir.Function, rc *remark.Collector) bool {
 	changed := false
 	for again := true; again; {
 		again = false
@@ -27,34 +36,53 @@ func IfConvert(f *ir.Function) bool {
 			if b.Func() == nil {
 				continue // removed
 			}
-			if convertAt(f, b) {
+			if shape := convertAt(f, b); shape != "" {
 				changed = true
 				again = true
+				if rc.Enabled() {
+					rc.Emit(remark.Remark{
+						Kind: remark.Passed, Pass: "ifconvert", Name: "IfConverted",
+						Function: f.Name, Block: b.Name,
+						Args: []remark.Arg{remark.Str("Shape", shape)},
+					})
+				}
 			}
 		}
 	}
 	return changed
 }
 
-func convertAt(f *ir.Function, b *ir.Block) bool {
+// convertAt attempts one conversion rooted at b's conditional branch and
+// returns the converted shape ("diamond", "triangle") or "" when nothing
+// matched.
+func convertAt(f *ir.Function, b *ir.Block) string {
 	t := b.Term()
 	if t == nil || t.Op != ir.OpCondBr {
-		return false
+		return ""
 	}
 	cond := t.Arg(0)
 	s0, s1 := t.BlockArg(0), t.BlockArg(1)
 
 	if m := diamondMerge(b, s0, s1); m != nil {
-		return convertDiamond(f, b, cond, s0, s1, m)
+		if convertDiamond(f, b, cond, s0, s1, m) {
+			return "diamond"
+		}
+		return ""
 	}
 	// Triangle with the true side speculated: B -> (T | M), T -> M.
 	if ok, m := triangle(b, s0, s1); ok {
-		return convertTriangle(f, b, cond, s0, m, true)
+		if convertTriangle(f, b, cond, s0, m, true) {
+			return "triangle"
+		}
+		return ""
 	}
 	if ok, m := triangle(b, s1, s0); ok {
-		return convertTriangle(f, b, cond, s1, m, false)
+		if convertTriangle(f, b, cond, s1, m, false) {
+			return "triangle"
+		}
+		return ""
 	}
-	return false
+	return ""
 }
 
 // speculatableBlock reports whether blk consists solely of speculatable

@@ -3,6 +3,7 @@ package transform
 import (
 	"uu/internal/analysis"
 	"uu/internal/ir"
+	"uu/internal/remark"
 )
 
 // funcPass adapts a pass body to the analysis.Pass interface.
@@ -55,7 +56,15 @@ func InstCombinePass() analysis.Pass {
 // DCEPass deletes dead instructions; the CFG is preserved.
 func DCEPass() analysis.Pass {
 	return funcPass{"dce", func(f *ir.Function, am *analysis.AnalysisManager) analysis.PreservedAnalyses {
-		return analysis.If(DCE(f), analysis.PreserveCFG())
+		n := dceCount(f)
+		if n > 0 && am.Remarks().Enabled() {
+			am.Remarks().Emit(remark.Remark{
+				Kind: remark.Analysis, Pass: "dce", Name: "DeadInstructions",
+				Function: f.Name,
+				Args:     []remark.Arg{remark.Int("Deleted", int64(n))},
+			})
+		}
+		return analysis.If(n > 0, analysis.PreserveCFG())
 	}}
 }
 
@@ -92,7 +101,7 @@ func LICMPass() analysis.Pass {
 // IfConvertPass flattens diamonds into selects; nothing is preserved.
 func IfConvertPass() analysis.Pass {
 	return funcPass{"ifconvert", func(f *ir.Function, am *analysis.AnalysisManager) analysis.PreservedAnalyses {
-		return analysis.If(IfConvert(f), analysis.PreserveNone())
+		return analysis.If(ifConvert(f, am.Remarks()), analysis.PreserveNone())
 	}}
 }
 

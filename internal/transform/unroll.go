@@ -5,6 +5,7 @@ import (
 
 	"uu/internal/analysis"
 	"uu/internal/ir"
+	"uu/internal/remark"
 )
 
 // UnrollLoop unrolls l by the given factor (>= 2), keeping every exit test:
@@ -166,13 +167,36 @@ func autoUnroll(f *ir.Function, am *analysis.AnalysisManager, skip map[*ir.Block
 			if !ok || tc < 2 || tc > AutoUnrollMaxTrip {
 				continue
 			}
-			if int64(analysis.LoopSize(l))*tc > AutoUnrollMaxSize {
+			size := analysis.LoopSize(l)
+			if int64(size)*tc > AutoUnrollMaxSize {
+				if am.Remarks().Enabled() {
+					am.Remarks().Emit(remark.Remark{
+						Kind: remark.Missed, Pass: "loop-unroll", Name: "FullUnrollTooLarge",
+						Function: f.Name, Block: l.Header.Name,
+						Args: []remark.Arg{
+							remark.Int("TripCount", tc),
+							remark.Int("Size", int64(size)),
+							remark.Int("Budget", AutoUnrollMaxSize),
+						},
+					})
+				}
 				continue
 			}
+			header := l.Header
 			am.InvalidateAll()
 			if UnrollLoop(f, l, int(tc)) {
 				changed = true
 				done = false
+				if am.Remarks().Enabled() {
+					am.Remarks().Emit(remark.Remark{
+						Kind: remark.Passed, Pass: "loop-unroll", Name: "FullyUnrolled",
+						Function: f.Name, Block: header.Name,
+						Args: []remark.Arg{
+							remark.Int("TripCount", tc),
+							remark.Int("Size", int64(size)),
+						},
+					})
+				}
 				break // loop structures changed; recompute analyses
 			}
 		}
