@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
 	"uu/internal/bench"
 	"uu/internal/gpusim"
 	"uu/internal/pipeline"
+	"uu/internal/profile"
 	"uu/internal/remark"
 )
 
@@ -46,12 +48,13 @@ func main() {
 		verifyEach = flag.Bool("verify-each", false, "run the IR verifier after every pass (a rejected pass counts as a contained failure with -contain)")
 		remarksStr = flag.String("remarks", "", "collect optimization remarks and write them as remarks.yaml: all|passed|missed|analysis (comma-separable); deterministic across -workers/-sim-workers counts")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON of the whole campaign (compiles, passes, simulations) to this file")
+		profileOn  = flag.Bool("profile", false, "collect per-PC hotspot profiles and write hotspots.txt (per-loop/per-line tables plus the heuristic predicted-vs-measured join) and per-app profile-<app>.folded / profile-<app>.pb.gz; deterministic across -workers/-sim-workers counts")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *fig6a, *fig6b, *fig6c, *fig7, *fig8, *counters, *ablations = true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *ablations) {
+	if !(*table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *ablations || *profileOn) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -62,6 +65,7 @@ func main() {
 		SimWorkers: *simWorkers,
 		Contain:    *contain,
 		VerifyEach: *verifyEach,
+		Profile:    *profileOn,
 	}
 	var remarkKinds map[remark.Kind]bool
 	if *remarksStr != "" {
@@ -92,7 +96,7 @@ func main() {
 	}
 
 	var res *bench.Results
-	if *table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters {
+	if *table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *profileOn {
 		var err error
 		res, err = bench.RunExperiments(opts)
 		if err != nil {
@@ -180,6 +184,14 @@ func main() {
 		done()
 	}
 
+	if *profileOn && res != nil {
+		w, done := sink("hotspots.txt")
+		if err := bench.WriteProfileReport(w, res); err != nil {
+			fatal(err)
+		}
+		done()
+		writeProfileArtifacts(res, *outDir, sink)
+	}
 	if opts.Remarks && res != nil {
 		w, done := sink("remarks.yaml")
 		if err := remark.WriteYAML(w, res.Remarks, remarkKinds); err != nil {
@@ -205,6 +217,44 @@ func main() {
 	if res != nil && len(res.Failures) > 0 {
 		fmt.Fprintf(os.Stderr, "uubench: %d pass invocations were contained; results reflect skipped passes\n", len(res.Failures))
 		os.Exit(1)
+	}
+}
+
+// writeProfileArtifacts writes the per-app heuristic flamegraph inputs:
+// profile-<app>.folded through the sink and, when -out is set, the binary
+// profile-<app>.pb.gz (binary artifacts make no sense on stdout and are
+// skipped with a note).
+func writeProfileArtifacts(res *bench.Results, outDir string, sink func(string) (*os.File, func())) {
+	apps := make([]string, 0, len(res.Heuristic))
+	for app := range res.Heuristic {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		rec := res.Heuristic[app]
+		if rec == nil || rec.Profile == nil {
+			continue
+		}
+		rep := profile.Build(rec.Program, rec.Profile)
+		w, done := sink("profile-" + app + ".folded")
+		if err := profile.WriteFolded(w, rep); err != nil {
+			fatal(err)
+		}
+		done()
+		if outDir == "" {
+			fmt.Fprintf(os.Stderr, "uubench: profile-%s.pb.gz requires -out; skipped\n", app)
+			continue
+		}
+		f, err := os.Create(filepath.Join(outDir, "profile-"+app+".pb.gz"))
+		if err != nil {
+			fatal(err)
+		}
+		if err := profile.WritePprof(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	uurun -bench xsbench [-config uu -loop 0 -factor 2] [-verify]
+//	uurun -bench bezier-surface -config uu-heuristic -profile prof/bezier
 //	uurun -src axpy.cu -args i:0,i:800,f:3.0,i:100 -mem 1024 -grid 2 -block 64
 package main
 
@@ -12,15 +13,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"uu/internal/bench"
 	"uu/internal/codegen"
+	"uu/internal/core"
 	"uu/internal/gpusim"
 	"uu/internal/interp"
 	"uu/internal/lang"
 	"uu/internal/pipeline"
+	"uu/internal/profile"
 	"uu/internal/remark"
 )
 
@@ -36,8 +40,10 @@ func main() {
 		config    = flag.String("config", "baseline", "pipeline config")
 		loopID    = flag.Int("loop", 0, "loop id for per-loop configs")
 		factor    = flag.Int("factor", 2, "unroll factor")
-		verify    = flag.Bool("verify", false, "check results against the reference interpreter (suite benchmarks only)")
-		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the compile and simulation to this file")
+		verify     = flag.Bool("verify", false, "check results against the reference interpreter (suite benchmarks only)")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON of the compile and simulation to this file")
+		remarksStr = flag.String("remarks", "", "print optimization remarks to stderr as YAML: all|passed|missed|analysis (comma-separable)")
+		profPrefix = flag.String("profile", "", "collect a per-PC hotspot profile and write <prefix>.hotspots.txt, <prefix>.folded and <prefix>.pb.gz")
 	)
 	flag.Parse()
 
@@ -46,6 +52,25 @@ func main() {
 			fmt.Printf("%-16s %-30s loops=%d\n", b.Name, b.Category, bench.LoopCount(b))
 		}
 		return
+	}
+
+	var remarkKinds map[remark.Kind]bool
+	var collector *remark.Collector
+	if *remarksStr != "" {
+		kinds, err := remark.ParseKinds(*remarksStr)
+		if err != nil {
+			fatal(err)
+		}
+		remarkKinds = kinds
+		collector = remark.NewCollector()
+	}
+	writeRemarks := func() {
+		if collector == nil {
+			return
+		}
+		if err := remark.WriteYAML(os.Stderr, collector.Remarks(), remarkKinds); err != nil {
+			fatal(err)
+		}
 	}
 
 	var trace *remark.Trace
@@ -69,10 +94,11 @@ func main() {
 	}
 
 	opts := pipeline.Options{
-		Config: pipeline.Config(*config),
-		LoopID: *loopID,
-		Factor: *factor,
-		Trace:  trace,
+		Config:  pipeline.Config(*config),
+		LoopID:  *loopID,
+		Factor:  *factor,
+		Trace:   trace,
+		Remarks: collector,
 	}
 	dev := gpusim.V100()
 
@@ -92,7 +118,11 @@ func main() {
 				fatal(err)
 			}
 		}
-		m, err := bench.ExecuteWorkersTraced(cr, w, dev, ref, 1, trace, 0)
+		var prof *gpusim.Profile
+		if *profPrefix != "" {
+			prof = gpusim.NewProfile(cr.Program)
+		}
+		m, err := bench.ExecuteWorkersProfiled(cr, w, dev, ref, 1, trace, 0, prof)
 		if err != nil {
 			fatal(err)
 		}
@@ -100,6 +130,10 @@ func main() {
 			fmt.Println("verification: OK")
 		}
 		report(m, dev, cr.Program)
+		if prof != nil {
+			writeProfile(*profPrefix, cr.Program, prof, cr.Stats.Decisions)
+		}
+		writeRemarks()
 		writeTrace()
 		return
 	}
@@ -119,7 +153,8 @@ func main() {
 		fatal(fmt.Errorf("source must contain exactly one kernel"))
 	}
 	f := m.Funcs()[0]
-	if _, err := pipeline.Optimize(f, opts); err != nil {
+	stats, err := pipeline.Optimize(f, opts)
+	if err != nil {
 		fatal(err)
 	}
 	done := trace.Span(0, "codegen:"+f.Name, "codegen")
@@ -132,13 +167,58 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var prof *gpusim.Profile
+	if *profPrefix != "" {
+		prof = gpusim.NewProfile(prog)
+	}
 	mem := interp.NewMemory(*memSize)
-	metrics, err := gpusim.RunWorkersTraced(prog, args, mem, gpusim.Launch{GridDim: *grid, BlockDim: *block}, dev, 1, trace, 0)
+	metrics, err := gpusim.RunWorkersProfiled(prog, args, mem, gpusim.Launch{GridDim: *grid, BlockDim: *block}, dev, 1, trace, 0, prof)
 	if err != nil {
 		fatal(err)
 	}
 	report(metrics, dev, prog)
+	if prof != nil {
+		writeProfile(*profPrefix, prog, prof, stats.Decisions)
+	}
+	writeRemarks()
 	writeTrace()
+}
+
+// writeProfile renders the hotspot profile as <prefix>.hotspots.txt (tables
+// plus, for heuristic runs, the predicted-vs-measured join), <prefix>.folded
+// (flamegraph folded stacks) and <prefix>.pb.gz (pprof protobuf).
+func writeProfile(prefix string, prog *codegen.Program, prof *gpusim.Profile, decisions []core.Decision) {
+	if dir := filepath.Dir(prefix); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	rep := profile.Build(prog, prof)
+	write := func(suffix string, render func(f *os.File) error) {
+		f, err := os.Create(prefix + suffix)
+		if err != nil {
+			fatal(err)
+		}
+		if err := render(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	write(".hotspots.txt", func(f *os.File) error {
+		if err := profile.WriteHotspots(f, rep); err != nil {
+			return err
+		}
+		if len(decisions) > 0 {
+			fmt.Fprintln(f)
+			return profile.WritePrediction(f, rep, decisions, core.DefaultHeuristicParams().C)
+		}
+		return nil
+	})
+	write(".folded", func(f *os.File) error { return profile.WriteFolded(f, rep) })
+	write(".pb.gz", func(f *os.File) error { return profile.WritePprof(f, rep) })
+	fmt.Printf("profile                %s.{hotspots.txt,folded,pb.gz}\n", prefix)
 }
 
 func parseArgs(spec string) ([]interp.Value, error) {

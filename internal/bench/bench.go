@@ -188,12 +188,20 @@ func ExecuteWorkers(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, ver
 // ExecuteWorkersTraced is ExecuteWorkers with launch spans and a metrics
 // counter sample recorded into tr on lane tid (nil tr disables tracing).
 func ExecuteWorkersTraced(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, verifyAgainst *interp.Memory, workers int, tr *remark.Trace, tid int) (*gpusim.Metrics, error) {
+	return ExecuteWorkersProfiled(cr, w, cfg, verifyAgainst, workers, tr, tid, nil)
+}
+
+// ExecuteWorkersProfiled is ExecuteWorkersTraced additionally accumulating
+// per-PC hotspot counters into prof, which must be nil (profiling off) or
+// sized for cr.Program (gpusim.NewProfile). Like metrics, the profile is
+// byte-identical for every worker count.
+func ExecuteWorkersProfiled(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, verifyAgainst *interp.Memory, workers int, tr *remark.Trace, tid int, prof *gpusim.Profile) (*gpusim.Metrics, error) {
 	mem := w.NewMemory()
 	launch := w.Launch
 	if verifyAgainst != nil {
 		launch.SampleWarps = 0 // full run required for verification
 	}
-	m, err := gpusim.RunWorkersTraced(cr.Program, w.Args, mem, launch, cfg, workers, tr, tid)
+	m, err := gpusim.RunWorkersProfiled(cr.Program, w.Args, mem, launch, cfg, workers, tr, tid, prof)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"uu/internal/analysis"
+	"uu/internal/codegen"
 	"uu/internal/core"
 	"uu/internal/gpusim"
 	"uu/internal/harden"
@@ -41,6 +42,12 @@ type RunRecord struct {
 	// (HarnessOptions.Remarks). The final entry is the gpusim SimMetrics
 	// remark for runs that simulated.
 	Remarks []remark.Remark
+	// Profile is the run's per-PC hotspot profile (HarnessOptions.Profile),
+	// byte-identical for any Workers/SimWorkers count; Program is retained
+	// alongside it so reports can join the profile with the line table.
+	// Both are nil when profiling is off.
+	Profile *gpusim.Profile
+	Program *codegen.Program
 }
 
 // Speedup returns base.Millis / r.Millis (the paper's speedup definition,
@@ -105,6 +112,10 @@ type HarnessOptions struct {
 	// Remarks collects every run's optimization remarks (RunRecord.Remarks,
 	// Results.Remarks). Off by default: a disabled sink costs nothing.
 	Remarks bool
+	// Profile collects a per-PC hotspot profile for every run
+	// (RunRecord.Profile). Profiles, like metrics, are identical for any
+	// Workers/SimWorkers count. Off by default.
+	Profile bool
 	// Trace, when non-nil, records wall-clock spans for every compilation
 	// and simulation. Each harness worker tags its spans with its worker
 	// index as the trace lane.
@@ -288,7 +299,13 @@ func runJob(j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(st
 	rec.Decisions = cr.Stats.Decisions
 	rec.PassTimes = cr.Stats.PassTimeByName()
 	rec.Failures = cr.Stats.Failures
-	m, err := ExecuteWorkersTraced(cr, j.w, dev, j.ref, simWorkers, hopts.Trace, worker)
+	var prof *gpusim.Profile
+	if hopts.Profile {
+		prof = gpusim.NewProfile(cr.Program)
+		rec.Profile = prof
+		rec.Program = cr.Program
+	}
+	m, err := ExecuteWorkersProfiled(cr, j.w, dev, j.ref, simWorkers, hopts.Trace, worker, prof)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s %s loop %d u%d: %w", j.b.Name, j.cfg.Config, j.loopID, j.factor, err)
 	}

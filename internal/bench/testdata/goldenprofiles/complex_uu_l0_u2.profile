@@ -1,0 +1,85 @@
+kernel cpx: 75661 cycles (issue 61455, dep_stall 14029, fetch_stall 176)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L10              1        67875   89.7%        67875          778            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L11            loop@L10               8457  11.2%         4878       155649         1952        768          0
+  L10            loop@L10               6841   9.0%         3422       109228         1719          7          0
+  L9             loop@L10               4224   5.6%         4440        92844         1080          0          0
+  L10.u1.d1      loop@L10               4021   5.3%         2568        57344         1144          3          0
+  L8             loop@L10               3868   5.1%         4440        92844          738          0          0
+  L10.u1         loop@L10               3286   4.3%         2220        46422          939          0          0
+  ?              loop@L10               3130   4.1%         2220        46422            0          0          0
+  L13            loop@L10               2480   3.3%         2568        57344          572          0          0
+  L15.d1         loop@L10               2480   3.3%         2568        57344          572          0          0
+  L3             -                      2270   3.0%         1792        57344          462          0          0
+  L11.u1         loop@L10               2222   2.9%         2220        46422          641          0          0
+  L11.u1.d1      loop@L10               2222   2.9%         2220        46422          641          0          0
+  L15            loop@L10               2205   2.9%         2220        46422          640          0          0
+  L13.u1         loop@L10               2035   2.7%         2220        46422          469          0          0
+  L13.u1.d1      loop@L10               2035   2.7%         2220        46422          470          0          0
+  L15.u1.d3      loop@L10               2035   2.7%         2220        46422          469          0          0
+  L15.u1         loop@L10               2034   2.7%         2220        46422          469          0          0
+  L3             loop@L10               1652   2.2%         2220        46422           72          0          0
+  L7             loop@L10               1648   2.2%         2220        46422           84          0          0
+  L6             loop@L10               1643   2.2%         2220        46422           78          0          0
+  ?              -                      1540   2.0%          781        24576            0          0          0
+  L19            -                      1344   1.8%         1024        32768          320          0       2048
+  L4             -                      1076   1.4%          512        16384          308          0          0
+  L12            loop@L10                970   1.3%         1284        28672            0          0          0
+  L16.d1         loop@L10                954   1.3%         1284        28672            0          0          0
+  L17.d1         loop@L10                954   1.3%         1284        28672            0          0          0
+  L16            loop@L10                879   1.2%         1110        23211           81          0          0
+  L17            loop@L10                860   1.1%         1110        23211           78          0          0
+  L12.u1.d1      loop@L10                801   1.1%         1110        23211           18          0          0
+  L16.u1.d3      loop@L10                798   1.1%         1110        23211            0          0          0
+  L12.u1         loop@L10                795   1.1%         1110        23211           12          0          0
+  L16.u1         loop@L10                782   1.0%         1110        23211            0          0          0
+  L17.u1         loop@L10                782   1.0%         1110        23211            0          0          0
+  L17.u1.d3      loop@L10                782   1.0%         1110        23211            0          0          0
+  L9             -                       530   0.7%          525        16384            0          0          0
+  L8             -                       514   0.7%          525        16384            0          0          0
+  L6             -                       256   0.3%          256         8192            0          0          0
+  L7             -                       256   0.3%          256         8192            0          0          0
+
+cpx;? 1540
+cpx;L19 1344
+cpx;L3 2270
+cpx;L4 1076
+cpx;L6 256
+cpx;L7 256
+cpx;L8 514
+cpx;L9 530
+cpx;loop@L10;? 3130
+cpx;loop@L10;L10 6841
+cpx;loop@L10;L10.u1 3286
+cpx;loop@L10;L10.u1.d1 4021
+cpx;loop@L10;L11 8457
+cpx;loop@L10;L11.u1 2222
+cpx;loop@L10;L11.u1.d1 2222
+cpx;loop@L10;L12 970
+cpx;loop@L10;L12.u1 795
+cpx;loop@L10;L12.u1.d1 801
+cpx;loop@L10;L13 2480
+cpx;loop@L10;L13.u1 2035
+cpx;loop@L10;L13.u1.d1 2035
+cpx;loop@L10;L15 2205
+cpx;loop@L10;L15.d1 2480
+cpx;loop@L10;L15.u1 2034
+cpx;loop@L10;L15.u1.d3 2035
+cpx;loop@L10;L16 879
+cpx;loop@L10;L16.d1 954
+cpx;loop@L10;L16.u1 782
+cpx;loop@L10;L16.u1.d3 798
+cpx;loop@L10;L17 860
+cpx;loop@L10;L17.d1 954
+cpx;loop@L10;L17.u1 782
+cpx;loop@L10;L17.u1.d3 782
+cpx;loop@L10;L3 1652
+cpx;loop@L10;L6 1643
+cpx;loop@L10;L7 1648
+cpx;loop@L10;L8 3868
+cpx;loop@L10;L9 4224

@@ -1,0 +1,86 @@
+kernel rainflow: 162958 cycles (issue 62947, dep_stall 99661, fetch_stall 352)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L7               1       161386   99.0%       161386          516       187891
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L8             loop@L7               35406  21.7%        12032       385024        21853        168      96256
+  L9             loop@L7               16787  10.3%         4992       149832        11239         20      24972
+  L15            loop@L7               15895   9.8%         5040       138936        10675        160      23156
+  L9.u1          loop@L7               13434   8.2%         4032       119010         9008          8      19835
+  L15.u1.d2      loop@L7               12363   7.6%         4080       106680         8326        160      17780
+  L8.u1          loop@L7               10404   6.4%         2016        59505         7877          0      19835
+  L8.u1.d2       loop@L7                9603   5.9%         2040        53340         7290          0      17780
+  L14            loop@L7                9207   5.6%         1680        46312         6968          0          0
+  L14.u1.d2      loop@L7                8023   4.9%         1360        35560         6300          0          0
+  L7             loop@L7                7674   4.7%         5092       146432         1485          0          0
+  L9.u1.d1       loop@L7                4571   2.8%         1920        32256         3219          0       5376
+  L15.u1.d11     loop@L7                3464   2.1%         1080        30822         2304          0       5137
+  ?              loop@L7                2423   1.5%         1500        37137            0          0          0
+  L7.u1          loop@L7                2261   1.4%         1344        39670          377          0          0
+  L7.u1.d2       loop@L7                2068   1.3%         1360        35560          345          0          0
+  L11.u1         loop@L7                 942   0.6%          600        18381          347          0       6127
+  L17            loop@L7                 931   0.6%          960        16128          343          0       5376
+  L17.u1.d2      loop@L7                 849   0.5%          960        14592          319          0       4864
+  L11            loop@L7                 801   0.5%          540        15411          294          0       5137
+  L8.u1.d11      loop@L7                 785   0.5%          360        10274          279          0          0
+  L5             loop@L7                 725   0.4%         1020        21504            1          0          0
+  L7.u1.d1       loop@L7                 687   0.4%          640        10752          114          0          0
+  L6             -                       660   0.4%          192         6144          452          0       2048
+  L7.u1.d11      loop@L7                 588   0.4%          360        10274           98          0          0
+  L7.u1.d20      loop@L7                 385   0.2%          200         6127            0          0          0
+  L7.u1.d3       loop@L7                 354   0.2%          320         4864            0          0          0
+  L3             -                       265   0.2%          192         6144           58          0          0
+  L7             -                       236   0.1%          160         5120           28          0          0
+  L16            loop@L7                 207   0.1%          320         5376            0          0          0
+  L10.u1         loop@L7                 193   0.1%          200         6127            0          0          0
+  L16.u1.d2      loop@L7                 193   0.1%          320         4864            0          0          0
+  L22            -                       168   0.1%          128         4096           40          0        256
+  L10            loop@L7                 163   0.1%          180         5137            0          0          0
+  ?              -                       128   0.1%           64         2048            0          0          0
+  L5             -                        64   0.0%           64         2048            0          0          0
+  L4             -                        51   0.0%           32         1024           19          0          0
+
+heuristic (C=1024) vs measured — rainflow (total 162958 cycles):
+  loop     selected   u  paths   size   f(p,s,u)  self_cycles   self%
+  L7       yes        2      5     47        282       161386   99.0%
+  -> hottest loop loop@L7: 161386 self cycles (99.0%) — the heuristic selected the hottest loop
+
+rainflow;? 128
+rainflow;L22 168
+rainflow;L3 265
+rainflow;L4 51
+rainflow;L5 64
+rainflow;L6 660
+rainflow;L7 236
+rainflow;loop@L7;? 2423
+rainflow;loop@L7;L10 163
+rainflow;loop@L7;L10.u1 193
+rainflow;loop@L7;L11 801
+rainflow;loop@L7;L11.u1 942
+rainflow;loop@L7;L14 9207
+rainflow;loop@L7;L14.u1.d2 8023
+rainflow;loop@L7;L15 15895
+rainflow;loop@L7;L15.u1.d11 3464
+rainflow;loop@L7;L15.u1.d2 12363
+rainflow;loop@L7;L16 207
+rainflow;loop@L7;L16.u1.d2 193
+rainflow;loop@L7;L17 931
+rainflow;loop@L7;L17.u1.d2 849
+rainflow;loop@L7;L5 725
+rainflow;loop@L7;L7 7674
+rainflow;loop@L7;L7.u1 2261
+rainflow;loop@L7;L7.u1.d1 687
+rainflow;loop@L7;L7.u1.d11 588
+rainflow;loop@L7;L7.u1.d2 2068
+rainflow;loop@L7;L7.u1.d20 385
+rainflow;loop@L7;L7.u1.d3 354
+rainflow;loop@L7;L8 35406
+rainflow;loop@L7;L8.u1 10404
+rainflow;loop@L7;L8.u1.d11 785
+rainflow;loop@L7;L8.u1.d2 9603
+rainflow;loop@L7;L9 16787
+rainflow;loop@L7;L9.u1 13434
+rainflow;loop@L7;L9.u1.d1 4571

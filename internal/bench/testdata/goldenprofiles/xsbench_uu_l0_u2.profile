@@ -1,0 +1,69 @@
+kernel xsbench: 49470 cycles (issue 22751, dep_stall 26520, fetch_stall 192)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L11              1        37730   76.3%        37730          110            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L13            loop@L11              10501  21.2%         1920        61440         8182        109        478
+  L13.u1         loop@L11               4956  10.0%          984        24612         4153          0        289
+  L13.u1.d1      loop@L11               4942  10.0%          988        24512         4143          0        290
+  L12            loop@L11               4562   9.2%          768        24576         1106          0          0
+  L23            -                      3588   7.3%          832        26624         2737          0        791
+  L22            -                      2720   5.5%          192         6144         2208          0          0
+  L12.u1         loop@L11               2427   4.9%          492        12306          608          0          0
+  L12.u1.d1      loop@L11               2390   4.8%          494        12256          575          0          0
+  L5             -                      1748   3.5%          384        12288          452          0          0
+  L11            loop@L11               1676   3.4%          898        28658          317          0          0
+  L7             -                      1237   2.5%          192         6144          261          0          0
+  L10            loop@L11               1190   2.4%          986        24562          391          0          0
+  L9             loop@L11               1064   2.2%          986        24562          265          0          0
+  L8             loop@L11               1002   2.0%          986        24562          202          0          0
+  L11.u1         loop@L11                842   1.7%          492        12306          241          0          0
+  ?              loop@L11                801   1.6%          493        12281            0          0          0
+  L11.u1.d1      loop@L11                736   1.5%          494        12270          120          1          0
+  L3             -                       517   1.0%          384        12288          116          0          0
+  L21            -                       388   0.8%          256         8192          115          0        140
+  L20            -                       293   0.6%          192         6144          100          0        139
+  L4             -                       270   0.5%          128         4096           77          0          0
+  ?              -                       257   0.5%          130         4096            0          0          0
+  L18            loop@L11                225   0.5%          246         6153           24          0          0
+  L18.u1.d3      loop@L11                216   0.4%          247         6128            0          0          0
+  L18.u1.d2      loop@L11                200   0.4%          246         6153            0          0          0
+  L6             -                       193   0.4%          128         4096           65          0          0
+  L9             -                       154   0.3%          128         4096           26          0          0
+  L8             -                       144   0.3%          130         4096            0          0          0
+  L11            -                       128   0.3%           64         2048            0          0          0
+  L10            -                       103   0.2%           64         2048           39          0          0
+
+xsbench;? 257
+xsbench;L10 103
+xsbench;L11 128
+xsbench;L20 293
+xsbench;L21 388
+xsbench;L22 2720
+xsbench;L23 3588
+xsbench;L3 517
+xsbench;L4 270
+xsbench;L5 1748
+xsbench;L6 193
+xsbench;L7 1237
+xsbench;L8 144
+xsbench;L9 154
+xsbench;loop@L11;? 801
+xsbench;loop@L11;L10 1190
+xsbench;loop@L11;L11 1676
+xsbench;loop@L11;L11.u1 842
+xsbench;loop@L11;L11.u1.d1 736
+xsbench;loop@L11;L12 4562
+xsbench;loop@L11;L12.u1 2427
+xsbench;loop@L11;L12.u1.d1 2390
+xsbench;loop@L11;L13 10501
+xsbench;loop@L11;L13.u1 4956
+xsbench;loop@L11;L13.u1.d1 4942
+xsbench;loop@L11;L18 225
+xsbench;loop@L11;L18.u1.d2 200
+xsbench;loop@L11;L18.u1.d3 216
+xsbench;loop@L11;L8 1002
+xsbench;loop@L11;L9 1064

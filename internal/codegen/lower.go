@@ -70,6 +70,35 @@ func Lower(f *ir.Function) (*Program, error) {
 			lw.prog.IPDom[i] = index[ip]
 		}
 	}
+
+	// Line table and loop metadata for the profiler: one record per
+	// instruction in flat PC order (the simulator's pre-decoded index), each
+	// naming its source loc and innermost enclosing loop of the final IR.
+	li := analysis.NewLoopInfo(f, analysis.NewDomTree(f))
+	for _, l := range li.Loops {
+		parent := int32(-1)
+		if l.Parent != nil {
+			parent = int32(l.Parent.ID)
+		}
+		lw.prog.Loops = append(lw.prog.Loops, LoopMeta{
+			ID: int32(l.ID), Parent: parent,
+			Line:   ir.BlockLine(l.Header),
+			Depth:  int32(l.Depth()),
+			Header: l.Header.Name,
+		})
+	}
+	lw.prog.Lines = make([]LineInfo, 0, lw.prog.NumInstrs())
+	for i, vb := range lw.prog.Blocks {
+		loopID := int32(-1)
+		if l := li.LoopFor(order[i]); l != nil {
+			loopID = int32(l.ID)
+		}
+		for j := range vb.Instrs {
+			lw.prog.Lines = append(lw.prog.Lines, LineInfo{
+				Loc: vb.Instrs[j].Loc, Block: int32(i), Loop: loopID,
+			})
+		}
+	}
 	return lw.prog, nil
 }
 
@@ -116,6 +145,10 @@ type lowerer struct {
 	regs  map[ir.Value]Reg
 	next  Reg
 	index map[*ir.Block]int
+	// curLoc is stamped onto every emitted instruction: the loc of the IR
+	// instruction currently being lowered, so synthetic expansions (GEP
+	// address math, phi-copy movs) inherit their originator's provenance.
+	curLoc ir.Loc
 }
 
 func (lw *lowerer) newReg() Reg {
@@ -135,7 +168,10 @@ func (lw *lowerer) operand(v ir.Value) Operand {
 	return regOp(r)
 }
 
-func (lw *lowerer) emit(b *Block, in Instr) { b.Instrs = append(b.Instrs, in) }
+func (lw *lowerer) emit(b *Block, in Instr) {
+	in.Loc = lw.curLoc
+	b.Instrs = append(b.Instrs, in)
+}
 
 func (lw *lowerer) lowerBlock(vb *Block, b *ir.Block) error {
 	for _, in := range b.Instrs() {
@@ -155,6 +191,7 @@ func (lw *lowerer) lowerBlock(vb *Block, b *ir.Block) error {
 }
 
 func (lw *lowerer) lowerInstr(vb *Block, in *ir.Instr) error {
+	lw.curLoc = in.Loc()
 	dst := NoReg
 	if in.Type() != ir.Void {
 		dst = lw.regs[in]
@@ -225,6 +262,7 @@ func (lw *lowerer) lowerGEP(vb *Block, in *ir.Instr, dst Reg) {
 }
 
 func (lw *lowerer) lowerTerminator(vb *Block, b *ir.Block, in *ir.Instr) error {
+	lw.curLoc = in.Loc()
 	switch in.Op {
 	case ir.OpBr:
 		lw.emit(vb, Instr{Kind: KBra, Type: ir.Void,
@@ -249,6 +287,7 @@ func (lw *lowerer) emitPhiCopies(vb *Block, b *ir.Block) {
 		dst Reg
 		src Operand
 		typ *ir.Type
+		loc ir.Loc
 	}
 	var pairs []pair
 	for _, s := range b.Succs() {
@@ -259,7 +298,7 @@ func (lw *lowerer) emitPhiCopies(vb *Block, b *ir.Block) {
 			if !src.IsImm() && src.Reg == dst {
 				continue
 			}
-			pairs = append(pairs, pair{dst, src, phi.Type()})
+			pairs = append(pairs, pair{dst, src, phi.Type(), phi.Loc()})
 		}
 	}
 	// Parallel copy sequencing: emit copies whose destination is not a
@@ -277,6 +316,7 @@ func (lw *lowerer) emitPhiCopies(vb *Block, b *ir.Block) {
 			if conflict {
 				continue
 			}
+			lw.curLoc = p.loc
 			lw.emit(vb, Instr{Kind: KMov, Type: p.typ, Dst: p.dst, Srcs: []Operand{p.src}})
 			pairs = append(pairs[:i], pairs[i+1:]...)
 			emitted = true
@@ -289,6 +329,7 @@ func (lw *lowerer) emitPhiCopies(vb *Block, b *ir.Block) {
 		// one source aside.
 		victim := pairs[0]
 		tmp := lw.newReg()
+		lw.curLoc = victim.loc
 		lw.emit(vb, Instr{Kind: KMov, Type: victim.typ, Dst: tmp, Srcs: []Operand{victim.src}})
 		for i := range pairs {
 			if !pairs[i].src.IsImm() && pairs[i].src.Reg == victim.src.Reg {

@@ -93,6 +93,10 @@ type Instr struct {
 	Dst     Reg
 	Srcs    []Operand
 	Targets [2]int // block indexes for KBra/KCondBra
+	// Loc is the source provenance inherited from the IR instruction this
+	// one lowers (synthetic expansions — GEP address math, phi-copy movs —
+	// inherit the originating instruction's loc). Not printed by String.
+	Loc ir.Loc
 }
 
 // Class returns the nvprof-style class of the instruction.
@@ -151,6 +155,17 @@ type Program struct {
 	// the simulator's reconvergence stack uses it.
 	IPDom []int
 
+	// Lines is the line table: one record per instruction in flat PC order
+	// (blocks in layout order, instructions in block order — the same global
+	// index the simulator's pre-decoded form and per-PC profile counters
+	// use). Lines[pc] gives the source provenance and enclosing loop of the
+	// instruction at pc.
+	Lines []LineInfo
+	// Loops describes the natural loops of the final (post-optimization) IR,
+	// indexed by position; LineInfo.Loop holds the LoopMeta ID. Parent links
+	// let a profiler reconstruct the loop nest chain for stack rendering.
+	Loops []LoopMeta
+
 	// DecodedOnce guards Decoded, an opaque slot where a consumer caches a
 	// derived form of the program. The simulator stores its pre-decoded
 	// instruction stream here so decoding happens once per compiled program
@@ -158,6 +173,33 @@ type Program struct {
 	// immutable after Lower, so the cache never invalidates.
 	DecodedOnce sync.Once
 	Decoded     any
+}
+
+// LineInfo is one line-table record: the provenance of the VPTX instruction
+// at a flat PC.
+type LineInfo struct {
+	Loc   ir.Loc // source provenance; zero when unknown
+	Block int32  // block index (layout order)
+	Loop  int32  // LoopMeta ID of the innermost enclosing loop, -1 when none
+}
+
+// LoopMeta describes one natural loop of the lowered function.
+type LoopMeta struct {
+	ID     int32  // deterministic loop id (header RPO order)
+	Parent int32  // ID of the enclosing loop, -1 at top level
+	Line   int32  // anchoring source line of the header (ir.BlockLine), 0 if unknown
+	Depth  int32  // nesting depth, 1 = outermost
+	Header string // header block name
+}
+
+// LoopByID returns the LoopMeta with the given id, or nil.
+func (p *Program) LoopByID(id int32) *LoopMeta {
+	for i := range p.Loops {
+		if p.Loops[i].ID == id {
+			return &p.Loops[i]
+		}
+	}
+	return nil
 }
 
 // NumInstrs returns the total instruction count.

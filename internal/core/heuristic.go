@@ -26,13 +26,19 @@ func DefaultHeuristicParams() HeuristicParams { return HeuristicParams{C: 1024, 
 
 // Decision records one loop the heuristic chose and why.
 type Decision struct {
-	LoopID    int
-	Header    *ir.Block
-	Factor    int
-	Paths     int
-	Size      int
-	Estimated int64 // f(p, s, factor)
+	LoopID     int
+	Header     *ir.Block
+	HeaderLine int32 // source line anchoring the loop (see LoopLine)
+	Factor     int
+	Paths      int
+	Size       int
+	Estimated  int64 // f(p, s, factor)
 }
+
+// LoopLine returns the source line anchoring a loop for reporting (see
+// ir.BlockLine). Stable across pipeline configurations, so the profiler can
+// join heuristic predictions with measured per-loop cycles on it.
+func LoopLine(header *ir.Block) int32 { return ir.BlockLine(header) }
 
 // HeuristicDecide selects the loops to transform and their unroll factors,
 // innermost loops first; an outer loop is considered only when none of its
@@ -109,8 +115,8 @@ func heuristicDecide(f *ir.Function, am *analysis.AnalysisManager, params Heuris
 		}
 		chosen[l] = true
 		decisions = append(decisions, Decision{
-			LoopID: l.ID, Header: l.Header, Factor: factor,
-			Paths: p, Size: s, Estimated: est,
+			LoopID: l.ID, Header: l.Header, HeaderLine: ir.BlockLine(l.Header),
+			Factor: factor, Paths: p, Size: s, Estimated: est,
 		})
 		if rc.Enabled() {
 			rc.Emit(remark.Remark{

@@ -158,6 +158,15 @@ func unmerge(f *ir.Function, am *analysis.AnalysisManager, l *analysis.Loop, opt
 			dupCount++
 			region := tailRegion(am, b, header, loopSet, opts.DirectSuccessorOnly)
 			bmap, vmap := ir.CloneBlocks(f, region, fmt.Sprintf(".d%d", dupCount))
+			// Stamp path duplicates with the duplication id (composing with
+			// any unroll iteration tag, like the ".u1.d3" block names).
+			for _, clone := range vmap {
+				if ci, ok := clone.(*ir.Instr); ok {
+					loc := ci.Loc()
+					loc.Dup = int32(dupCount)
+					ci.SetLoc(loc)
+				}
+			}
 			recordOrigins(opts.Origins, vmap)
 			inRegion := map[*ir.Block]bool{}
 			for _, rb := range region {

@@ -64,6 +64,22 @@ kernel d(double* restrict x, long n) {
 			if allocs != 0 {
 				t.Fatalf("steady-state warp loop allocates: %v allocs/run, want 0", allocs)
 			}
+
+			// Profiling must not change the contract: the counter arrays are
+			// allocated once up front (NewProfile), and the hot loop only
+			// increments them in place.
+			w.prof = newProfileN(dp.name, len(dp.instrs))
+			if err := w.run(args, launch, 0, cfg.WarpSize, &m); err != nil {
+				t.Fatalf("profiled warm-up run: %v", err)
+			}
+			allocs = testing.AllocsPerRun(10, func() {
+				if err := w.run(args, launch, cfg.WarpSize, cfg.WarpSize, &m); err != nil {
+					t.Fatalf("profiled run: %v", err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("profiled warp loop allocates: %v allocs/run, want 0", allocs)
+			}
 		})
 	}
 }

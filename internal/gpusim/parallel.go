@@ -52,6 +52,17 @@ import (
 // Per-warp metrics are integers accumulated with per-warp rounding (as in
 // the sequential schedule) and summed in warp order, so the merged totals
 // are bit-equal to the sequential ones.
+//
+// Per-PC profiles ride the same argument. Every profile counter is an
+// integer accumulated per executed instruction (fixed-point for the
+// fractional cycle counters), so sums are partition-independent: phase A
+// collects one profile per worker and they merge by plain addition. A warp
+// the audit re-runs had its warm-cache contribution merged already; the
+// audit adds its exact counters and then regenerates the warm contribution
+// bit-identically — by re-running the warp in warm mode against a snapshot
+// of shared memory taken before the audit run (the no-conflict verdict
+// guarantees that run reads the same values phase A read) — and subtracts
+// it. The result equals the sequential profile byte for byte.
 
 // memWrite is one logged store, replayed in warp order by the audit.
 type memWrite struct {
@@ -153,7 +164,7 @@ func crossWarpConflict(reads, writes []spanSet) bool {
 	return false
 }
 
-func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total, workers int, m *Metrics, tr *remark.Trace, tid int) error {
+func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total, workers int, m *Metrics, tr *remark.Trace, tid int, prof *Profile) error {
 	bw := bitWords(dp.numLines(cfg.ICacheLineInstrs))
 	wm := make([]Metrics, simWarps)
 	touched := make([]uint64, simWarps*bw)
@@ -161,6 +172,10 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 	reads := make([]spanSet, simWarps)
 	writes := make([]spanSet, simWarps)
 	logs := make([][]memWrite, simWarps)
+	var wprofs []*Profile
+	if prof != nil {
+		wprofs = make([]*Profile, workers)
+	}
 
 	// Phase A: optimistic concurrent execution on private memories. Each
 	// worker's whole shard is one trace span; sim-worker lanes nest under
@@ -177,6 +192,10 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 			priv := &interp.Memory{Data: append([]byte(nil), mem.Data...)}
 			w := newWarpSim(dp, cfg, priv)
 			w.fetchMode = fetchWarm
+			if prof != nil {
+				wprofs[worker] = newProfileN(dp.name, len(dp.instrs))
+				w.prof = wprofs[worker]
+			}
 			for {
 				wi := int(next.Add(1)) - 1
 				if wi >= simWarps {
@@ -192,12 +211,21 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 	wg.Wait()
 
 	if crossWarpConflict(reads, writes) {
+		// prof was never written in phase A (workers profile into private
+		// arrays), so the fallback profiles the exact schedule from scratch.
 		tr.Instant(tid, "sim-conflict-fallback", "gpusim", nil)
-		return runSequential(dp, args, mem, launch, cfg, simWarps, total, m, tr, tid)
+		return runSequential(dp, args, mem, launch, cfg, simWarps, total, m, tr, tid, prof)
 	}
 	for _, err := range errs {
 		if err != nil {
 			return err
+		}
+	}
+	if prof != nil {
+		for _, wp := range wprofs {
+			if wp != nil {
+				prof.Add(wp)
+			}
 		}
 	}
 
@@ -205,6 +233,9 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 	defer tr.Span(tid, "sim-audit", "gpusim")()
 	global := make([]uint64, bw)
 	var audit *warpSim
+	var rerun *warpSim // warm-mode re-run regenerating phase-A profile contributions
+	var rerunProf *Profile
+	var scratch *interp.Memory
 	for wi := 0; wi < simWarps; wi++ {
 		wbits := touched[wi*bw : (wi+1)*bw]
 		fresh := false
@@ -229,6 +260,21 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 			audit = newWarpSim(dp, cfg, mem)
 			audit.fetchMode = fetchBitset
 			audit.touched = global
+			audit.prof = prof
+		}
+		// For profiling, snapshot memory before the audit run: the warm
+		// re-run below must observe what this warp's phase-A run saw, not
+		// the values the audit run is about to store.
+		if prof != nil {
+			if scratch == nil {
+				scratch = &interp.Memory{}
+				rerunProf = newProfileN(dp.name, len(dp.instrs))
+				rerun = newWarpSim(dp, cfg, scratch)
+				rerun.fetchMode = fetchWarm
+				rerun.touched = make([]uint64, bw)
+				rerun.prof = rerunProf
+			}
+			scratch.Data = append(scratch.Data[:0], mem.Data...)
 		}
 		var rm Metrics
 		first, count := warpBounds(wi, cfg.WarpSize, total)
@@ -237,6 +283,17 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 		}
 		m.Add(&rm)
 		m.Warps++
+		if prof != nil {
+			// The audit run added this warp's exact counters; its optimistic
+			// warm-cache contribution (already merged from the worker arrays)
+			// is regenerated bit-identically and subtracted.
+			rerunProf.Reset()
+			var rr Metrics
+			if err := rerun.run(args, launch, first, count, &rr); err != nil {
+				return err
+			}
+			prof.Sub(rerunProf)
+		}
 	}
 	return nil
 }

@@ -70,6 +70,17 @@ func RunWorkers(p *codegen.Program, args []interp.Value, mem *interp.Memory, lau
 // lane tid. A nil tr disables all trace work; metrics are byte-identical
 // with and without tracing.
 func RunWorkersTraced(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, workers int, tr *remark.Trace, tid int) (*Metrics, error) {
+	return RunWorkersProfiled(p, args, mem, launch, cfg, workers, tr, tid, nil)
+}
+
+// RunWorkersProfiled is RunWorkersTraced additionally accumulating per-PC
+// hotspot counters into prof, which must be nil or sized for p
+// (NewProfile). Profiles, like metrics, are byte-identical for every worker
+// count: the optimistic parallel schedule merges integer per-warp
+// contributions and replaces the warm-cache contribution of each
+// first-touch warp with its exact re-run (see parallel.go). A nil prof
+// disables all profile work.
+func RunWorkersProfiled(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, workers int, tr *remark.Trace, tid int, prof *Profile) (*Metrics, error) {
 	if len(args) != len(p.ParamRegs) {
 		return nil, fmt.Errorf("gpusim: kernel %s expects %d args, got %d", p.Name, len(p.ParamRegs), len(args))
 	}
@@ -93,9 +104,9 @@ func RunWorkersTraced(p *codegen.Program, args []interp.Value, mem *interp.Memor
 	m := &Metrics{}
 	start := time.Now()
 	if workers <= 1 || !fits {
-		err = runSequential(dp, args, mem, launch, cfg, simWarps, total, m, tr, tid)
+		err = runSequential(dp, args, mem, launch, cfg, simWarps, total, m, tr, tid, prof)
 	} else {
-		err = runParallel(dp, args, mem, launch, cfg, simWarps, total, workers, m, tr, tid)
+		err = runParallel(dp, args, mem, launch, cfg, simWarps, total, workers, m, tr, tid, prof)
 	}
 	if tr.Enabled() {
 		tr.Complete(tid, "sim:"+dp.name, "gpusim", start, time.Since(start), map[string]any{
@@ -107,7 +118,11 @@ func RunWorkersTraced(p *codegen.Program, args []interp.Value, mem *interp.Memor
 		return nil, err
 	}
 	if simWarps < totalWarps {
-		m.Scale(float64(totalWarps) / float64(simWarps))
+		k := float64(totalWarps) / float64(simWarps)
+		m.Scale(k)
+		if prof != nil {
+			prof.Scale(k)
+		}
 	}
 	if tr.Enabled() {
 		tr.Counter(tid, "gpusim:"+dp.name, map[string]float64{
@@ -138,8 +153,9 @@ func warpBounds(wi, warpSize, total int) (first, count int) {
 
 func bitWords(n int) int { return (n + 63) / 64 }
 
-func runSequential(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total int, m *Metrics, tr *remark.Trace, tid int) error {
+func runSequential(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total int, m *Metrics, tr *remark.Trace, tid int, prof *Profile) error {
 	w := newWarpSim(dp, cfg, mem)
+	w.prof = prof
 	if numLines := dp.numLines(cfg.ICacheLineInstrs); numLines <= cfg.ICacheLines {
 		w.fetchMode = fetchBitset
 		w.touched = make([]uint64, bitWords(numLines))
@@ -208,6 +224,11 @@ type warpSim struct {
 	wSet     *spanSet
 	writeLog *[]memWrite
 
+	// prof, when non-nil, accumulates per-PC hotspot counters. The arrays
+	// are preallocated (NewProfile), so profiling keeps the warp loop
+	// allocation-free; a nil prof costs one predictable branch per site.
+	prof *Profile
+
 	scale  [33]float64 // issue scale by active-lane count
 	latTab [4]float64  // scoreboard latency by latClass
 }
@@ -249,6 +270,7 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 	cfg := w.cfg
 	dp := w.dp
 	nr := w.nregs
+	prof := w.prof
 	// Reset per-warp state.
 	for lane := 0; lane < count; lane++ {
 		regs := w.regs[lane*nr : lane*nr+nr]
@@ -295,6 +317,9 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 			pc := e.pc
 			rpc := e.rpc
 			w.stack = w.stack[:len(w.stack)-1]
+			if prof != nil {
+				prof.Counters[ProfReconvEvents][dp.blockStart[pc]]++
+			}
 			merged := false
 			for i := len(w.stack) - 1; i >= 0; i-- {
 				if w.stack[i].pc == pc {
@@ -341,6 +366,9 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 					w.touched[word] |= bit
 					m.StallInstFetch += cfg.ICacheMissCycles
 					cycles += float64(cfg.ICacheMissCycles)
+					if prof != nil {
+						prof.Counters[ProfFetchStall][gi] += cfg.ICacheMissCycles
+					}
 				}
 			case fetchWarm:
 				w.touched[line>>6] |= 1 << uint(line&63)
@@ -348,6 +376,9 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 				if w.lru.fetch(line) {
 					m.StallInstFetch += cfg.ICacheMissCycles
 					cycles += float64(cfg.ICacheMissCycles)
+					if prof != nil {
+						prof.Counters[ProfFetchStall][gi] += cfg.ICacheMissCycles
+					}
 				}
 			}
 
@@ -355,6 +386,10 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 			m.ActiveSum += int64(nActive)
 			m.ThreadInstrs += int64(nActive)
 			m.ClassThread[in.class] += int64(nActive)
+			if prof != nil {
+				prof.Counters[ProfWarpExecs][gi]++
+				prof.Counters[ProfThreadExecs][gi] += int64(nActive)
+			}
 
 			// Scoreboard: charge issue plus the exposed fraction of
 			// dependency stalls. Sub-warp stalls overlap with sibling paths
@@ -372,8 +407,14 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 				exposed := stall * cfg.StallExposure * iss
 				cycles += exposed
 				stallAcc += exposed
+				if prof != nil {
+					prof.Counters[ProfDepStall][gi] += profFP(exposed)
+				}
 			}
 			cycles += in.issue * iss
+			if prof != nil {
+				prof.Counters[ProfIssueCycles][gi] += profFP(in.issue * iss)
+			}
 			if in.dst >= 0 {
 				w.ready[in.dst] = cycles + w.latTab[in.latClass]
 			}
@@ -401,7 +442,12 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 					lo, hi := addrRange(w.addrBuf[:n], in.memSize)
 					w.rSet.add(lo, hi)
 				}
-				cycles += w.access(n, in.memSize, true, m)
+				cost, ntx := w.access(n, in.memSize, true, m)
+				cycles += cost
+				if prof != nil {
+					prof.Counters[ProfMemTransactions][gi] += ntx
+					prof.Counters[ProfMemIdeal][gi] += idealTransactions(n, in.memSize, cfg.SegmentBytes)
+				}
 				dst := int(in.dst)
 				k := ir.Kind(in.memKind)
 				ai := 0
@@ -422,7 +468,12 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 					lo, hi := addrRange(w.addrBuf[:n], in.memSize)
 					w.wSet.add(lo, hi)
 				}
-				cycles += w.access(n, in.memSize, false, m)
+				cost, ntx := w.access(n, in.memSize, false, m)
+				cycles += cost
+				if prof != nil {
+					prof.Counters[ProfMemTransactions][gi] += ntx
+					prof.Counters[ProfMemIdeal][gi] += idealTransactions(n, in.memSize, cfg.SegmentBytes)
+				}
 				k := ir.Kind(in.memKind)
 				ai := 0
 				for rem := active; rem != 0; rem &= rem - 1 {
@@ -653,6 +704,9 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 				// Divergence: current entry becomes the continuation at the
 				// reconvergence point (mask refilled as paths reconverge, or
 				// both paths run to ret when rpc == -1); push both sides.
+				if prof != nil {
+					prof.Counters[ProfDivergeEvents][end-1]++
+				}
 				cont := w.stack[len(w.stack)-1]
 				cont.pc = rpc
 				cont.mask = 0
@@ -757,9 +811,10 @@ type segSpan struct {
 // entries of addrBuf) split into SegmentBytes segments; each distinct
 // segment is one transaction paying a bandwidth cost (latency is modelled
 // by the scoreboard, not here). It returns the bandwidth cycles for the
-// caller's clock. Distinct segments are counted by sorting the per-lane
-// segment intervals and sweeping their union — no per-access set.
-func (w *warpSim) access(n int, size int64, isLoad bool, m *Metrics) float64 {
+// caller's clock plus the transaction count for the per-PC profile.
+// Distinct segments are counted by sorting the per-lane segment intervals
+// and sweeping their union — no per-access set.
+func (w *warpSim) access(n int, size int64, isLoad bool, m *Metrics) (float64, int64) {
 	sb := w.cfg.SegmentBytes
 	segs := w.segBuf[:0]
 	for _, a := range w.addrBuf[:n] {
@@ -795,7 +850,7 @@ func (w *warpSim) access(n int, size int64, isLoad bool, m *Metrics) float64 {
 		m.GstTransactions += count
 		m.GstBytes += bytes
 	}
-	return float64(count * w.cfg.MemPerTransaction)
+	return float64(count * w.cfg.MemPerTransaction), count
 }
 
 // truncTag truncates v per the decoded truncation tag (the canonical

@@ -7,6 +7,7 @@ import "fmt"
 // tests, examples, and the language frontend.
 type Builder struct {
 	blk *Block
+	loc Loc // stamped onto every instruction the builder creates
 }
 
 // NewBuilder returns a builder positioned at b (may be nil; call SetBlock).
@@ -18,7 +19,15 @@ func (bld *Builder) SetBlock(b *Block) { bld.blk = b }
 // Block returns the current insertion block.
 func (bld *Builder) Block() *Block { return bld.blk }
 
+// SetLoc sets the source provenance stamped onto subsequently built
+// instructions. The frontend calls this once per statement.
+func (bld *Builder) SetLoc(l Loc) { bld.loc = l }
+
+// CurLoc returns the provenance currently being stamped.
+func (bld *Builder) CurLoc() Loc { return bld.loc }
+
 func (bld *Builder) insert(in *Instr) *Instr {
+	in.loc = bld.loc
 	bld.blk.Append(in)
 	return in
 }
@@ -149,6 +158,7 @@ func (bld *Builder) Store(v, ptr Value) *Instr {
 func (bld *Builder) Phi(t *Type, name string) *Instr {
 	in := NewInstr(OpPhi, t)
 	in.SetName(name)
+	in.loc = bld.loc
 	bld.blk.InsertAtFront(in)
 	return in
 }

@@ -44,7 +44,7 @@ func Clone(f *Function) *Function {
 	clones := make(map[*Instr]*Instr, f.NumInstrs())
 	for _, b := range f.blocks {
 		for _, in := range b.instrs {
-			ci := &Instr{Op: in.Op, Typ: in.Typ, Pred: in.Pred, id: in.id, name: in.name}
+			ci := &Instr{Op: in.Op, Typ: in.Typ, Pred: in.Pred, id: in.id, name: in.name, loc: in.loc}
 			clones[in] = ci
 			vmap[in] = ci
 		}
@@ -134,7 +134,7 @@ func CloneBlocks(f *Function, blocks []*Block, suffix string) (map[*Block]*Block
 	for _, b := range blocks {
 		nb := bmap[b]
 		for _, in := range b.instrs {
-			ci := &Instr{Op: in.Op, Typ: in.Typ, Pred: in.Pred, name: ""}
+			ci := &Instr{Op: in.Op, Typ: in.Typ, Pred: in.Pred, name: "", loc: in.loc}
 			clones[in] = ci
 			vmap[in] = ci
 			// Append without operands yet; terminators get block args in the

@@ -247,6 +247,60 @@ func (p Pred) Swapped() Pred {
 	}
 }
 
+// Loc is the source provenance of an instruction: the MiniCU source line it
+// originated from, plus clone tags distinguishing the copies the optimizer
+// made of that line. The unroller stamps Iter with the iteration number of
+// each body copy (mirroring the ".u<j>" block-name suffix) and the unmerger
+// stamps Dup with the duplication count (the ".d<n>" suffix), so a profiler
+// can attribute simulator cycles to "line 14, unroll copy 2, path dup 3"
+// rather than just "line 14". The tags compose: unmerging an unrolled body
+// keeps the iteration tag and adds the duplication tag, exactly like the
+// ".u1.d3" block names. The zero Loc means "no provenance" (synthetic
+// instructions with no single source line).
+type Loc struct {
+	Line int32 // 1-based source line; 0 = unknown
+	Iter int32 // unroll iteration copy; 0 = original iteration
+	Dup  int32 // unmerge path-duplication id; 0 = original path
+}
+
+// IsZero reports whether the location carries no provenance.
+func (l Loc) IsZero() bool { return l == Loc{} }
+
+// BlockLine returns the source line anchoring a block: the line of its
+// terminator (for loop headers that is the loop condition, which the
+// frontend stamps with the loop statement's line), falling back to the
+// smallest nonzero line among the block's instructions, or 0 when the block
+// carries no provenance at all.
+func BlockLine(b *Block) int32 {
+	if t := b.Term(); t != nil && t.loc.Line != 0 {
+		return t.loc.Line
+	}
+	min := int32(0)
+	for _, in := range b.Instrs() {
+		if ln := in.loc.Line; ln != 0 && (min == 0 || ln < min) {
+			min = ln
+		}
+	}
+	return min
+}
+
+// String renders the location compactly: "L14", "L14.u2", "L14.u2.d3", or
+// "?" when unknown. This spelling is what the line table, hotspot tables,
+// and flamegraph frames use.
+func (l Loc) String() string {
+	if l.Line == 0 {
+		return "?"
+	}
+	s := fmt.Sprintf("L%d", l.Line)
+	if l.Iter != 0 {
+		s += fmt.Sprintf(".u%d", l.Iter)
+	}
+	if l.Dup != 0 {
+		s += fmt.Sprintf(".d%d", l.Dup)
+	}
+	return s
+}
+
 // Instr is a single IR instruction. Its result (if the type is non-void) is
 // itself a Value usable as an operand of other instructions.
 type Instr struct {
@@ -261,6 +315,7 @@ type Instr struct {
 	block *Block
 	id    int    // unique within the function; assigned on insertion
 	name  string // optional stable name (loop-carried variables etc.)
+	loc   Loc    // source provenance; zero when unknown
 }
 
 // NewInstr creates a detached instruction. Most callers should use the
@@ -292,6 +347,14 @@ func (in *Instr) SetName(s string) { in.name = s }
 
 // ID returns the function-unique instruction ID.
 func (in *Instr) ID() int { return in.id }
+
+// Loc returns the source provenance of the instruction.
+func (in *Instr) Loc() Loc { return in.loc }
+
+// SetLoc assigns the source provenance. Passes that synthesize a replacement
+// for an existing instruction should copy that instruction's Loc so profiler
+// attribution survives the rewrite.
+func (in *Instr) SetLoc(l Loc) { in.loc = l }
 
 // Block returns the block containing the instruction, or nil if detached.
 func (in *Instr) Block() *Block { return in.block }

@@ -126,6 +126,7 @@ func (l *lowerer) lookup(name string) *local {
 func (l *lowerer) newAlloca(t *ir.Type, name string) *ir.Instr {
 	in := ir.NewInstr(ir.OpAlloca, ir.PointerTo(t))
 	in.SetName(name)
+	in.SetLoc(l.b.CurLoc())
 	if term := l.entry.Term(); term != nil {
 		l.entry.InsertBefore(in, term)
 	} else if l.b.Block() == l.entry {
@@ -267,7 +268,40 @@ func (l *lowerer) lowerBlock(b *BlockStmt) error {
 	return nil
 }
 
+// stmtLine returns the 1-based source line of a statement, or 0 for block
+// statements (which have no line of their own).
+func stmtLine(s Stmt) int {
+	switch st := s.(type) {
+	case *DeclStmt:
+		return st.Line
+	case *AssignStmt:
+		return st.Line
+	case *IncDecStmt:
+		return st.Line
+	case *IfStmt:
+		return st.Line
+	case *WhileStmt:
+		return st.Line
+	case *DoWhileStmt:
+		return st.Line
+	case *ForStmt:
+		return st.Line
+	case *BreakStmt:
+		return st.Line
+	case *ContinueStmt:
+		return st.Line
+	case *ReturnStmt:
+		return st.Line
+	case *ExprStmt:
+		return st.Line
+	}
+	return 0
+}
+
 func (l *lowerer) lowerStmt(s Stmt) error {
+	if line := stmtLine(s); line > 0 {
+		l.b.SetLoc(ir.Loc{Line: int32(line)})
+	}
 	switch st := s.(type) {
 	case *BlockStmt:
 		return l.lowerBlock(st)
@@ -462,6 +496,8 @@ func (l *lowerer) lowerWhile(st *WhileStmt) error {
 	if err != nil {
 		return err
 	}
+	// Loop-control branches attribute to the loop statement's own line.
+	l.b.SetLoc(ir.Loc{Line: int32(st.Line)})
 	if l.b.Block().Term() == nil {
 		l.b.Br(latch)
 	}
@@ -485,6 +521,7 @@ func (l *lowerer) lowerDoWhile(st *DoWhileStmt) error {
 	if err != nil {
 		return err
 	}
+	l.b.SetLoc(ir.Loc{Line: int32(st.Line)})
 	if l.b.Block().Term() == nil {
 		l.b.Br(latch)
 	}
@@ -537,6 +574,7 @@ func (l *lowerer) lowerFor(st *ForStmt) error {
 	if err != nil {
 		return err
 	}
+	l.b.SetLoc(ir.Loc{Line: int32(st.Line)})
 	if l.b.Block().Term() == nil {
 		l.b.Br(latch)
 	}

@@ -1,0 +1,181 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+
+	"uu/internal/gpusim"
+)
+
+// This file serializes a Report as a gzipped pprof profile.proto, encoded
+// by hand against the protobuf wire format (no generated code, no
+// dependencies). Only the fields `go tool pprof` needs are emitted:
+// sample/location/function/string_table plus the sample and period value
+// types. Samples carry two values per stack — modelled cycles and
+// thread-level executed instructions — with leaf-first location lists
+// (source line, enclosing loops innermost-first, kernel root).
+//
+// Field numbers follow
+// https://github.com/google/pprof/blob/main/proto/profile.proto:
+//
+//	Profile:  1 sample_type, 2 sample, 4 location, 5 function,
+//	          6 string_table, 9 time_nanos, 11 period_type, 12 period
+//	ValueType: 1 type, 2 unit
+//	Sample:    1 location_id (repeated), 2 value (repeated)
+//	Location:  1 id, 4 line
+//	Line:      1 function_id, 2 line
+//	Function:  1 id, 2 name, 3 system_name, 4 filename, 5 start_line
+//
+// time_nanos is left zero so identical reports serialize identically.
+
+// pbuf is a minimal protobuf message builder.
+type pbuf struct {
+	b []byte
+}
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) key(field, wire int) { p.varint(uint64(field<<3 | wire)) }
+
+// intField emits a varint field, skipping proto3 zero defaults.
+func (p *pbuf) intField(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.key(field, 0)
+	p.varint(uint64(v))
+}
+
+func (p *pbuf) bytesField(field int, data []byte) {
+	p.key(field, 2)
+	p.varint(uint64(len(data)))
+	p.b = append(p.b, data...)
+}
+
+func (p *pbuf) strField(field int, s string) {
+	p.key(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packed emits a repeated varint field in packed encoding.
+func (p *pbuf) packed(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var tmp pbuf
+	for _, v := range vs {
+		tmp.varint(uint64(v))
+	}
+	p.bytesField(field, tmp.b)
+}
+
+// WritePprof writes the report as a gzipped pprof protobuf that
+// `go tool pprof` (and pprof-compatible viewers) can read.
+func WritePprof(w io.Writer, r *Report) error {
+	var out pbuf
+
+	// String table: index 0 must be the empty string.
+	strs := []string{""}
+	strIdx := map[string]int64{"": 0}
+	str := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+
+	// sample_type: cycles/cycles and instructions/count.
+	vt := func(typ, unit string) []byte {
+		var m pbuf
+		m.intField(1, str(typ))
+		m.intField(2, str(unit))
+		return m.b
+	}
+	out.bytesField(1, vt("cycles", "cycles"))
+	out.bytesField(1, vt("instructions", "count"))
+
+	// One function+location per distinct frame label. IDs are 1-based and
+	// assigned in first-use order, which is deterministic (report rows are
+	// sorted).
+	filename := str(r.Kernel + ".cu")
+	type frame struct {
+		name int64
+		line int64
+	}
+	var frames []frame
+	frameIdx := map[string]uint64{}
+	frameID := func(label string, line int64) uint64 {
+		if id, ok := frameIdx[label]; ok {
+			return id
+		}
+		frames = append(frames, frame{name: str(label), line: line})
+		id := uint64(len(frames))
+		frameIdx[label] = id
+		return id
+	}
+	kernelFrame := frameID(r.Kernel, 0)
+
+	// Samples: leaf-first stacks per hot line row.
+	for i := range r.Lines {
+		row := &r.Lines[i]
+		if row.Cycles == 0 && row.Counters[gpusim.ProfThreadExecs] == 0 {
+			continue
+		}
+		locs := []int64{int64(frameID(row.Label(), int64(row.Loc.Line)))}
+		chain := r.loopChain(row.Loop)
+		for j := len(chain) - 1; j >= 0; j-- { // innermost first
+			lr := chain[j]
+			locs = append(locs, int64(frameID(lr.Label(), int64(lr.Meta.Line))))
+		}
+		locs = append(locs, int64(kernelFrame))
+		var s pbuf
+		s.packed(1, locs)
+		s.packed(2, []int64{row.Cycles, row.Counters[gpusim.ProfThreadExecs]})
+		out.bytesField(2, s.b)
+	}
+
+	// Locations and functions (id == frame id; one Line each).
+	for i, f := range frames {
+		id := int64(i + 1)
+		var line pbuf
+		line.intField(1, id)
+		line.intField(2, f.line)
+		var loc pbuf
+		loc.intField(1, id)
+		loc.bytesField(4, line.b)
+		out.bytesField(4, loc.b)
+	}
+	for i, f := range frames {
+		id := int64(i + 1)
+		var fn pbuf
+		fn.intField(1, id)
+		fn.intField(2, f.name)
+		fn.intField(3, f.name)
+		fn.intField(4, filename)
+		fn.intField(5, f.line)
+		out.bytesField(5, fn.b)
+	}
+
+	for _, s := range strs {
+		// Explicit even when empty: string_table[0] must exist.
+		out.strField(6, s)
+	}
+	out.bytesField(11, vt("cycles", "cycles"))
+	out.intField(12, 1)
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

@@ -1,0 +1,76 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"uu/internal/core"
+)
+
+// WritePrediction writes the heuristic's selections next to the measured
+// per-loop cycle totals, joined on the loop's anchoring source line
+// (core.Decision.HeaderLine / codegen.LoopMeta.Line — stable across the
+// transformation, unlike block names). A selected loop with a small
+// measured share, or a hot loop the heuristic skipped, is a visible
+// misprediction of the f(p, s, u) < C size model.
+func WritePrediction(w io.Writer, r *Report, decisions []core.Decision, paramC int) error {
+	bw := &errWriter{w: w}
+	fmt.Fprintf(bw, "heuristic (C=%d) vs measured — %s (total %d cycles):\n",
+		paramC, r.Kernel, r.TotalCycles)
+	fmt.Fprintf(bw, "  %-8s %-8s %3s %6s %6s %10s %12s %7s\n",
+		"loop", "selected", "u", "paths", "size", "f(p,s,u)", "self_cycles", "self%")
+
+	// Measured body (self) cycles per source line: the time spent in PCs
+	// whose innermost loop anchors at that line, summed over the loop's
+	// clones (an unrolled loop plus its remainder loop share a line). Self,
+	// not cumulative, so lines of different nest depths compare fairly.
+	lineCycles := map[int32]int64{}
+	for i := range r.Loops {
+		l := &r.Loops[i]
+		if l.Meta.Line == 0 {
+			continue
+		}
+		lineCycles[l.Meta.Line] += l.Self
+	}
+
+	selected := map[int32]bool{}
+	for _, d := range decisions {
+		selected[d.HeaderLine] = true
+		cyc := lineCycles[d.HeaderLine]
+		fmt.Fprintf(bw, "  %-8s %-8s %3d %6d %6d %10d %12d %6.1f%%\n",
+			fmt.Sprintf("L%d", d.HeaderLine), "yes",
+			d.Factor, d.Paths, d.Size, d.Estimated, cyc, pct(cyc, r.TotalCycles))
+	}
+	type rest struct {
+		line int32
+		cyc  int64
+	}
+	var others []rest
+	for line, cyc := range lineCycles {
+		if !selected[line] {
+			others = append(others, rest{line, cyc})
+		}
+	}
+	sort.Slice(others, func(i, j int) bool {
+		if others[i].cyc != others[j].cyc {
+			return others[i].cyc > others[j].cyc
+		}
+		return others[i].line < others[j].line
+	})
+	for _, o := range others {
+		fmt.Fprintf(bw, "  %-8s %-8s %3s %6s %6s %10s %12d %6.1f%%\n",
+			fmt.Sprintf("L%d", o.line), "no", "-", "-", "-", "-",
+			o.cyc, pct(o.cyc, r.TotalCycles))
+	}
+
+	if hot := r.HottestLoop(); hot != nil && hot.Meta.Line > 0 {
+		verdict := "the heuristic selected the hottest loop"
+		if len(decisions) > 0 && !selected[hot.Meta.Line] {
+			verdict = "MISPREDICT: the heuristic did not select the hottest loop"
+		}
+		fmt.Fprintf(bw, "  -> hottest loop %s: %d self cycles (%.1f%%) — %s\n",
+			hot.Label(), hot.Self, pct(hot.Self, r.TotalCycles), verdict)
+	}
+	return bw.err
+}

@@ -1,0 +1,137 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+
+	"uu/internal/codegen"
+	"uu/internal/gpusim"
+	"uu/internal/ir"
+)
+
+// testReport builds a hand-made two-loop program (an outer loop at L3
+// containing an inner loop at L5, plus one top-level PC) with known
+// counters, so aggregation is checkable by eye.
+func testReport() *Report {
+	prog := &codegen.Program{
+		Name: "k",
+		Lines: []codegen.LineInfo{
+			{Loc: ir.Loc{Line: 2}, Loop: -1},                 // pc 0: outside any loop
+			{Loc: ir.Loc{Line: 4}, Loop: 0},                  // pc 1: outer body
+			{Loc: ir.Loc{Line: 6}, Loop: 1},                  // pc 2: inner body
+			{Loc: ir.Loc{Line: 6, Iter: 1}, Loop: 1},         // pc 3: unroll clone
+			{Loc: ir.Loc{Line: 6, Iter: 1, Dup: 2}, Loop: 1}, // pc 4: unmerge dup
+		},
+		Loops: []codegen.LoopMeta{
+			{ID: 0, Parent: -1, Line: 3, Depth: 1, Header: "outer"},
+			{ID: 1, Parent: 0, Line: 5, Depth: 2, Header: "inner"},
+		},
+	}
+	prof := &gpusim.Profile{Kernel: "k"}
+	for c := range prof.Counters {
+		prof.Counters[c] = make([]int64, len(prog.Lines))
+	}
+	issue := prof.Counters[gpusim.ProfIssueCycles]
+	// Whole cycles in fixed point: pc0=10, pc1=20, pc2=30, pc3=40, pc4=50.
+	for pc, cyc := range []int64{10, 20, 30, 40, 50} {
+		issue[pc] = cyc * gpusim.ProfFPScale
+	}
+	prof.Counters[gpusim.ProfThreadExecs][2] = 96
+	return Build(prog, prof)
+}
+
+func TestBuildAggregation(t *testing.T) {
+	r := testReport()
+	if r.TotalCycles != 150 {
+		t.Errorf("TotalCycles = %d, want 150", r.TotalCycles)
+	}
+	if len(r.Lines) != 5 {
+		t.Fatalf("got %d line rows, want 5", len(r.Lines))
+	}
+	// Hottest first: the unmerge dup L6.u1.d2 with 50 cycles.
+	if got := r.Lines[0].Label(); got != "L6.u1.d2" {
+		t.Errorf("hottest line = %q, want L6.u1.d2", got)
+	}
+	var outer, inner *LoopRow
+	for i := range r.Loops {
+		switch r.Loops[i].Meta.ID {
+		case 0:
+			outer = &r.Loops[i]
+		case 1:
+			inner = &r.Loops[i]
+		}
+	}
+	if inner.Self != 120 || inner.Cum != 120 {
+		t.Errorf("inner self/cum = %d/%d, want 120/120", inner.Self, inner.Cum)
+	}
+	if outer.Self != 20 || outer.Cum != 140 {
+		t.Errorf("outer self/cum = %d/%d, want 20/140", outer.Self, outer.Cum)
+	}
+	// Self, not cum, picks the hottest loop: the inner body.
+	if hot := r.HottestLoop(); hot == nil || hot.Meta.ID != 1 {
+		t.Errorf("HottestLoop = %+v, want inner loop (id 1)", hot)
+	}
+}
+
+func TestRenderersDeterministic(t *testing.T) {
+	render := func() string {
+		r := testReport()
+		var buf bytes.Buffer
+		if err := WriteHotspots(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFolded(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := WritePprof(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Error("renderers are not deterministic across identical reports")
+	}
+	if !strings.Contains(a, "loop@L5") || !strings.Contains(a, "L6.u1.d2") {
+		t.Errorf("missing loop/clone labels in output:\n%.600s", a)
+	}
+}
+
+func TestFoldedStacks(t *testing.T) {
+	r := testReport()
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	want := "k;loop@L3;loop@L5;L6.u1.d2 50\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("folded output missing %q:\n%s", want, buf.String())
+	}
+}
+
+// TestPprofWellFormed checks the hand-encoded protobuf's envelope: valid
+// deterministic gzip whose payload carries the frame names in the string
+// table. (CI additionally runs `go tool pprof -top` on a real profile.)
+func TestPprofWellFormed(t *testing.T) {
+	r := testReport()
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	for _, s := range []string{"cycles", "instructions", "k.cu", "loop@L5", "L6.u1.d2"} {
+		if !bytes.Contains(raw, []byte(s)) {
+			t.Errorf("pprof payload missing string %q", s)
+		}
+	}
+}

@@ -157,6 +157,7 @@ func convertDiamond(f *ir.Function, b *ir.Block, cond ir.Value, s0, s1, m *ir.Bl
 			continue
 		}
 		sel := ir.NewInstr(ir.OpSelect, phi.Type(), cond, v0, v1)
+		sel.SetLoc(phi.Loc())
 		b.InsertBefore(sel, term)
 		phi.PhiRemoveIncoming(s0)
 		phi.PhiRemoveIncoming(s1)
@@ -203,6 +204,7 @@ func convertTriangle(f *ir.Function, b *ir.Block, cond ir.Value, side, m *ir.Blo
 		} else {
 			sel = ir.NewInstr(ir.OpSelect, phi.Type(), cond, vDirect, vSide)
 		}
+		sel.SetLoc(phi.Loc())
 		b.InsertBefore(sel, term)
 		phi.PhiRemoveIncoming(side)
 		phi.PhiSetIncoming(b, sel)

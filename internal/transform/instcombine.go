@@ -41,6 +41,7 @@ func combineInstr(b *ir.Block, in *ir.Instr) bool {
 	t := in.Type()
 	replaceWith := func(op ir.Op, x ir.Value, c int64) bool {
 		ni := ir.NewInstr(op, t, x, ir.ConstInt(t, c))
+		ni.SetLoc(in.Loc())
 		b.InsertBefore(ni, in)
 		in.ReplaceAllUsesWith(ni)
 		b.Erase(in)
@@ -93,6 +94,7 @@ func combineInstr(b *ir.Block, in *ir.Instr) bool {
 		if aok && bok && t.IsInt() && t != ir.I1 {
 			if a.Int == 1 && bb.Int == 0 {
 				ni := ir.NewInstr(ir.OpZExt, t, in.Arg(0))
+				ni.SetLoc(in.Loc())
 				b.InsertBefore(ni, in)
 				in.ReplaceAllUsesWith(ni)
 				b.Erase(in)

@@ -52,6 +52,7 @@ func mem2reg(f *ir.Function, am *analysis.AnalysisManager) bool {
 				}
 				phi := ir.NewInstr(ir.OpPhi, a.Type().Elem)
 				phi.SetName(a.Name() + ".m2r")
+				phi.SetLoc(a.Loc())
 				fb.InsertAtFront(phi)
 				phiFor[a][fb] = phi
 				if !inWork[fb] {

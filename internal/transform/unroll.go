@@ -77,6 +77,15 @@ func UnrollLoopWithOrigins(f *ir.Function, l *analysis.Loop, factor int, origins
 	vmaps := make([]ir.ValueMap, factor)
 	for j := 1; j < factor; j++ {
 		bmap, vmap := ir.CloneBlocks(f, loopBlocks, fmt.Sprintf(".u%d", j))
+		// Stamp each clone with its iteration tag so the profiler can
+		// attribute cycles to individual unrolled copies of a source line.
+		for _, clone := range vmap {
+			if ci, ok := clone.(*ir.Instr); ok {
+				loc := ci.Loc()
+				loc.Iter = int32(j)
+				ci.SetLoc(loc)
+			}
+		}
 		if origins != nil {
 			for orig, clone := range vmap {
 				co, ok := clone.(*ir.Instr)

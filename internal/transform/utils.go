@@ -32,6 +32,7 @@ func EnsurePreheader(f *ir.Function, l *analysis.Loop) *ir.Block {
 	for _, phi := range h.Phis() {
 		nphi := ir.NewInstr(ir.OpPhi, phi.Type())
 		nphi.SetName(phi.Name() + ".ph")
+		nphi.SetLoc(phi.Loc())
 		ph.InsertAtFront(nphi)
 		for _, p := range outside {
 			nphi.PhiAddIncoming(phi.PhiIncoming(p), p)
@@ -123,6 +124,7 @@ func EnsureDedicatedExits(f *ir.Function, l *analysis.Loop) bool {
 				if phi.Name() != "" {
 					nphi.SetName(phi.Name() + ".de")
 				}
+				nphi.SetLoc(phi.Loc())
 				ded.InsertAtFront(nphi)
 				for _, p := range inPreds {
 					nphi.PhiAddIncoming(phi.PhiIncoming(p), p)
@@ -201,6 +203,7 @@ func fixLCSSAUses(l *analysis.Loop, def *ir.Instr, exitSet map[*ir.Block]bool) {
 		}
 		phi := ir.NewInstr(ir.OpPhi, def.Type())
 		phi.SetName(def.Ref()[1:] + ".lcssa")
+		phi.SetLoc(def.Loc())
 		exit.InsertAtFront(phi)
 		for _, p := range exit.Preds() {
 			phi.PhiAddIncoming(def, p)
