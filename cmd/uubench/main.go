@@ -37,6 +37,10 @@ func main() {
 		fig8       = flag.Bool("fig8", false, "produce Figures 8a/8b (scatter data)")
 		counters   = flag.Bool("counters", false, "produce the Section V counter reports")
 		ablations  = flag.Bool("ablations", false, "produce the design-choice ablation tables")
+		device     = flag.String("device", "V100", "device model for the campaign: a registry name with optional overrides, e.g. V100, MinSPPC, Vortex:warpsize=8 (see gpusim.ParseDevice)")
+		deviceMx   = flag.String("device-matrix", "", "run the campaign once per device and produce the cross-device robustness report (device-matrix.txt): comma-separated device specs, or 'all' for the full registry")
+		inputMode  = flag.String("input", "coherent", "input mode for the single-device campaign: coherent or noise")
+		inputsCSV  = flag.String("inputs", "", "input modes swept by -device-matrix: comma-separated, or 'all' (default: coherent only)")
 		appsCSV    = flag.String("apps", "", "comma-separated subset of applications (default: all 16)")
 		factors    = flag.String("factors", "2,4,8", "unroll factors to sweep")
 		verify     = flag.Bool("verify", false, "validate every run against the reference interpreter")
@@ -54,13 +58,24 @@ func main() {
 	if *all {
 		*table1, *fig6a, *fig6b, *fig6c, *fig7, *fig8, *counters, *ablations = true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *ablations || *profileOn) {
+	if !(*table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *ablations || *profileOn || *deviceMx != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	devCfg, devName, err := gpusim.ParseDevice(*device)
+	if err != nil {
+		fatal(err)
+	}
+	input, err := bench.ParseInputMode(*inputMode)
+	if err != nil {
+		fatal(err)
+	}
 	opts := bench.HarnessOptions{
 		Verify:     *verify,
+		Device:     &devCfg,
+		DeviceName: devName,
+		Input:      input,
 		Workers:    *workers,
 		SimWorkers: *simWorkers,
 		Contain:    *contain,
@@ -102,6 +117,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Fprintf(os.Stderr, "uubench: campaign device=%s input=%s\n", res.DeviceName, res.Input)
 		for _, pf := range res.Failures {
 			fmt.Fprintf(os.Stderr, "uubench: contained pass failure: %s\n", pf.String())
 		}
@@ -158,7 +174,7 @@ func main() {
 			app          string
 			loop, factor int
 		}{{"bezier-surface", 1, 2}, {"rainflow", 0, 4}, {"xsbench", 0, 2}, {"complex", 0, 4}} {
-			rows, err := bench.RunAblations(spec.app, spec.loop, spec.factor, gpusim.V100())
+			rows, err := bench.RunAblations(spec.app, spec.loop, spec.factor, devCfg)
 			if err != nil {
 				fatal(err)
 			}
@@ -181,6 +197,32 @@ func main() {
 				fmt.Fprintln(w)
 			}
 		}
+		done()
+	}
+
+	if *deviceMx != "" {
+		mxOpts := bench.MatrixOptions{Harness: opts}
+		if !strings.EqualFold(*deviceMx, "all") {
+			mxOpts.Devices = splitCSV(*deviceMx)
+		}
+		switch {
+		case strings.EqualFold(*inputsCSV, "all"):
+			mxOpts.Inputs = bench.InputModes()
+		case *inputsCSV != "":
+			for _, s := range splitCSV(*inputsCSV) {
+				in, err := bench.ParseInputMode(s)
+				if err != nil {
+					fatal(err)
+				}
+				mxOpts.Inputs = append(mxOpts.Inputs, in)
+			}
+		}
+		mx, err := bench.RunMatrix(mxOpts)
+		if err != nil {
+			fatal(err)
+		}
+		w, done := sink("device-matrix.txt")
+		bench.WriteDeviceMatrix(w, mx)
 		done()
 	}
 
@@ -256,6 +298,18 @@ func writeProfileArtifacts(res *bench.Results, outDir string, sink func(string) 
 			fatal(err)
 		}
 	}
+}
+
+// splitCSV splits a comma-separated flag value, trimming whitespace and
+// dropping empty items.
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

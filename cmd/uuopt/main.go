@@ -58,6 +58,7 @@ func main() {
 
 		fuzzN      = flag.Int("fuzz", 0, "run a differential fuzzing campaign over this many generated kernels, then exit")
 		fuzzSeed   = flag.Int64("seed", 1, "first seed of the fuzzing campaign")
+		fuzzDevice = flag.String("device", "", "fuzzing: pin the simulator legs to one device spec (e.g. Vortex, MinSPPC:warpsize=8); default exercises all three divergence policies")
 		verifyEach = flag.Bool("verify-each", false, "fuzzing: run the IR verifier after every pass (contained)")
 		reduce     = flag.Bool("reduce", false, "fuzzing: minimize each finding and write a reproducer")
 		reproDir   = flag.String("repro-dir", filepath.Join("testdata", "repro"), "fuzzing: directory for minimized reproducers")
@@ -65,7 +66,7 @@ func main() {
 	flag.Parse()
 
 	if *fuzzN > 0 {
-		os.Exit(runFuzz(*fuzzN, *fuzzSeed, *verifyEach, *reduce, *reproDir))
+		os.Exit(runFuzz(*fuzzN, *fuzzSeed, *fuzzDevice, *verifyEach, *reduce, *reproDir))
 	}
 
 	f, err := loadFunction(*srcPath, *irPath, *kernel)
@@ -290,10 +291,11 @@ func emitProvenance(f *ir.Function, loopID, factor int) {
 // runFuzz executes the differential fuzzing campaign and returns the
 // process exit code: 0 when every check was clean, 1 on any miscompile or
 // contained pass failure.
-func runFuzz(count int, seed int64, verifyEach, reduce bool, reproDir string) int {
+func runFuzz(count int, seed int64, device string, verifyEach, reduce bool, reproDir string) int {
 	opts := fuzz.CampaignOptions{
 		Count:      count,
 		Seed:       seed,
+		Device:     device,
 		VerifyEach: verifyEach,
 		Reduce:     reduce,
 		Log:        os.Stderr,

@@ -38,6 +38,8 @@ func main() {
 		grid      = flag.Int("grid", 1, "grid dimension (with -src)")
 		block     = flag.Int("block", 32, "block dimension (with -src)")
 		config    = flag.String("config", "baseline", "pipeline config")
+		device    = flag.String("device", "V100", "device model: registry name with optional overrides, e.g. V100, MinSPPC, Vortex:warpsize=8")
+		inputMode = flag.String("input", "coherent", "workload input mode (suite benchmarks only): coherent or noise")
 		loopID    = flag.Int("loop", 0, "loop id for per-loop configs")
 		factor    = flag.Int("factor", 2, "unroll factor")
 		verify     = flag.Bool("verify", false, "check results against the reference interpreter (suite benchmarks only)")
@@ -100,7 +102,14 @@ func main() {
 		Trace:   trace,
 		Remarks: collector,
 	}
-	dev := gpusim.V100()
+	dev, devName, err := gpusim.ParseDevice(*device)
+	if err != nil {
+		fatal(err)
+	}
+	input, err := bench.ParseInputMode(*inputMode)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *benchName != "" {
 		b := bench.ByName(*benchName)
@@ -108,6 +117,8 @@ func main() {
 			fatal(fmt.Errorf("unknown benchmark %q (use -list)", *benchName))
 		}
 		w := b.NewWorkload()
+		w.SetInput(input)
+		fmt.Printf("device                 %s\n", devName)
 		cr, err := bench.Compile(b, opts)
 		if err != nil {
 			fatal(err)
@@ -176,6 +187,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("device                 %s\n", devName)
 	report(metrics, dev, prog)
 	if prof != nil {
 		writeProfile(*profPrefix, prog, prof, stats.Decisions)

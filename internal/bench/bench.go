@@ -25,6 +25,33 @@ type Region struct {
 	Elem  string // "f64", "f32", "i64", "i32"
 }
 
+// InputMode selects how a benchmark's input buffers are initialized: the
+// default warp-coherent generators (spatially tiled particles, sorted
+// features, smooth histories — the structure real inputs have, which keeps
+// branch outcomes correlated across a warp), or white noise over the same
+// domain-safe value ranges, which shatters that correlation. The sweep
+// across both is a first-class campaign dimension: it bounds how much of
+// each measured u&u win depends on input coherence (known deviation #4 in
+// EXPERIMENTS.md).
+type InputMode string
+
+const (
+	InputCoherent InputMode = "coherent"
+	InputNoise    InputMode = "noise"
+)
+
+// InputModes returns both modes in canonical (report) order.
+func InputModes() []InputMode { return []InputMode{InputCoherent, InputNoise} }
+
+// ParseInputMode validates a CLI input-mode name.
+func ParseInputMode(s string) (InputMode, error) {
+	switch InputMode(s) {
+	case InputCoherent, InputNoise:
+		return InputMode(s), nil
+	}
+	return "", fmt.Errorf("bench: unknown input mode %q (want coherent or noise)", s)
+}
+
 // Workload is one concrete input configuration for a benchmark.
 type Workload struct {
 	Args    []interp.Value
@@ -32,7 +59,25 @@ type Workload struct {
 	Init    func(m *interp.Memory)
 	Launch  gpusim.Launch
 	Outputs []Region
+	// Noise, when non-nil, is the white-noise counterpart of Init: it fills
+	// the same input regions with i.i.d. values over the same domain-safe
+	// ranges, destroying warp coherence. Nil means the kernel's inputs are
+	// derived from the thread id (complex, mandelbrot), so there is nothing
+	// to decohere and both input modes run identically.
+	Noise func(m *interp.Memory)
 }
+
+// SetInput selects the workload's input mode. Selecting InputNoise on a
+// workload without a Noise generator is a no-op (see Noise).
+func (w *Workload) SetInput(mode InputMode) {
+	if mode == InputNoise && w.Noise != nil {
+		w.Init = w.Noise
+	}
+}
+
+// HasNoise reports whether the workload has a distinct white-noise input
+// configuration.
+func (w *Workload) HasNoise() bool { return w.Noise != nil }
 
 // NewMemory builds a fresh initialized memory for the workload.
 func (w *Workload) NewMemory() *interp.Memory {

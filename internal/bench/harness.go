@@ -61,8 +61,13 @@ func (r *RunRecord) Speedup(base *RunRecord) float64 {
 
 // Results holds a full experiment sweep.
 type Results struct {
-	Device    gpusim.DeviceConfig
-	Factors   []int
+	Device gpusim.DeviceConfig
+	// DeviceName is the registry (or registry:override) name of Device, and
+	// Input the input mode the whole sweep ran under — the two campaign
+	// dimensions a multi-sweep matrix varies.
+	DeviceName string
+	Input      InputMode
+	Factors    []int
 	Baseline  map[string]*RunRecord // app -> baseline
 	Heuristic map[string]*RunRecord // app -> heuristic u&u
 	PerLoop   []*RunRecord          // unroll/unmerge/uu per loop and factor
@@ -83,6 +88,13 @@ type HarnessOptions struct {
 	Factors []int    // nil = {2,4,8} as in the paper
 	Verify  bool     // check every run against the interpreter oracle
 	Device  *gpusim.DeviceConfig
+	// DeviceName labels Device in results and reports (a gpusim registry
+	// name, possibly with overrides). Empty means "V100", matching the
+	// Device default.
+	DeviceName string
+	// Input selects the workload input mode for every run of the sweep;
+	// empty means InputCoherent (the paper's setup).
+	Input InputMode
 	// Progress receives one line per completed run when non-nil. Lines are
 	// written atomically but, with Workers > 1, in completion order rather
 	// than campaign order.
@@ -154,6 +166,14 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 	if opts.Device != nil {
 		dev = *opts.Device
 	}
+	devName := opts.DeviceName
+	if devName == "" {
+		devName = "V100"
+	}
+	input := opts.Input
+	if input == "" {
+		input = InputCoherent
+	}
 	apps := Suite
 	if opts.Apps != nil {
 		apps = nil
@@ -166,8 +186,10 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 		}
 	}
 	res := &Results{
-		Device:    dev,
-		Factors:   factors,
+		Device:     dev,
+		DeviceName: devName,
+		Input:      input,
+		Factors:    factors,
 		Baseline:  map[string]*RunRecord{},
 		Heuristic: map[string]*RunRecord{},
 		LoopCount: map[string]int{},
@@ -178,6 +200,7 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 	var jobs []harnessJob
 	for _, b := range apps {
 		w := b.NewWorkload()
+		w.SetInput(input)
 		var ref *interp.Memory
 		if opts.Verify {
 			m, err := Reference(b, w)

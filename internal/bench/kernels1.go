@@ -7,6 +7,10 @@ import (
 	"uu/internal/interp"
 )
 
+// noiseSeed offsets the white-noise generators' seeds from the coherent
+// ones, so the two input modes of one app never share a sequence.
+const noiseSeed = 9000
+
 // Suite lists the 16 benchmarks in the order of the paper's Table I.
 var Suite = []*Benchmark{
 	BezierSurface, BN, BsplineVGH, CCS, Clink, Complex, Contract, Coordinates,
@@ -76,6 +80,15 @@ kernel bezier(double* restrict ts, double* restrict out, long resolution, long n
 					m.SetF64(tsBase, i, rng.Float64())
 				}
 			},
+			// The parameter values do not steer the countdown branches
+			// (those depend only on n), so noise is the same distribution
+			// reseeded — included so the sweep covers every app uniformly.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 11))
+				for i := int64(0); i < res; i++ {
+					m.SetF64(tsBase, i, rng.Float64())
+				}
+			},
 			Launch:  gpusim.Launch{GridDim: res / 128, BlockDim: 128},
 			Outputs: []Region{{"out", outBase, res, "f64"}},
 		}
@@ -132,6 +145,16 @@ kernel bn(int* restrict data, double* restrict scores, long rows, long cols) {
 							v = int32(rng.Intn(4))
 						}
 						m.SetI32(dataBase, r*cols+c, v%4)
+					}
+				}
+			},
+			// White noise: i.i.d. categories, so each row's three class
+			// tests split every warp instead of flipping in lockstep.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 12))
+				for r := int64(0); r < rows; r++ {
+					for c := int64(0); c < cols; c++ {
+						m.SetI32(dataBase, r*cols+c, int32(rng.Intn(4)))
 					}
 				}
 			},
@@ -202,6 +225,14 @@ kernel bspline(float* restrict coefs, float* restrict vals, float* restrict grad
 					}
 				}
 			},
+			// White noise: coefficients i.i.d. over [-1, 1), so the sign
+			// and -0.5 threshold tests decorrelate across each warp.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 13))
+				for i := int64(0); i < n*4; i++ {
+					m.SetF32(coefsBase, i, float32(rng.Float64()*2-1))
+				}
+			},
 			Launch:  gpusim.Launch{GridDim: n / 128, BlockDim: 128},
 			Outputs: []Region{{"vals", valsBase, n, "f32"}, {"grads", gradsBase, n, "f32"}},
 		}
@@ -248,6 +279,13 @@ kernel ccs(double* restrict a, double* restrict out, long n) {
 			MemSize: outBase + 8*n,
 			Init: func(m *interp.Memory) {
 				rng := rand.New(rand.NewSource(14))
+				for i := int64(0); i < n; i++ {
+					m.SetF64(aBase, i, rng.Float64()*2)
+				}
+			},
+			// Already i.i.d.; reseeded for the sweep.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 14))
 				for i := int64(0); i < n; i++ {
 					m.SetF64(aBase, i, rng.Float64()*2)
 				}
@@ -309,6 +347,14 @@ kernel clink(double* restrict d, long* restrict idx, double* restrict best, long
 						}
 						m_.SetF64(dBase, row*m+j, v)
 					}
+				}
+			},
+			// White noise: i.i.d. distances, so the running-minimum update
+			// fires at uncorrelated scan positions per lane.
+			Noise: func(m_ *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 15))
+				for i := int64(0); i < n*m; i++ {
+					m_.SetF64(dBase, i, rng.Float64()*150)
 				}
 			},
 			Launch:  gpusim.Launch{GridDim: n / 128, BlockDim: 128},
@@ -415,6 +461,21 @@ kernel contract(double* restrict A, double* restrict B, double* restrict C, long
 					m.SetF64(bBase, i, rng.Float64())
 				}
 			},
+			// White noise: signs i.i.d. per element, so the sign branch
+			// splits every warp on most iterations.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 16))
+				for i := int64(0); i < n*k; i++ {
+					v := 0.2 + rng.Float64()
+					if rng.Intn(2) == 0 {
+						v = -v
+					}
+					m.SetF64(aBase, i, v)
+				}
+				for i := int64(0); i < k; i++ {
+					m.SetF64(bBase, i, rng.Float64())
+				}
+			},
 			Launch:  gpusim.Launch{GridDim: n / 128, BlockDim: 128},
 			Outputs: []Region{{"C", cBase, n, "f64"}},
 		}
@@ -462,6 +523,14 @@ kernel coords(double* restrict lat, double* restrict lon, double* restrict out, 
 			MemSize: outBase + 8*n,
 			Init: func(m *interp.Memory) {
 				rng := rand.New(rand.NewSource(17))
+				for i := int64(0); i < n; i++ {
+					m.SetF64(latBase, i, rng.Float64()*3-1.5)
+					m.SetF64(lonBase, i, rng.Float64()*1.4-0.7)
+				}
+			},
+			// Already i.i.d.; reseeded for the sweep.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 17))
 				for i := int64(0); i < n; i++ {
 					m.SetF64(latBase, i, rng.Float64()*3-1.5)
 					m.SetF64(lonBase, i, rng.Float64()*1.4-0.7)

@@ -65,6 +65,17 @@ kernel haccmk(float* restrict xx, float* restrict yy, float* restrict zz, float*
 					mm.SetF32(massBase, i, float32(rng.Float64()+0.5))
 				}
 			},
+			// White noise: positions scattered over the whole box instead of
+			// spatially tiled, so the softening clamp fires per lane.
+			Noise: func(mm *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 18))
+				for i := int64(0); i < m; i++ {
+					mm.SetF32(xxBase, i, float32(rng.Float64()))
+					mm.SetF32(yyBase, i, float32(rng.Float64()))
+					mm.SetF32(zzBase, i, float32(rng.Float64()))
+					mm.SetF32(massBase, i, float32(rng.Float64()+0.5))
+				}
+			},
 			Launch:  gpusim.Launch{GridDim: n / 128, BlockDim: 128},
 			Outputs: []Region{{"fx", fxBase, n, "f32"}},
 		}
@@ -127,6 +138,17 @@ kernel lavamd(double* restrict px, double* restrict py, double* restrict pz, dou
 					m.SetF64(qBase, i, rng.Float64()*2-1)
 				}
 			},
+			// White noise: particles scattered uniformly, so the cutoff test
+			// disagrees lane-to-lane on most neighbours.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 19))
+				for i := int64(0); i < nneigh; i++ {
+					m.SetF64(pxBase, i, rng.Float64()*2)
+					m.SetF64(pyBase, i, rng.Float64()*2)
+					m.SetF64(pzBase, i, rng.Float64()*2)
+					m.SetF64(qBase, i, rng.Float64()*2-1)
+				}
+			},
 			Launch:  gpusim.Launch{GridDim: npart / 128, BlockDim: 128},
 			Outputs: []Region{{"out", outBase, npart, "f64"}},
 		}
@@ -173,6 +195,14 @@ kernel libor(double* restrict L0, double* restrict out, long npaths, long nmat, 
 			MemSize: outBase + 8*npaths,
 			Init: func(m *interp.Memory) {
 				rng := rand.New(rand.NewSource(20))
+				for i := int64(0); i < nmat; i++ {
+					m.SetF64(l0Base, i, 0.02+rng.Float64()*0.08)
+				}
+			},
+			// The rate curve is shared by every path (divergence comes from
+			// the per-thread rate offset), so noise is a reseeded curve.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 20))
 				for i := int64(0); i < nmat; i++ {
 					m.SetF64(l0Base, i, 0.02+rng.Float64()*0.08)
 				}
@@ -277,6 +307,14 @@ kernel qtc(double* restrict pts, long* restrict counts, double* restrict sums, l
 					m.SetF64(ptsBase, i, cluster+float64(i%32)*0.0001+rng.Float64()*0.0001)
 				}
 			},
+			// White noise: unsorted, unclustered points, so the threshold
+			// tests flip at uncorrelated scan positions across each warp.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 21))
+				for i := int64(0); i < n; i++ {
+					m.SetF64(ptsBase, i, rng.Float64()*1.1)
+				}
+			},
 			Launch:  gpusim.Launch{GridDim: n / 128, BlockDim: 128},
 			Outputs: []Region{{"counts", countsBase, n, "i64"}, {"sums", sumsBase, n, "f64"}},
 		}
@@ -317,6 +355,13 @@ kernel qsortk(double* restrict data, long nseg, long seglen) {
 			MemSize: 8 * nseg * seglen,
 			Init: func(m *interp.Memory) {
 				rng := rand.New(rand.NewSource(22))
+				for i := int64(0); i < nseg*seglen; i++ {
+					m.SetF64(dataBase, i, rng.Float64()*1000)
+				}
+			},
+			// Already i.i.d.; reseeded for the sweep.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 22))
 				for i := int64(0); i < nseg*seglen; i++ {
 					m.SetF64(dataBase, i, rng.Float64()*1000)
 				}
@@ -384,6 +429,15 @@ kernel rainflow(double* restrict x, double* restrict y, long* restrict cnt, long
 					}
 				}
 			},
+			// White noise: the deviation-#4 case proper — i.i.d. samples in
+			// place of the auto-correlated stress history, so every lane's
+			// turning-point tests fire independently.
+			Noise: func(mm *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 23))
+				for i := int64(0); i < nthreads*m; i++ {
+					mm.SetF64(xBase, i, 1 + rng.Float64()*8)
+				}
+			},
 			Launch:  gpusim.Launch{GridDim: nthreads / 128, BlockDim: 128},
 			Outputs: []Region{{"cnt", cntBase, nthreads, "i64"}, {"y", yBase, nthreads * m, "f64"}},
 		}
@@ -438,6 +492,16 @@ kernel xsbench(double* restrict egrid, double* restrict xs, double* restrict res
 				rng := rand.New(rand.NewSource(24))
 				for i := int64(0); i < ngrid; i++ {
 					m.SetF64(egridBase, i, float64(i)/float64(ngrid))
+					m.SetF64(xsBase, i, rng.Float64())
+				}
+			},
+			// Noise: a jittered (still sorted — binary search requires it)
+			// energy grid instead of the uniform one, plus reseeded cross
+			// sections; lookup coherence itself is thread-id-derived.
+			Noise: func(m *interp.Memory) {
+				rng := rand.New(rand.NewSource(noiseSeed + 24))
+				for i := int64(0); i < ngrid; i++ {
+					m.SetF64(egridBase, i, (float64(i)+rng.Float64()*0.9)/float64(ngrid))
 					m.SetF64(xsBase, i, rng.Float64())
 				}
 			},

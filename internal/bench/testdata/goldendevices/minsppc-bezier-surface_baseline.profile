@@ -1,0 +1,74 @@
+kernel bezier: 170877 cycles (issue 132800, dep_stall 37948, fetch_stall 128)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L12              2       154466   90.4%       154466            0            0
+  loop@L7               1        14948    8.7%       169414            0            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L11            loop@L12              31622  18.5%        10560       337920        21063          0          0
+  L16            loop@L12              26774  15.7%         7040       225280         2118          0          0
+  L20            loop@L12              26758  15.7%         7040       225280         2118          0          0
+  L12            loop@L12              15337   9.0%         7744       247808         3721          0          0
+  L13            loop@L12               9174   5.4%         7040       225280         2118          0          0
+  L10            loop@L12               9062   5.3%         7040       225280         2021          0          0
+  L9             loop@L12               7563   4.4%         7040       225280          523          0          0
+  ?              loop@L12               7040   4.1%         3520       112640            0          0          0
+  L21            loop@L12               3536   2.1%         3520       112640            0          0          0
+  L24            loop@L7                3534   2.1%         1408        45056         1054          0          0
+  L8             loop@L12               3520   2.1%         3520       112640            0          0          0
+  L14            loop@L12               3520   2.1%         3520       112640            0          0          0
+  L15            loop@L12               3520   2.1%         3520       112640            0          0          0
+  L17            loop@L12               3520   2.1%         3520       112640            0          0          0
+  L19            loop@L12               3520   2.1%         3520       112640            0          0          0
+  L25            loop@L7                3520   2.1%         1408        45056         1056          0          0
+  L7             loop@L7                3099   1.8%         1824        58368          523          0          0
+  L11            loop@L7                1480   0.9%         1056        33792          424          0          0
+  L10            loop@L7                 873   0.5%          704        22528          169          0          0
+  L12            loop@L7                 704   0.4%          352        11264            0          0          0
+  L25            -                       585   0.3%           32         1024          553          0          0
+  L26            loop@L7                 564   0.3%          352        11264          212          0          0
+  L6             loop@L7                 454   0.3%          352        11264          102          0          0
+  L9             loop@L7                 368   0.2%          352        11264            0          0          0
+  L8             loop@L7                 352   0.2%          352        11264            0          0          0
+  L3             -                       265   0.2%          192         6144           58          0          0
+  L5             -                       153   0.1%           96         3072           42          0        256
+  L4             -                       134   0.1%           64         2048           39          0          0
+  L28            -                       134   0.1%           96         3072           39          0        256
+  L7             -                        96   0.1%           64         2048            0          0          0
+  ?              -                        64   0.0%           32         1024            0          0          0
+  L6             -                        32   0.0%           32         1024            0          0          0
+
+bezier;? 64
+bezier;L25 585
+bezier;L28 134
+bezier;L3 265
+bezier;L4 134
+bezier;L5 153
+bezier;L6 32
+bezier;L7 96
+bezier;loop@L7;L10 873
+bezier;loop@L7;L11 1480
+bezier;loop@L7;L12 704
+bezier;loop@L7;L24 3534
+bezier;loop@L7;L25 3520
+bezier;loop@L7;L26 564
+bezier;loop@L7;L6 454
+bezier;loop@L7;L7 3099
+bezier;loop@L7;L8 352
+bezier;loop@L7;L9 368
+bezier;loop@L7;loop@L12;? 7040
+bezier;loop@L7;loop@L12;L10 9062
+bezier;loop@L7;loop@L12;L11 31622
+bezier;loop@L7;loop@L12;L12 15337
+bezier;loop@L7;loop@L12;L13 9174
+bezier;loop@L7;loop@L12;L14 3520
+bezier;loop@L7;loop@L12;L15 3520
+bezier;loop@L7;loop@L12;L16 26774
+bezier;loop@L7;loop@L12;L17 3520
+bezier;loop@L7;loop@L12;L19 3520
+bezier;loop@L7;loop@L12;L20 26758
+bezier;loop@L7;loop@L12;L21 3536
+bezier;loop@L7;loop@L12;L8 3520
+bezier;loop@L7;loop@L12;L9 7563

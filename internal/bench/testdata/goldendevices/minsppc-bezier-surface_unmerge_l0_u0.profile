@@ -1,0 +1,94 @@
+kernel bezier: 145943 cycles (issue 114592, dep_stall 31173, fetch_stall 176)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L12              2       129145   88.5%       129145            0            0
+  loop@L7               1        15335   10.5%       144480            0            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L11            loop@L12              18397  12.6%         7040       225280        11341          0          0
+  L20            loop@L12              15811  10.8%         4160       133120         1251          0          0
+  L12            loop@L12              15337  10.5%         7744       247808         3721          0          0
+  L20.d1         loop@L12              13708   9.4%         2880        92160         3628          0          0
+  L15            loop@L12              12678   8.7%         7040       225280         2118          0          0
+  L16            loop@L12              10962   7.5%         2880        92160          866          0          0
+  L13            loop@L12               9174   6.3%         7040       225280         2118          0          0
+  L10            loop@L12               9062   6.2%         7040       225280         2021          0          0
+  ?              loop@L12               7040   4.8%         3520       112640            0          0          0
+  L24            loop@L7                4149   2.8%         1664        53248         1172          0          0
+  L8             loop@L12               3520   2.4%         3520       112640            0          0          0
+  L14            loop@L12               3520   2.4%         3520       112640            0          0          0
+  L25.d1         loop@L7                3215   2.2%         1280        40960          958          0          0
+  L21            loop@L12               2096   1.4%         2080        66560            0          0          0
+  L19            loop@L12               2080   1.4%         2080        66560            0          0          0
+  L7             loop@L7                1925   1.3%         1120        35840          406          0          0
+  L9             loop@L12               1440   1.0%         1440        46080            0          0          0
+  L17            loop@L12               1440   1.0%         1440        46080            0          0          0
+  L19.d1         loop@L12               1440   1.0%         1440        46080            0          0          0
+  L21.d1         loop@L12               1440   1.0%         1440        46080            0          0          0
+  L6             loop@L7                1089   0.7%          704        22528          368          0          0
+  L10            loop@L7                 873   0.6%          704        22528          169          0          0
+  ?              loop@L7                 704   0.5%          352        11264            0          0          0
+  L12            loop@L7                 704   0.5%          352        11264            0          0          0
+  L25.d1         -                       585   0.4%           32         1024          553          0          0
+  L26.d3         loop@L7                 513   0.4%          320        10240          193          0          0
+  L9             loop@L7                 368   0.3%          352        11264            0          0          0
+  L8             loop@L7                 352   0.2%          352        11264            0          0          0
+  L11            loop@L7                 352   0.2%          352        11264            0          0          0
+  L25            loop@L7                 336   0.2%          128         4096           96          0          0
+  L7.d3          loop@L7                 320   0.2%          320        10240            0          0          0
+  L26.d1         loop@L7                 320   0.2%          320        10240            0          0          0
+  L3             -                       265   0.2%          192         6144           58          0          0
+  L5             -                       153   0.1%           96         3072           42          0        256
+  L4             -                       134   0.1%           64         2048           39          0          0
+  L28            -                       134   0.1%           96         3072           39          0        256
+  L7             -                        96   0.1%           64         2048            0          0          0
+  ?              -                        64   0.0%           32         1024            0          0          0
+  L26.d2         loop@L7                  51   0.0%           32         1024           19          0          0
+  L6             -                        32   0.0%           32         1024            0          0          0
+  L7.d2          loop@L7                  32   0.0%           32         1024            0          0          0
+  L26            loop@L7                  32   0.0%           32         1024            0          0          0
+
+bezier;? 64
+bezier;L25.d1 585
+bezier;L28 134
+bezier;L3 265
+bezier;L4 134
+bezier;L5 153
+bezier;L6 32
+bezier;L7 96
+bezier;loop@L7;? 704
+bezier;loop@L7;L10 873
+bezier;loop@L7;L11 352
+bezier;loop@L7;L12 704
+bezier;loop@L7;L24 4149
+bezier;loop@L7;L25 336
+bezier;loop@L7;L25.d1 3215
+bezier;loop@L7;L26 32
+bezier;loop@L7;L26.d1 320
+bezier;loop@L7;L26.d2 51
+bezier;loop@L7;L26.d3 513
+bezier;loop@L7;L6 1089
+bezier;loop@L7;L7 1925
+bezier;loop@L7;L7.d2 32
+bezier;loop@L7;L7.d3 320
+bezier;loop@L7;L8 352
+bezier;loop@L7;L9 368
+bezier;loop@L7;loop@L12;? 7040
+bezier;loop@L7;loop@L12;L10 9062
+bezier;loop@L7;loop@L12;L11 18397
+bezier;loop@L7;loop@L12;L12 15337
+bezier;loop@L7;loop@L12;L13 9174
+bezier;loop@L7;loop@L12;L14 3520
+bezier;loop@L7;loop@L12;L15 12678
+bezier;loop@L7;loop@L12;L16 10962
+bezier;loop@L7;loop@L12;L17 1440
+bezier;loop@L7;loop@L12;L19 2080
+bezier;loop@L7;loop@L12;L19.d1 1440
+bezier;loop@L7;loop@L12;L20 15811
+bezier;loop@L7;loop@L12;L20.d1 13708
+bezier;loop@L7;loop@L12;L21 2096
+bezier;loop@L7;loop@L12;L21.d1 1440
+bezier;loop@L7;loop@L12;L8 3520
+bezier;loop@L7;loop@L12;L9 1440

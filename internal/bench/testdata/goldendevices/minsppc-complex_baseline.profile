@@ -1,0 +1,49 @@
+kernel cpx: 83944 cycles (issue 70916, dep_stall 12954, fetch_stall 80)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L10              1        77202   92.0%        77202            5            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L10            loop@L10              19326  23.0%         9731       311299         3198          5          0
+  L9             loop@L10               8008   9.5%         6146       196610         1848          0          0
+  L11            loop@L10               8008   9.5%         6146       196610         1848          0          0
+  L13            loop@L10               8008   9.5%         6146       196610         1848          0          0
+  L15            loop@L10               7992   9.5%         6146       196610         1848          0          0
+  L8             loop@L10               6444   7.7%         6146       196610          300          0          0
+  L7             loop@L10               3444   4.1%         3073        98305          372          0          0
+  L6             loop@L10               3396   4.0%         3073        98305          324          0          0
+  L3             loop@L10               3360   4.0%         3073        98305          288          0          0
+  L12            loop@L10               3072   3.7%         3073        98305            0          0          0
+  L16            loop@L10               3072   3.7%         3073        98305            0          0          0
+  L17            loop@L10               3072   3.7%         3073        98305            0          0          0
+  L3             -                      2270   2.7%         1792        57344          462          0          0
+  L19            -                      1332   1.6%         1024        32768          308          0       2048
+  L4             -                      1076   1.3%          512        16384          308          0          0
+  ?              -                      1024   1.2%          512        16384            0          0          0
+  L9             -                       272   0.3%          256         8192            0          0          0
+  L6             -                       256   0.3%          256         8192            0          0          0
+  L7             -                       256   0.3%          256         8192            0          0          0
+  L8             -                       256   0.3%          256         8192            0          0          0
+
+cpx;? 1024
+cpx;L19 1332
+cpx;L3 2270
+cpx;L4 1076
+cpx;L6 256
+cpx;L7 256
+cpx;L8 256
+cpx;L9 272
+cpx;loop@L10;L10 19326
+cpx;loop@L10;L11 8008
+cpx;loop@L10;L12 3072
+cpx;loop@L10;L13 8008
+cpx;loop@L10;L15 7992
+cpx;loop@L10;L16 3072
+cpx;loop@L10;L17 3072
+cpx;loop@L10;L3 3360
+cpx;loop@L10;L6 3396
+cpx;loop@L10;L7 3444
+cpx;loop@L10;L8 6444
+cpx;loop@L10;L9 8008

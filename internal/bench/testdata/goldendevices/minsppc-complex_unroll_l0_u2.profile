@@ -1,0 +1,67 @@
+kernel cpx: 73698 cycles (issue 60593, dep_stall 12979, fetch_stall 128)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L10              1        65885   89.4%        65885            5            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L10.u1         loop@L10               9732  13.2%         4695       150188         1951          2          0
+  L10            loop@L10               6760   9.2%         3414       109228         1640          3          0
+  L11            loop@L10               4218   5.7%         3244       103766          975          0          0
+  L13            loop@L10               4218   5.7%         3244       103766          975          0          0
+  L15            loop@L10               4218   5.7%         3244       103766          975          0          0
+  L9             loop@L10               4063   5.5%         3073        98305          975          0          0
+  L11.u1         loop@L10               3931   5.3%         2902        92844         1014          0          0
+  L15.u1         loop@L10               3790   5.1%         2902        92844          872          0          0
+  L13.u1         loop@L10               3774   5.1%         2902        92844          873          0          0
+  L8             loop@L10               3231   4.4%         3073        98305          158          0          0
+  L9.u1          loop@L10               2323   3.2%         1451        46422          873          0          0
+  L3             -                      2270   3.1%         1792        57344          462          0          0
+  L7             loop@L10               1627   2.2%         1451        46422          176          0          0
+  L12            loop@L10               1621   2.2%         1622        51883            0          0          0
+  L16            loop@L10               1621   2.2%         1622        51883            0          0          0
+  L17            loop@L10               1621   2.2%         1622        51883            0          0          0
+  L6             loop@L10               1604   2.2%         1451        46422          153          0          0
+  L8.u1          loop@L10               1593   2.2%         1451        46422          142          0          0
+  L3             loop@L10               1587   2.2%         1451        46422          136          0          0
+  ?              -                      1537   2.1%          773        24576            0          0          0
+  L12.u1         loop@L10               1451   2.0%         1451        46422            0          0          0
+  L16.u1         loop@L10               1451   2.0%         1451        46422            0          0          0
+  L17.u1         loop@L10               1451   2.0%         1451        46422            0          0          0
+  L19            -                      1344   1.8%         1024        32768          320          0       2048
+  L4             -                      1076   1.5%          512        16384          308          0          0
+  L8             -                       545   0.7%          517        16384            0          0          0
+  L9             -                       529   0.7%          517        16384            0          0          0
+  L6             -                       256   0.3%          256         8192            0          0          0
+  L7             -                       256   0.3%          256         8192            0          0          0
+
+cpx;? 1537
+cpx;L19 1344
+cpx;L3 2270
+cpx;L4 1076
+cpx;L6 256
+cpx;L7 256
+cpx;L8 545
+cpx;L9 529
+cpx;loop@L10;L10 6760
+cpx;loop@L10;L10.u1 9732
+cpx;loop@L10;L11 4218
+cpx;loop@L10;L11.u1 3931
+cpx;loop@L10;L12 1621
+cpx;loop@L10;L12.u1 1451
+cpx;loop@L10;L13 4218
+cpx;loop@L10;L13.u1 3774
+cpx;loop@L10;L15 4218
+cpx;loop@L10;L15.u1 3790
+cpx;loop@L10;L16 1621
+cpx;loop@L10;L16.u1 1451
+cpx;loop@L10;L17 1621
+cpx;loop@L10;L17.u1 1451
+cpx;loop@L10;L3 1587
+cpx;loop@L10;L6 1604
+cpx;loop@L10;L7 1627
+cpx;loop@L10;L8 3231
+cpx;loop@L10;L8.u1 1593
+cpx;loop@L10;L9 4063
+cpx;loop@L10;L9.u1 2323

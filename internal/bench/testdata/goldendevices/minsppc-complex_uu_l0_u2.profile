@@ -1,0 +1,85 @@
+kernel cpx: 117878 cycles (issue 90781, dep_stall 26922, fetch_stall 176)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L10              1       108740   92.2%       108740         3270            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L11            loop@L10              13690  11.6%        22080       155649         3745       2380          0
+  L10            loop@L10              10781   9.1%        15680       109228         2894        207          0
+  L9             loop@L10               7055   6.0%        15168        92844         2279          0          0
+  L8             loop@L10               6588   5.6%        15168        92844         1829          0          0
+  L10.u1.d1      loop@L10               5643   4.8%         7680        57344         1608        683          0
+  L10.u1         loop@L10               5373   4.6%         8856        46422         1528          0          0
+  ?              loop@L10               4741   4.0%         7584        46422            0          0          0
+  L11.u1         loop@L10               3923   3.3%         8856        46422         1334          0          0
+  L13.u1         loop@L10               3655   3.1%         8856        46422         1083          0          0
+  L13            loop@L10               3610   3.1%         7680        57344          928          0          0
+  L15.u1         loop@L10               3546   3.0%         8856        46422          973          0          0
+  L15.d1         loop@L10               3514   3.0%         7680        57344          832          0          0
+  L15            loop@L10               3452   2.9%         8856        46422          879          0          0
+  L11.u1.d1      loop@L10               3240   2.7%         6312        46422         1039          0          0
+  L7             loop@L10               3062   2.6%         7584        46422          683          0          0
+  L6             loop@L10               3051   2.6%         7584        46422          671          0          0
+  L3             loop@L10               3035   2.6%         7584        46422          640          0          0
+  L13.u1.d1      loop@L10               2996   2.5%         6312        46422          811          0          0
+  L15.u1.d3      loop@L10               2891   2.5%         6312        46422          706          0          0
+  L3             -                      2270   1.9%         1792        57344          462          0          0
+  ?              -                      2074   1.8%         2566        24576            0          0          0
+  L12.u1         loop@L10               1660   1.4%         4428        23211          373          0          0
+  L12            loop@L10               1528   1.3%         3840        28672          171          0          0
+  L16.u1         loop@L10               1398   1.2%         4428        23211          111          0          0
+  L17.u1         loop@L10               1398   1.2%         4428        23211          111          0          0
+  L19            -                      1390   1.2%         1024        32768          366          0       2048
+  L16            loop@L10               1354   1.1%         4428        23211           51          0          0
+  L17            loop@L10               1345   1.1%         4428        23211           59          0          0
+  L16.d1         loop@L10               1342   1.1%         3840        28672            1          0          0
+  L17.d1         loop@L10               1342   1.1%         3840        28672            1          0          0
+  L12.u1.d1      loop@L10               1306   1.1%         3156        23211          213          0          0
+  L16.u1.d3      loop@L10               1119   0.9%         3156        23211           10          0          0
+  L17.u1.d3      loop@L10               1102   0.9%         3156        23211           10          0          0
+  L4             -                      1076   0.9%          512        16384          308          0          0
+  L9             -                       911   0.8%         2310        16384          110          0          0
+  L8             -                       905   0.8%         2310        16384          104          0          0
+  L6             -                       256   0.2%          256         8192            0          0          0
+  L7             -                       256   0.2%          256         8192            0          0          0
+
+cpx;? 2074
+cpx;L19 1390
+cpx;L3 2270
+cpx;L4 1076
+cpx;L6 256
+cpx;L7 256
+cpx;L8 905
+cpx;L9 911
+cpx;loop@L10;? 4741
+cpx;loop@L10;L10 10781
+cpx;loop@L10;L10.u1 5373
+cpx;loop@L10;L10.u1.d1 5643
+cpx;loop@L10;L11 13690
+cpx;loop@L10;L11.u1 3923
+cpx;loop@L10;L11.u1.d1 3240
+cpx;loop@L10;L12 1528
+cpx;loop@L10;L12.u1 1660
+cpx;loop@L10;L12.u1.d1 1306
+cpx;loop@L10;L13 3610
+cpx;loop@L10;L13.u1 3655
+cpx;loop@L10;L13.u1.d1 2996
+cpx;loop@L10;L15 3452
+cpx;loop@L10;L15.d1 3514
+cpx;loop@L10;L15.u1 3546
+cpx;loop@L10;L15.u1.d3 2891
+cpx;loop@L10;L16 1354
+cpx;loop@L10;L16.d1 1342
+cpx;loop@L10;L16.u1 1398
+cpx;loop@L10;L16.u1.d3 1119
+cpx;loop@L10;L17 1345
+cpx;loop@L10;L17.d1 1342
+cpx;loop@L10;L17.u1 1398
+cpx;loop@L10;L17.u1.d3 1102
+cpx;loop@L10;L3 3035
+cpx;loop@L10;L6 3051
+cpx;loop@L10;L7 3062
+cpx;loop@L10;L8 6588
+cpx;loop@L10;L9 7055

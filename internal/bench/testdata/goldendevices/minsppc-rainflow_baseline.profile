@@ -1,0 +1,45 @@
+kernel rainflow: 214775 cycles (issue 103765, dep_stall 110848, fetch_stall 160)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L7               1       213301   99.3%       213301          696       232148
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L8             loop@L7               70803  33.0%        24064       770048        43696        348     192512
+  L9             loop@L7               33637  15.7%         9984       301098        22542         28      50183
+  L15            loop@L7               31621  14.7%        10152       276438        21261        320      46073
+  L7             loop@L7               25517  11.9%        15104       483328         4348          0          0
+  L14            loop@L7               19665   9.2%         3384        92146        15232          0          0
+  L5             loop@L7               12558   5.8%        11760       334841         1868          0          0
+  L17            loop@L7                8413   3.9%         5944       133106          662          0      10240
+  L11            loop@L7                5587   2.6%         3184        95239          643          0      11264
+  ?              loop@L7                4776   2.2%         2684        74752            0          0          0
+  L6             -                       660   0.3%          192         6144          452          0       2048
+  L16            loop@L7                 368   0.2%          640        10240            0          0          0
+  L10            loop@L7                 356   0.2%          380        11264            0          0          0
+  L3             -                       265   0.1%          192         6144           58          0          0
+  L7             -                       236   0.1%          160         5120           28          0          0
+  L22            -                       166   0.1%          128         4096           39          0        256
+  ?              -                        64   0.0%           32         1024            0          0          0
+  L4             -                        51   0.0%           32         1024           19          0          0
+  L5             -                        32   0.0%           32         1024            0          0          0
+
+rainflow;? 64
+rainflow;L22 166
+rainflow;L3 265
+rainflow;L4 51
+rainflow;L5 32
+rainflow;L6 660
+rainflow;L7 236
+rainflow;loop@L7;? 4776
+rainflow;loop@L7;L10 356
+rainflow;loop@L7;L11 5587
+rainflow;loop@L7;L14 19665
+rainflow;loop@L7;L15 31621
+rainflow;loop@L7;L16 368
+rainflow;loop@L7;L17 8413
+rainflow;loop@L7;L5 12558
+rainflow;loop@L7;L7 25517
+rainflow;loop@L7;L8 70803
+rainflow;loop@L7;L9 33637

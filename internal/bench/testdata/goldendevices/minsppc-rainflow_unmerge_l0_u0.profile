@@ -1,0 +1,49 @@
+kernel rainflow: 183632 cycles (issue 75836, dep_stall 107649, fetch_stall 144)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L7               1       182158   99.2%       182158          696       232148
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L8             loop@L7               70804  38.6%        24064       770048        43697        348     192512
+  L9             loop@L7               33779  18.4%         9984       301098        22668         28      50183
+  L15            loop@L7               31621  17.2%        10152       276438        21261        320      46073
+  L14            loop@L7               19665  10.7%         3384        92146        15232          0          0
+  L7             loop@L7               15123   8.2%         9784       290816         2890          0          0
+  ?              loop@L7                4776   2.6%         2684        74752            0          0          0
+  L17            loop@L7                1767   1.0%         1920        30720          662          0      10240
+  L11            loop@L7                1726   0.9%         1140        33792          642          0      11264
+  L7.d1          loop@L7                 736   0.4%          640        10240            0          0          0
+  L5             loop@L7                 725   0.4%         1020        21504            1          0          0
+  L7.d3          loop@L7                 712   0.4%          380        11264            0          0          0
+  L6             -                       660   0.4%          192         6144          452          0       2048
+  L16            loop@L7                 368   0.2%          640        10240            0          0          0
+  L10            loop@L7                 356   0.2%          380        11264            0          0          0
+  L3             -                       265   0.1%          192         6144           58          0          0
+  L7             -                       236   0.1%          160         5120           28          0          0
+  L22            -                       166   0.1%          128         4096           39          0        256
+  ?              -                        64   0.0%           32         1024            0          0          0
+  L4             -                        51   0.0%           32         1024           19          0          0
+  L5             -                        32   0.0%           32         1024            0          0          0
+
+rainflow;? 64
+rainflow;L22 166
+rainflow;L3 265
+rainflow;L4 51
+rainflow;L5 32
+rainflow;L6 660
+rainflow;L7 236
+rainflow;loop@L7;? 4776
+rainflow;loop@L7;L10 356
+rainflow;loop@L7;L11 1726
+rainflow;loop@L7;L14 19665
+rainflow;loop@L7;L15 31621
+rainflow;loop@L7;L16 368
+rainflow;loop@L7;L17 1767
+rainflow;loop@L7;L5 725
+rainflow;loop@L7;L7 15123
+rainflow;loop@L7;L7.d1 736
+rainflow;loop@L7;L7.d3 712
+rainflow;loop@L7;L8 70804
+rainflow;loop@L7;L9 33779

@@ -1,0 +1,65 @@
+kernel rainflow: 208676 cycles (issue 97845, dep_stall 110561, fetch_stall 272)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L7               1       207104   99.2%       207104          696       232148
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L8.u1          loop@L7               35564  17.0%        12032       385024        21995        180      96256
+  L8             loop@L7               35401  17.0%        12032       385024        21849        168      96256
+  L9.u1          loop@L7               16896   8.1%         4992       151266        11302          8      25211
+  L9             loop@L7               16787   8.0%         4992       149832        11239         20      24972
+  L15            loop@L7               15863   7.6%         5040       138936        10659        160      23156
+  L15.u1         loop@L7               15772   7.6%         5112       137502        10601        160      22917
+  L7.u1          loop@L7               10850   5.2%         6016       192512         1810          0          0
+  L14            loop@L7                9878   4.7%         1680        46312         7639          0          0
+  L14.u1         loop@L7                9817   4.7%         1704        45834         7592          0          0
+  L7             loop@L7                9804   4.7%         6080       194560         2188          0          0
+  L5             loop@L7                6280   3.0%         5868       167540          934          0          0
+  ?              loop@L7                4777   2.3%         2684        74752            0          0          0
+  L5.u1          loop@L7                4676   2.2%         4388       119173          853          0          0
+  L17            loop@L7                4261   2.0%         2960        67816          343          0       5376
+  L17.u1         loop@L7                4149   2.0%         2984        65290          319          0       4864
+  L11.u1         loop@L7                2916   1.4%         1632        49719          347          0       6127
+  L11            loop@L7                2689   1.3%         1552        45520          295          0       5137
+  L6             -                       660   0.3%          192         6144          452          0       2048
+  L3             -                       265   0.1%          192         6144           58          0          0
+  L7             -                       236   0.1%          160         5120           28          0          0
+  L10.u1         loop@L7                 193   0.1%          200         6127            0          0          0
+  L16            loop@L7                 191   0.1%          320         5376            0          0          0
+  L16.u1         loop@L7                 177   0.1%          320         4864            0          0          0
+  L22            -                       168   0.1%          128         4096           40          0        256
+  L10            loop@L7                 163   0.1%          180         5137            0          0          0
+  ?              -                       128   0.1%           64         2048            0          0          0
+  L5             -                        64   0.0%           64         2048            0          0          0
+  L4             -                        51   0.0%           32         1024           19          0          0
+
+rainflow;? 128
+rainflow;L22 168
+rainflow;L3 265
+rainflow;L4 51
+rainflow;L5 64
+rainflow;L6 660
+rainflow;L7 236
+rainflow;loop@L7;? 4777
+rainflow;loop@L7;L10 163
+rainflow;loop@L7;L10.u1 193
+rainflow;loop@L7;L11 2689
+rainflow;loop@L7;L11.u1 2916
+rainflow;loop@L7;L14 9878
+rainflow;loop@L7;L14.u1 9817
+rainflow;loop@L7;L15 15863
+rainflow;loop@L7;L15.u1 15772
+rainflow;loop@L7;L16 191
+rainflow;loop@L7;L16.u1 177
+rainflow;loop@L7;L17 4261
+rainflow;loop@L7;L17.u1 4149
+rainflow;loop@L7;L5 6280
+rainflow;loop@L7;L5.u1 4676
+rainflow;loop@L7;L7 9804
+rainflow;loop@L7;L7.u1 10850
+rainflow;loop@L7;L8 35401
+rainflow;loop@L7;L8.u1 35564
+rainflow;loop@L7;L9 16787
+rainflow;loop@L7;L9.u1 16896

@@ -1,0 +1,53 @@
+kernel xsbench: 51071 cycles (issue 24635, dep_stall 26296, fetch_stall 128)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L11              1        39563   77.5%        39563            1            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L13            loop@L11              18964  37.1%         3072        98276        15892          0        983
+  L12            loop@L11               9137  17.9%         1536        49138         2210          0          0
+  L23            -                      3588   7.0%          832        26624         2737          0        791
+  L11            loop@L11               3055   6.0%         1664        53234          544          1          0
+  L22            -                      2720   5.3%          192         6144         2208          0          0
+  L10            loop@L11               2235   4.4%         1536        49138          699          0          0
+  L9             loop@L11               1995   3.9%         1536        49138          459          0          0
+  L8             loop@L11               1857   3.6%         1536        49138          321          0          0
+  L5             -                      1748   3.4%          384        12288          452          0          0
+  ?              loop@L11               1536   3.0%          768        24569            0          0          0
+  L7             -                      1237   2.4%          192         6144          261          0          0
+  L18            loop@L11                784   1.5%          768        24569            0          0          0
+  L3             -                       517   1.0%          384        12288          116          0          0
+  L21            -                       388   0.8%          256         8192          115          0        140
+  L4             -                       270   0.5%          128         4096           77          0          0
+  L20            -                       270   0.5%          192         6144           77          0        139
+  L6             -                       193   0.4%          128         4096           65          0          0
+  L9             -                       154   0.3%          128         4096           26          0          0
+  ?              -                       128   0.3%           64         2048            0          0          0
+  L11            -                       128   0.3%           64         2048            0          0          0
+  L10            -                       103   0.2%           64         2048           39          0          0
+  L8             -                        64   0.1%           64         2048            0          0          0
+
+xsbench;? 128
+xsbench;L10 103
+xsbench;L11 128
+xsbench;L20 270
+xsbench;L21 388
+xsbench;L22 2720
+xsbench;L23 3588
+xsbench;L3 517
+xsbench;L4 270
+xsbench;L5 1748
+xsbench;L6 193
+xsbench;L7 1237
+xsbench;L8 64
+xsbench;L9 154
+xsbench;loop@L11;? 1536
+xsbench;loop@L11;L10 2235
+xsbench;loop@L11;L11 3055
+xsbench;loop@L11;L12 9137
+xsbench;loop@L11;L13 18964
+xsbench;loop@L11;L18 784
+xsbench;loop@L11;L8 1857
+xsbench;loop@L11;L9 1995

@@ -1,0 +1,63 @@
+kernel xsbench: 48936 cycles (issue 22140, dep_stall 26624, fetch_stall 160)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L11              1        37198   76.0%        37198            1            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L13            loop@L11               9502  19.4%         1536        49152         7951          0        478
+  L13.u1         loop@L11               9477  19.4%         1536        49124         7941          0        505
+  L12.u1         loop@L11               4613   9.4%          768        24562         1142          0          0
+  L12            loop@L11               4562   9.3%          768        24576         1106          0          0
+  L23            -                      3587   7.3%          832        26624         2736          0        791
+  L22            -                      2734   5.6%          192         6144         2206          0          0
+  L11.u1         loop@L11               2382   4.9%         1152        36857          462          1          0
+  L5             -                      1748   3.6%          384        12288          452          0          0
+  L11            loop@L11               1672   3.4%          896        28658          313          0          0
+  L7             -                      1237   2.5%          192         6144          261          0          0
+  L9             loop@L11               1017   2.1%          768        24569          249          0          0
+  L8             loop@L11                958   2.0%          768        24569          191          0          0
+  L9.u1          loop@L11                615   1.3%          384        12281          231          0          0
+  L10            loop@L11                615   1.3%          384        12281          231          0          0
+  L18            loop@L11                615   1.3%          384        12288          231          0          0
+  L18.u1         loop@L11                615   1.3%          384        12281          231          0          0
+  L8.u1          loop@L11                555   1.1%          384        12281          156          0          0
+  L3             -                       517   1.1%          384        12288          116          0          0
+  L21            -                       373   0.8%          256         8192          116          0        140
+  L20            -                       293   0.6%          192         6144          100          0        139
+  ?              -                       273   0.6%          129         4096            0          0          0
+  L4             -                       270   0.6%          128         4096           77          0          0
+  L6             -                       193   0.4%          128         4096           65          0          0
+  L9             -                       154   0.3%          128         4096           26          0          0
+  L8             -                       128   0.3%          129         4096            0          0          0
+  L11            -                       128   0.3%           64         2048            0          0          0
+  L10            -                       103   0.2%           64         2048           39          0          0
+
+xsbench;? 273
+xsbench;L10 103
+xsbench;L11 128
+xsbench;L20 293
+xsbench;L21 373
+xsbench;L22 2734
+xsbench;L23 3587
+xsbench;L3 517
+xsbench;L4 270
+xsbench;L5 1748
+xsbench;L6 193
+xsbench;L7 1237
+xsbench;L8 128
+xsbench;L9 154
+xsbench;loop@L11;L10 615
+xsbench;loop@L11;L11 1672
+xsbench;loop@L11;L11.u1 2382
+xsbench;loop@L11;L12 4562
+xsbench;loop@L11;L12.u1 4613
+xsbench;loop@L11;L13 9502
+xsbench;loop@L11;L13.u1 9477
+xsbench;loop@L11;L18 615
+xsbench;loop@L11;L18.u1 615
+xsbench;loop@L11;L8 958
+xsbench;loop@L11;L8.u1 555
+xsbench;loop@L11;L9 1017
+xsbench;loop@L11;L9.u1 615

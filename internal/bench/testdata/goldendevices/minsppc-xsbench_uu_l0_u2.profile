@@ -1,0 +1,69 @@
+kernel xsbench: 50105 cycles (issue 23054, dep_stall 26852, fetch_stall 192)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L11              1        38291   76.4%        38291          122            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L13            loop@L11              10666  21.3%         2110        61440         8313        113        478
+  L13.u1         loop@L11               5033  10.0%         1064        24612         4219          0        289
+  L13.u1.d1      loop@L11               4972   9.9%         1020        24512         4168          0        290
+  L12            loop@L11               4632   9.2%          844        24576         1124          0          0
+  L23            -                      3588   7.2%          832        26624         2737          0        791
+  L22            -                      2720   5.4%          192         6144         2208          0          0
+  L12.u1         loop@L11               2465   4.9%          532        12306          619          0          0
+  L12.u1.d1      loop@L11               2415   4.8%          510        12256          589          0          0
+  L11            loop@L11               1754   3.5%         1170        28658          333          8          0
+  L5             -                      1748   3.5%          384        12288          452          0          0
+  L7             -                      1237   2.5%          192         6144          261          0          0
+  L10            loop@L11               1219   2.4%         1042        24562          411          0          0
+  L9             loop@L11               1077   2.1%         1042        24562          269          0          0
+  L8             loop@L11               1013   2.0%         1042        24562          205          0          0
+  L11.u1         loop@L11                855   1.7%          532        12306          244          0          0
+  ?              loop@L11                809   1.6%          521        12281            0          0          0
+  L11.u1.d1      loop@L11                758   1.5%          510        12270          139          1          0
+  L3             -                       517   1.0%          384        12288          116          0          0
+  L21            -                       388   0.8%          256         8192          115          0        140
+  L20            -                       300   0.6%          192         6144          107          0        139
+  ?              -                       289   0.6%          236         4096            0          0          0
+  L4             -                       270   0.5%          128         4096           77          0          0
+  L18.u1.d3      loop@L11                217   0.4%          255         6128            0          0          0
+  L18            loop@L11                203   0.4%          266         6153            0          0          0
+  L18.u1.d2      loop@L11                203   0.4%          266         6153            0          0          0
+  L6             -                       193   0.4%          128         4096           65          0          0
+  L8             -                       179   0.4%          236         4096           19          0          0
+  L9             -                       154   0.3%          128         4096           26          0          0
+  L11            -                       128   0.3%           64         2048            0          0          0
+  L10            -                       103   0.2%           64         2048           39          0          0
+
+xsbench;? 289
+xsbench;L10 103
+xsbench;L11 128
+xsbench;L20 300
+xsbench;L21 388
+xsbench;L22 2720
+xsbench;L23 3588
+xsbench;L3 517
+xsbench;L4 270
+xsbench;L5 1748
+xsbench;L6 193
+xsbench;L7 1237
+xsbench;L8 179
+xsbench;L9 154
+xsbench;loop@L11;? 809
+xsbench;loop@L11;L10 1219
+xsbench;loop@L11;L11 1754
+xsbench;loop@L11;L11.u1 855
+xsbench;loop@L11;L11.u1.d1 758
+xsbench;loop@L11;L12 4632
+xsbench;loop@L11;L12.u1 2465
+xsbench;loop@L11;L12.u1.d1 2415
+xsbench;loop@L11;L13 10666
+xsbench;loop@L11;L13.u1 5033
+xsbench;loop@L11;L13.u1.d1 4972
+xsbench;loop@L11;L18 203
+xsbench;loop@L11;L18.u1.d2 203
+xsbench;loop@L11;L18.u1.d3 217
+xsbench;loop@L11;L8 1013
+xsbench;loop@L11;L9 1077

@@ -1,0 +1,74 @@
+kernel bezier: 565436 cycles (issue 265600, dep_stall 299756, fetch_stall 80)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L12              2       508313   89.9%       508313            0            0
+  loop@L7               1        51567    9.1%       559880            0            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L11            loop@L12             197115  34.9%        21120       337920       175995          0          0
+  L16            loop@L12              66890  11.8%        14080       225280        17600          0          0
+  L20            loop@L12              66880  11.8%        14080       225280        17600          0          0
+  L12            loop@L12              54208   9.6%        15488       247808        30976          0          0
+  L13            loop@L12              31690   5.6%        14080       225280        17600          0          0
+  L10            loop@L12              21120   3.7%        14080       225280         7040          0          0
+  ?              loop@L12              14080   2.5%         7040       112640            0          0          0
+  L9             loop@L12              14080   2.5%        14080       225280            0          0          0
+  L24            loop@L7               13733   2.4%         2816        45056         8795          0          0
+  L25            loop@L7               13728   2.4%         2816        45056         8800          0          0
+  L7             loop@L7                9488   1.7%         3648        58368         4358          0          0
+  L21            loop@L12               7050   1.2%         7040       112640            0          0          0
+  L8             loop@L12               7040   1.2%         7040       112640            0          0          0
+  L14            loop@L12               7040   1.2%         7040       112640            0          0          0
+  L15            loop@L12               7040   1.2%         7040       112640            0          0          0
+  L17            loop@L12               7040   1.2%         7040       112640            0          0          0
+  L19            loop@L12               7040   1.2%         7040       112640            0          0          0
+  L11            loop@L7                5632   1.0%         2112        33792         3520          0          0
+  L10            loop@L7                2816   0.5%         1408        22528         1408          0          0
+  L25            -                      2752   0.5%           64         1024         2688          0          0
+  L26            loop@L7                2464   0.4%          704        11264         1760          0          0
+  L12            loop@L7                1408   0.2%          704        11264            0          0          0
+  L6             loop@L7                 880   0.2%          704        11264          176          0          0
+  L3             -                       874   0.2%          384         6144          480          0          0
+  L9             loop@L7                 714   0.1%          704        11264            0          0          0
+  L8             loop@L7                 704   0.1%          704        11264            0          0          0
+  L5             -                       522   0.1%          192         3072          320          0        256
+  L4             -                       512   0.1%          128         2048          320          0          0
+  L28            -                       512   0.1%          192         3072          320          0        256
+  L7             -                       192   0.0%          128         2048            0          0          0
+  ?              -                       128   0.0%           64         1024            0          0          0
+  L6             -                        64   0.0%           64         1024            0          0          0
+
+bezier;? 128
+bezier;L25 2752
+bezier;L28 512
+bezier;L3 874
+bezier;L4 512
+bezier;L5 522
+bezier;L6 64
+bezier;L7 192
+bezier;loop@L7;L10 2816
+bezier;loop@L7;L11 5632
+bezier;loop@L7;L12 1408
+bezier;loop@L7;L24 13733
+bezier;loop@L7;L25 13728
+bezier;loop@L7;L26 2464
+bezier;loop@L7;L6 880
+bezier;loop@L7;L7 9488
+bezier;loop@L7;L8 704
+bezier;loop@L7;L9 714
+bezier;loop@L7;loop@L12;? 14080
+bezier;loop@L7;loop@L12;L10 21120
+bezier;loop@L7;loop@L12;L11 197115
+bezier;loop@L7;loop@L12;L12 54208
+bezier;loop@L7;loop@L12;L13 31690
+bezier;loop@L7;loop@L12;L14 7040
+bezier;loop@L7;loop@L12;L15 7040
+bezier;loop@L7;loop@L12;L16 66890
+bezier;loop@L7;loop@L12;L17 7040
+bezier;loop@L7;loop@L12;L19 7040
+bezier;loop@L7;loop@L12;L20 66880
+bezier;loop@L7;loop@L12;L21 7050
+bezier;loop@L7;loop@L12;L8 7040
+bezier;loop@L7;loop@L12;L9 14080

@@ -1,0 +1,94 @@
+kernel bezier: 476511 cycles (issue 229184, dep_stall 247216, fetch_stall 110)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L12              2       420158   88.2%       420158            0            0
+  loop@L7               1        50797   10.7%       470955            0            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L11            loop@L12             109123  22.9%        14080       225280        95033          0          0
+  L12            loop@L12              54208  11.4%        15488       247808        30976          0          0
+  L20.d1         loop@L12              50400  10.6%         5760        92160        30240          0          0
+  L20            loop@L12              39520   8.3%         8320       133120        10400          0          0
+  L15            loop@L12              38720   8.1%        14080       225280        17600          0          0
+  L13            loop@L12              31690   6.7%        14080       225280        17600          0          0
+  L16            loop@L12              27368   5.7%         5760        92160         7198          0          0
+  L10            loop@L12              21119   4.4%        14080       225280         7039          0          0
+  L24            loop@L7               15712   3.3%         3328        53248         9760          0          0
+  ?              loop@L12              14080   3.0%         7040       112640            0          0          0
+  L25.d1         loop@L7               12485   2.6%         2560        40960         7995          0          0
+  L8             loop@L12               7040   1.5%         7040       112640            0          0          0
+  L14            loop@L12               7040   1.5%         7040       112640            0          0          0
+  L7             loop@L7                5220   1.1%         2240        35840         2201          0          0
+  L6             loop@L7                4496   0.9%         1408        22528         3078          0          0
+  L21            loop@L12               4170   0.9%         4160        66560            0          0          0
+  L19            loop@L12               4160   0.9%         4160        66560            0          0          0
+  L9             loop@L12               2880   0.6%         2880        46080            0          0          0
+  L17            loop@L12               2880   0.6%         2880        46080            0          0          0
+  L19.d1         loop@L12               2880   0.6%         2880        46080            0          0          0
+  L21.d1         loop@L12               2880   0.6%         2880        46080            0          0          0
+  L10            loop@L7                2816   0.6%         1408        22528         1408          0          0
+  L25.d1         -                      2752   0.6%           64         1024         2688          0          0
+  L26.d3         loop@L7                2240   0.5%          640        10240         1600          0          0
+  ?              loop@L7                1408   0.3%          704        11264            0          0          0
+  L12            loop@L7                1408   0.3%          704        11264            0          0          0
+  L25            loop@L7                1258   0.3%          256         4096          800          0          0
+  L3             -                       874   0.2%          384         6144          480          0          0
+  L9             loop@L7                 714   0.1%          704        11264            0          0          0
+  L8             loop@L7                 704   0.1%          704        11264            0          0          0
+  L11            loop@L7                 704   0.1%          704        11264            0          0          0
+  L7.d3          loop@L7                 640   0.1%          640        10240            0          0          0
+  L26.d1         loop@L7                 640   0.1%          640        10240            0          0          0
+  L5             -                       522   0.1%          192         3072          320          0        256
+  L4             -                       512   0.1%          128         2048          320          0          0
+  L28            -                       512   0.1%          192         3072          320          0        256
+  L26.d2         loop@L7                 224   0.0%           64         1024          160          0          0
+  L7             -                       192   0.0%          128         2048            0          0          0
+  ?              -                       128   0.0%           64         1024            0          0          0
+  L6             -                        64   0.0%           64         1024            0          0          0
+  L7.d2          loop@L7                  64   0.0%           64         1024            0          0          0
+  L26            loop@L7                  64   0.0%           64         1024            0          0          0
+
+bezier;? 128
+bezier;L25.d1 2752
+bezier;L28 512
+bezier;L3 874
+bezier;L4 512
+bezier;L5 522
+bezier;L6 64
+bezier;L7 192
+bezier;loop@L7;? 1408
+bezier;loop@L7;L10 2816
+bezier;loop@L7;L11 704
+bezier;loop@L7;L12 1408
+bezier;loop@L7;L24 15712
+bezier;loop@L7;L25 1258
+bezier;loop@L7;L25.d1 12485
+bezier;loop@L7;L26 64
+bezier;loop@L7;L26.d1 640
+bezier;loop@L7;L26.d2 224
+bezier;loop@L7;L26.d3 2240
+bezier;loop@L7;L6 4496
+bezier;loop@L7;L7 5220
+bezier;loop@L7;L7.d2 64
+bezier;loop@L7;L7.d3 640
+bezier;loop@L7;L8 704
+bezier;loop@L7;L9 714
+bezier;loop@L7;loop@L12;? 14080
+bezier;loop@L7;loop@L12;L10 21119
+bezier;loop@L7;loop@L12;L11 109123
+bezier;loop@L7;loop@L12;L12 54208
+bezier;loop@L7;loop@L12;L13 31690
+bezier;loop@L7;loop@L12;L14 7040
+bezier;loop@L7;loop@L12;L15 38720
+bezier;loop@L7;loop@L12;L16 27368
+bezier;loop@L7;loop@L12;L17 2880
+bezier;loop@L7;loop@L12;L19 4160
+bezier;loop@L7;loop@L12;L19.d1 2880
+bezier;loop@L7;loop@L12;L20 39520
+bezier;loop@L7;loop@L12;L20.d1 50400
+bezier;loop@L7;loop@L12;L21 4170
+bezier;loop@L7;loop@L12;L21.d1 2880
+bezier;loop@L7;loop@L12;L8 7040
+bezier;loop@L7;loop@L12;L9 2880

@@ -1,0 +1,49 @@
+kernel cpx: 244312 cycles (issue 141845, dep_stall 102414, fetch_stall 50)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L10              1       224068   91.7%       224068            4            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L10            loop@L10              58890  24.1%        19459       311299        26628          4          0
+  L9             loop@L10              27663  11.3%        12290       196610        15363          0          0
+  L11            loop@L10              27663  11.3%        12290       196610        15363          0          0
+  L13            loop@L10              27663  11.3%        12290       196610        15363          0          0
+  L15            loop@L10              27653  11.3%        12290       196610        15363          0          0
+  L8             loop@L10              12290   5.0%        12290       196610            0          0          0
+  L7             loop@L10               9217   3.8%         6145        98305         3072          0          0
+  L6             loop@L10               7681   3.1%         6145        98305         1536          0          0
+  L3             -                      7434   3.0%         3584        57344         3840          0          0
+  L3             loop@L10               6913   2.8%         6145        98305          768          0          0
+  L12            loop@L10               6145   2.5%         6145        98305            0          0          0
+  L16            loop@L10               6145   2.5%         6145        98305            0          0          0
+  L17            loop@L10               6145   2.5%         6145        98305            0          0          0
+  L19            -                      4608   1.9%         2048        32768         2560          0       2048
+  L4             -                      4096   1.7%         1024        16384         2560          0          0
+  ?              -                      2048   0.8%         1024        16384            0          0          0
+  L9             -                       522   0.2%          512         8192            0          0          0
+  L6             -                       512   0.2%          512         8192            0          0          0
+  L7             -                       512   0.2%          512         8192            0          0          0
+  L8             -                       512   0.2%          512         8192            0          0          0
+
+cpx;? 2048
+cpx;L19 4608
+cpx;L3 7434
+cpx;L4 4096
+cpx;L6 512
+cpx;L7 512
+cpx;L8 512
+cpx;L9 522
+cpx;loop@L10;L10 58890
+cpx;loop@L10;L11 27663
+cpx;loop@L10;L12 6145
+cpx;loop@L10;L13 27663
+cpx;loop@L10;L15 27653
+cpx;loop@L10;L16 6145
+cpx;loop@L10;L17 6145
+cpx;loop@L10;L3 6913
+cpx;loop@L10;L6 7681
+cpx;loop@L10;L7 9217
+cpx;loop@L10;L8 12290
+cpx;loop@L10;L9 27663

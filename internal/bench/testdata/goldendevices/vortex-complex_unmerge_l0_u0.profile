@@ -1,0 +1,51 @@
+kernel cpx: 242005 cycles (issue 141845, dep_stall 100108, fetch_stall 50)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L10              1       221761   91.6%       221761            4            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L10            loop@L10              46600  19.3%        13314       212994        26628          4          0
+  L11            loop@L10              27663  11.4%        12290       196610        15363          0          0
+  L13            loop@L10              27663  11.4%        12290       196610        15363          0          0
+  L15.d1         loop@L10              27653  11.4%        12290       196610        15363          0          0
+  L9             loop@L10              24588  10.2%        12290       196610        12288          0          0
+  L8             loop@L10              18434   7.6%        12290       196610         6144          0          0
+  ?              loop@L10              12290   5.1%         6145        98305            0          0          0
+  L3             -                      7434   3.1%         3584        57344         3840          0          0
+  L3             loop@L10               6145   2.5%         6145        98305            0          0          0
+  L6             loop@L10               6145   2.5%         6145        98305            0          0          0
+  L7             loop@L10               6145   2.5%         6145        98305            0          0          0
+  L12            loop@L10               6145   2.5%         6145        98305            0          0          0
+  L16.d1         loop@L10               6145   2.5%         6145        98305            0          0          0
+  L17.d1         loop@L10               6145   2.5%         6145        98305            0          0          0
+  L19            -                      4608   1.9%         2048        32768         2560          0       2048
+  L4             -                      4096   1.7%         1024        16384         2560          0          0
+  ?              -                      2048   0.8%         1024        16384            0          0          0
+  L9             -                       522   0.2%          512         8192            0          0          0
+  L6             -                       512   0.2%          512         8192            0          0          0
+  L7             -                       512   0.2%          512         8192            0          0          0
+  L8             -                       512   0.2%          512         8192            0          0          0
+
+cpx;? 2048
+cpx;L19 4608
+cpx;L3 7434
+cpx;L4 4096
+cpx;L6 512
+cpx;L7 512
+cpx;L8 512
+cpx;L9 522
+cpx;loop@L10;? 12290
+cpx;loop@L10;L10 46600
+cpx;loop@L10;L11 27663
+cpx;loop@L10;L12 6145
+cpx;loop@L10;L13 27663
+cpx;loop@L10;L15.d1 27653
+cpx;loop@L10;L16.d1 6145
+cpx;loop@L10;L17.d1 6145
+cpx;loop@L10;L3 6145
+cpx;loop@L10;L6 6145
+cpx;loop@L10;L7 6145
+cpx;loop@L10;L8 18434
+cpx;loop@L10;L9 24588

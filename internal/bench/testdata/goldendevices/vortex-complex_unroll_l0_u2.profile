@@ -1,0 +1,67 @@
+kernel cpx: 224106 cycles (issue 121208, dep_stall 102814, fetch_stall 80)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L10              1       201788   90.0%       201788            4            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L10.u1         loop@L10              31759  14.2%         9388       150188        16215          2          0
+  L10            loop@L10              23897  10.7%         6828       109228        13655          2          0
+  L11            loop@L10              14604   6.5%         6486       103766         8108          0          0
+  L13            loop@L10              14594   6.5%         6486       103766         8108          0          0
+  L15            loop@L10              14594   6.5%         6486       103766         8108          0          0
+  L9             loop@L10              14260   6.4%         6145        98305         8105          0          0
+  L11.u1         loop@L10              13069   5.8%         5804        92844         7255          0          0
+  L15.u1         loop@L10              13067   5.8%         5804        92844         7253          0          0
+  L13.u1         loop@L10              13059   5.8%         5804        92844         7255          0          0
+  L9.u1          loop@L10              10157   4.5%         2902        46422         7255          0          0
+  L3             -                      7434   3.3%         3584        57344         3840          0          0
+  L8             loop@L10               6145   2.7%         6145        98305            0          0          0
+  L19            -                      4608   2.1%         2048        32768         2560          0       2048
+  L7             loop@L10               4353   1.9%         2902        46422         1451          0          0
+  L4             -                      4096   1.8%         1024        16384         2560          0          0
+  L6             loop@L10               3628   1.6%         2902        46422          726          0          0
+  L3             loop@L10               3265   1.5%         2902        46422          363          0          0
+  L12            loop@L10               3243   1.4%         3243        51883            0          0          0
+  L16            loop@L10               3243   1.4%         3243        51883            0          0          0
+  L17            loop@L10               3243   1.4%         3243        51883            0          0          0
+  ?              -                      3080   1.4%         1540        24576            0          0          0
+  L8.u1          loop@L10               2902   1.3%         2902        46422            0          0          0
+  L12.u1         loop@L10               2902   1.3%         2902        46422            0          0          0
+  L16.u1         loop@L10               2902   1.3%         2902        46422            0          0          0
+  L17.u1         loop@L10               2902   1.3%         2902        46422            0          0          0
+  L8             -                      1038   0.5%         1028        16384            0          0          0
+  L9             -                      1038   0.5%         1028        16384            0          0          0
+  L6             -                       512   0.2%          512         8192            0          0          0
+  L7             -                       512   0.2%          512         8192            0          0          0
+
+cpx;? 3080
+cpx;L19 4608
+cpx;L3 7434
+cpx;L4 4096
+cpx;L6 512
+cpx;L7 512
+cpx;L8 1038
+cpx;L9 1038
+cpx;loop@L10;L10 23897
+cpx;loop@L10;L10.u1 31759
+cpx;loop@L10;L11 14604
+cpx;loop@L10;L11.u1 13069
+cpx;loop@L10;L12 3243
+cpx;loop@L10;L12.u1 2902
+cpx;loop@L10;L13 14594
+cpx;loop@L10;L13.u1 13059
+cpx;loop@L10;L15 14594
+cpx;loop@L10;L15.u1 13067
+cpx;loop@L10;L16 3243
+cpx;loop@L10;L16.u1 2902
+cpx;loop@L10;L17 3243
+cpx;loop@L10;L17.u1 2902
+cpx;loop@L10;L3 3265
+cpx;loop@L10;L6 3628
+cpx;loop@L10;L7 4353
+cpx;loop@L10;L8 6145
+cpx;loop@L10;L8.u1 2902
+cpx;loop@L10;L9 14260
+cpx;loop@L10;L9.u1 10157

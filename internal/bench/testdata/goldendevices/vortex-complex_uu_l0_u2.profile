@@ -1,0 +1,85 @@
+kernel cpx: 711424 cycles (issue 388532, dep_stall 322781, fetch_stall 110)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L10              1       682964   96.0%       682964         1542            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L11            loop@L10              93718  13.2%        31236       155649        52060       1536          0
+  L10            loop@L10              77672  10.9%        22192       109228        44384          3          0
+  L10.u1.d1      loop@L10              53256   7.5%        13312        57344        33278          3          0
+  L9             loop@L10              42346   6.0%        21168        92844        21168          0          0
+  L10.u1         loop@L10              42336   6.0%        10584        46422        26460          0          0
+  L8             loop@L10              31752   4.5%        21168        92844        10584          0          0
+  L13            loop@L10              29952   4.2%        13312        57344        16640          0          0
+  L15.d1         loop@L10              29952   4.2%        13312        57344        16640          0          0
+  L11.u1.d1      loop@L10              23824   3.3%        10584        46422        13230          0          0
+  L11.u1         loop@L10              23822   3.3%        10584        46422        13228          0          0
+  L13.u1         loop@L10              23814   3.3%        10584        46422        13230          0          0
+  L13.u1.d1      loop@L10              23814   3.3%        10584        46422        13230          0          0
+  L15            loop@L10              23814   3.3%        10584        46422        13230          0          0
+  L15.u1         loop@L10              23814   3.3%        10584        46422        13230          0          0
+  L15.u1.d3      loop@L10              23814   3.3%        10584        46422        13230          0          0
+  ?              loop@L10              21168   3.0%        10584        46422            0          0          0
+  L3             loop@L10              10594   1.5%        10584        46422            0          0          0
+  L6             loop@L10              10584   1.5%        10584        46422            0          0          0
+  L7             loop@L10              10584   1.5%        10584        46422            0          0          0
+  L3             -                      7434   1.0%         3584        57344         3840          0          0
+  L12            loop@L10               6666   0.9%         6656        28672            0          0          0
+  L16.d1         loop@L10               6656   0.9%         6656        28672            0          0          0
+  L17.d1         loop@L10               6656   0.9%         6656        28672            0          0          0
+  ?              -                      6156   0.9%         3078        24576            0          0          0
+  L16            loop@L10               5302   0.7%         5292        23211            0          0          0
+  L16.u1.d3      loop@L10               5302   0.7%         5292        23211            0          0          0
+  L12.u1         loop@L10               5292   0.7%         5292        23211            0          0          0
+  L12.u1.d1      loop@L10               5292   0.7%         5292        23211            0          0          0
+  L16.u1         loop@L10               5292   0.7%         5292        23211            0          0          0
+  L17            loop@L10               5292   0.7%         5292        23211            0          0          0
+  L17.u1         loop@L10               5292   0.7%         5292        23211            0          0          0
+  L17.u1.d3      loop@L10               5292   0.7%         5292        23211            0          0          0
+  L19            -                      4608   0.6%         2048        32768         2560          0       2048
+  L4             -                      4096   0.6%         1024        16384         2560          0          0
+  L9             -                      2576   0.4%         2566        16384            0          0          0
+  L8             -                      2566   0.4%         2566        16384            0          0          0
+  L6             -                       512   0.1%          512         8192            0          0          0
+  L7             -                       512   0.1%          512         8192            0          0          0
+
+cpx;? 6156
+cpx;L19 4608
+cpx;L3 7434
+cpx;L4 4096
+cpx;L6 512
+cpx;L7 512
+cpx;L8 2566
+cpx;L9 2576
+cpx;loop@L10;? 21168
+cpx;loop@L10;L10 77672
+cpx;loop@L10;L10.u1 42336
+cpx;loop@L10;L10.u1.d1 53256
+cpx;loop@L10;L11 93718
+cpx;loop@L10;L11.u1 23822
+cpx;loop@L10;L11.u1.d1 23824
+cpx;loop@L10;L12 6666
+cpx;loop@L10;L12.u1 5292
+cpx;loop@L10;L12.u1.d1 5292
+cpx;loop@L10;L13 29952
+cpx;loop@L10;L13.u1 23814
+cpx;loop@L10;L13.u1.d1 23814
+cpx;loop@L10;L15 23814
+cpx;loop@L10;L15.d1 29952
+cpx;loop@L10;L15.u1 23814
+cpx;loop@L10;L15.u1.d3 23814
+cpx;loop@L10;L16 5302
+cpx;loop@L10;L16.d1 6656
+cpx;loop@L10;L16.u1 5292
+cpx;loop@L10;L16.u1.d3 5302
+cpx;loop@L10;L17 5292
+cpx;loop@L10;L17.d1 6656
+cpx;loop@L10;L17.u1 5292
+cpx;loop@L10;L17.u1.d3 5292
+cpx;loop@L10;L3 10594
+cpx;loop@L10;L6 10584
+cpx;loop@L10;L7 10584
+cpx;loop@L10;L8 31752
+cpx;loop@L10;L9 42346

@@ -1,0 +1,45 @@
+kernel rainflow: 685727 cycles (issue 215394, dep_stall 470227, fetch_stall 100)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L7               1       681107   99.3%       681107          886       231946
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L8             loop@L7              237647  34.7%        48128       770048       183483        443     192512
+  L9             loop@L7              122218  17.8%        19932       301098        98954         28      50183
+  L15            loop@L7              118042  17.2%        18822       276438        96072        415      46073
+  L7             loop@L7               78634  11.5%        30208       483328        36320          0          0
+  L5             loop@L7               36926   5.4%        22514       334841        14391          0          0
+  L14            loop@L7               34092   5.0%         6274        92146        24680          0          0
+  L17            loop@L7               25737   3.8%        10494       133106         7913          0      10240
+  L11            loop@L7               15794   2.3%         6250        95239         5490          0      11264
+  ?              loop@L7               10230   1.5%         5115        74752            0          0          0
+  L6             -                      2184   0.3%          384         6144         1790          0       2048
+  L16            loop@L7                1055   0.2%         1055        10240            0          0          0
+  L3             -                       874   0.1%          384         6144          480          0          0
+  L10            loop@L7                 732   0.1%          732        11264            0          0          0
+  L22            -                       576   0.1%          256         4096          320          0        256
+  L7             -                       570   0.1%          320         5120          176          0          0
+  L4             -                       224   0.0%           64         1024          160          0          0
+  ?              -                       128   0.0%           64         1024            0          0          0
+  L5             -                        64   0.0%           64         1024            0          0          0
+
+rainflow;? 128
+rainflow;L22 576
+rainflow;L3 874
+rainflow;L4 224
+rainflow;L5 64
+rainflow;L6 2184
+rainflow;L7 570
+rainflow;loop@L7;? 10230
+rainflow;loop@L7;L10 732
+rainflow;loop@L7;L11 15794
+rainflow;loop@L7;L14 34092
+rainflow;loop@L7;L15 118042
+rainflow;loop@L7;L16 1055
+rainflow;loop@L7;L17 25737
+rainflow;loop@L7;L5 36926
+rainflow;loop@L7;L7 78634
+rainflow;loop@L7;L8 237647
+rainflow;loop@L7;L9 122218

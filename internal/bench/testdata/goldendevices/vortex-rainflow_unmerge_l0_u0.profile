@@ -1,0 +1,49 @@
+kernel rainflow: 601550 cycles (issue 158313, dep_stall 443141, fetch_stall 90)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L7               1       596930   99.2%       596930          886       231946
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L8             loop@L7              237647  39.5%        48128       770048       183483        443     192512
+  L9             loop@L7              122226  20.3%        19932       301098        98952         28      50183
+  L15            loop@L7              118042  19.6%        18822       276438        96072        415      46073
+  L7             loop@L7               48772   8.1%        19062       290816        23630          0          0
+  L14            loop@L7               34092   5.7%         6274        92146        24680          0          0
+  L17            loop@L7               11079   1.8%         3165        30720         7913          0      10240
+  ?              loop@L7               10230   1.7%         5115        74752            0          0          0
+  L11            loop@L7                7694   1.3%         2196        33792         5488          0      11264
+  L6             -                      2184   0.4%          384         6144         1790          0       2048
+  L7.d1          loop@L7                2110   0.4%         1055        10240            0          0          0
+  L5             loop@L7                1787   0.3%         1787        21504            0          0          0
+  L7.d3          loop@L7                1464   0.2%          732        11264            0          0          0
+  L16            loop@L7                1055   0.2%         1055        10240            0          0          0
+  L3             -                       874   0.1%          384         6144          480          0          0
+  L10            loop@L7                 732   0.1%          732        11264            0          0          0
+  L22            -                       576   0.1%          256         4096          320          0        256
+  L7             -                       570   0.1%          320         5120          176          0          0
+  L4             -                       224   0.0%           64         1024          160          0          0
+  ?              -                       128   0.0%           64         1024            0          0          0
+  L5             -                        64   0.0%           64         1024            0          0          0
+
+rainflow;? 128
+rainflow;L22 576
+rainflow;L3 874
+rainflow;L4 224
+rainflow;L5 64
+rainflow;L6 2184
+rainflow;L7 570
+rainflow;loop@L7;? 10230
+rainflow;loop@L7;L10 732
+rainflow;loop@L7;L11 7694
+rainflow;loop@L7;L14 34092
+rainflow;loop@L7;L15 118042
+rainflow;loop@L7;L16 1055
+rainflow;loop@L7;L17 11079
+rainflow;loop@L7;L5 1787
+rainflow;loop@L7;L7 48772
+rainflow;loop@L7;L7.d1 2110
+rainflow;loop@L7;L7.d3 1464
+rainflow;loop@L7;L8 237647
+rainflow;loop@L7;L9 122226

@@ -1,0 +1,65 @@
+kernel rainflow: 670939 cycles (issue 203554, dep_stall 467205, fetch_stall 170)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L7               1       666127   99.3%       666127          886       231946
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L8.u1          loop@L7              118834  17.7%        24064       385024        91742        216      96256
+  L8             loop@L7              118824  17.7%        24064       385024        91742        227      96256
+  L9             loop@L7               61228   9.1%         9954       149832        49594         20      24972
+  L9.u1          loop@L7               61018   9.1%         9978       151266        49356          8      25211
+  L15            loop@L7               59288   8.8%         9456       138936        48246        196      23156
+  L15.u1         loop@L7               58762   8.8%         9366       137502        47824        219      22917
+  L7             loop@L7               33503   5.0%        12160       194560        18271          0          0
+  L7.u1          loop@L7               33098   4.9%        12032       192512        15040          0          0
+  L5             loop@L7               18495   2.8%        11270       167540         7215          0          0
+  L14            loop@L7               17107   2.5%         3152        46312        12369          0          0
+  L14.u1         loop@L7               16999   2.5%         3122        45834        12306          0          0
+  L5.u1          loop@L7               15415   2.3%         8236       119173         7178          0          0
+  L17            loop@L7               13093   2.0%         5324        67816         4073          0       5376
+  L17.u1         loop@L7               12644   1.9%         5170        65290         3840          0       4864
+  ?              loop@L7               10230   1.5%         5115        74752            0          0          0
+  L11.u1         loop@L7                8234   1.2%         3231        49719         2938          0       6127
+  L11            loop@L7                7568   1.1%         3019        45520         2550          0       5137
+  L6             -                      2184   0.3%          384         6144         1790          0       2048
+  L3             -                       874   0.1%          384         6144          480          0          0
+  L22            -                       576   0.1%          256         4096          320          0        256
+  L7             -                       570   0.1%          320         5120          176          0          0
+  L16            loop@L7                 543   0.1%          543         5376            0          0          0
+  L16.u1         loop@L7                 512   0.1%          512         4864            0          0          0
+  L10.u1         loop@L7                 392   0.1%          392         6127            0          0          0
+  L10            loop@L7                 340   0.1%          340         5137            0          0          0
+  ?              -                       256   0.0%          128         2048            0          0          0
+  L4             -                       224   0.0%           64         1024          160          0          0
+  L5             -                       128   0.0%          128         2048            0          0          0
+
+rainflow;? 256
+rainflow;L22 576
+rainflow;L3 874
+rainflow;L4 224
+rainflow;L5 128
+rainflow;L6 2184
+rainflow;L7 570
+rainflow;loop@L7;? 10230
+rainflow;loop@L7;L10 340
+rainflow;loop@L7;L10.u1 392
+rainflow;loop@L7;L11 7568
+rainflow;loop@L7;L11.u1 8234
+rainflow;loop@L7;L14 17107
+rainflow;loop@L7;L14.u1 16999
+rainflow;loop@L7;L15 59288
+rainflow;loop@L7;L15.u1 58762
+rainflow;loop@L7;L16 543
+rainflow;loop@L7;L16.u1 512
+rainflow;loop@L7;L17 13093
+rainflow;loop@L7;L17.u1 12644
+rainflow;loop@L7;L5 18495
+rainflow;loop@L7;L5.u1 15415
+rainflow;loop@L7;L7 33503
+rainflow;loop@L7;L7.u1 33098
+rainflow;loop@L7;L8 118824
+rainflow;loop@L7;L8.u1 118834
+rainflow;loop@L7;L9 61228
+rainflow;loop@L7;L9.u1 61018

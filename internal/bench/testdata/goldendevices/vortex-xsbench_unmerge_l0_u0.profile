@@ -1,0 +1,53 @@
+kernel xsbench: 197936 cycles (issue 49280, dep_stall 148574, fetch_stall 80)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L11              1       154458   78.0%       154458            1            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L13            loop@L11              90972  46.0%         6144        98276        84828          0       1746
+  L12            loop@L11              32266  16.3%         3072        49138        18432          0          0
+  L23            -                     16010   8.1%         1664        26624        14336          0        914
+  L22            -                      9704   4.9%          384         6144         8680          0          0
+  L11            loop@L11               9178   4.6%         3328        53234         4176          1          0
+  L10            loop@L11               9024   4.6%         3072        49138         5952          0          0
+  L5             -                      6282   3.2%          768        12288         3712          0          0
+  L9             loop@L11               4704   2.4%         3072        49138         1632          0          0
+  L7             -                      4104   2.1%          384         6144         2174          0          0
+  L8             loop@L11               3696   1.9%         3072        49138          624          0          0
+  ?              loop@L11               3072   1.6%         1536        24569            0          0          0
+  L3             -                      1738   0.9%          768        12288          960          0          0
+  L18            loop@L11               1546   0.8%         1536        24569            0          0          0
+  L21            -                      1480   0.7%          512         8192          958          0        202
+  L4             -                      1024   0.5%          256         4096          640          0          0
+  L20            -                      1024   0.5%          384         6144          640          0        200
+  L6             -                       672   0.3%          256         4096          416          0          0
+  L10            -                       448   0.2%          128         2048          320          0          0
+  L9             -                       352   0.2%          256         4096           96          0          0
+  ?              -                       256   0.1%          128         2048            0          0          0
+  L11            -                       256   0.1%          128         2048            0          0          0
+  L8             -                       128   0.1%          128         2048            0          0          0
+
+xsbench;? 256
+xsbench;L10 448
+xsbench;L11 256
+xsbench;L20 1024
+xsbench;L21 1480
+xsbench;L22 9704
+xsbench;L23 16010
+xsbench;L3 1738
+xsbench;L4 1024
+xsbench;L5 6282
+xsbench;L6 672
+xsbench;L7 4104
+xsbench;L8 128
+xsbench;L9 352
+xsbench;loop@L11;? 3072
+xsbench;loop@L11;L10 9024
+xsbench;loop@L11;L11 9178
+xsbench;loop@L11;L12 32266
+xsbench;loop@L11;L13 90972
+xsbench;loop@L11;L18 1546
+xsbench;loop@L11;L8 3696
+xsbench;loop@L11;L9 4704

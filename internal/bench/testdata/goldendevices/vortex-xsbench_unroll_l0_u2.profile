@@ -1,0 +1,63 @@
+kernel xsbench: 197997 cycles (issue 44291, dep_stall 153604, fetch_stall 100)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L11              1       153937   77.7%       153937            1            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L13            loop@L11              45520  23.0%         3072        49152        42438          0        860
+  L13.u1         loop@L11              45460  23.0%         3072        49124        42388          0        886
+  L12.u1         loop@L11              16138   8.2%         1536        24562         9216          0          0
+  L12            loop@L11              16128   8.1%         1536        24576         9216          0          0
+  L23            -                     16007   8.1%         1664        26624        14333          0        914
+  L22            -                      9709   4.9%          384         6144         8675          0          0
+  L11.u1         loop@L11               7680   3.9%         2304        36857         3840          1          0
+  L5             -                      6282   3.2%          768        12288         3712          0          0
+  L11            loop@L11               5338   2.7%         1792        28658         2640          0          0
+  L7             -                      4104   2.1%          384         6144         2174          0          0
+  L9             loop@L11               3456   1.7%         1536        24569         1920          0          0
+  L9.u1          loop@L11               2688   1.4%          768        12281         1920          0          0
+  L10            loop@L11               2688   1.4%          768        12281         1920          0          0
+  L18            loop@L11               2688   1.4%          768        12288         1920          0          0
+  L18.u1         loop@L11               2688   1.4%          768        12281         1920          0          0
+  L8             loop@L11               2112   1.1%         1536        24569          576          0          0
+  L3             -                      1738   0.9%          768        12288          960          0          0
+  L21            -                      1472   0.7%          512         8192          960          0        202
+  L8.u1          loop@L11               1353   0.7%          768        12281          575          0          0
+  L20            -                      1215   0.6%          384         6144          831          0        200
+  L4             -                      1024   0.5%          256         4096          640          0          0
+  L6             -                       672   0.3%          256         4096          416          0          0
+  ?              -                       524   0.3%          257         4096            0          0          0
+  L10            -                       448   0.2%          128         2048          320          0          0
+  L9             -                       352   0.2%          256         4096           96          0          0
+  L8             -                       257   0.1%          257         4096            0          0          0
+  L11            -                       256   0.1%          128         2048            0          0          0
+
+xsbench;? 524
+xsbench;L10 448
+xsbench;L11 256
+xsbench;L20 1215
+xsbench;L21 1472
+xsbench;L22 9709
+xsbench;L23 16007
+xsbench;L3 1738
+xsbench;L4 1024
+xsbench;L5 6282
+xsbench;L6 672
+xsbench;L7 4104
+xsbench;L8 257
+xsbench;L9 352
+xsbench;loop@L11;L10 2688
+xsbench;loop@L11;L11 5338
+xsbench;loop@L11;L11.u1 7680
+xsbench;loop@L11;L12 16128
+xsbench;loop@L11;L12.u1 16138
+xsbench;loop@L11;L13 45520
+xsbench;loop@L11;L13.u1 45460
+xsbench;loop@L11;L18 2688
+xsbench;loop@L11;L18.u1 2688
+xsbench;loop@L11;L8 2112
+xsbench;loop@L11;L8.u1 1353
+xsbench;loop@L11;L9 3456
+xsbench;loop@L11;L9.u1 2688

@@ -1,0 +1,69 @@
+kernel xsbench: 216164 cycles (issue 50875, dep_stall 165163, fetch_stall 120)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L11              1       171689   79.4%       171689          137            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L13            loop@L11              51880  24.0%         4060        61440        46998        137        860
+  L13.u1.d1      loop@L11              28256  13.1%         1900        24512        26355          0        479
+  L13.u1         loop@L11              28135  13.0%         1892        24612        26242          0        478
+  L12            loop@L11              17052   7.9%         1624        24576         9744          0          0
+  L23            -                     16010   7.4%         1664        26624        14336          0        914
+  L12.u1.d1      loop@L11               9985   4.6%          950        12256         5700          0          0
+  L12.u1         loop@L11               9943   4.6%          946        12306         5676          0          0
+  L22            -                      9704   4.5%          384         6144         8680          0          0
+  L5             -                      6282   2.9%          768        12288         3712          0          0
+  L11            loop@L11               5944   2.7%         2152        28658         2706          0          0
+  L10            loop@L11               5570   2.6%         1896        24562         3674          0          0
+  L7             -                      4104   1.9%          384         6144         2174          0          0
+  L11.u1         loop@L11               3785   1.8%          946        12306         2365          0          0
+  L9             loop@L11               2903   1.3%         1896        24562         1007          0          0
+  L11.u1.d1      loop@L11               2628   1.2%          952        12270         1190          0          0
+  L8             loop@L11               2281   1.1%         1896        24562          385          0          0
+  ?              loop@L11               1896   0.9%          948        12281            0          0          0
+  L3             -                      1738   0.8%          768        12288          960          0          0
+  L21            -                      1480   0.7%          512         8192          958          0        202
+  L20            -                      1216   0.6%          384         6144          832          0        200
+  L4             -                      1024   0.5%          256         4096          640          0          0
+  ?              -                       786   0.4%          393         4096            0          0          0
+  L6             -                       672   0.3%          256         4096          416          0          0
+  L18.u1.d3      loop@L11                485   0.2%          475         6128            0          0          0
+  L18            loop@L11                473   0.2%          473         6153            0          0          0
+  L18.u1.d2      loop@L11                473   0.2%          473         6153            0          0          0
+  L10            -                       448   0.2%          128         2048          320          0          0
+  L8             -                       403   0.2%          393         4096            0          0          0
+  L9             -                       352   0.2%          256         4096           96          0          0
+  L11            -                       256   0.1%          128         2048            0          0          0
+
+xsbench;? 786
+xsbench;L10 448
+xsbench;L11 256
+xsbench;L20 1216
+xsbench;L21 1480
+xsbench;L22 9704
+xsbench;L23 16010
+xsbench;L3 1738
+xsbench;L4 1024
+xsbench;L5 6282
+xsbench;L6 672
+xsbench;L7 4104
+xsbench;L8 403
+xsbench;L9 352
+xsbench;loop@L11;? 1896
+xsbench;loop@L11;L10 5570
+xsbench;loop@L11;L11 5944
+xsbench;loop@L11;L11.u1 3785
+xsbench;loop@L11;L11.u1.d1 2628
+xsbench;loop@L11;L12 17052
+xsbench;loop@L11;L12.u1 9943
+xsbench;loop@L11;L12.u1.d1 9985
+xsbench;loop@L11;L13 51880
+xsbench;loop@L11;L13.u1 28135
+xsbench;loop@L11;L13.u1.d1 28256
+xsbench;loop@L11;L18 473
+xsbench;loop@L11;L18.u1.d2 473
+xsbench;loop@L11;L18.u1.d3 485
+xsbench;loop@L11;L8 2281
+xsbench;loop@L11;L9 2903

@@ -45,6 +45,11 @@ type DeviceConfig struct {
 	// fuzzer sets a small budget so a miscompiled loop fails fast instead
 	// of hanging the campaign.
 	MaxWarpSteps int64
+	// Policy selects the divergence-management backend. The zero value is
+	// the IPDOM reconvergence stack (the original model), so existing
+	// DeviceConfig literals are unaffected. See PolicyKind and the device
+	// registry (registry.go) for the other backends.
+	Policy PolicyKind
 }
 
 // V100 returns a configuration loosely modelled after the NVIDIA V100 the

@@ -43,6 +43,11 @@ const (
 	// issued if its accesses were perfectly coalesced; the excess of
 	// ProfMemTransactions over this is replay caused by scattered addresses.
 	ProfMemIdeal
+	// ProfBarrierWaits counts, at the first PC of each reconvergence block,
+	// thread-group arrivals at a per-warp convergence barrier that had to
+	// wait for sibling groups (MinSP-PC policy only; always 0 under IPDOM
+	// and Vortex, whose joins are stack pops).
+	ProfBarrierWaits
 
 	ProfNumCounters
 )
@@ -73,6 +78,8 @@ func (c ProfCounter) String() string {
 		return "mem_transactions"
 	case ProfMemIdeal:
 		return "mem_ideal_transactions"
+	case ProfBarrierWaits:
+		return "barrier_wait_events"
 	}
 	return "?"
 }

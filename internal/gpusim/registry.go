@@ -1,0 +1,187 @@
+package gpusim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Device is one named entry of the device registry: a DeviceConfig plus
+// the name reports and CLIs refer to it by.
+type Device struct {
+	Name        string
+	Description string
+	Config      DeviceConfig
+}
+
+// MinSPPC returns the V100 hardware configuration with the MinSP-PC
+// independent-thread-scheduling policy in place of the IPDOM stack. It
+// deliberately shares every other constant with V100 so that comparing the
+// two isolates the divergence-management axis.
+func MinSPPC() DeviceConfig {
+	cfg := V100()
+	cfg.Policy = PolicyMinSPPC
+	return cfg
+}
+
+// Vortex returns a configuration loosely modelled after a Vortex-class
+// RISC-V GPGPU: 16-wide warps, a handful of small cores at FPGA-like
+// clocks, a 4 KiB instruction cache, in-order lockstep issue (no ITS
+// overlap), and the decoupled split/join divergence policy.
+func Vortex() DeviceConfig {
+	return DeviceConfig{
+		WarpSize:          16,
+		NumSMs:            16,
+		ClockGHz:          0.25,
+		MemLoadLatency:    100,
+		StallExposure:     0.5,
+		MemPerTransaction: 4,
+		SegmentBytes:      32,
+		ICacheLineInstrs:  8,
+		ICacheLines:       64, // 64 lines * 8 instrs * 8 B = 4 KiB
+		ICacheMissCycles:  10,
+		ITSOverlap:        0,
+		Policy:            PolicyVortex,
+	}
+}
+
+// Devices returns the registry in canonical (report) order.
+func Devices() []Device {
+	return []Device{
+		{
+			Name:        "V100",
+			Description: "NVIDIA V100-like: 32-wide warps, IPDOM reconvergence stack, 12 KiB icache",
+			Config:      V100(),
+		},
+		{
+			Name:        "MinSPPC",
+			Description: "V100 hardware with MinSP-PC independent thread scheduling and convergence barriers",
+			Config:      MinSPPC(),
+		},
+		{
+			Name:        "Vortex",
+			Description: "Vortex-like RISC-V GPGPU: 16-wide warps, decoupled split/join, 4 KiB icache",
+			Config:      Vortex(),
+		},
+	}
+}
+
+// DeviceNames returns the registry names in canonical order.
+func DeviceNames() []string {
+	devs := Devices()
+	names := make([]string, len(devs))
+	for i, d := range devs {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// DeviceByName looks a device up by its registry name (case-insensitive).
+func DeviceByName(name string) (Device, bool) {
+	for _, d := range Devices() {
+		if strings.EqualFold(d.Name, name) {
+			return d, true
+		}
+	}
+	return Device{}, false
+}
+
+// ParseDevice resolves a CLI device spec: a registry name, optionally
+// followed by ":" and comma-separated field overrides —
+//
+//	V100
+//	MinSPPC:itsoverlap=0.5
+//	Vortex:warpsize=8,icachelines=32,policy=ipdom
+//
+// Override keys are the lower-cased DeviceConfig field names. The returned
+// display name is the registry name for a plain spec and the full spec
+// when overrides are present, so reports always say what actually ran.
+func ParseDevice(spec string) (DeviceConfig, string, error) {
+	name, overrides, hasOv := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	dev, ok := DeviceByName(name)
+	if !ok {
+		return DeviceConfig{}, "", fmt.Errorf("gpusim: unknown device %q (want one of %s)",
+			name, strings.Join(DeviceNames(), ", "))
+	}
+	cfg := dev.Config
+	if !hasOv || strings.TrimSpace(overrides) == "" {
+		return cfg, dev.Name, nil
+	}
+	for _, kv := range strings.Split(overrides, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return DeviceConfig{}, "", fmt.Errorf("gpusim: device override %q: want key=value", kv)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		if err := setOverride(&cfg, key, val); err != nil {
+			return DeviceConfig{}, "", err
+		}
+	}
+	if cfg.WarpSize < 1 || cfg.WarpSize > 32 {
+		return DeviceConfig{}, "", fmt.Errorf("gpusim: warpsize %d out of range [1, 32]", cfg.WarpSize)
+	}
+	return cfg, dev.Name + ":" + overrides, nil
+}
+
+func setOverride(cfg *DeviceConfig, key, val string) error {
+	asInt := func(dst *int) error {
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("gpusim: device override %s=%q: %v", key, val, err)
+		}
+		*dst = v
+		return nil
+	}
+	asInt64 := func(dst *int64) error {
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("gpusim: device override %s=%q: %v", key, val, err)
+		}
+		*dst = v
+		return nil
+	}
+	asFloat := func(dst *float64) error {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("gpusim: device override %s=%q: %v", key, val, err)
+		}
+		*dst = v
+		return nil
+	}
+	switch key {
+	case "warpsize":
+		return asInt(&cfg.WarpSize)
+	case "numsms":
+		return asInt(&cfg.NumSMs)
+	case "clockghz":
+		return asFloat(&cfg.ClockGHz)
+	case "memloadlatency":
+		return asFloat(&cfg.MemLoadLatency)
+	case "stallexposure":
+		return asFloat(&cfg.StallExposure)
+	case "mempertransaction":
+		return asInt64(&cfg.MemPerTransaction)
+	case "segmentbytes":
+		return asInt64(&cfg.SegmentBytes)
+	case "icachelineinstrs":
+		return asInt(&cfg.ICacheLineInstrs)
+	case "icachelines":
+		return asInt(&cfg.ICacheLines)
+	case "icachemisscycles":
+		return asInt64(&cfg.ICacheMissCycles)
+	case "itsoverlap":
+		return asFloat(&cfg.ITSOverlap)
+	case "maxwarpsteps":
+		return asInt64(&cfg.MaxWarpSteps)
+	case "policy":
+		p, err := ParsePolicy(val)
+		if err != nil {
+			return err
+		}
+		cfg.Policy = p
+		return nil
+	}
+	return fmt.Errorf("gpusim: unknown device override key %q", key)
+}

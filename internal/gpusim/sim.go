@@ -183,12 +183,6 @@ func runSequential(dp *decodedProgram, args []interp.Value, mem *interp.Memory, 
 	return nil
 }
 
-type stackEntry struct {
-	pc   int // block index to execute next
-	rpc  int // reconvergence block index (-1 = function exit)
-	mask uint32
-}
-
 // Instruction-fetch accounting modes; see RunWorkers.
 const (
 	fetchWarm   uint8 = iota // record touched lines, charge nothing
@@ -204,7 +198,11 @@ type warpSim struct {
 	nregs int
 	regs  []interp.Value // [lane*nregs + reg]
 	ready []float64      // scoreboard: cycle at which each register's value is available
-	stack []stackEntry
+	// eng is the divergence-management backend (DeviceConfig.Policy): it
+	// owns the reconvergence state and decides which (block, mask) runs
+	// next; the executor below only runs whole blocks and reports each
+	// block's control-flow outcome back to it.
+	eng policyEngine
 
 	// instruction cache state, interpreted per fetchMode
 	lines     []int32 // global instruction index -> icache line
@@ -237,7 +235,7 @@ func newWarpSim(dp *decodedProgram, cfg DeviceConfig, mem *interp.Memory) *warpS
 	w := &warpSim{dp: dp, cfg: cfg, mem: mem, nregs: dp.numRegs}
 	w.regs = make([]interp.Value, cfg.WarpSize*dp.numRegs)
 	w.ready = make([]float64, dp.numRegs)
-	w.stack = make([]stackEntry, 0, 8)
+	w.eng = newPolicyEngine(cfg.Policy, dp)
 	w.lines = dp.lines(cfg.ICacheLineInstrs)
 	w.lanesTID = make([]int32, cfg.WarpSize)
 	w.lanesCTA = make([]int32, cfg.WarpSize)
@@ -287,6 +285,9 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 	for i := range w.ready {
 		w.ready[i] = 0
 	}
+	// 32 here is the mask word width, not the warp size: count is at most
+	// cfg.WarpSize, so narrow-warp devices (WarpSize < 32) always take the
+	// partial-mask path and full warps on them get exactly WarpSize bits.
 	fullMask := ^uint32(0)
 	if count < 32 {
 		fullMask = 1<<uint(count) - 1
@@ -294,7 +295,8 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 	ntid := interp.IntVal(int64(launch.BlockDim))
 	nctaid := interp.IntVal(int64(launch.GridDim))
 
-	w.stack = append(w.stack[:0], stackEntry{pc: 0, rpc: -1, mask: fullMask})
+	eng := w.eng
+	eng.reset(prof, fullMask)
 	var steps int64
 	budget := cfg.MaxWarpSteps
 	if budget <= 0 {
@@ -302,50 +304,12 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 	}
 	var cycles float64   // warp issue clock
 	var stallAcc float64 // exposed dependency stalls (metrics only)
-	for len(w.stack) > 0 {
-		e := &w.stack[len(w.stack)-1]
-		if e.mask == 0 {
-			w.stack = w.stack[:len(w.stack)-1]
-			continue
+	for {
+		blkIdx, active, ok := eng.next()
+		if !ok {
+			break
 		}
-		if e.pc == e.rpc {
-			// Reached the reconvergence point: merge into the continuation
-			// entry waiting at this block (any entry with the same pc — the
-			// mask invariant is that an entry's threads are exactly those
-			// whose next block is pc, so same-pc merging is always sound).
-			mask := e.mask
-			pc := e.pc
-			rpc := e.rpc
-			w.stack = w.stack[:len(w.stack)-1]
-			if prof != nil {
-				prof.Counters[ProfReconvEvents][dp.blockStart[pc]]++
-			}
-			merged := false
-			for i := len(w.stack) - 1; i >= 0; i-- {
-				if w.stack[i].pc == pc {
-					w.stack[i].mask |= mask
-					merged = true
-					break
-				}
-			}
-			if !merged {
-				// The continuation was already scheduled away (possible after
-				// opportunistic back-edge merges); keep executing from here
-				// with the reconvergence point cleared.
-				outer := -1
-				if len(w.stack) > 0 {
-					outer = w.stack[len(w.stack)-1].rpc
-				}
-				if outer == rpc {
-					outer = -1
-				}
-				w.stack = append(w.stack, stackEntry{pc: pc, rpc: outer, mask: mask})
-			}
-			continue
-		}
-		blkIdx := e.pc
 		start, end := dp.blockStart[blkIdx], dp.blockEnd[blkIdx]
-		active := e.mask
 		nActive := bits.OnesCount32(active)
 		iss := w.scale[nActive]
 		var brTaken, brNot uint32
@@ -688,80 +652,16 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 
 		switch {
 		case nextPC == -1: // ret
-			// Retire the exited threads from the whole stack.
-			for i := range w.stack {
-				w.stack[i].mask &^= exited
-			}
+			eng.retire(exited)
 		case branched:
-			term := &dp.instrs[end-1]
-			rpc := dp.ipdom[blkIdx]
-			switch {
-			case brNot == 0:
-				w.moveTo(int(term.t0))
-			case brTaken == 0:
-				w.moveTo(int(term.t1))
-			default:
-				// Divergence: current entry becomes the continuation at the
-				// reconvergence point (mask refilled as paths reconverge, or
-				// both paths run to ret when rpc == -1); push both sides.
-				if prof != nil {
-					prof.Counters[ProfDivergeEvents][end-1]++
-				}
-				cont := w.stack[len(w.stack)-1]
-				cont.pc = rpc
-				cont.mask = 0
-				w.stack[len(w.stack)-1] = cont
-				w.stack = append(w.stack, stackEntry{pc: int(term.t1), rpc: rpc, mask: brNot})
-				w.stack = append(w.stack, stackEntry{pc: int(term.t0), rpc: rpc, mask: brTaken})
-			}
+			eng.branch(blkIdx, brTaken, brNot)
 		default:
-			w.moveTo(nextPC)
+			eng.jump(nextPC)
 		}
 	}
 	m.Cycles += int64(cycles + 0.5)
 	m.DepStallCycles += int64(stallAcc + 0.5)
 	return nil
-}
-
-// moveTo retargets the current (top) entry to pc. Back edges (to an
-// earlier block in the layout) are where Volta's scheduler
-// opportunistically re-merges divergent threads whose PCs coincide: the
-// entry merges with a sibling already waiting at that pc, or is parked
-// below its siblings (but above its continuation) so they can catch up
-// before the next trip runs.
-func (w *warpSim) moveTo(pc int) {
-	cur := len(w.stack) - 1
-	if pc >= w.stack[cur].pc { // forward edge: keep running
-		w.stack[cur].pc = pc
-		return
-	}
-	ent := w.stack[cur]
-	ent.pc = pc
-	w.stack = w.stack[:cur]
-	// Merge with any entry already waiting at the same block — regardless
-	// of its rpc: an entry's threads are exactly those whose next block is
-	// its pc, so same-pc merging is sound, and the merged threads simply
-	// pop wherever the entry later reconverges.
-	for i := len(w.stack) - 1; i >= 0; i-- {
-		if w.stack[i].pc == pc {
-			w.stack[i].mask |= ent.mask
-			if ent.rpc != w.stack[i].rpc {
-				// Conservative: clear an ambiguous reconvergence point; the
-				// entry then runs to another merge or ret.
-				w.stack[i].rpc = -1
-			}
-			return
-		}
-	}
-	// Park below the still-running siblings of this divergence (the
-	// continuation entries waiting at their rpc stay put).
-	ins := len(w.stack)
-	for ins > 0 && w.stack[ins-1].pc != w.stack[ins-1].rpc && w.stack[ins-1].rpc == ent.rpc {
-		ins--
-	}
-	w.stack = append(w.stack, stackEntry{})
-	copy(w.stack[ins+1:], w.stack[ins:])
-	w.stack[ins] = ent
 }
 
 // gatherAddrs evaluates the address operand for every active lane into

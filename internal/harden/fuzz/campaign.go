@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"uu/internal/analysis"
+	"uu/internal/gpusim"
 	"uu/internal/harden"
 	"uu/internal/ir"
 	"uu/internal/pipeline"
@@ -27,6 +28,11 @@ type CampaignOptions struct {
 	// Inject adds extra passes to every pipeline run — the hook the
 	// end-to-end tests use to plant a known miscompile.
 	Inject []analysis.Pass
+	// Device, when non-empty, pins the simulator legs of the differential
+	// matrix to this gpusim device spec (see gpusim.ParseDevice) at 1 and
+	// 4 workers, instead of the default cross-policy matrix covering all
+	// three divergence backends.
+	Device string
 	// Reduce shrinks every finding into a minimized reproducer.
 	Reduce bool
 	// ReproDir, when set together with Reduce, receives one .ir file per
@@ -68,6 +74,17 @@ func RunCampaign(o CampaignOptions) (*CampaignResult, error) {
 	if len(cfgs) == 0 {
 		cfgs = pipeline.Configs
 	}
+	var legs []simLeg
+	if o.Device != "" {
+		dev, _, err := gpusim.ParseDevice(o.Device)
+		if err != nil {
+			return nil, err
+		}
+		legs = []simLeg{
+			{"gpusim-w1", dev, 1},
+			{"gpusim-w4", dev, 4},
+		}
+	}
 	res := &CampaignResult{}
 	for i := 0; i < o.Count; i++ {
 		seed := o.Seed + int64(i)
@@ -91,7 +108,7 @@ func RunCampaign(o CampaignOptions) (*CampaignResult, error) {
 				opts.LoopID = int(seed % int64(loops))
 				opts.Factor = 2 + 2*(i%2) // alternate factors 2 and 4
 			}
-			div, stats, err := check(k.F, k, opts)
+			div, stats, err := check(k.F, k, opts, legs)
 			if err != nil {
 				return nil, err
 			}

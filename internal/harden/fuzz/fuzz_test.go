@@ -32,7 +32,7 @@ func FuzzPipelineDifferential(f *testing.F) {
 				opts.LoopID = int(((seed % int64(loops)) + int64(loops)) % int64(loops))
 				opts.Factor = 2
 			}
-			div, stats, err := check(k.F, k, opts)
+			div, stats, err := check(k.F, k, opts, nil)
 			if err != nil {
 				t.Fatalf("seed %d config %s: %v", seed, cfg, err)
 			}

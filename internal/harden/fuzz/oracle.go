@@ -34,7 +34,11 @@ type Divergence struct {
 	Seed   int64
 	Config pipeline.Config
 	// Stage identifies the leg: "optimize", "codegen", "interp-opt",
-	// "gpusim-w1", or "gpusim-w4".
+	// "gpusim-w1", "gpusim-w4" (IPDOM at one and several workers), or the
+	// cross-policy legs "gpusim-minsppc" and "gpusim-vortex" — every
+	// divergence backend must agree with the sequential reference, so a
+	// policy-specific reconvergence bug shows up as a differential finding
+	// exactly like a miscompile.
 	Stage string
 	// Detail is the first mismatching element or the leg's error text.
 	Detail string
@@ -86,16 +90,35 @@ func runInterp(f *ir.Function, k *harden.Kernel) (*interp.Memory, error) {
 }
 
 // runSim executes the lowered program under the SIMT simulator with the
-// given worker count and a small step budget.
-func runSim(prog *codegen.Program, k *harden.Kernel, workers int) (*interp.Memory, error) {
+// given device configuration and worker count and a small step budget.
+func runSim(prog *codegen.Program, k *harden.Kernel, cfg gpusim.DeviceConfig, workers int) (*interp.Memory, error) {
 	mem := newMemory(k)
-	cfg := gpusim.V100()
 	cfg.MaxWarpSteps = simStepBudget
 	launch := gpusim.Launch{GridDim: k.GridDim, BlockDim: k.BlockDim}
 	if _, err := gpusim.RunWorkers(prog, kernelArgs(k), mem, launch, cfg, workers); err != nil {
 		return nil, err
 	}
 	return mem, nil
+}
+
+// simLeg is one simulator leg of the differential matrix.
+type simLeg struct {
+	stage   string
+	cfg     gpusim.DeviceConfig
+	workers int
+}
+
+// defaultSimLegs is the simulator side of the differential matrix: the
+// IPDOM device at one and several warp-scheduling workers, then one leg
+// per alternative divergence policy. Vortex runs with its native 16-wide
+// warps, so this also exercises the narrow-warp masking paths.
+func defaultSimLegs() []simLeg {
+	return []simLeg{
+		{"gpusim-w1", gpusim.V100(), 1},
+		{"gpusim-w4", gpusim.V100(), 4},
+		{"gpusim-minsppc", gpusim.MinSPPC(), 1},
+		{"gpusim-vortex", gpusim.Vortex(), 1},
+	}
 }
 
 // diffOutputs compares the kernel's two output regions and returns a
@@ -128,14 +151,19 @@ func diffOutputs(k *harden.Kernel, want, got *interp.Memory) string {
 // returned error reports infrastructure problems only (the reference itself
 // failing), never findings.
 func Check(f *ir.Function, k *harden.Kernel, opts pipeline.Options) (*Divergence, error) {
-	d, _, err := check(f, k, opts)
+	d, _, err := check(f, k, opts, nil)
 	return d, err
 }
 
 // check is Check, additionally exposing the pipeline stats of the optimized
 // build so the reducer can bisect the pass list and the campaign can
-// aggregate contained pass failures.
-func check(f *ir.Function, k *harden.Kernel, opts pipeline.Options) (*Divergence, *pipeline.Stats, error) {
+// aggregate contained pass failures. A nil legs selects the full default
+// cross-policy matrix; the campaign passes a pinned leg set when the user
+// restricts it to one device.
+func check(f *ir.Function, k *harden.Kernel, opts pipeline.Options, legs []simLeg) (*Divergence, *pipeline.Stats, error) {
+	if legs == nil {
+		legs = defaultSimLegs()
+	}
 	div := func(stage, detail string) *Divergence {
 		return &Divergence{Seed: k.Seed, Config: opts.Config, Stage: stage, Detail: detail}
 	}
@@ -159,14 +187,13 @@ func check(f *ir.Function, k *harden.Kernel, opts pipeline.Options) (*Divergence
 	if err != nil {
 		return div("codegen", err.Error()), stats, nil
 	}
-	for _, workers := range []int{1, 4} {
-		stage := fmt.Sprintf("gpusim-w%d", workers)
-		simMem, err := runSim(prog, k, workers)
+	for _, leg := range legs {
+		simMem, err := runSim(prog, k, leg.cfg, leg.workers)
 		if err != nil {
-			return div(stage, err.Error()), stats, nil
+			return div(leg.stage, err.Error()), stats, nil
 		}
 		if d := diffOutputs(k, ref, simMem); d != "" {
-			return div(stage, d), stats, nil
+			return div(leg.stage, d), stats, nil
 		}
 	}
 	return nil, stats, nil

@@ -33,7 +33,7 @@ const maxReduceRounds = 4
 // mutated.
 func Reduce(f *ir.Function, k *harden.Kernel, opts pipeline.Options) (*Reduction, error) {
 	cur := ir.Clone(f)
-	div, stats, err := check(cur, k, opts)
+	div, stats, err := check(cur, k, opts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +57,7 @@ func Reduce(f *ir.Function, k *harden.Kernel, opts pipeline.Options) (*Reduction
 		for stop := 1; stop < total; stop++ {
 			o := opts
 			o.StopAfter = stop
-			if d, _, cerr := check(cur, k, o); cerr == nil && d != nil {
+			if d, _, cerr := check(cur, k, o, nil); cerr == nil && d != nil {
 				opts.StopAfter = stop
 				div = d
 				break
@@ -72,7 +72,7 @@ func Reduce(f *ir.Function, k *harden.Kernel, opts pipeline.Options) (*Reduction
 		if ir.Verify(cand) != nil {
 			return nil
 		}
-		d, _, cerr := check(cand, k, opts)
+		d, _, cerr := check(cand, k, opts, nil)
 		if cerr != nil {
 			return nil
 		}
