@@ -1,0 +1,176 @@
+// Command benchcmp guards the threaded executor's speedup against
+// regression. It reads two files of `go test -bench BenchmarkWarpSim`
+// output, each split into `# exec=switch` / `# exec=threaded` sections
+// (the checked-in baseline is results/warpsim-bench.txt), reduces each
+// (exec, case) cell to the median instrs/s over its repeats
+// (benchstat-style, N=5 in CI), and compares the threaded/switch speedup
+// ratio per case. Comparing ratios rather than absolute rates makes the
+// check portable across machines: CI hardware differs from the machine
+// the baseline was recorded on, but the relative advantage of the
+// threaded core over the switch core on the same box should not.
+//
+// Usage:
+//
+//	benchcmp -baseline results/warpsim-bench.txt -new bench-new.txt [-tol 0.10]
+//
+// Exits non-zero if any case's new ratio falls more than -tol below the
+// baseline ratio.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sections maps exec name -> case name -> observed instrs/s rates.
+type sections map[string]map[string][]float64
+
+// parseFile reads bench output split by `# exec=<name>` headers. Lines
+// outside a section or without an instrs/s metric are ignored, so raw
+// `go test -bench` output (with goos/pkg/ok chatter) parses as-is.
+func parseFile(path string) (sections, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	secs := sections{}
+	var cur map[string][]float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if name, ok := strings.CutPrefix(line, "# exec="); ok {
+			name = strings.TrimSpace(name)
+			if secs[name] == nil {
+				secs[name] = map[string][]float64{}
+			}
+			cur = secs[name]
+			continue
+		}
+		if cur == nil || !strings.HasPrefix(line, "BenchmarkWarpSim/") {
+			continue
+		}
+		fields := strings.Fields(line)
+		rate := -1.0
+		for i := 1; i < len(fields); i++ {
+			if fields[i] == "instrs/s" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad instrs/s value in %q", path, line)
+				}
+				rate = v
+			}
+		}
+		if rate < 0 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "BenchmarkWarpSim/")
+		// Strip the -GOMAXPROCS suffix go test appends to subbenchmarks.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		cur[name] = append(cur[name], rate)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return secs, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// ratios reduces a parsed file to case -> threaded/switch median-rate
+// ratio, requiring both sections to cover the same cases.
+func ratios(secs sections, path string) (map[string]float64, error) {
+	sw, th := secs["switch"], secs["threaded"]
+	if len(sw) == 0 || len(th) == 0 {
+		return nil, fmt.Errorf("%s: need both '# exec=switch' and '# exec=threaded' sections", path)
+	}
+	out := map[string]float64{}
+	for name, swRates := range sw {
+		thRates, ok := th[name]
+		if !ok {
+			return nil, fmt.Errorf("%s: case %q present for switch but not threaded", path, name)
+		}
+		out[name] = median(thRates) / median(swRates)
+	}
+	for name := range th {
+		if _, ok := sw[name]; !ok {
+			return nil, fmt.Errorf("%s: case %q present for threaded but not switch", path, name)
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "results/warpsim-bench.txt", "recorded baseline bench output")
+	newFile := flag.String("new", "", "freshly measured bench output to compare (required)")
+	tol := flag.Float64("tol", 0.10, "allowed relative drop of the threaded/switch ratio")
+	flag.Parse()
+	if *newFile == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	baseSecs, err := parseFile(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	newSecs, err := parseFile(*newFile)
+	if err != nil {
+		fail(err)
+	}
+	baseR, err := ratios(baseSecs, *baseline)
+	if err != nil {
+		fail(err)
+	}
+	newR, err := ratios(newSecs, *newFile)
+	if err != nil {
+		fail(err)
+	}
+
+	names := make([]string, 0, len(baseR))
+	for name := range baseR {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-16s %14s %14s %8s\n", "case", "base speedup", "new speedup", "delta")
+	regressed := false
+	for _, name := range names {
+		b := baseR[name]
+		n, ok := newR[name]
+		if !ok {
+			fail(fmt.Errorf("case %q in baseline missing from %s", name, *newFile))
+		}
+		delta := n/b - 1
+		mark := ""
+		if n < b*(1-*tol) {
+			mark = "  REGRESSED"
+			regressed = true
+		}
+		fmt.Printf("%-16s %13.2fx %13.2fx %+7.1f%%%s\n", name, b, n, 100*delta, mark)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchcmp: threaded/switch speedup regressed by more than %.0f%% vs %s\n", 100**tol, *baseline)
+		os.Exit(1)
+	}
+}

@@ -48,6 +48,7 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		workers    = flag.Int("workers", 0, "concurrent measurement goroutines (0 = GOMAXPROCS)")
 		simWorkers = flag.Int("sim-workers", 1, "warp-scheduling workers per simulation (metrics are identical for any count)")
+		execStr    = flag.String("exec", "", "simulator execution backend: switch or threaded (default: the device's; metrics are identical for either)")
 		contain    = flag.Bool("contain", false, "run every compilation under the crash-containment guard: a crashing pass is rolled back and skipped instead of aborting the campaign")
 		verifyEach = flag.Bool("verify-each", false, "run the IR verifier after every pass (a rejected pass counts as a contained failure with -contain)")
 		remarksStr = flag.String("remarks", "", "collect optimization remarks and write them as remarks.yaml: all|passed|missed|analysis (comma-separable); deterministic across -workers/-sim-workers counts")
@@ -66,6 +67,13 @@ func main() {
 	devCfg, devName, err := gpusim.ParseDevice(*device)
 	if err != nil {
 		fatal(err)
+	}
+	if *execStr != "" {
+		exec, err := gpusim.ParseExec(*execStr)
+		if err != nil {
+			fatal(err)
+		}
+		devCfg.Exec = exec
 	}
 	input, err := bench.ParseInputMode(*inputMode)
 	if err != nil {

@@ -39,6 +39,7 @@ func main() {
 		block     = flag.Int("block", 32, "block dimension (with -src)")
 		config    = flag.String("config", "baseline", "pipeline config")
 		device    = flag.String("device", "V100", "device model: registry name with optional overrides, e.g. V100, MinSPPC, Vortex:warpsize=8")
+	execStr   = flag.String("exec", "", "simulator execution backend: switch or threaded (default: the device's; metrics are identical for either)")
 		inputMode = flag.String("input", "coherent", "workload input mode (suite benchmarks only): coherent or noise")
 		loopID    = flag.Int("loop", 0, "loop id for per-loop configs")
 		factor    = flag.Int("factor", 2, "unroll factor")
@@ -105,6 +106,13 @@ func main() {
 	dev, devName, err := gpusim.ParseDevice(*device)
 	if err != nil {
 		fatal(err)
+	}
+	if *execStr != "" {
+		exec, err := gpusim.ParseExec(*execStr)
+		if err != nil {
+			fatal(err)
+		}
+		dev.Exec = exec
 	}
 	input, err := bench.ParseInputMode(*inputMode)
 	if err != nil {

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"uu/internal/gpusim"
+)
+
+// TestExecutorDifferential pins the switch and threaded execution backends
+// byte-identical over the full golden corpus (16 kernels x 5 configs) on
+// every divergence policy at one and several warp-scheduling workers:
+// metrics, per-PC profiles, and final device memory must not differ in a
+// single bit. This is the executor counterpart of the golden corpora —
+// those pin each backend against history, this pins them against each
+// other on every cell, including the ones whose configs fail to compile
+// (both backends must then report the identical error).
+func TestExecutorDifferential(t *testing.T) {
+	legs := []struct {
+		name    string
+		cfg     gpusim.DeviceConfig
+		workers int
+	}{
+		{"v100-w1", gpusim.V100(), 1},
+		{"v100-w4", gpusim.V100(), 4},
+		{"minsppc-w1", gpusim.MinSPPC(), 1},
+		{"minsppc-w4", gpusim.MinSPPC(), 4},
+		{"vortex-w1", gpusim.Vortex(), 1},
+		{"vortex-w4", gpusim.Vortex(), 4},
+	}
+	for _, b := range Suite {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, opts := range goldenCases() {
+				cr, err := Compile(b, opts)
+				if err != nil {
+					// Which cells compile is pinned by the golden VPTX
+					// corpus; nothing executor-specific to compare here.
+					continue
+				}
+				for _, lg := range legs {
+					run := func(exec gpusim.ExecKind) (*gpusim.Metrics, *gpusim.Profile, []byte, error) {
+						w := b.NewWorkload()
+						mem := w.NewMemory()
+						cfg := lg.cfg
+						cfg.Exec = exec
+						prof := gpusim.NewProfile(cr.Program)
+						m, err := gpusim.RunWorkersProfiled(cr.Program, w.Args, mem, w.Launch, cfg, lg.workers, nil, 0, prof)
+						return m, prof, mem.Data, err
+					}
+					ms, ps, memS, errS := run(gpusim.ExecSwitch)
+					mt, pt, memT, errT := run(gpusim.ExecThreaded)
+					name := goldenName(b.Name, opts) + "/" + lg.name
+					if (errS == nil) != (errT == nil) {
+						t.Fatalf("%s: error mismatch: switch=%v threaded=%v", name, errS, errT)
+					}
+					if errS != nil {
+						if errS.Error() != errT.Error() {
+							t.Errorf("%s: error text differs:\nswitch:   %v\nthreaded: %v", name, errS, errT)
+						}
+						continue
+					}
+					if gotS, gotT := formatMetrics(ms), formatMetrics(mt); gotS != gotT {
+						t.Errorf("%s: metrics differ:\nswitch:\n%s\nthreaded:\n%s", name, gotS, gotT)
+					}
+					if !reflect.DeepEqual(ps, pt) {
+						t.Errorf("%s: profiles differ", name)
+					}
+					if !bytes.Equal(memS, memT) {
+						i := 0
+						for i < len(memS) && memS[i] == memT[i] {
+							i++
+						}
+						t.Errorf("%s: memory differs at byte %d: switch=%#x threaded=%#x", name, i, memS[i], memT[i])
+					}
+				}
+			}
+		})
+	}
+}

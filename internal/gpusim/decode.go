@@ -159,6 +159,19 @@ type decodedProgram struct {
 	// form depends on).
 	mu       sync.Mutex
 	lineMemo map[int][]int32
+
+	// threaded caches the compiled threaded-code form (threaded.go). Its
+	// closures capture only decode-time constants, so like the decoded
+	// form itself it is shared across warps, launches, and worker shards.
+	threadedOnce sync.Once
+	threaded     *threadedProgram
+}
+
+// threadedProg returns the threaded-code compilation of the program,
+// building it on first use.
+func (dp *decodedProgram) threadedProg() *threadedProgram {
+	dp.threadedOnce.Do(func() { dp.threaded = compileThreaded(dp) })
+	return dp.threaded
 }
 
 // decodeResult caches the outcome of decodeProgram — including a decode

@@ -1,0 +1,54 @@
+package gpusim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExecKind selects the execution backend the simulator runs warps on. Both
+// backends implement the same machine model and produce byte-identical
+// metrics, profiles, and memory for every program (the differential tests
+// pin this); they differ only in how fast the host simulates.
+type ExecKind uint8
+
+const (
+	// ExecSwitch is the pre-decoded interpreter core: one trip through the
+	// dispatch switch per retired warp instruction, boxed interp.Value
+	// registers. The zero value, so existing DeviceConfig literals keep
+	// their behavior.
+	ExecSwitch ExecKind = iota
+	// ExecThreaded is the threaded-code core: each decoded program is
+	// compiled once into per-instruction closures over SoA register files
+	// (flat int64/float64 lane arrays per register), fused into
+	// superinstruction blocks that run without touching the dispatch
+	// switch or the divergence policy between terminators.
+	ExecThreaded
+
+	numExecs
+)
+
+func (k ExecKind) String() string {
+	switch k {
+	case ExecSwitch:
+		return "switch"
+	case ExecThreaded:
+		return "threaded"
+	}
+	return fmt.Sprintf("ExecKind(%d)", uint8(k))
+}
+
+// Execs returns all execution backends in canonical order.
+func Execs() []ExecKind {
+	return []ExecKind{ExecSwitch, ExecThreaded}
+}
+
+// ParseExec resolves a CLI/override spelling of an execution backend.
+func ParseExec(s string) (ExecKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "switch":
+		return ExecSwitch, nil
+	case "threaded":
+		return ExecThreaded, nil
+	}
+	return ExecSwitch, fmt.Errorf("gpusim: unknown exec backend %q (want switch or threaded)", s)
+}

@@ -42,6 +42,7 @@ func Vortex() DeviceConfig {
 		ICacheMissCycles:  10,
 		ITSOverlap:        0,
 		Policy:            PolicyVortex,
+		Exec:              ExecThreaded,
 	}
 }
 
@@ -181,6 +182,13 @@ func setOverride(cfg *DeviceConfig, key, val string) error {
 			return err
 		}
 		cfg.Policy = p
+		return nil
+	case "exec":
+		e, err := ParseExec(val)
+		if err != nil {
+			return err
+		}
+		cfg.Exec = e
 		return nil
 	}
 	return fmt.Errorf("gpusim: unknown device override key %q", key)

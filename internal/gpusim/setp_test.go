@@ -88,8 +88,11 @@ func TestSetpUnsignedPredicates(t *testing.T) {
 					t.Errorf("%s: run loop: got %d, want %d", name, got, want)
 				}
 
-				// evalScalar fallback path must agree.
-				w := newWarpSim(dp, V100(), mem)
+				// evalScalar fallback path must agree. It reads the switch
+				// core's boxed register file, so build that core explicitly.
+				swCfg := V100()
+				swCfg.Exec = ExecSwitch
+				w := newWarpSim(dp, swCfg, mem)
 				w.regs[0] = interp.IntVal(a)
 				w.regs[1] = interp.IntVal(b)
 				if got := w.evalScalar(&dp.instrs[0], 0).I; got != want {

@@ -196,8 +196,32 @@ type warpSim struct {
 	mem *interp.Memory
 
 	nregs int
-	regs  []interp.Value // [lane*nregs + reg]
+	regs  []interp.Value // [lane*nregs + reg] (switch core only)
 	ready []float64      // scoreboard: cycle at which each register's value is available
+
+	// Threaded-core state (cfg.Exec == ExecThreaded; see threaded.go). The
+	// SoA register files store each register as WarpSize consecutive lanes
+	// so block closures run contiguous 32-lane inner loops; regsI/regsF
+	// replace the boxed file above, and the extra registers past
+	// dp.numRegs hold the program's pooled immediates, broadcast once at
+	// construction.
+	tp      *threadedProgram
+	laneW   int       // stride between registers in the SoA files
+	nLanes  int       // threads in the current warp
+	runMask uint32    // full-warp mask of the current warp
+	regsI   []int64   // [reg*laneW + lane]
+	regsF   []float64 // [reg*laneW + lane]
+	ntidV   int64
+	nctaidV int64
+	m       *Metrics // metrics of the warp in flight (closures append here)
+	memErr  error    // out-of-bounds fault raised inside a closure
+	// Per-block control-flow outcome, written by terminator closures and
+	// read back by the block loop exactly as the switch core's locals are.
+	nextPC   int
+	branched bool
+	exited   uint32
+	brTaken  uint32
+	brNot    uint32
 	// eng is the divergence-management backend (DeviceConfig.Policy): it
 	// owns the reconvergence state and decides which (block, mask) runs
 	// next; the executor below only runs whole blocks and reports each
@@ -209,6 +233,11 @@ type warpSim struct {
 	fetchMode uint8
 	touched   []uint64
 	lru       lruICache
+	// blockSeen[b] records (threaded core, fetchBitset mode only) that every
+	// line of block b has been fetched once; touched bits never clear, so
+	// once set the whole per-instruction fetch check provably charges zero
+	// and steady-state blocks skip it. Never set in warm/LRU modes.
+	blockSeen []bool
 
 	lanesTID []int32
 	lanesCTA []int32
@@ -233,7 +262,26 @@ type warpSim struct {
 
 func newWarpSim(dp *decodedProgram, cfg DeviceConfig, mem *interp.Memory) *warpSim {
 	w := &warpSim{dp: dp, cfg: cfg, mem: mem, nregs: dp.numRegs}
-	w.regs = make([]interp.Value, cfg.WarpSize*dp.numRegs)
+	if cfg.Exec == ExecThreaded {
+		tp := dp.threadedProg()
+		w.tp = tp
+		w.laneW = cfg.WarpSize
+		w.regsI = make([]int64, cfg.WarpSize*tp.numRegs)
+		w.regsF = make([]float64, cfg.WarpSize*tp.numRegs)
+		w.blockSeen = make([]bool, len(dp.blockStart))
+		// Pooled immediates live past dp.numRegs and never change: fill
+		// every lane once, here; per-warp resets only clear the real
+		// registers below them.
+		for ci, v := range tp.consts {
+			base := (dp.numRegs + ci) * cfg.WarpSize
+			for lane := 0; lane < cfg.WarpSize; lane++ {
+				w.regsI[base+lane] = v.I
+				w.regsF[base+lane] = v.F
+			}
+		}
+	} else {
+		w.regs = make([]interp.Value, cfg.WarpSize*dp.numRegs)
+	}
 	w.ready = make([]float64, dp.numRegs)
 	w.eng = newPolicyEngine(cfg.Policy, dp)
 	w.lines = dp.lines(cfg.ICacheLineInstrs)
@@ -260,11 +308,35 @@ func srcVal(regs []interp.Value, base int, s *dSrc) interp.Value {
 	return regs[base+int(s.reg)]
 }
 
-// run executes one warp. The steady-state path performs no heap
-// allocations: all per-warp state lives in reusable buffers sized at
-// construction (the reconvergence stack may grow once on unusually deep
-// divergence, then keeps its capacity).
+// run executes one warp on the backend cfg.Exec selected. The steady-state
+// path of both backends performs no heap allocations: all per-warp state
+// lives in reusable buffers sized at construction (the reconvergence stack
+// may grow once on unusually deep divergence, then keeps its capacity).
 func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int, m *Metrics) error {
+	if w.tp != nil {
+		return w.runThreaded(args, launch, firstThread, count, m)
+	}
+	return w.runSwitch(args, launch, firstThread, count, m)
+}
+
+// fetchStallSlow is the icache model for the fetchWarm and fetchLRU
+// fetch modes, returning the stall cycles to charge. The fetchBitset fast
+// path is spelled out at both executors' per-instruction call sites (it is
+// too hot to pay a function call), identically, so the backends price
+// fetches the same way.
+func (w *warpSim) fetchStallSlow(line int32) int64 {
+	if w.fetchMode == fetchWarm {
+		w.touched[line>>6] |= 1 << uint(line&63)
+		return 0
+	}
+	if w.lru.fetch(line) {
+		return w.cfg.ICacheMissCycles
+	}
+	return 0
+}
+
+// runSwitch is the pre-decoded dispatch-switch core (ExecSwitch).
+func (w *warpSim) runSwitch(args []interp.Value, launch Launch, firstThread, count int, m *Metrics) error {
 	cfg := w.cfg
 	dp := w.dp
 	nr := w.nregs
@@ -323,26 +395,21 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 				return fmt.Errorf("gpusim: %s after %d steps: %w", dp.name, steps-1, ErrCycleBudget)
 			}
 			// Fetch: icache model on the global instruction index.
-			switch line := w.lines[gi]; w.fetchMode {
-			case fetchBitset:
+			var fc int64
+			if line := w.lines[gi]; w.fetchMode == fetchBitset {
 				word, bit := line>>6, uint64(1)<<uint(line&63)
 				if w.touched[word]&bit == 0 {
 					w.touched[word] |= bit
-					m.StallInstFetch += cfg.ICacheMissCycles
-					cycles += float64(cfg.ICacheMissCycles)
-					if prof != nil {
-						prof.Counters[ProfFetchStall][gi] += cfg.ICacheMissCycles
-					}
+					fc = cfg.ICacheMissCycles
 				}
-			case fetchWarm:
-				w.touched[line>>6] |= 1 << uint(line&63)
-			default: // fetchLRU
-				if w.lru.fetch(line) {
-					m.StallInstFetch += cfg.ICacheMissCycles
-					cycles += float64(cfg.ICacheMissCycles)
-					if prof != nil {
-						prof.Counters[ProfFetchStall][gi] += cfg.ICacheMissCycles
-					}
+			} else {
+				fc = w.fetchStallSlow(line)
+			}
+			if fc != 0 {
+				m.StallInstFetch += fc
+				cycles += float64(fc)
+				if prof != nil {
+					prof.Counters[ProfFetchStall][gi] += fc
 				}
 			}
 
@@ -511,6 +578,11 @@ func (w *warpSim) run(args []interp.Value, launch Launch, firstThread, count int
 					}
 				}
 			case xSetpI:
+				// Specialized like the arithmetic arms: the pred dispatch
+				// is hoisted out of the lane loop (evalICmp is too big to
+				// inline here and a call per lane costs ~7% on divergent
+				// kernels); the generic kernel serves evalScalar and the
+				// threaded core's unspecialized loops.
 				regs := w.regs
 				dst := int(in.dst)
 				s0, s1 := &in.srcs[0], &in.srcs[1]
@@ -789,7 +861,8 @@ func boolVal(r bool) interp.Value {
 }
 
 // evalScalar executes a decoded compute/setp/selp/mov/cvt instruction for
-// the lane whose register block starts at base.
+// the lane whose register block starts at base. All opcode semantics live
+// in the shared kernels of ops.go.
 func (w *warpSim) evalScalar(in *dInstr, base int) interp.Value {
 	a := srcVal(w.regs, base, &in.srcs[0])
 	switch in.exec {
@@ -801,167 +874,26 @@ func (w *warpSim) evalScalar(in *dInstr, base int) interp.Value {
 		}
 		return srcVal(w.regs, base, &in.srcs[2])
 	case xSetpI:
-		// Unsigned predicates compare the operands zero-extended from
-		// their declared width (in.aux is that width's mask); everything
-		// else compares the canonical sign-extended form directly.
 		b := srcVal(w.regs, base, &in.srcs[1])
-		var r bool
-		switch in.pred {
-		case ir.EQ:
-			r = a.I == b.I
-		case ir.NE:
-			r = a.I != b.I
-		case ir.SLT:
-			r = a.I < b.I
-		case ir.SLE:
-			r = a.I <= b.I
-		case ir.SGT:
-			r = a.I > b.I
-		case ir.SGE:
-			r = a.I >= b.I
-		case ir.ULT:
-			r = uint64(a.I)&in.aux < uint64(b.I)&in.aux
-		case ir.ULE:
-			r = uint64(a.I)&in.aux <= uint64(b.I)&in.aux
-		case ir.UGT:
-			r = uint64(a.I)&in.aux > uint64(b.I)&in.aux
-		case ir.UGE:
-			r = uint64(a.I)&in.aux >= uint64(b.I)&in.aux
-		}
-		return boolVal(r)
+		return boolVal(evalICmp(in.pred, in.aux, a.I, b.I))
 	case xSetpF:
 		b := srcVal(w.regs, base, &in.srcs[1])
-		var r bool
-		switch in.pred {
-		case ir.OEQ:
-			r = a.F == b.F
-		case ir.ONE:
-			r = a.F != b.F
-		case ir.OLT:
-			r = a.F < b.F
-		case ir.OLE:
-			r = a.F <= b.F
-		case ir.OGT:
-			r = a.F > b.F
-		case ir.OGE:
-			r = a.F >= b.F
-		}
-		return boolVal(r)
-	case xTrunc:
-		return interp.IntVal(truncTag(in.trunc, a.I))
-	case xZExt:
-		// in.aux masks to the recorded source width — exact for every
-		// source type, unlike the old 0/1-value heuristic.
-		return interp.IntVal(int64(uint64(a.I) & in.aux))
-	case xSExt:
-		return interp.IntVal(a.I)
-	case xSIToFP:
-		v := float64(a.I)
-		if in.rndF32 {
-			v = float64(float32(v))
-		}
-		return interp.FloatVal(v)
-	case xFPToSI:
-		if math.IsNaN(a.F) || math.IsInf(a.F, 0) {
-			return interp.IntVal(0)
-		}
-		return interp.IntVal(truncTag(in.trunc, int64(a.F)))
-	case xFPExt:
-		return interp.FloatVal(a.F)
-	case xFPTrunc:
-		v := a.F
-		if in.rndF32 {
-			v = float64(float32(v))
-		}
-		return interp.FloatVal(v)
+		return boolVal(evalFCmp(in.pred, a.F, b.F))
+	case xTrunc, xZExt, xSExt, xFPToSI:
+		return interp.IntVal(evalConvI(in.exec, in.trunc, in.aux, a.I, a.F))
+	case xSIToFP, xFPExt, xFPTrunc:
+		return interp.FloatVal(evalConvF(in.exec, in.rndF32, a.I, a.F))
 	}
 	if in.exec >= xFAdd { // tag order: float compute ops are the last group
-		af := a.F
 		var b float64
 		if in.nSrcs > 1 {
 			b = srcVal(w.regs, base, &in.srcs[1]).F
 		}
-		var r float64
-		switch in.exec {
-		case xFAdd:
-			r = af + b
-		case xFSub:
-			r = af - b
-		case xFMul:
-			r = af * b
-		case xFDiv:
-			r = af / b
-		case xPow:
-			r = math.Pow(af, b)
-		case xFMin:
-			r = math.Min(af, b)
-		case xFMax:
-			r = math.Max(af, b)
-		case xSqrt:
-			r = math.Sqrt(af)
-		case xFAbs:
-			r = math.Abs(af)
-		case xExp:
-			r = math.Exp(af)
-		case xLog:
-			r = math.Log(af)
-		case xSin:
-			r = math.Sin(af)
-		case xCos:
-			r = math.Cos(af)
-		case xFloor:
-			r = math.Floor(af)
-		}
-		if in.rndF32 {
-			r = float64(float32(r))
-		}
-		return interp.FloatVal(r)
+		return interp.FloatVal(evalFloatOp(in.exec, in.rndF32, a.F, b))
 	}
-	ai := a.I
 	var b int64
 	if in.nSrcs > 1 {
 		b = srcVal(w.regs, base, &in.srcs[1]).I
 	}
-	var r int64
-	switch in.exec {
-	case xAdd:
-		r = ai + b
-	case xSub:
-		r = ai - b
-	case xMul:
-		r = ai * b
-	case xSDiv:
-		if b != 0 {
-			r = ai / b
-		}
-	case xUDiv:
-		if b != 0 {
-			r = int64(toUTag(in.trunc, ai) / toUTag(in.trunc, b))
-		}
-	case xSRem:
-		if b != 0 {
-			r = ai % b
-		}
-	case xURem:
-		if b != 0 {
-			r = int64(toUTag(in.trunc, ai) % toUTag(in.trunc, b))
-		}
-	case xShl:
-		r = ai << (uint64(b) & in.aux)
-	case xLShr:
-		r = int64(toUTag(in.trunc, ai) >> (uint64(b) & in.aux))
-	case xAShr:
-		r = ai >> (uint64(b) & in.aux)
-	case xAnd:
-		r = ai & b
-	case xOr:
-		r = ai | b
-	case xXor:
-		r = ai ^ b
-	case xSMin:
-		r = min(ai, b)
-	case xSMax:
-		r = max(ai, b)
-	}
-	return interp.IntVal(truncTag(in.trunc, r))
+	return interp.IntVal(evalIntOp(in.exec, in.trunc, in.aux, a.I, b))
 }

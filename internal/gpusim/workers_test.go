@@ -10,8 +10,10 @@ import (
 )
 
 // TestRunWorkersDeterminism checks the central contract of the parallel
-// scheduler: for every worker count, metrics and final memory are
-// byte-identical to the sequential schedule. The table covers the
+// scheduler: for every worker count AND every execution backend, metrics
+// and final memory are byte-identical to the sequential switch-core
+// schedule (one reference per case, so this also pins the two backends
+// against each other under every scheduling regime). The table covers the
 // interesting regimes: a data-parallel kernel (optimistic path accepted),
 // a divergent kernel with a partial final warp, a cross-warp-dependent
 // kernel (conflict detected, sequential fallback), and a tiny icache that
@@ -89,24 +91,28 @@ kernel div(double* restrict x, long n) {
 
 			var refM *Metrics
 			var refMem []byte
-			for _, workers := range []int{1, 2, 4, 8} {
-				mem := &interp.Memory{Data: append([]byte(nil), init.Data...)}
-				m, err := RunWorkers(p, args, mem, tc.launch, tc.cfg, workers)
-				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
-				}
-				if refM == nil {
-					refM, refMem = m, mem.Data
-					if tc.check != nil {
-						tc.check(t, mem)
+			for _, exec := range Execs() {
+				for _, workers := range []int{1, 2, 4, 8} {
+					mem := &interp.Memory{Data: append([]byte(nil), init.Data...)}
+					cfg := tc.cfg
+					cfg.Exec = exec
+					m, err := RunWorkers(p, args, mem, tc.launch, cfg, workers)
+					if err != nil {
+						t.Fatalf("exec=%s workers=%d: %v", exec, workers, err)
 					}
-					continue
-				}
-				if !reflect.DeepEqual(m, refM) {
-					t.Errorf("workers=%d: metrics diverge:\n got %+v\nwant %+v", workers, m, refM)
-				}
-				if !bytes.Equal(mem.Data, refMem) {
-					t.Errorf("workers=%d: final memory diverges from sequential", workers)
+					if refM == nil {
+						refM, refMem = m, mem.Data
+						if tc.check != nil {
+							tc.check(t, mem)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(m, refM) {
+						t.Errorf("exec=%s workers=%d: metrics diverge:\n got %+v\nwant %+v", exec, workers, m, refM)
+					}
+					if !bytes.Equal(mem.Data, refMem) {
+						t.Errorf("exec=%s workers=%d: final memory diverges from sequential", exec, workers)
+					}
 				}
 			}
 		})

@@ -1,0 +1,93 @@
+package fuzz
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"uu/internal/codegen"
+	"uu/internal/gpusim"
+	"uu/internal/harden"
+	"uu/internal/ir"
+	"uu/internal/pipeline"
+)
+
+// diffKernels is how many generated kernels the executor-differential test
+// sweeps. Odd seeds run the full heuristic pipeline so the threaded core
+// sees unrolled/unmerged control flow, not just generator shapes.
+const diffKernels = 200
+
+// TestExecutorDifferentialFuzz pins the switch and threaded execution
+// backends byte-identical — metrics, per-PC profiles, and final memory —
+// over generated kernels on every divergence policy. Unlike the oracle
+// (which compares simulators against the interpreter with a float
+// tolerance), this is an exact executor-vs-executor comparison: the two
+// backends run the same machine model and must not differ in a single bit.
+func TestExecutorDifferentialFuzz(t *testing.T) {
+	devs := []struct {
+		name string
+		cfg  gpusim.DeviceConfig
+	}{
+		{"ipdom", gpusim.V100()},
+		{"minsppc", gpusim.MinSPPC()},
+		{"vortex", gpusim.Vortex()},
+	}
+	for seed := int64(1); seed <= diffKernels; seed++ {
+		k := harden.Generate(seed)
+		opts := pipeline.Options{Config: pipeline.Baseline}
+		if seed%2 == 1 {
+			opts = pipeline.Options{Config: pipeline.UUHeuristic}
+		}
+		f := ir.Clone(k.F)
+		if _, err := pipeline.Optimize(f, opts); err != nil {
+			t.Fatalf("seed %d: optimize: %v", seed, err)
+		}
+		prog, err := codegen.Lower(f)
+		if err != nil {
+			t.Fatalf("seed %d: codegen: %v", seed, err)
+		}
+		for _, dv := range devs {
+			run := func(exec gpusim.ExecKind) (*gpusim.Metrics, *gpusim.Profile, []byte, error) {
+				mem := newMemory(k)
+				cfg := dv.cfg
+				cfg.Exec = exec
+				cfg.MaxWarpSteps = simStepBudget
+				// Alternate profiled and unprofiled runs: profiling pins
+				// the per-PC counters, while a nil profile steers the
+				// threaded core down its steady-state fast loop, so both
+				// block paths get differential coverage.
+				var prof *gpusim.Profile
+				if seed%2 == 1 {
+					prof = gpusim.NewProfile(prog)
+				}
+				launch := gpusim.Launch{GridDim: k.GridDim, BlockDim: k.BlockDim}
+				m, err := gpusim.RunWorkersProfiled(prog, kernelArgs(k), mem, launch, cfg, 1, nil, 0, prof)
+				return m, prof, mem.Data, err
+			}
+			ms, ps, memS, errS := run(gpusim.ExecSwitch)
+			mt, pt, memT, errT := run(gpusim.ExecThreaded)
+			if (errS == nil) != (errT == nil) {
+				t.Fatalf("seed %d %s (%s): error mismatch: switch=%v threaded=%v", seed, dv.name, opts.Config, errS, errT)
+			}
+			if errS != nil {
+				if errS.Error() != errT.Error() {
+					t.Errorf("seed %d %s (%s): error text differs:\nswitch:   %v\nthreaded: %v", seed, dv.name, opts.Config, errS, errT)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(ms, mt) {
+				t.Errorf("seed %d %s (%s): metrics differ:\nswitch:   %+v\nthreaded: %+v", seed, dv.name, opts.Config, ms, mt)
+			}
+			if !reflect.DeepEqual(ps, pt) {
+				t.Errorf("seed %d %s (%s): profiles differ", seed, dv.name, opts.Config)
+			}
+			if !bytes.Equal(memS, memT) {
+				i := 0
+				for i < len(memS) && memS[i] == memT[i] {
+					i++
+				}
+				t.Errorf("seed %d %s (%s): memory differs at byte %d: switch=%#x threaded=%#x", seed, dv.name, opts.Config, i, memS[i], memT[i])
+			}
+		}
+	}
+}

@@ -34,11 +34,12 @@ type Divergence struct {
 	Seed   int64
 	Config pipeline.Config
 	// Stage identifies the leg: "optimize", "codegen", "interp-opt",
-	// "gpusim-w1", "gpusim-w4" (IPDOM at one and several workers), or the
-	// cross-policy legs "gpusim-minsppc" and "gpusim-vortex" — every
-	// divergence backend must agree with the sequential reference, so a
-	// policy-specific reconvergence bug shows up as a differential finding
-	// exactly like a miscompile.
+	// "gpusim-w1", "gpusim-w4" (IPDOM at one and several workers), the
+	// cross-policy legs "gpusim-minsppc" and "gpusim-vortex", or the
+	// cross-executor leg "gpusim-threaded" — every divergence backend and
+	// execution backend must agree with the sequential reference, so a
+	// policy-specific reconvergence bug or a threaded-compilation bug shows
+	// up as a differential finding exactly like a miscompile.
 	Stage string
 	// Detail is the first mismatching element or the leg's error text.
 	Detail string
@@ -109,15 +110,19 @@ type simLeg struct {
 }
 
 // defaultSimLegs is the simulator side of the differential matrix: the
-// IPDOM device at one and several warp-scheduling workers, then one leg
-// per alternative divergence policy. Vortex runs with its native 16-wide
-// warps, so this also exercises the narrow-warp masking paths.
+// IPDOM device at one and several warp-scheduling workers, one leg per
+// alternative divergence policy, then the threaded execution backend.
+// Vortex runs with its native 16-wide warps, so this also exercises the
+// narrow-warp masking paths.
 func defaultSimLegs() []simLeg {
+	threaded := gpusim.V100()
+	threaded.Exec = gpusim.ExecThreaded
 	return []simLeg{
 		{"gpusim-w1", gpusim.V100(), 1},
 		{"gpusim-w4", gpusim.V100(), 4},
 		{"gpusim-minsppc", gpusim.MinSPPC(), 1},
 		{"gpusim-vortex", gpusim.Vortex(), 1},
+		{"gpusim-threaded", threaded, 1},
 	}
 }
 
