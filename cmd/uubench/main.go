@@ -11,13 +11,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"uu/internal/bench"
 	"uu/internal/gpusim"
@@ -118,12 +121,23 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 
+	// SIGINT/SIGTERM cancels the campaign context: workers stop at the next
+	// pass or warp-block boundary and the completed runs are still written
+	// out below as partial artifacts. A second signal kills the process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	interrupted := false
+
 	var res *bench.Results
 	if *table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *profileOn {
 		var err error
-		res, err = bench.RunExperiments(opts)
+		res, err = bench.RunExperimentsCtx(ctx, opts)
 		if err != nil {
-			fatal(err)
+			if res == nil || ctx.Err() == nil {
+				fatal(err)
+			}
+			interrupted = true
+			fmt.Fprintf(os.Stderr, "uubench: %v; flushing partial results\n", err)
 		}
 		fmt.Fprintf(os.Stderr, "uubench: campaign device=%s input=%s\n", res.DeviceName, res.Input)
 		for _, pf := range res.Failures {
@@ -225,9 +239,13 @@ func main() {
 				mxOpts.Inputs = append(mxOpts.Inputs, in)
 			}
 		}
-		mx, err := bench.RunMatrix(mxOpts)
+		mx, err := bench.RunMatrixCtx(ctx, mxOpts)
 		if err != nil {
-			fatal(err)
+			if mx == nil || ctx.Err() == nil {
+				fatal(err)
+			}
+			interrupted = true
+			fmt.Fprintf(os.Stderr, "uubench: %v; flushing partial results\n", err)
 		}
 		w, done := sink("device-matrix.txt")
 		bench.WriteDeviceMatrix(w, mx)
@@ -266,7 +284,12 @@ func main() {
 	// pipelines (the crashing passes were skipped); flag that to callers.
 	if res != nil && len(res.Failures) > 0 {
 		fmt.Fprintf(os.Stderr, "uubench: %d pass invocations were contained; results reflect skipped passes\n", len(res.Failures))
-		os.Exit(1)
+		if !interrupted {
+			os.Exit(1)
+		}
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 

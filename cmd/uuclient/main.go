@@ -1,0 +1,266 @@
+// Command uuclient is the load client for uud: it submits one compile
+// request — or a concurrent batch of them — and reports per-request
+// latency and outcome statistics. Shed (429) and drain (503) responses and
+// transport errors are retried with the shared capped-exponential,
+// full-jitter backoff (internal/harden.Backoff), honoring the server's
+// Retry-After hint as a floor; structured 4xx/5xx outcomes are permanent
+// and reported as such.
+//
+// Usage:
+//
+//	uuclient -app xsbench -config uu -factor 2
+//	uuclient -n 200 -c 8 -app complex -config uu-heuristic -summary out.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"uu/internal/harden"
+	"uu/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://localhost:8077", "uud base URL")
+		app        = flag.String("app", "", "suite benchmark to compile (one of app/source-file/ir-file)")
+		sourceFile = flag.String("source-file", "", "MiniCU source file to compile")
+		irFile     = flag.String("ir-file", "", "textual IR file to compile")
+		config     = flag.String("config", "baseline", "pipeline configuration")
+		loop       = flag.Int("loop", 0, "loop id for per-loop configurations")
+		factor     = flag.Int("factor", 0, "unroll factor")
+		device     = flag.String("device", "V100", "device spec")
+		grid       = flag.Int("grid", 0, "grid dim for source/ir kernels")
+		block      = flag.Int("block", 0, "block dim for source/ir kernels")
+		deadlineMs = flag.Int64("deadline-ms", 0, "per-request deadline (0 = server default)")
+		chaos      = flag.String("chaos", "", "inject a chaos pass: panic, corrupt, or miscompile")
+		contain    = flag.Bool("contain", false, "run passes under the containment guard")
+		n          = flag.Int("n", 1, "total requests")
+		c          = flag.Int("c", 1, "concurrent clients")
+		attempts   = flag.Int("attempts", 5, "max tries per request (shed/transport retries)")
+		seed       = flag.Int64("seed", 0, "backoff jitter seed (0 = nondeterministic)")
+		summary    = flag.String("summary", "", "write the latency/outcome summary JSON to this file")
+		quiet      = flag.Bool("q", false, "suppress the single-request response dump")
+	)
+	flag.Parse()
+
+	req := serve.Request{
+		App: *app, Config: *config, Loop: *loop, Factor: *factor,
+		Device: *device, Grid: *grid, Block: *block,
+		DeadlineMs: *deadlineMs, Chaos: *chaos, Contain: *contain,
+	}
+	if *sourceFile != "" {
+		b, err := os.ReadFile(*sourceFile)
+		if err != nil {
+			fatal(err)
+		}
+		req.Source = string(b)
+	}
+	if *irFile != "" {
+		b, err := os.ReadFile(*irFile)
+		if err != nil {
+			fatal(err)
+		}
+		req.IR = string(b)
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		fatal(err)
+	}
+
+	res := runLoad(*addr, body, *n, *c, *attempts, *seed)
+	if *n == 1 && !*quiet && res.LastBody != "" {
+		fmt.Println(res.LastBody)
+	}
+	fmt.Fprintf(os.Stderr, "uuclient: %d requests, %d ok (%d cached, %d coalesced), %d failed, %d retries; p50 %.1fms p99 %.1fms max %.1fms\n",
+		res.Requests, res.OK, res.Cached, res.Coalesced, res.Failed, res.Retries, res.P50Ms, res.P99Ms, res.MaxMs)
+	for code, count := range res.Errors {
+		fmt.Fprintf(os.Stderr, "uuclient:   %s: %d\n", code, count)
+	}
+	if *summary != "" {
+		b, _ := json.MarshalIndent(res, "", "  ")
+		if err := os.WriteFile(*summary, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if res.OK == 0 {
+		os.Exit(1)
+	}
+}
+
+// Summary is the machine-readable outcome of a load run.
+type Summary struct {
+	Requests  int            `json:"requests"`
+	OK        int            `json:"ok"`
+	Failed    int            `json:"failed"`
+	Cached    int            `json:"cached"`
+	Coalesced int            `json:"coalesced"`
+	Retries   int            `json:"retries"`
+	Errors    map[string]int `json:"errors,omitempty"` // structured code → count
+	P50Ms     float64        `json:"p50_ms"`
+	P99Ms     float64        `json:"p99_ms"`
+	MaxMs     float64        `json:"max_ms"`
+	LastBody  string         `json:"-"`
+}
+
+// outcome is one request's final result after retries.
+type outcome struct {
+	ok        bool
+	cached    bool
+	coalesced bool
+	code      string
+	retries   int
+	ms        float64
+	body      string
+}
+
+// runLoad fires n copies of body at the server over c workers, retrying
+// shed/transport failures with jittered backoff, and aggregates outcomes.
+func runLoad(addr string, body []byte, n, c, attempts int, seed int64) *Summary {
+	outcomes := make([]outcome, n)
+	var idx int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	client := &http.Client{}
+	if c < 1 {
+		c = 1
+	}
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			bo := harden.DefaultBackoff()
+			bo.Attempts = attempts
+			if seed != 0 {
+				// Per-worker deterministic jitter for reproducible drills.
+				bo.Rand = rand.New(rand.NewSource(seed + int64(worker)))
+			}
+			for {
+				mu.Lock()
+				i := int(idx)
+				idx++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				outcomes[i] = fire(client, addr, body, bo)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Summary{Requests: n, Errors: map[string]int{}}
+	var lat []float64
+	for _, o := range outcomes {
+		res.Retries += o.retries
+		if o.ok {
+			res.OK++
+			lat = append(lat, o.ms)
+			if o.cached {
+				res.Cached++
+			}
+			if o.coalesced {
+				res.Coalesced++
+			}
+			res.LastBody = o.body
+		} else {
+			res.Failed++
+			res.Errors[o.code]++
+		}
+	}
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	res.P50Ms, res.P99Ms = pct(0.50), pct(0.99)
+	if len(lat) > 0 {
+		res.MaxMs = lat[len(lat)-1]
+	}
+	return res
+}
+
+// attemptState tracks the server's Retry-After hint across one request's
+// attempts, used as a floor under the jittered backoff delay.
+type attemptState struct {
+	retryAfter time.Duration
+}
+
+// fire issues one request with retries. Shed (429), drain (503), and
+// transport errors are retryable; everything else — including structured
+// compile failures, panics (500), and deadline expiry (504) — is permanent.
+func fire(client *http.Client, addr string, body []byte, bo harden.Backoff) (o outcome) {
+	var st attemptState
+	sleep := bo.Sleep
+	bo.Sleep = func(d time.Duration) {
+		if st.retryAfter > d {
+			d = st.retryAfter
+		}
+		if sleep != nil {
+			sleep(d)
+			return
+		}
+		time.Sleep(d)
+	}
+	attempt := 0
+	start := time.Now()
+	err := bo.Retry(nil, func(err error) bool {
+		_, retryable := err.(*transientError)
+		return retryable
+	}, func() error {
+		attempt++
+		resp, err := client.Post(addr+"/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			o.code = "transport"
+			return &transientError{err.Error()}
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == 200 {
+			var r serve.Response
+			if jerr := json.Unmarshal(data, &r); jerr == nil {
+				o.cached, o.coalesced = r.Cached, r.Coalesced
+			}
+			o.ok, o.body = true, string(data)
+			return nil
+		}
+		var e serve.Error
+		if jerr := json.Unmarshal(data, &e); jerr != nil || e.Code == "" {
+			e.Code = fmt.Sprintf("http-%d", resp.StatusCode)
+		}
+		o.code = e.Code
+		if resp.StatusCode == 429 || resp.StatusCode == 503 {
+			if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil {
+				st.retryAfter = time.Duration(secs) * time.Second
+			}
+			return &transientError{e.Code}
+		}
+		return fmt.Errorf("%s: %s", e.Code, e.Msg)
+	})
+	o.retries = attempt - 1
+	o.ms = float64(time.Since(start).Microseconds()) / 1e3
+	o.ok = o.ok && err == nil
+	return o
+}
+
+type transientError struct{ msg string }
+
+func (e *transientError) Error() string { return e.msg }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uuclient:", err)
+	os.Exit(1)
+}

@@ -289,8 +289,12 @@ func emitProvenance(f *ir.Function, loopID, factor int) {
 }
 
 // runFuzz executes the differential fuzzing campaign and returns the
-// process exit code: 0 when every check was clean, 1 on any miscompile or
-// contained pass failure.
+// process exit code: 0 when every check was clean, 1 on any genuine
+// differential mismatch or contained pass failure, 2 when the only
+// problems were infrastructure failures — execution-budget exhaustion,
+// decode errors, or the campaign itself erroring out. The split lets CI
+// triage a red fuzz job without parsing logs: exit 1 means "a pass
+// miscompiles", exit 2 means "the harness needs attention".
 func runFuzz(count int, seed int64, device string, verifyEach, reduce bool, reproDir string) int {
 	opts := fuzz.CampaignOptions{
 		Count:      count,
@@ -306,21 +310,29 @@ func runFuzz(count int, seed int64, device string, verifyEach, reduce bool, repr
 	res, err := fuzz.RunCampaign(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uuopt:", err)
-		return 1
+		return 2
 	}
-	fmt.Printf("fuzz: %d kernels, %d checks, %d refusals, %d findings, %d contained pass failures\n",
-		res.Kernels, res.Checks, res.Refusals, len(res.Findings), len(res.Failures))
+	mismatches, infra := res.Partition()
+	fmt.Printf("fuzz: %d kernels, %d checks, %d refusals, %d findings (%d mismatches, %d infra), %d contained pass failures\n",
+		res.Kernels, res.Checks, res.Refusals, len(res.Findings), mismatches, infra, len(res.Failures))
 	for _, pf := range res.Failures {
 		fmt.Printf("  contained: %s\n", pf.String())
 	}
 	for _, f := range res.Findings {
-		fmt.Printf("  finding: %s\n", f.Div.String())
+		class := "finding"
+		if f.Div.Infra() {
+			class = "infra"
+		}
+		fmt.Printf("  %s: %s\n", class, f.Div.String())
 		if f.ReproPath != "" {
 			fmt.Printf("    reproducer: %s (stop-after %d)\n", f.ReproPath, f.StopAfter)
 		}
 	}
-	if len(res.Findings) > 0 || len(res.Failures) > 0 {
+	switch {
+	case mismatches > 0 || len(res.Failures) > 0:
 		return 1
+	case infra > 0:
+		return 2
 	}
 	return 0
 }

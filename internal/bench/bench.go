@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -201,11 +202,17 @@ type CompileResult struct {
 // Compile lowers the benchmark's kernel through the given pipeline
 // configuration down to VPTX.
 func Compile(b *Benchmark, opts pipeline.Options) (*CompileResult, error) {
+	return CompileCtx(context.Background(), b, opts)
+}
+
+// CompileCtx is Compile under a context: cancellation stops the pipeline at
+// the next pass boundary (pipeline.OptimizeCtx).
+func CompileCtx(ctx context.Context, b *Benchmark, opts pipeline.Options) (*CompileResult, error) {
 	f, err := b.CompileKernel()
 	if err != nil {
 		return nil, err
 	}
-	stats, err := pipeline.Optimize(f, opts)
+	stats, err := pipeline.OptimizeCtx(ctx, f, opts)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s (%s): %w", b.Name, opts.Config, err)
 	}
@@ -241,12 +248,19 @@ func ExecuteWorkersTraced(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfi
 // sized for cr.Program (gpusim.NewProfile). Like metrics, the profile is
 // byte-identical for every worker count.
 func ExecuteWorkersProfiled(cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, verifyAgainst *interp.Memory, workers int, tr *remark.Trace, tid int, prof *gpusim.Profile) (*gpusim.Metrics, error) {
+	return ExecuteWorkersProfiledCtx(context.Background(), cr, w, cfg, verifyAgainst, workers, tr, tid, prof)
+}
+
+// ExecuteWorkersProfiledCtx is ExecuteWorkersProfiled under a context:
+// cancellation stops the simulation at the next warp-block boundary
+// (gpusim.RunWorkersProfiledCtx).
+func ExecuteWorkersProfiledCtx(ctx context.Context, cr *CompileResult, w *Workload, cfg gpusim.DeviceConfig, verifyAgainst *interp.Memory, workers int, tr *remark.Trace, tid int, prof *gpusim.Profile) (*gpusim.Metrics, error) {
 	mem := w.NewMemory()
 	launch := w.Launch
 	if verifyAgainst != nil {
 		launch.SampleWarps = 0 // full run required for verification
 	}
-	m, err := gpusim.RunWorkersProfiled(cr.Program, w.Args, mem, launch, cfg, workers, tr, tid, prof)
+	m, err := gpusim.RunWorkersProfiledCtx(ctx, cr.Program, w.Args, mem, launch, cfg, workers, tr, tid, prof)
 	if err != nil {
 		return nil, err
 	}

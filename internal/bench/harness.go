@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -158,6 +159,18 @@ type harnessJob struct {
 // Runs are independent (each compiles its own fresh kernel function), so
 // they execute on a worker pool of opts.Workers goroutines.
 func RunExperiments(opts HarnessOptions) (*Results, error) {
+	return RunExperimentsCtx(context.Background(), opts)
+}
+
+// RunExperimentsCtx is RunExperiments under a context. On cancellation
+// (SIGINT on a long campaign, a service deadline) the worker pool stops
+// claiming jobs, in-flight compilations and simulations abort at their next
+// pass/block boundary, and the completed runs are assembled and returned as
+// partial Results alongside the context's error — so callers can flush what
+// was measured instead of losing the whole sweep. Partial Results may lack
+// baseline or heuristic records for some apps; the report writers skip
+// those apps.
+func RunExperimentsCtx(ctx context.Context, opts HarnessOptions) (*Results, error) {
 	factors := opts.Factors
 	if factors == nil {
 		factors = []int{2, 4, 8}
@@ -261,26 +274,35 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				idx := int(next.Add(1)) - 1
 				if idx >= len(jobs) {
 					return
 				}
-				recs[idx], errs[idx] = runJob(&jobs[idx], dev, simWorkers, logf, &opts, worker)
+				recs[idx], errs[idx] = runJob(ctx, &jobs[idx], dev, simWorkers, logf, &opts, worker)
 			}
 		}(i)
 	}
 	wg.Wait()
+	canceled := ctx.Err() != nil
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !canceled {
 			return nil, err
 		}
 	}
 
 	// Assemble in campaign order. Remarks concatenate here — not as the
 	// workers finish — which is what makes the assembled stream independent
-	// of the worker count.
+	// of the worker count. Under cancellation, unclaimed and aborted jobs
+	// left nil records and are skipped: the partial Results hold exactly
+	// the runs that completed.
 	for i := range jobs {
 		j, rec := &jobs[i], recs[i]
+		if rec == nil {
+			continue
+		}
 		res.Failures = append(res.Failures, rec.Failures...)
 		res.Remarks = append(res.Remarks, rec.Remarks...)
 		switch {
@@ -292,6 +314,9 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 			res.PerLoop = append(res.PerLoop, rec)
 		}
 	}
+	if canceled {
+		return res, fmt.Errorf("bench: campaign interrupted: %w", ctx.Err())
+	}
 	return res, nil
 }
 
@@ -299,7 +324,7 @@ func RunExperiments(opts HarnessOptions) (*Results, error) {
 // recorded as skipped, not an error), simulate, optionally verify against
 // the oracle. Execution failures are fatal — they mean a miscompilation or
 // a simulator bug, not an expected bail-out.
-func runJob(j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(string, ...any), hopts *HarnessOptions, worker int) (*RunRecord, error) {
+func runJob(ctx context.Context, j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(string, ...any), hopts *HarnessOptions, worker int) (*RunRecord, error) {
 	rec := &RunRecord{App: j.b.Name, Config: j.cfg.Config, LoopID: j.loopID, Factor: j.factor}
 	// Copy the planned options before attaching per-run sinks: jobs are
 	// shared planning state and must stay immutable once the pool starts.
@@ -311,8 +336,13 @@ func runJob(j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(st
 	}
 	cfg.Trace = hopts.Trace
 	cfg.TraceTID = worker
-	cr, err := Compile(j.b, cfg)
+	cr, err := CompileCtx(ctx, j.b, cfg)
 	if err != nil {
+		if ctx.Err() != nil {
+			// An aborted compile is cancellation, not an untransformable
+			// loop: leave no record so partial assembly skips this job.
+			return nil, err
+		}
 		rec.Skipped = err.Error()
 		rec.Remarks = rc.Remarks()
 		return rec, nil
@@ -328,7 +358,7 @@ func runJob(j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(st
 		rec.Profile = prof
 		rec.Program = cr.Program
 	}
-	m, err := ExecuteWorkersProfiled(cr, j.w, dev, j.ref, simWorkers, hopts.Trace, worker, prof)
+	m, err := ExecuteWorkersProfiledCtx(ctx, cr, j.w, dev, j.ref, simWorkers, hopts.Trace, worker, prof)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s %s loop %d u%d: %w", j.b.Name, j.cfg.Config, j.loopID, j.factor, err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,6 +38,15 @@ type MatrixOptions struct {
 // uses the same apps, factors and harness settings, so cross-cell
 // comparisons differ only in the dimension under study.
 func RunMatrix(opts MatrixOptions) (*Matrix, error) {
+	return RunMatrixCtx(context.Background(), opts)
+}
+
+// RunMatrixCtx is RunMatrix under a context. On cancellation the in-flight
+// sweep stops at its next pass/block boundary and the completed sweeps —
+// plus the interrupted sweep's completed runs — are returned as a partial
+// Matrix alongside the context's error, so a SIGINT mid-matrix still
+// flushes every cell measured so far.
+func RunMatrixCtx(ctx context.Context, opts MatrixOptions) (*Matrix, error) {
 	devices := opts.Devices
 	if devices == nil {
 		devices = gpusim.DeviceNames()
@@ -56,11 +66,16 @@ func RunMatrix(opts MatrixOptions) (*Matrix, error) {
 			hopts.Device = &cfg
 			hopts.DeviceName = name
 			hopts.Input = in
-			res, err := RunExperiments(hopts)
+			res, err := RunExperimentsCtx(ctx, hopts)
+			if res != nil && (err == nil || ctx.Err() != nil) {
+				mx.Sweeps = append(mx.Sweeps, &Sweep{DeviceName: name, Input: in, Results: res})
+			}
+			if ctx.Err() != nil {
+				return mx, fmt.Errorf("bench: matrix interrupted at device=%s input=%s: %w", name, in, ctx.Err())
+			}
 			if err != nil {
 				return nil, fmt.Errorf("bench: sweep device=%s input=%s: %w", name, in, err)
 			}
-			mx.Sweeps = append(mx.Sweeps, &Sweep{DeviceName: name, Input: in, Results: res})
 		}
 	}
 	return mx, nil

@@ -56,6 +56,9 @@ func WriteTable1(w io.Writer, r *Results) {
 		b := ByName(app)
 		base := r.Baseline[app]
 		heur := r.Heuristic[app]
+		if heur == nil {
+			continue // interrupted campaign: heuristic run never happened
+		}
 		fmt.Fprintf(w, "%-16s %-30s %-36s %4d %6.2f%% %14.4f±0%% %14.4f±0%%\n",
 			b.Name, b.Category, b.CommandLine, r.LoopCount[app], b.KernelPct*100,
 			base.Millis, heur.Millis)
@@ -76,6 +79,9 @@ func WriteFig6a(w io.Writer, r *Results) {
 	for _, app := range appsOf(r) {
 		base := r.Baseline[app]
 		heur := r.Heuristic[app]
+		if heur == nil {
+			continue // interrupted campaign: heuristic run never happened
+		}
 		hs := heur.Speedup(base)
 		heurSpeedups = append(heurSpeedups, hs)
 		for loop := 0; loop < r.LoopCount[app]; loop++ {
@@ -135,6 +141,9 @@ func writeRatioFigure(w io.Writer, r *Results, title string,
 	var heurRatios []float64
 	for _, app := range appsOf(r) {
 		base := r.Baseline[app]
+		if r.Heuristic[app] == nil {
+			continue // interrupted campaign: heuristic run never happened
+		}
 		hr := heuristic(r.Heuristic[app], base)
 		heurRatios = append(heurRatios, hr)
 		for loop := 0; loop < r.LoopCount[app]; loop++ {

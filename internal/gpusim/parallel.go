@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -164,7 +165,7 @@ func crossWarpConflict(reads, writes []spanSet) bool {
 	return false
 }
 
-func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total, workers int, m *Metrics, tr *remark.Trace, tid int, prof *Profile) error {
+func runParallel(ctx context.Context, dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total, workers int, m *Metrics, tr *remark.Trace, tid int, prof *Profile) error {
 	bw := bitWords(dp.numLines(cfg.ICacheLineInstrs))
 	wm := make([]Metrics, simWarps)
 	touched := make([]uint64, simWarps*bw)
@@ -191,6 +192,7 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 			defer done()
 			priv := &interp.Memory{Data: append([]byte(nil), mem.Data...)}
 			w := newWarpSim(dp, cfg, priv)
+			w.setContext(ctx)
 			w.fetchMode = fetchWarm
 			if prof != nil {
 				wprofs[worker] = newProfileN(dp.name, len(dp.instrs))
@@ -214,7 +216,7 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 		// prof was never written in phase A (workers profile into private
 		// arrays), so the fallback profiles the exact schedule from scratch.
 		tr.Instant(tid, "sim-conflict-fallback", "gpusim", nil)
-		return runSequential(dp, args, mem, launch, cfg, simWarps, total, m, tr, tid, prof)
+		return runSequential(ctx, dp, args, mem, launch, cfg, simWarps, total, m, tr, tid, prof)
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -258,6 +260,7 @@ func runParallel(dp *decodedProgram, args []interp.Value, mem *interp.Memory, la
 		// memory directly (same values as its log), so no replay.
 		if audit == nil {
 			audit = newWarpSim(dp, cfg, mem)
+			audit.setContext(ctx)
 			audit.fetchMode = fetchBitset
 			audit.touched = global
 			audit.prof = prof

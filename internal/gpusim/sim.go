@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -81,6 +82,19 @@ func RunWorkersTraced(p *codegen.Program, args []interp.Value, mem *interp.Memor
 // first-touch warp with its exact re-run (see parallel.go). A nil prof
 // disables all profile work.
 func RunWorkersProfiled(p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, workers int, tr *remark.Trace, tid int, prof *Profile) (*Metrics, error) {
+	return RunWorkersProfiledCtx(context.Background(), p, args, mem, launch, cfg, workers, tr, tid, prof)
+}
+
+// RunWorkersProfiledCtx is RunWorkersProfiled under a context: cancellation
+// (a request deadline, a client disconnect, SIGINT) is checked at warp-block
+// boundaries alongside the MaxWarpSteps budget, so a runaway or merely slow
+// simulation stops within one basic block of the cancel instead of running
+// to completion. The returned error wraps ctx's error (match with
+// errors.Is(err, context.Canceled/DeadlineExceeded)); like every error path,
+// cancellation discards metrics and leaves shared memory unmodified in
+// parallel mode. A Background (or otherwise non-cancelable) context costs
+// one nil check per block.
+func RunWorkersProfiledCtx(ctx context.Context, p *codegen.Program, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, workers int, tr *remark.Trace, tid int, prof *Profile) (*Metrics, error) {
 	if len(args) != len(p.ParamRegs) {
 		return nil, fmt.Errorf("gpusim: kernel %s expects %d args, got %d", p.Name, len(p.ParamRegs), len(args))
 	}
@@ -104,9 +118,9 @@ func RunWorkersProfiled(p *codegen.Program, args []interp.Value, mem *interp.Mem
 	m := &Metrics{}
 	start := time.Now()
 	if workers <= 1 || !fits {
-		err = runSequential(dp, args, mem, launch, cfg, simWarps, total, m, tr, tid, prof)
+		err = runSequential(ctx, dp, args, mem, launch, cfg, simWarps, total, m, tr, tid, prof)
 	} else {
-		err = runParallel(dp, args, mem, launch, cfg, simWarps, total, workers, m, tr, tid, prof)
+		err = runParallel(ctx, dp, args, mem, launch, cfg, simWarps, total, workers, m, tr, tid, prof)
 	}
 	if tr.Enabled() {
 		tr.Complete(tid, "sim:"+dp.name, "gpusim", start, time.Since(start), map[string]any{
@@ -153,8 +167,9 @@ func warpBounds(wi, warpSize, total int) (first, count int) {
 
 func bitWords(n int) int { return (n + 63) / 64 }
 
-func runSequential(dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total int, m *Metrics, tr *remark.Trace, tid int, prof *Profile) error {
+func runSequential(ctx context.Context, dp *decodedProgram, args []interp.Value, mem *interp.Memory, launch Launch, cfg DeviceConfig, simWarps, total int, m *Metrics, tr *remark.Trace, tid int, prof *Profile) error {
 	w := newWarpSim(dp, cfg, mem)
+	w.setContext(ctx)
 	w.prof = prof
 	if numLines := dp.numLines(cfg.ICacheLineInstrs); numLines <= cfg.ICacheLines {
 		w.fetchMode = fetchBitset
@@ -256,6 +271,13 @@ type warpSim struct {
 	// allocation-free; a nil prof costs one predictable branch per site.
 	prof *Profile
 
+	// done is the cancellation signal of the launch's context, polled at
+	// block boundaries (see checkCanceled). A nil done (Background context,
+	// benchmarks, tests) reduces the whole check to one nil comparison per
+	// block; ctx is retained only to report the cancellation cause.
+	done <-chan struct{}
+	ctx  context.Context
+
 	scale  [33]float64 // issue scale by active-lane count
 	latTab [4]float64  // scoreboard latency by latClass
 }
@@ -295,6 +317,40 @@ func newWarpSim(dp *decodedProgram, cfg DeviceConfig, mem *interp.Memory) *warpS
 	}
 	w.latTab = [4]float64{cfg.MemLoadLatency, 24, 20, 5}
 	return w
+}
+
+// setContext arms block-boundary cancellation polling for this warp
+// simulator. Background and other never-canceled contexts arm nothing
+// (Done() returns nil), keeping the hot loop free of channel operations.
+func (w *warpSim) setContext(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	w.done = ctx.Done()
+	w.ctx = ctx
+}
+
+// canceled reports whether the launch's context has fired. It is called at
+// block boundaries, next to the step-budget check: both turn unbounded work
+// (an infinite loop, a caller that went away) into a prompt diagnosable
+// error instead of a stuck warp.
+func (w *warpSim) canceled() bool {
+	if w.done == nil {
+		return false
+	}
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelErr builds the error reported for a canceled warp, wrapping the
+// context's cause so callers can errors.Is against context.Canceled or
+// context.DeadlineExceeded.
+func (w *warpSim) cancelErr(steps int64) error {
+	return fmt.Errorf("gpusim: %s canceled after %d steps: %w", w.dp.name, steps, w.ctx.Err())
 }
 
 // srcVal reads an operand for the lane whose register block starts at
@@ -380,6 +436,9 @@ func (w *warpSim) runSwitch(args []interp.Value, launch Launch, firstThread, cou
 		blkIdx, active, ok := eng.next()
 		if !ok {
 			break
+		}
+		if w.canceled() {
+			return w.cancelErr(steps)
 		}
 		start, end := dp.blockStart[blkIdx], dp.blockEnd[blkIdx]
 		nActive := bits.OnesCount32(active)

@@ -1153,6 +1153,9 @@ func (w *warpSim) runThreaded(args []interp.Value, launch Launch, firstThread, c
 		if !ok {
 			break
 		}
+		if w.canceled() {
+			return w.cancelErr(steps)
+		}
 		start, end := dp.blockStart[blkIdx], dp.blockEnd[blkIdx]
 		nActive := bits.OnesCount32(active)
 		iss := w.scale[nActive]

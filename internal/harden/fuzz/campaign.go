@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -63,6 +64,21 @@ type CampaignResult struct {
 	// Failures lists pass invocations the guard contained (panics, and
 	// verifier rejections under VerifyEach) across all runs.
 	Failures []harden.PassFailure
+}
+
+// Partition splits the findings into genuine differential mismatches and
+// infrastructure failures (budget exhaustion, decode errors — see
+// Divergence.Infra). Campaign drivers map the two classes to distinct exit
+// codes so CI can triage a red fuzz job without parsing logs.
+func (r *CampaignResult) Partition() (mismatches, infra int) {
+	for _, f := range r.Findings {
+		if f.Div.Infra() {
+			infra++
+		} else {
+			mismatches++
+		}
+	}
+	return mismatches, infra
 }
 
 // RunCampaign generates Count kernels and runs each through the
@@ -146,16 +162,22 @@ func RunCampaign(o CampaignOptions) (*CampaignResult, error) {
 }
 
 // writeRepro persists a minimized reproducer with a header that records
-// everything needed to replay it.
+// everything needed to replay it. The write rides the shared jittered
+// backoff (harden.Backoff): campaign repro directories commonly live on
+// network volumes in CI, where a transient write failure would otherwise
+// drop a minimized finding on the floor.
 func writeRepro(dir string, f *Finding, opts pipeline.Options) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", err
-	}
 	path := filepath.Join(dir, fmt.Sprintf("fuzz%d-%s.ir", f.Div.Seed, f.Div.Config))
 	body := fmt.Sprintf(
 		"; differential fuzz reproducer\n; seed %d, config %s, loop %d, factor %d\n; stage %s: %s\n; stop-after %d (0 = full pipeline)\n%s",
 		f.Div.Seed, f.Div.Config, opts.LoopID, opts.Factor, f.Div.Stage, f.Div.Detail, f.StopAfter, f.ReducedIR)
-	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+	err := harden.DefaultBackoff().Retry(context.Background(), nil, func() error {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(path, []byte(body), 0o644)
+	})
+	if err != nil {
 		return "", err
 	}
 	return path, nil

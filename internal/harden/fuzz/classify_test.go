@@ -1,0 +1,58 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"uu/internal/gpusim"
+	"uu/internal/interp"
+)
+
+// TestDivergenceInfraClassification pins the infra-vs-mismatch triage the
+// campaign exit codes depend on: only budget and decode sentinels classify
+// as infrastructure, and only when the error value (not its text) carries
+// them.
+func TestDivergenceInfraClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Divergence
+		want bool
+	}{
+		{"output-mismatch", Divergence{Detail: "fout[3]: want 1, got 2"}, false},
+		{"cycle-budget", Divergence{Err: fmt.Errorf("gpusim: k after 99 steps: %w", gpusim.ErrCycleBudget)}, true},
+		{"decode", Divergence{Err: fmt.Errorf("%w: bad float op", gpusim.ErrDecode)}, true},
+		{"step-budget", Divergence{Err: fmt.Errorf("thread 4: interp: %w in k", interp.ErrStepBudget)}, true},
+		{"other-error", Divergence{Err: errors.New("ir: verifier rejected function")}, false},
+		// Matching on rendered text instead of the wrapped value would
+		// misclassify this one.
+		{"text-lookalike", Divergence{Err: errors.New("step budget exhausted")}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.d.Infra(); got != tc.want {
+			t.Errorf("%s: Infra() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPartitionSplitsFindings(t *testing.T) {
+	res := &CampaignResult{Findings: []Finding{
+		{Div: Divergence{Detail: "fout[0]: want 1, got 2"}},
+		{Div: Divergence{Err: fmt.Errorf("gpusim: %w", gpusim.ErrCycleBudget)}},
+		{Div: Divergence{Err: fmt.Errorf("decode: %w", gpusim.ErrDecode)}},
+	}}
+	mismatches, infra := res.Partition()
+	if mismatches != 1 || infra != 2 {
+		t.Fatalf("Partition() = (%d, %d), want (1, 2)", mismatches, infra)
+	}
+}
+
+// TestInterpStepBudgetIsMatchable guards the sentinel the oracle's
+// classification relies on: RunSteps must wrap interp.ErrStepBudget, not
+// just render its text.
+func TestInterpStepBudgetIsMatchable(t *testing.T) {
+	d := Divergence{Err: fmt.Errorf("interp: %w in f", interp.ErrStepBudget)}
+	if !errors.Is(d.Err, interp.ErrStepBudget) || !d.Infra() {
+		t.Fatalf("interp.ErrStepBudget did not survive wrapping: %v", d.Err)
+	}
+}

@@ -8,6 +8,7 @@
 package fuzz
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -43,6 +44,27 @@ type Divergence struct {
 	Stage string
 	// Detail is the first mismatching element or the leg's error text.
 	Detail string
+	// Err is the leg's error value when the leg errored instead of
+	// producing mismatching outputs; nil for genuine output divergences.
+	// Keeping the value (not just its text) lets callers classify with
+	// errors.Is — see Infra.
+	Err error
+}
+
+// Infra reports whether the divergence is an infrastructure failure — a leg
+// exhausting an execution budget or hitting a VPTX decode error — rather
+// than a genuine differential mismatch. Budget exhaustion usually means the
+// generated kernel is too slow for the campaign's budgets (or the budgets
+// are mistuned); a decode error means codegen and the simulator disagree
+// about the VPTX dialect. Both demand attention, but neither is evidence of
+// a miscompile, so campaign drivers report them under a distinct exit code.
+func (d *Divergence) Infra() bool {
+	if d.Err == nil {
+		return false
+	}
+	return errors.Is(d.Err, gpusim.ErrCycleBudget) ||
+		errors.Is(d.Err, gpusim.ErrDecode) ||
+		errors.Is(d.Err, interp.ErrStepBudget)
 }
 
 func (d *Divergence) String() string {
@@ -172,6 +194,9 @@ func check(f *ir.Function, k *harden.Kernel, opts pipeline.Options, legs []simLe
 	div := func(stage, detail string) *Divergence {
 		return &Divergence{Seed: k.Seed, Config: opts.Config, Stage: stage, Detail: detail}
 	}
+	divErr := func(stage string, err error) *Divergence {
+		return &Divergence{Seed: k.Seed, Config: opts.Config, Stage: stage, Detail: err.Error(), Err: err}
+	}
 	ref, err := runInterp(f, k)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fuzz: reference execution of %s failed: %w", f.Name, err)
@@ -179,23 +204,23 @@ func check(f *ir.Function, k *harden.Kernel, opts pipeline.Options, legs []simLe
 	opt := ir.Clone(f)
 	stats, err := pipeline.Optimize(opt, opts)
 	if err != nil {
-		return div("optimize", err.Error()), stats, nil
+		return divErr("optimize", err), stats, nil
 	}
 	optMem, err := runInterp(opt, k)
 	if err != nil {
-		return div("interp-opt", err.Error()), stats, nil
+		return divErr("interp-opt", err), stats, nil
 	}
 	if d := diffOutputs(k, ref, optMem); d != "" {
 		return div("interp-opt", d), stats, nil
 	}
 	prog, err := codegen.Lower(opt)
 	if err != nil {
-		return div("codegen", err.Error()), stats, nil
+		return divErr("codegen", err), stats, nil
 	}
 	for _, leg := range legs {
 		simMem, err := runSim(prog, k, leg.cfg, leg.workers)
 		if err != nil {
-			return div(leg.stage, err.Error()), stats, nil
+			return divErr(leg.stage, err), stats, nil
 		}
 		if d := diffOutputs(k, ref, simMem); d != "" {
 			return div(leg.stage, d), stats, nil

@@ -1,0 +1,119 @@
+package harden
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff is a capped exponential backoff schedule with full jitter,
+// shared by every retry loop in the repository (the uud load client's
+// 429/disconnect handling, the fuzz campaign's reproducer writes). The
+// zero value is not useful; start from DefaultBackoff.
+type Backoff struct {
+	// Base is the nominal delay before the first retry; attempt n waits
+	// Base * Factor^n, capped at Max.
+	Base time.Duration
+	// Max caps the per-attempt delay after exponential growth.
+	Max time.Duration
+	// Factor is the exponential growth rate between attempts (>= 1).
+	Factor float64
+	// Attempts is the total number of tries (the first call plus
+	// Attempts-1 retries). Zero or negative means one try, no retries.
+	Attempts int
+	// Jitter selects full jitter: each delay is drawn uniformly from
+	// (0, d] instead of sleeping exactly d, decorrelating clients that
+	// were shed by the same overload event.
+	Jitter bool
+	// Rand supplies the jitter randomness. Nil uses a time-seeded source;
+	// tests and deterministic clients inject a seeded *rand.Rand.
+	Rand *rand.Rand
+	// Sleep replaces time.Sleep in tests. Nil sleeps for real (honoring
+	// ctx cancellation).
+	Sleep func(time.Duration)
+}
+
+// DefaultBackoff is the schedule the load client starts from: 5 tries,
+// 50ms doubling to a 2s cap, full jitter.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Attempts: 5, Jitter: true}
+}
+
+// Delay returns the (possibly jittered) delay before retry attempt n
+// (0-based: the delay between the first failure and the second try is
+// Delay(0)).
+func (b Backoff) Delay(n int) time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < n; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter && d > 0 {
+		var u float64
+		if b.Rand != nil {
+			u = b.Rand.Float64()
+		} else {
+			u = rand.Float64()
+		}
+		// Full jitter over (0, d]: never a zero sleep (that would turn a
+		// retry loop into a busy spin), never more than the schedule.
+		d = d * (1 - u)
+		if d < 1 {
+			d = 1
+		}
+	}
+	return time.Duration(d)
+}
+
+// Retry runs fn up to b.Attempts times, sleeping the schedule's delay
+// between failures. It returns nil on the first success; after the last
+// attempt (or when ctx is done first) it returns the most recent error.
+// fn's error is inspected through retryable when non-nil: a false return
+// stops immediately (the failure is permanent and backing off cannot
+// help). A nil ctx is treated as context.Background().
+func (b Backoff) Retry(ctx context.Context, retryable func(error) bool, fn func() error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := b.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for n := 0; n < attempts; n++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return err
+			}
+			return cerr
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if retryable != nil && !retryable(err) {
+			return err
+		}
+		if n == attempts-1 {
+			break
+		}
+		d := b.Delay(n)
+		if b.Sleep != nil {
+			b.Sleep(d)
+			continue
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+	return err
+}

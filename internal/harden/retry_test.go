@@ -1,0 +1,127 @@
+package harden
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayDeterministic pins the jittered schedule for a fixed
+// seed: the exact delays matter less than that they are reproducible,
+// capped, exponential, and never zero.
+func TestBackoffDelayDeterministic(t *testing.T) {
+	mk := func() Backoff {
+		b := DefaultBackoff()
+		b.Rand = rand.New(rand.NewSource(42))
+		return b
+	}
+	a, b := mk(), mk()
+	for n := 0; n < 8; n++ {
+		da, db := a.Delay(n), b.Delay(n)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", n, da, db)
+		}
+		if da <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", n, da)
+		}
+		if da > a.Max {
+			t.Fatalf("attempt %d: delay %v above cap %v", n, da, a.Max)
+		}
+	}
+}
+
+// TestBackoffDelayUnjittered checks the raw exponential-with-cap shape.
+func TestBackoffDelayUnjittered(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 45 * time.Millisecond, Factor: 2, Attempts: 6}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		45 * time.Millisecond,
+		45 * time.Millisecond,
+	}
+	for n, w := range want {
+		if got := b.Delay(n); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 8 * time.Millisecond, Factor: 2, Attempts: 5,
+		Jitter: true, Rand: rand.New(rand.NewSource(7))}
+	var slept []time.Duration
+	b.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	calls := 0
+	err := b.Retry(context.Background(), nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (between the 3 attempts)", len(slept))
+	}
+	for i, d := range slept {
+		if d <= 0 {
+			t.Fatalf("sleep %d: non-positive %v", i, d)
+		}
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: time.Millisecond, Factor: 2, Attempts: 4}
+	b.Sleep = func(time.Duration) {}
+	calls := 0
+	wantErr := errors.New("still down")
+	err := b.Retry(context.Background(), nil, func() error { calls++; return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Retry = %v, want %v", err, wantErr)
+	}
+	if calls != 4 {
+		t.Fatalf("fn called %d times, want 4", calls)
+	}
+}
+
+func TestRetryPermanentErrorStops(t *testing.T) {
+	b := DefaultBackoff()
+	b.Sleep = func(time.Duration) {}
+	permanent := errors.New("bad request")
+	calls := 0
+	err := b.Retry(context.Background(), func(err error) bool { return !errors.Is(err, permanent) },
+		func() error { calls++; return permanent })
+	if !errors.Is(err, permanent) {
+		t.Fatalf("Retry = %v, want %v", err, permanent)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1 (permanent error must not retry)", calls)
+	}
+}
+
+func TestRetryCanceledContext(t *testing.T) {
+	b := Backoff{Base: time.Hour, Max: time.Hour, Factor: 2, Attempts: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	go func() {
+		// Cancel while Retry sleeps between attempts 1 and 2.
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	wantErr := errors.New("down")
+	err := b.Retry(ctx, nil, func() error { calls++; return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Retry = %v, want the last attempt error %v", err, wantErr)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1 (cancellation must stop the loop)", calls)
+	}
+}

@@ -10,11 +10,19 @@ package interp
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
 	"uu/internal/ir"
 )
+
+// ErrStepBudget reports that a thread executed more instructions than the
+// step budget allows — an infrastructure condition (runaway loop, budget
+// too small for the kernel), not a wrong-answer miscompile. Match with
+// errors.Is so callers (the fuzz oracle's triage, the serve daemon) can
+// classify it separately from genuine differential mismatches.
+var ErrStepBudget = errors.New("step budget exhausted")
 
 // Value is a runtime scalar. Integers (including i1 and pointers) live in I;
 // floats in F.
@@ -245,7 +253,7 @@ func RunSteps(f *ir.Function, args []Value, mem *Memory, env Env, maxSteps int64
 		for _, in := range block.Instrs()[len(phis):] {
 			steps++
 			if steps > maxSteps {
-				return Value{}, fmt.Errorf("interp: step budget exhausted in %s", f.Name)
+				return Value{}, fmt.Errorf("interp: %w in %s", ErrStepBudget, f.Name)
 			}
 			if ctr != nil {
 				ctr.Steps++

@@ -15,6 +15,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -194,10 +195,27 @@ type driver struct {
 	am   *analysis.AnalysisManager
 	st   *Stats
 	opts Options
+	// ctx, when non-nil, is polled before every pass invocation so a
+	// deadline or cancellation stops compilation at the next pass boundary
+	// (OptimizeCtx). Passes themselves are not interruptible — they are
+	// short — so one pass is the cancellation granularity.
+	ctx context.Context
 	// guard contains pass failures when Options.Contain is set (nil
 	// otherwise). invoked counts pass invocations for Options.StopAfter.
 	guard   *harden.Guard
 	invoked int
+}
+
+// ctxErr reports the driver's context error, wrapped with pipeline
+// attribution, or nil.
+func (d *driver) ctxErr() error {
+	if d.ctx == nil {
+		return nil
+	}
+	if err := d.ctx.Err(); err != nil {
+		return fmt.Errorf("pipeline %s: %s: %w", d.opts.Config, d.f.Name, err)
+	}
+	return nil
 }
 
 // limitReached consumes one invocation slot and reports whether the
@@ -217,6 +235,9 @@ func (d *driver) limitReached() bool {
 // a panic or verifier rejection rolls the function back and is recorded
 // instead of propagating.
 func (d *driver) runPass(p analysis.Pass) (bool, error) {
+	if err := d.ctxErr(); err != nil {
+		return false, err
+	}
 	if d.limitReached() {
 		return false, nil
 	}
@@ -300,6 +321,15 @@ func (d *driver) runPhase(ph PhaseSpec) error {
 
 // Optimize runs the selected configuration's pipeline on f in place.
 func Optimize(f *ir.Function, opts Options) (*Stats, error) {
+	return OptimizeCtx(context.Background(), f, opts)
+}
+
+// OptimizeCtx is Optimize under a context: cancellation or deadline expiry
+// is checked before every pass invocation and aborts the compilation with
+// an error wrapping the context's (match with errors.Is). The function is
+// left in whatever intermediate form the last completed pass produced —
+// callers that canceled are expected to discard it.
+func OptimizeCtx(ctx context.Context, f *ir.Function, opts Options) (*Stats, error) {
 	st := &Stats{}
 	switch opts.Config {
 	case Baseline, UnrollOnly, UnmergeOnly, UU, UUHeuristic:
@@ -310,6 +340,9 @@ func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 	am := analysis.NewAnalysisManager(f)
 	am.SetRemarks(opts.Remarks)
 	d := &driver{f: f, am: am, st: st, opts: opts}
+	if ctx != nil && ctx.Done() != nil {
+		d.ctx = ctx
+	}
 	if opts.Contain {
 		d.guard = &harden.Guard{Verify: opts.VerifyEachPass, DumpDir: opts.FailureDumpDir}
 	}
@@ -412,6 +445,9 @@ func Optimize(f *ir.Function, opts Options) (*Stats, error) {
 // with the transformation and conservatively invalidated afterwards: the
 // loop passes normalize loops (preheader/LCSSA) even when they fail.
 func (d *driver) runLoopTransform(skipAuto map[*ir.Block]bool) error {
+	if err := d.ctxErr(); err != nil {
+		return err
+	}
 	if d.limitReached() {
 		return nil
 	}

@@ -1,0 +1,49 @@
+package serve
+
+import "container/list"
+
+// lruCache is the content-addressed result cache: fingerprint → completed
+// response, bounded by entry count with least-recently-used eviction. Only
+// successful responses are cached — errors (deadlines, panics, sheds) must
+// re-execute, both because they are cheap to produce and because caching a
+// transient failure would poison every future duplicate. The cache is not
+// safe for concurrent use; the Server serializes access under its mutex.
+type lruCache struct {
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *Response
+}
+
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (*Response, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(key string, v *Response) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: v})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

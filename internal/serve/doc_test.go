@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeCounterNamesDocumented is the metrics-documentation lint for
+// the daemon, mirroring gpusim's TestProfCounterNamesDocumented: every
+// counter /stats can emit must have a row in docs/METRICS.md, so
+// operators never see a counter the documentation doesn't explain. CI
+// runs this as a dedicated step.
+func TestServeCounterNamesDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "METRICS.md"))
+	if err != nil {
+		t.Fatalf("reading metrics documentation: %v", err)
+	}
+	for _, name := range counterNames {
+		if !strings.Contains(string(doc), "`"+name+"`") {
+			t.Errorf("counter %q is not documented in docs/METRICS.md", name)
+		}
+	}
+	// And the list itself must match what snapshot() actually emits.
+	snap := (&counters{}).snapshot()
+	if len(snap) != len(counterNames) {
+		t.Fatalf("snapshot emits %d counters, counterNames lists %d", len(snap), len(counterNames))
+	}
+	for _, name := range counterNames {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("counterNames lists %q but snapshot never emits it", name)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package serve is the compile-as-a-service daemon core: a long-running
+// HTTP/JSON server that accepts MiniCU kernels (or raw IR, or suite
+// benchmark names) plus device and pipeline configuration, compiles and
+// simulates them on a bounded worker pool, and returns the measured
+// metrics. Robustness is the point, not an afterthought: per-request
+// deadlines cancel work at pass and warp-block boundaries, panics are
+// contained per request, overload is shed with 429 + Retry-After instead
+// of queueing unboundedly, duplicate submissions coalesce onto one
+// compilation through a content-addressed result cache, and SIGTERM drains
+// gracefully. cmd/uud wraps this package as a daemon; cmd/uuclient is the
+// matching load client.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"uu/internal/gpusim"
+	"uu/internal/ir"
+	"uu/internal/irparse"
+	"uu/internal/pipeline"
+)
+
+// CanonicalIR renders f in a name-independent canonical form: the function,
+// its parameters, its blocks, and every value-producing instruction are
+// renamed positionally before printing, so two kernels that differ only in
+// the names the frontend (or a client) chose print identically. The result
+// is verified to be a print→parse→print fixed point of the textual IR
+// syntax — the property serve's content-addressed cache keys depend on, and
+// the first line of defense against hashing IR the rest of the system
+// cannot actually ingest. f is not mutated.
+func CanonicalIR(f *ir.Function) (string, error) {
+	c := ir.Clone(f)
+	c.Name = "k"
+	for i, p := range c.Params {
+		p.Name = fmt.Sprintf("p%d", i)
+	}
+	for i, b := range c.Blocks() {
+		b.Name = fmt.Sprintf("b%d", i)
+	}
+	n := 0
+	for _, b := range c.Blocks() {
+		for _, in := range b.Instrs() {
+			if in.Type() != ir.Void {
+				in.SetName(fmt.Sprintf("v%d", n))
+				n++
+			} else {
+				in.SetName("")
+			}
+		}
+	}
+	text := c.String()
+	rt, err := irparse.ParseFunc(text)
+	if err != nil {
+		return "", fmt.Errorf("serve: canonical IR does not parse back: %w", err)
+	}
+	if again := rt.String(); again != text {
+		return "", fmt.Errorf("serve: canonical IR is not a print/parse fixed point")
+	}
+	return text, nil
+}
+
+// Fingerprint computes the content-addressed cache key of a compile+run
+// request. It covers everything that influences the response payload —
+// canonical IR, pipeline configuration (config/loop/factor plus the
+// containment and fault-injection switches), the simulated device, the
+// launch geometry, memory size and kernel arguments, and the artifact
+// selection (remarks, profile) — and deliberately excludes everything that
+// does not: the execution backend and the simulator worker count only
+// change how fast the simulator runs, never what it measures, so requests
+// differing only there share one cache entry.
+func Fingerprint(canonIR string, opts pipeline.Options, dev gpusim.DeviceConfig,
+	launch gpusim.Launch, memSize int64, args []int64, chaos string, remarks string, profile bool) string {
+	d := dev
+	d.Exec = 0 // speed-only: metrics are byte-identical across backends
+	h := sha256.New()
+	fmt.Fprintf(h, "ir\n%s\n", canonIR)
+	fmt.Fprintf(h, "config %s loop %d factor %d contain %t verify %t chaos %q\n",
+		opts.Config, opts.LoopID, opts.Factor, opts.Contain, opts.VerifyEachPass, chaos)
+	fmt.Fprintf(h, "device %+v\n", d)
+	fmt.Fprintf(h, "launch %d %d %d mem %d\n", launch.GridDim, launch.BlockDim, launch.SampleWarps, memSize)
+	fmt.Fprintf(h, "args %v\n", args)
+	fmt.Fprintf(h, "artifacts remarks %q profile %t\n", remarks, profile)
+	return hex.EncodeToString(h.Sum(nil))
+}

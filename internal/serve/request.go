@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"uu/internal/bench"
+	"uu/internal/codegen"
+	"uu/internal/gpusim"
+	"uu/internal/interp"
+	"uu/internal/ir"
+	"uu/internal/irparse"
+	"uu/internal/lang"
+	"uu/internal/pipeline"
+	"uu/internal/profile"
+	"uu/internal/remark"
+	"uu/internal/transform"
+)
+
+// Request is the POST /compile body. Exactly one of App, Source, IR selects
+// the kernel: a suite benchmark by name (which brings its own workload),
+// MiniCU source, or textual IR. Source/IR kernels run on a zero-initialized
+// memory with the given launch geometry and integer arguments.
+type Request struct {
+	App    string `json:"app,omitempty"`
+	Source string `json:"source,omitempty"`
+	IR     string `json:"ir,omitempty"`
+
+	// Config is a pipeline configuration name (pipeline.Configs); default
+	// baseline. Loop and Factor parameterize the per-loop configurations.
+	Config string `json:"config,omitempty"`
+	Loop   int    `json:"loop,omitempty"`
+	Factor int    `json:"factor,omitempty"`
+
+	// Device is a gpusim device spec (registry name with optional
+	// overrides, e.g. "Vortex:warpsize=8"); default V100.
+	Device string `json:"device,omitempty"`
+
+	// Launch geometry and workload for Source/IR kernels (ignored with App,
+	// which carries its own). Args become i64 kernel arguments.
+	Grid     int     `json:"grid,omitempty"`
+	Block    int     `json:"block,omitempty"`
+	MemBytes int64   `json:"mem_bytes,omitempty"`
+	Args     []int64 `json:"args,omitempty"`
+
+	// DeadlineMs bounds this request's compile+simulate work; 0 uses the
+	// server default. Expiry cancels the work at the next pass or
+	// warp-block boundary and returns 504.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+
+	// Contain runs every pass under the crash-containment guard
+	// (pipeline.Options.Contain); Chaos injects a fault pass ("panic",
+	// "corrupt", "miscompile" — transform.ChaosPass) for robustness drills.
+	Contain bool   `json:"contain,omitempty"`
+	Chaos   string `json:"chaos,omitempty"`
+
+	// Remarks selects optimization-remark kinds to return as YAML
+	// (remark.ParseKinds, e.g. "all" or "passed,missed"); Profile returns
+	// the per-PC hotspot profile in folded (flamegraph) form.
+	Remarks string `json:"remarks,omitempty"`
+	Profile bool   `json:"profile,omitempty"`
+
+	// SimWorkers is the simulator's warp-scheduling worker count (metrics
+	// are identical for any value, so it is not part of the cache key).
+	SimWorkers int `json:"sim_workers,omitempty"`
+}
+
+// Response is the POST /compile success body.
+type Response struct {
+	Key       string `json:"key"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+
+	App    string `json:"app,omitempty"`
+	Config string `json:"config"`
+	Device string `json:"device"`
+
+	KernelMs          float64 `json:"kernel_ms"`
+	Cycles            int64   `json:"cycles"`
+	IPC               float64 `json:"ipc"`
+	WarpExecEff       float64 `json:"warp_exec_efficiency"`
+	StallInstFetchPct float64 `json:"stall_inst_fetch_pct"`
+	GldTransactions   int64   `json:"gld_transactions"`
+
+	CompileMs         float64  `json:"compile_ms"`
+	CodeBytes         int64    `json:"code_bytes"`
+	LoopTransformed   bool     `json:"loop_transformed"`
+	ContainedFailures []string `json:"contained_failures,omitempty"`
+
+	RemarksYAML   string `json:"remarks_yaml,omitempty"`
+	ProfileFolded string `json:"profile_folded,omitempty"`
+}
+
+// Error is the structured error body every non-200 response carries:
+// machine-readable code, human-readable message. Status is the HTTP status
+// it was delivered with (set client-side; not serialized).
+type Error struct {
+	Status int    `json:"-"`
+	Code   string `json:"code"`
+	Msg    string `json:"error"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s (%d): %s", e.Code, e.Status, e.Msg) }
+
+func errBadRequest(format string, a ...any) *Error {
+	return &Error{Status: 400, Code: "bad-request", Msg: fmt.Sprintf(format, a...)}
+}
+
+// Resource ceilings. The daemon simulates untrusted kernels; a request must
+// not be able to demand unbounded memory or thread counts no matter what
+// the deadline allows.
+const (
+	maxBlockDim = 1024
+	maxGridDim  = 1 << 14
+	maxThreads  = 1 << 20
+	maxMemBytes = int64(64) << 20
+	maxFactor   = 64
+)
+
+// spec is a validated, compiled-frontend request: everything a pool worker
+// needs to run it, plus its content-addressed key.
+type spec struct {
+	key     string
+	app     string
+	f       *ir.Function
+	opts    pipeline.Options
+	dev     gpusim.DeviceConfig
+	devName string
+	launch  gpusim.Launch
+	args    []interp.Value
+	newMem  func() *interp.Memory
+
+	simWorkers  int
+	remarkKinds map[remark.Kind]bool
+	wantRemarks bool
+	wantProfile bool
+}
+
+// buildSpec validates a request and compiles its frontend (benchmark
+// lookup, MiniCU compilation, or IR parsing), returning a pool-ready spec.
+// The frontend runs in the handler goroutine — it is cheap and its failures
+// are the client's fault, so they return 400 without occupying a worker.
+// A recover wall turns frontend panics on adversarial input into structured
+// 400s instead of a lost connection.
+func buildSpec(req *Request) (sp *spec, rerr *Error) {
+	defer func() {
+		if p := recover(); p != nil {
+			sp, rerr = nil, errBadRequest("kernel frontend panicked: %v", p)
+		}
+	}()
+	sources := 0
+	for _, s := range []string{req.App, req.Source, req.IR} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, errBadRequest("exactly one of app, source, ir must be set (got %d)", sources)
+	}
+
+	cfg := pipeline.Baseline
+	if req.Config != "" {
+		ok := false
+		for _, c := range pipeline.Configs {
+			if string(c) == req.Config {
+				cfg, ok = c, true
+				break
+			}
+		}
+		if !ok {
+			return nil, errBadRequest("unknown config %q (want one of %v)", req.Config, pipeline.Configs)
+		}
+	}
+	if req.Factor < 0 || req.Factor > maxFactor {
+		return nil, errBadRequest("factor %d out of range [0,%d]", req.Factor, maxFactor)
+	}
+	if req.Loop < 0 {
+		return nil, errBadRequest("loop %d must be >= 0", req.Loop)
+	}
+	switch req.Chaos {
+	case "", string(transform.ChaosPanic), string(transform.ChaosCorrupt), string(transform.ChaosMiscompile):
+	default:
+		return nil, errBadRequest("unknown chaos mode %q (want panic, corrupt, or miscompile)", req.Chaos)
+	}
+
+	devSpec := req.Device
+	if devSpec == "" {
+		devSpec = "V100"
+	}
+	dev, devName, err := gpusim.ParseDevice(devSpec)
+	if err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+
+	sp = &spec{
+		app:         req.App,
+		dev:         dev,
+		devName:     devName,
+		simWorkers:  req.SimWorkers,
+		wantProfile: req.Profile,
+	}
+	if sp.simWorkers < 1 {
+		sp.simWorkers = 1
+	}
+	if req.Remarks != "" {
+		kinds, err := remark.ParseKinds(req.Remarks)
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		sp.remarkKinds = kinds
+		sp.wantRemarks = true
+	}
+
+	var memSize int64
+	switch {
+	case req.App != "":
+		b := bench.ByName(req.App)
+		if b == nil {
+			return nil, errBadRequest("unknown benchmark %q", req.App)
+		}
+		f, err := b.CompileKernel()
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		w := b.NewWorkload()
+		sp.f = f
+		sp.launch = w.Launch
+		sp.args = w.Args
+		sp.newMem = w.NewMemory
+		memSize = w.MemSize
+	default:
+		var f *ir.Function
+		if req.Source != "" {
+			f, err = lang.CompileKernel(req.Source)
+		} else {
+			f, err = irparse.ParseFunc(req.IR)
+			if err == nil {
+				err = ir.Verify(f)
+			}
+		}
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		grid, block := req.Grid, req.Block
+		if grid == 0 {
+			grid = 1
+		}
+		if block == 0 {
+			block = 32
+		}
+		if block < 1 || block > maxBlockDim || grid < 1 || grid > maxGridDim || grid*block > maxThreads {
+			return nil, errBadRequest("launch %dx%d out of range (block <= %d, grid <= %d, threads <= %d)",
+				grid, block, maxBlockDim, maxGridDim, maxThreads)
+		}
+		memSize = req.MemBytes
+		if memSize == 0 {
+			memSize = 1 << 16
+		}
+		if memSize < 0 || memSize > maxMemBytes {
+			return nil, errBadRequest("mem_bytes %d out of range [0,%d]", memSize, maxMemBytes)
+		}
+		if len(f.Params) != len(req.Args) {
+			return nil, errBadRequest("kernel %s takes %d arguments, got %d", f.Name, len(f.Params), len(req.Args))
+		}
+		sp.f = f
+		sp.launch = gpusim.Launch{GridDim: grid, BlockDim: block}
+		sp.args = make([]interp.Value, len(req.Args))
+		for i, a := range req.Args {
+			sp.args[i] = interp.IntVal(a)
+		}
+		size := memSize
+		sp.newMem = func() *interp.Memory { return interp.NewMemory(size) }
+	}
+
+	sp.opts = pipeline.Options{
+		Config:  cfg,
+		LoopID:  req.Loop,
+		Factor:  req.Factor,
+		Contain: req.Contain,
+	}
+
+	canon, err := CanonicalIR(sp.f)
+	if err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	sp.key = Fingerprint(canon, sp.opts, sp.dev, sp.launch, memSize, req.Args, req.Chaos, req.Remarks, req.Profile)
+	if req.Chaos != "" {
+		sp.opts.Inject = append(sp.opts.Inject, transform.ChaosPass(transform.ChaosMode(req.Chaos)))
+	}
+	return sp, nil
+}
+
+// runSpec executes a spec: pipeline, codegen, simulation, artifact
+// rendering. Cancellation (deadline expiry, all waiters gone, drain) stops
+// at the next pass or warp-block boundary and classifies through ctxError.
+func runSpec(ctx context.Context, sp *spec) (*Response, *Error) {
+	opts := sp.opts
+	var col *remark.Collector
+	if sp.wantRemarks {
+		col = remark.NewCollector()
+		opts.Remarks = col
+	}
+	f := ir.Clone(sp.f)
+	stats, err := pipeline.OptimizeCtx(ctx, f, opts)
+	if err != nil {
+		return nil, classify(err, "compile-failed")
+	}
+	prog, err := codegen.Lower(f)
+	if err != nil {
+		return nil, &Error{Status: 422, Code: "compile-failed", Msg: err.Error()}
+	}
+	var prof *gpusim.Profile
+	if sp.wantProfile {
+		prof = gpusim.NewProfile(prog)
+	}
+	mem := sp.newMem()
+	m, err := gpusim.RunWorkersProfiledCtx(ctx, prog, sp.args, mem, sp.launch, sp.dev, sp.simWorkers, nil, 0, prof)
+	if err != nil {
+		return nil, classify(err, "exec-failed")
+	}
+
+	resp := &Response{
+		Key:               sp.key,
+		App:               sp.app,
+		Config:            string(sp.opts.Config),
+		Device:            sp.devName,
+		KernelMs:          m.KernelMillis(sp.dev),
+		Cycles:            m.Cycles,
+		IPC:               m.IPC(),
+		WarpExecEff:       m.WarpExecutionEfficiency(sp.dev),
+		StallInstFetchPct: m.StallInstFetchPct(),
+		GldTransactions:   m.GldTransactions,
+		CompileMs:         float64(stats.CompileTime.Microseconds()) / 1e3,
+		CodeBytes:         prog.CodeBytes(),
+		LoopTransformed:   stats.LoopTransformed,
+	}
+	for _, pf := range stats.Failures {
+		resp.ContainedFailures = append(resp.ContainedFailures, pf.String())
+	}
+	if col != nil {
+		var sb strings.Builder
+		if err := remark.WriteYAML(&sb, col.Remarks(), sp.remarkKinds); err == nil {
+			resp.RemarksYAML = sb.String()
+		}
+	}
+	if prof != nil {
+		rep := profile.Build(prog, prof)
+		var sb strings.Builder
+		if err := profile.WriteFolded(&sb, rep); err == nil {
+			resp.ProfileFolded = sb.String()
+		}
+	}
+	return resp, nil
+}
+
+// classify maps an execution error to a structured response error:
+// deadline expiry → 504, cancellation (client gone, drain) → 503, anything
+// else → 422 under the stage's code.
+func classify(err error, code string) *Error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Status: 504, Code: "deadline", Msg: err.Error()}
+	case errors.Is(err, context.Canceled):
+		return &Error{Status: 503, Code: "canceled", Msg: err.Error()}
+	}
+	return &Error{Status: 422, Code: code, Msg: err.Error()}
+}

@@ -1,0 +1,470 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Server. The zero value picks sensible defaults.
+type Options struct {
+	// Workers is the compile/simulate pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds with
+	// 429 + Retry-After. 0 means 2*Workers.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache; 0 means 256.
+	CacheEntries int
+	// DefaultDeadline applies to requests without deadline_ms; MaxDeadline
+	// caps client-supplied deadlines. 0 means 30s / 2min.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxBodyBytes bounds the request body; oversized bodies return 413.
+	// 0 means 1 MiB.
+	MaxBodyBytes int64
+	// RetryAfter is the hint sent with 429/503 responses; 0 means 1s.
+	RetryAfter time.Duration
+	// OnCompile, when non-nil, is invoked once per actual pool execution
+	// with the request key — the hook the duplicate-submission benchmark
+	// uses to assert that N identical requests compile exactly once.
+	OnCompile func(key string)
+	// Log, when non-nil, receives one line per lifecycle event (start,
+	// drain, stats flush).
+	Log io.Writer
+}
+
+func (o *Options) withDefaults() Options {
+	d := *o
+	if d.Workers <= 0 {
+		d.Workers = runtime.GOMAXPROCS(0)
+	}
+	if d.QueueDepth <= 0 {
+		d.QueueDepth = 2 * d.Workers
+	}
+	if d.CacheEntries <= 0 {
+		d.CacheEntries = 256
+	}
+	if d.DefaultDeadline <= 0 {
+		d.DefaultDeadline = 30 * time.Second
+	}
+	if d.MaxDeadline <= 0 {
+		d.MaxDeadline = 2 * time.Minute
+	}
+	if d.MaxBodyBytes <= 0 {
+		d.MaxBodyBytes = 1 << 20
+	}
+	if d.RetryAfter <= 0 {
+		d.RetryAfter = time.Second
+	}
+	return d
+}
+
+// counterNames lists every /stats counter in render order. Each one is
+// documented in docs/METRICS.md; TestServeCounterNamesDocumented enforces
+// that the list and the docs never drift apart.
+var counterNames = []string{
+	"serve_requests_total",
+	"serve_cache_hits_total",
+	"serve_coalesced_total",
+	"serve_compiles_total",
+	"serve_shed_total",
+	"serve_panics_total",
+	"serve_deadline_expired_total",
+	"serve_canceled_total",
+	"serve_malformed_total",
+	"serve_failed_total",
+}
+
+// counters are the server's monotonic event counts, updated with atomics
+// on the hot path and snapshotted for /stats and the drain flush.
+type counters struct {
+	requests  atomic.Int64 // every POST /compile received
+	cacheHits atomic.Int64 // served straight from the LRU cache
+	coalesced atomic.Int64 // waited on another request's in-flight compile
+	compiles  atomic.Int64 // actual pool executions
+	shed      atomic.Int64 // rejected 429 on a full queue
+	panics    atomic.Int64 // request executions that panicked (contained)
+	deadline  atomic.Int64 // executions canceled by deadline expiry (504)
+	canceled  atomic.Int64 // executions canceled otherwise (drain, client gone)
+	malformed atomic.Int64 // undecodable, oversized, or invalid requests
+	failed    atomic.Int64 // executions failing with a compile/exec error (422)
+}
+
+func (c *counters) snapshot() map[string]int64 {
+	return map[string]int64{
+		"serve_requests_total":         c.requests.Load(),
+		"serve_cache_hits_total":       c.cacheHits.Load(),
+		"serve_coalesced_total":        c.coalesced.Load(),
+		"serve_compiles_total":         c.compiles.Load(),
+		"serve_shed_total":             c.shed.Load(),
+		"serve_panics_total":           c.panics.Load(),
+		"serve_deadline_expired_total": c.deadline.Load(),
+		"serve_canceled_total":         c.canceled.Load(),
+		"serve_malformed_total":        c.malformed.Load(),
+		"serve_failed_total":           c.failed.Load(),
+	}
+}
+
+// flight is one in-flight compilation: the leader enqueues the work, every
+// duplicate request (follower) waits on done without occupying a queue slot
+// or pool worker. Waiters are refcounted; when the last one disconnects the
+// compute context is canceled, so abandoned work stops at the next pass or
+// warp-block boundary — and because errors are never cached, a duplicate
+// arriving later simply recompiles.
+type flight struct {
+	key      string
+	done     chan struct{}
+	res      *Response
+	err      *Error
+	waiters  int
+	finished bool
+	cancel   context.CancelFunc
+}
+
+// job is one queued pool execution.
+type job struct {
+	fl  *flight
+	sp  *spec
+	ctx context.Context
+}
+
+// Server is the daemon core. Create with New, expose via Handler, shut
+// down with Drain.
+type Server struct {
+	opts Options
+
+	baseCtx    context.Context // canceled to abort every in-flight execution
+	cancelBase context.CancelFunc
+
+	queue chan *job
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	cache   *lruCache
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // queued-or-running jobs
+	workers  sync.WaitGroup
+
+	c counters
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	o := opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       o,
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		queue:      make(chan *job, o.QueueDepth),
+		flights:    make(map[string]*flight),
+		cache:      newLRU(o.CacheEntries),
+	}
+	s.workers.Add(o.Workers)
+	for i := 0; i < o.Workers; i++ {
+		go s.worker()
+	}
+	s.logf("serve: %d workers, queue %d, cache %d", o.Workers, o.QueueDepth, o.CacheEntries)
+	return s
+}
+
+// Handler returns the HTTP mux: POST /compile, GET /stats, GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// Drain shuts the server down gracefully: stop admitting work (new
+// requests get 503 + Retry-After), let in-flight executions finish until
+// ctx expires, then cancel the stragglers and wait for them to unwind.
+// The final counter snapshot is flushed to Log and returned.
+func (s *Server) Drain(ctx context.Context) map[string]int64 {
+	// Set under mu so no leader can inflight.Add after draining is
+	// observed false: admission and drain serialize on the same lock.
+	s.mu.Lock()
+	s.draining.Store(true)
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancelBase() // in-flight work stops at its next boundary
+		// Workers are exiting now; consume any jobs stranded in the
+		// queue ourselves so their waiters (and the inflight count)
+		// resolve instead of deadlocking the drain.
+		for drained := false; !drained; {
+			select {
+			case <-done:
+				drained = true
+			case j := <-s.queue:
+				s.c.canceled.Add(1)
+				s.finish(j.fl, nil, classify(context.Canceled, "exec-failed"))
+				s.inflight.Done()
+			}
+		}
+	}
+	s.cancelBase()
+	s.workers.Wait()
+	snap := s.c.snapshot()
+	if s.opts.Log != nil {
+		line, _ := json.Marshal(snap)
+		fmt.Fprintf(s.opts.Log, "serve: drained, final stats %s\n", line)
+	}
+	return snap
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, &Error{Status: 503, Code: "draining", Msg: "server is draining"}, s.opts.RetryAfter)
+		return
+	}
+	writeJSON(w, 200, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	flights := len(s.flights)
+	cached := s.cache.len()
+	s.mu.Unlock()
+	writeJSON(w, 200, map[string]any{
+		"counters":      s.c.snapshot(),
+		"queue_depth":   len(s.queue),
+		"queue_cap":     cap(s.queue),
+		"inflight":      flights,
+		"cache_entries": cached,
+		"draining":      s.draining.Load(),
+	})
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.c.requests.Add(1)
+	if r.Method != http.MethodPost {
+		writeError(w, &Error{Status: 405, Code: "bad-request", Msg: "POST only"}, 0)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, &Error{Status: 503, Code: "draining", Msg: "server is draining"}, s.opts.RetryAfter)
+		return
+	}
+
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.c.malformed.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, &Error{Status: 413, Code: "oversized", Msg: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)}, 0)
+			return
+		}
+		writeError(w, &Error{Status: 400, Code: "malformed", Msg: err.Error()}, 0)
+		return
+	}
+	sp, rerr := buildSpec(&req)
+	if rerr != nil {
+		s.c.malformed.Add(1)
+		writeError(w, rerr, 0)
+		return
+	}
+
+	// Cache and singleflight decisions are one critical section: either the
+	// key is cached, or there is a flight to join, or this request becomes
+	// the leader of a new one.
+	s.mu.Lock()
+	if res, ok := s.cache.get(sp.key); ok {
+		s.mu.Unlock()
+		s.c.cacheHits.Add(1)
+		out := *res
+		out.Cached = true
+		writeJSON(w, 200, &out)
+		return
+	}
+	fl, joined := s.flights[sp.key]
+	if joined {
+		fl.waiters++
+	} else {
+		// Re-check draining inside the admission critical section: a
+		// request that raced past the fast-path check must not start a
+		// flight (and bump inflight) after Drain began waiting.
+		if s.draining.Load() {
+			s.mu.Unlock()
+			writeError(w, &Error{Status: 503, Code: "draining", Msg: "server is draining"}, s.opts.RetryAfter)
+			return
+		}
+		fl = &flight{key: sp.key, done: make(chan struct{}), waiters: 1}
+		s.flights[sp.key] = fl
+		s.inflight.Add(1)
+	}
+	s.mu.Unlock()
+
+	if !joined {
+		deadline := s.opts.DefaultDeadline
+		if req.DeadlineMs > 0 {
+			deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+			if deadline > s.opts.MaxDeadline {
+				deadline = s.opts.MaxDeadline
+			}
+		}
+		ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
+		fl.cancel = cancel
+		select {
+		case s.queue <- &job{fl: fl, sp: sp, ctx: ctx}:
+		default:
+			// Queue full: shed. The flight fails for every waiter that
+			// already joined; Retry-After plus the client's jittered
+			// backoff spreads the retry wave.
+			s.inflight.Done()
+			s.c.shed.Add(1)
+			s.finish(fl, nil, &Error{Status: 429, Code: "shed", Msg: "admission queue full"})
+		}
+	} else {
+		s.c.coalesced.Add(1)
+	}
+
+	select {
+	case <-fl.done:
+	case <-r.Context().Done():
+		// Client gone: leave the flight. The last waiter out cancels the
+		// compute so abandoned work stops promptly.
+		s.dropWaiter(fl)
+		return
+	}
+	if fl.err != nil {
+		writeError(w, fl.err, s.opts.RetryAfter)
+		return
+	}
+	out := *fl.res
+	out.Coalesced = joined
+	writeJSON(w, 200, &out)
+}
+
+// dropWaiter unregisters a disconnected waiter; when the last one leaves an
+// unfinished flight its compute context is canceled.
+func (s *Server) dropWaiter(fl *flight) {
+	s.mu.Lock()
+	fl.waiters--
+	abandon := fl.waiters == 0 && !fl.finished
+	s.mu.Unlock()
+	if abandon && fl.cancel != nil {
+		fl.cancel()
+	}
+}
+
+// finish completes a flight: record the outcome, cache successes, wake
+// every waiter, and retire the key so later duplicates start fresh.
+func (s *Server) finish(fl *flight, res *Response, rerr *Error) {
+	s.mu.Lock()
+	fl.res, fl.err = res, rerr
+	fl.finished = true
+	delete(s.flights, fl.key)
+	if rerr == nil && res != nil {
+		s.cache.put(fl.key, res)
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	if fl.cancel != nil {
+		fl.cancel() // release the deadline timer
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			// Fail any jobs still queued so their waiters and the
+			// inflight count resolve before this worker exits.
+			for {
+				select {
+				case j := <-s.queue:
+					s.c.canceled.Add(1)
+					s.finish(j.fl, nil, classify(context.Canceled, "exec-failed"))
+					s.inflight.Done()
+				default:
+					return
+				}
+			}
+		case j := <-s.queue:
+			res, rerr := s.execute(j)
+			switch {
+			case rerr == nil:
+			case rerr.Code == "deadline":
+				s.c.deadline.Add(1)
+			case rerr.Code == "canceled":
+				s.c.canceled.Add(1)
+			case rerr.Code == "panic":
+				s.c.panics.Add(1)
+			default:
+				s.c.failed.Add(1)
+			}
+			s.finish(j.fl, res, rerr)
+			s.inflight.Done()
+		}
+	}
+}
+
+// execute runs one job with per-request panic isolation: a panicking
+// compilation (a poisoned kernel, an injected chaos fault escaping an
+// uncontained pipeline) is converted into a structured 500 and the worker
+// keeps serving. This is the request-level backstop behind the pass-level
+// harden.Guard containment that Contain=true requests opt into.
+func (s *Server) execute(j *job) (res *Response, rerr *Error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.logf("serve: request %s panicked: %v\n%s", j.fl.key[:12], p, debug.Stack())
+			res, rerr = nil, &Error{Status: 500, Code: "panic", Msg: fmt.Sprintf("compilation panicked: %v", p)}
+		}
+	}()
+	if err := j.ctx.Err(); err != nil {
+		return nil, classify(err, "exec-failed")
+	}
+	if s.opts.OnCompile != nil {
+		s.opts.OnCompile(j.sp.key)
+	}
+	s.c.compiles.Add(1)
+	return runSpec(j.ctx, j.sp)
+}
+
+func (s *Server) logf(format string, a ...any) {
+	if s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, format+"\n", a...)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the structured error body; 429 and 503 carry a
+// Retry-After hint so well-behaved clients back off instead of hammering.
+func writeError(w http.ResponseWriter, e *Error, retryAfter time.Duration) {
+	if retryAfter > 0 && (e.Status == 429 || e.Status == 503) {
+		secs := int(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, e.Status, e)
+}
