@@ -8,6 +8,7 @@
 //	uubench -table1
 //	uubench -fig6a -fig6b -fig6c -apps xsbench,rainflow
 //	uubench -fig7 -fig8 -verify
+//	uubench -pgo -apps xsbench,rainflow,complex,bezier-surface -out results/
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"syscall"
 
 	"uu/internal/bench"
+	"uu/internal/core"
 	"uu/internal/gpusim"
 	"uu/internal/pipeline"
 	"uu/internal/profile"
@@ -57,12 +59,16 @@ func main() {
 		remarksStr = flag.String("remarks", "", "collect optimization remarks and write them as remarks.yaml: all|passed|missed|analysis (comma-separable); deterministic across -workers/-sim-workers counts")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON of the whole campaign (compiles, passes, simulations) to this file")
 		profileOn  = flag.Bool("profile", false, "collect per-PC hotspot profiles and write hotspots.txt (per-loop/per-line tables plus the heuristic predicted-vs-measured join) and per-app profile-<app>.folded / profile-<app>.pb.gz; deterministic across -workers/-sim-workers counts")
+		pgoOn      = flag.Bool("pgo", false, "run the profile-guided campaign: iterate compile→simulate→recompile, feeding measured per-loop signals back into the heuristic as overrides until the predicted-vs-measured table is stable; writes pgo.txt and exits 1 if any MISPREDICT survives the final round")
+		pgoRounds  = flag.Int("pgo-rounds", 4, "maximum PGO feedback rounds")
+		pgoSeed    = flag.String("pgo-seed", "", "seed per-app PGO overrides, e.g. 'complex=L10:force+cap=8;xsbench=L11:deny' (the recovery case study seeds complex's u=8 collapse)")
+		selective  = flag.Bool("selective", false, "run uu-heuristic in selective-unmerge mode (only benefit-predicted merge blocks are duplicated) for the campaign and PGO runs")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *fig6a, *fig6b, *fig6c, *fig7, *fig8, *counters, *ablations = true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *ablations || *profileOn || *deviceMx != "") {
+	if !(*table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *ablations || *profileOn || *pgoOn || *deviceMx != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -92,6 +98,7 @@ func main() {
 		Contain:    *contain,
 		VerifyEach: *verifyEach,
 		Profile:    *profileOn,
+		Heuristic:  core.HeuristicParams{Selective: *selective},
 	}
 	var remarkKinds map[remark.Kind]bool
 	if *remarksStr != "" {
@@ -252,6 +259,48 @@ func main() {
 		done()
 	}
 
+	mispredicts := 0
+	if *pgoOn {
+		seed, err := parsePGOSeed(*pgoSeed)
+		if err != nil {
+			fatal(err)
+		}
+		popts := bench.PGOOptions{
+			Apps:       opts.Apps,
+			MaxRounds:  *pgoRounds,
+			Device:     &devCfg,
+			DeviceName: devName,
+			Input:      input,
+			Workers:    *workers,
+			SimWorkers: *simWorkers,
+			Heuristic:  opts.Heuristic,
+			Seed:       seed,
+		}
+		if !*quiet {
+			popts.Progress = os.Stderr
+		}
+		pres, err := bench.RunPGOCtx(ctx, popts)
+		if err != nil {
+			if pres == nil || ctx.Err() == nil {
+				fatal(err)
+			}
+			interrupted = true
+			fmt.Fprintf(os.Stderr, "uubench: %v; flushing partial results\n", err)
+		}
+		w, done := sink("pgo.txt")
+		if err := bench.WritePGOReport(w, pres); err != nil {
+			fatal(err)
+		}
+		done()
+		mispredicts = pres.Mispredicts()
+		if !pres.Converged {
+			fmt.Fprintf(os.Stderr, "uubench: pgo did not converge within %d rounds\n", *pgoRounds)
+		}
+		if mispredicts > 0 {
+			fmt.Fprintf(os.Stderr, "uubench: pgo finished with %d surviving MISPREDICT verdict(s)\n", mispredicts)
+		}
+	}
+
 	if *profileOn && res != nil {
 		w, done := sink("hotspots.txt")
 		if err := bench.WriteProfileReport(w, res); err != nil {
@@ -291,6 +340,34 @@ func main() {
 	if interrupted {
 		os.Exit(130)
 	}
+	if mispredicts > 0 {
+		os.Exit(1)
+	}
+}
+
+// parsePGOSeed parses the -pgo-seed syntax: semicolon-separated
+// app=<override-set> items, each override set in core.ParseOverrides form.
+func parsePGOSeed(s string) (map[string]map[int32]core.LoopOverride, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := map[string]map[int32]core.LoopOverride{}
+	for _, item := range strings.Split(s, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		app, spec, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -pgo-seed item %q (want app=L<line>:<directive>)", item)
+		}
+		ov, err := core.ParseOverrides(spec)
+		if err != nil {
+			return nil, err
+		}
+		out[strings.TrimSpace(app)] = ov
+	}
+	return out, nil
 }
 
 // writeProfileArtifacts writes the per-app heuristic flamegraph inputs:

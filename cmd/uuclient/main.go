@@ -43,6 +43,8 @@ func main() {
 		grid       = flag.Int("grid", 0, "grid dim for source/ir kernels")
 		block      = flag.Int("block", 0, "block dim for source/ir kernels")
 		deadlineMs = flag.Int64("deadline-ms", 0, "per-request deadline (0 = server default)")
+		selective  = flag.Bool("selective", false, "uu-heuristic: selective-unmerge mode")
+		overrides  = flag.String("overrides", "", "uu-heuristic: per-loop profile overrides, e.g. L10:deny,L12:force+cap=2")
 		chaos      = flag.String("chaos", "", "inject a chaos pass: panic, corrupt, or miscompile")
 		contain    = flag.Bool("contain", false, "run passes under the containment guard")
 		n          = flag.Int("n", 1, "total requests")
@@ -58,6 +60,9 @@ func main() {
 		App: *app, Config: *config, Loop: *loop, Factor: *factor,
 		Device: *device, Grid: *grid, Block: *block,
 		DeadlineMs: *deadlineMs, Chaos: *chaos, Contain: *contain,
+	}
+	if *selective || *overrides != "" {
+		req.Heuristic = &serve.HeuristicSpec{Selective: *selective, Overrides: *overrides}
 	}
 	if *sourceFile != "" {
 		b, err := os.ReadFile(*sourceFile)

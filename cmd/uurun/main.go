@@ -47,6 +47,8 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON of the compile and simulation to this file")
 		remarksStr = flag.String("remarks", "", "print optimization remarks to stderr as YAML: all|passed|missed|analysis (comma-separable)")
 		profPrefix = flag.String("profile", "", "collect a per-PC hotspot profile and write <prefix>.hotspots.txt, <prefix>.folded and <prefix>.pb.gz")
+		selective  = flag.Bool("selective", false, "uu-heuristic: selective-unmerge mode (only benefit-predicted merge blocks are duplicated)")
+		overrides  = flag.String("overrides", "", "uu-heuristic: per-loop profile overrides, e.g. L10:deny,L12:force+cap=2 — the profile-guided path a PGO driver (uubench -pgo) derives")
 	)
 	flag.Parse()
 
@@ -103,6 +105,16 @@ func main() {
 		Trace:   trace,
 		Remarks: collector,
 	}
+	if *selective || *overrides != "" {
+		if opts.Config != pipeline.UUHeuristic {
+			fatal(fmt.Errorf("-selective/-overrides require -config %s", pipeline.UUHeuristic))
+		}
+		ov, err := core.ParseOverrides(*overrides)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Heuristic = core.HeuristicParams{Selective: *selective, Overrides: ov}
+	}
 	dev, devName, err := gpusim.ParseDevice(*device)
 	if err != nil {
 		fatal(err)
@@ -150,7 +162,7 @@ func main() {
 		}
 		report(m, dev, cr.Program)
 		if prof != nil {
-			writeProfile(*profPrefix, cr.Program, prof, cr.Stats.Decisions)
+			writeProfile(*profPrefix, cr.Program, prof, cr.Stats.Decisions, cr.Stats.Skips)
 		}
 		writeRemarks()
 		writeTrace()
@@ -198,7 +210,7 @@ func main() {
 	fmt.Printf("device                 %s\n", devName)
 	report(metrics, dev, prog)
 	if prof != nil {
-		writeProfile(*profPrefix, prog, prof, stats.Decisions)
+		writeProfile(*profPrefix, prog, prof, stats.Decisions, stats.Skips)
 	}
 	writeRemarks()
 	writeTrace()
@@ -207,7 +219,7 @@ func main() {
 // writeProfile renders the hotspot profile as <prefix>.hotspots.txt (tables
 // plus, for heuristic runs, the predicted-vs-measured join), <prefix>.folded
 // (flamegraph folded stacks) and <prefix>.pb.gz (pprof protobuf).
-func writeProfile(prefix string, prog *codegen.Program, prof *gpusim.Profile, decisions []core.Decision) {
+func writeProfile(prefix string, prog *codegen.Program, prof *gpusim.Profile, decisions []core.Decision, skips []core.SkipRecord) {
 	if dir := filepath.Dir(prefix); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fatal(err)
@@ -232,7 +244,7 @@ func writeProfile(prefix string, prog *codegen.Program, prof *gpusim.Profile, de
 		}
 		if len(decisions) > 0 {
 			fmt.Fprintln(f)
-			return profile.WritePrediction(f, rep, decisions, core.DefaultHeuristicParams().C)
+			return profile.WritePrediction(f, rep, decisions, skips, core.DefaultHeuristicParams().C)
 		}
 		return nil
 	})

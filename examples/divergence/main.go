@@ -43,9 +43,9 @@ func main() {
 	// With SkipDivergent (the paper's proposed taint extension), the
 	// heuristic leaves the loop alone.
 	params := core.DefaultHeuristicParams()
-	plainDecisions := core.HeuristicDecide(f, params)
+	plainDecisions, _ := core.HeuristicDecide(f, params)
 	params.SkipDivergent = true
-	taintDecisions := core.HeuristicDecide(f, params)
+	taintDecisions, _ := core.HeuristicDecide(f, params)
 	fmt.Printf("heuristic selections: published heuristic=%d, with divergence taint (paper's §V proposal)=%d\n\n",
 		len(plainDecisions), len(taintDecisions))
 

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"uu/internal/core"
 	"uu/internal/pipeline"
 )
 
@@ -20,7 +21,7 @@ import (
 // optimization pipeline's output.
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from the current pipeline")
 
-// goldenCases enumerates the 16 kernels x 5 configurations the equivalence
+// goldenCases enumerates the 16 kernels x 6 configurations the equivalence
 // test covers. The per-loop configurations (unroll, unmerge, uu) address
 // loop 0 with factor 2 — every benchmark has at least one loop, and loop 0
 // exists for all of them. Configurations that fail to apply record the
@@ -38,12 +39,20 @@ func goldenCases() []pipeline.Options {
 		{Config: pipeline.UnmergeOnly, LoopID: 0, Contain: true, VerifyEachPass: true},
 		{Config: pipeline.UU, LoopID: 0, Factor: 2, Contain: true, VerifyEachPass: true},
 		{Config: pipeline.UUHeuristic, Contain: true, VerifyEachPass: true},
+		// Selective mode: the heuristic with the benefit-predictor unmerge,
+		// the paper's §VI "unmerge only profitable merges" promoted from
+		// ablation to first-class (core.HeuristicParams.Selective).
+		{Config: pipeline.UUHeuristic, Heuristic: core.HeuristicParams{Selective: true},
+			Contain: true, VerifyEachPass: true},
 	}
 }
 
 func goldenName(app string, opts pipeline.Options) string {
 	switch opts.Config {
 	case pipeline.Baseline, pipeline.UUHeuristic:
+		if opts.Heuristic.Selective {
+			return fmt.Sprintf("%s_%s-selective.vptx", app, opts.Config)
+		}
 		return fmt.Sprintf("%s_%s.vptx", app, opts.Config)
 	default:
 		return fmt.Sprintf("%s_%s_l%d_u%d.vptx", app, opts.Config, opts.LoopID, opts.Factor)

@@ -31,7 +31,8 @@ type RunRecord struct {
 	CodeBytes int64
 	CompileMs float64
 	Metrics   *gpusim.Metrics
-	Decisions []core.Decision // heuristic only
+	Decisions []core.Decision   // heuristic only
+	Skips     []core.SkipRecord // heuristic only: considered-but-rejected loops
 	PassTimes map[string]time.Duration
 	Skipped   string // non-empty when the loop was untransformable
 	// Failures lists pass invocations the guard contained during this
@@ -133,6 +134,10 @@ type HarnessOptions struct {
 	// and simulation. Each harness worker tags its spans with its worker
 	// index as the trace lane.
 	Trace *remark.Trace
+	// Heuristic parameterizes the sweep's uu-heuristic runs (zero value =
+	// paper defaults). The PGO driver threads each round's per-loop
+	// overrides through here.
+	Heuristic core.HeuristicParams
 }
 
 // harnessJob is one planned (application, configuration, loop, factor)
@@ -232,7 +237,7 @@ func RunExperimentsCtx(ctx context.Context, opts HarnessOptions) (*Results, erro
 			return &jobs[len(jobs)-1]
 		}
 		add(pipeline.Options{Config: pipeline.Baseline}, -1, 0).isBaseline = true
-		add(pipeline.Options{Config: pipeline.UUHeuristic}, -1, 0).isHeuristic = true
+		add(pipeline.Options{Config: pipeline.UUHeuristic, Heuristic: opts.Heuristic}, -1, 0).isHeuristic = true
 		for loop := 0; loop < res.LoopCount[b.Name]; loop++ {
 			add(pipeline.Options{Config: pipeline.UnmergeOnly, LoopID: loop}, loop, 1)
 			for _, u := range factors {
@@ -350,6 +355,7 @@ func runJob(ctx context.Context, j *harnessJob, dev gpusim.DeviceConfig, simWork
 	rec.CompileMs = float64((cr.Stats.CompileTime - cr.Stats.VerifyTime).Microseconds()) / 1000
 	rec.CodeBytes = cr.Program.CodeBytes()
 	rec.Decisions = cr.Stats.Decisions
+	rec.Skips = cr.Stats.Skips
 	rec.PassTimes = cr.Stats.PassTimeByName()
 	rec.Failures = cr.Stats.Failures
 	var prof *gpusim.Profile

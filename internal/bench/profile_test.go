@@ -35,7 +35,7 @@ func goldenProfile(b *Benchmark, opts pipeline.Options, workers int) string {
 	}
 	if len(cr.Stats.Decisions) > 0 {
 		sb.WriteString("\n")
-		if err := profile.WritePrediction(&sb, rep, cr.Stats.Decisions, core.DefaultHeuristicParams().C); err != nil {
+		if err := profile.WritePrediction(&sb, rep, cr.Stats.Decisions, cr.Stats.Skips, core.DefaultHeuristicParams().C); err != nil {
 			panic(err)
 		}
 	}

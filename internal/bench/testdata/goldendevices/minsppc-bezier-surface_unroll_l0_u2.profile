@@ -3,7 +3,7 @@ kernel bezier: 170228 cycles (issue 132128, dep_stall 37869, fetch_stall 224)
 loops (hottest bodies first; cum covers the whole nest):
   loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
   loop@L12              2        84276   49.5%        84276            0            0
-  loop@L12              2        70242   41.3%        70242            0            0
+  loop@L12.u1           2        70242   41.3%        70242            0            0
   loop@L7               1        14151    8.3%       168669            0            0
 
 lines (hottest first):
@@ -11,19 +11,19 @@ lines (hottest first):
   L11            loop@L12              17249  10.1%         5760       184320        11488          0          0
   L16            loop@L12              14595   8.6%         3840       122880         1155          0          0
   L20            loop@L12              14595   8.6%         3840       122880         1155          0          0
-  L11.u1         loop@L12              14376   8.4%         4800       153600         9575          0          0
-  L20.u1         loop@L12              12179   7.2%         3200       102400          963          0          0
-  L16.u1         loop@L12              12163   7.1%         3200       102400          963          0          0
+  L11.u1         loop@L12.u1           14376   8.4%         4800       153600         9575          0          0
+  L20.u1         loop@L12.u1           12179   7.2%         3200       102400          963          0          0
+  L16.u1         loop@L12.u1           12163   7.1%         3200       102400          963          0          0
   L12            loop@L12               8366   4.9%         4224       135168         2029          0          0
-  L12.u1         loop@L12               6972   4.1%         3520       112640         1691          0          0
+  L12.u1         loop@L12.u1            6972   4.1%         3520       112640         1691          0          0
   L13            loop@L12               5011   2.9%         3840       122880         1155          0          0
   L10            loop@L12               4959   2.9%         3840       122880         1102          0          0
-  L13.u1         loop@L12               4179   2.5%         3200       102400          963          0          0
+  L13.u1         loop@L12.u1            4179   2.5%         3200       102400          963          0          0
   L9             loop@L12               4125   2.4%         3840       122880          285          0          0
-  L10.u1         loop@L12               4119   2.4%         3200       102400          919          0          0
+  L10.u1         loop@L12.u1            4119   2.4%         3200       102400          919          0          0
   ?              loop@L12               3840   2.3%         1920        61440            0          0          0
-  L9.u1          loop@L12               3438   2.0%         3200       102400          238          0          0
-  ?              loop@L12               3200   1.9%         1600        51200            0          0          0
+  L9.u1          loop@L12.u1            3438   2.0%         3200       102400          238          0          0
+  ?              loop@L12.u1            3200   1.9%         1600        51200            0          0          0
   L25            loop@L7                1937   1.1%          768        24576          576          0          0
   L17            loop@L12               1936   1.1%         1920        61440            0          0          0
   L24            loop@L7                1921   1.1%          768        24576          576          0          0
@@ -32,13 +32,13 @@ lines (hottest first):
   L15            loop@L12               1920   1.1%         1920        61440            0          0          0
   L19            loop@L12               1920   1.1%         1920        61440            0          0          0
   L21            loop@L12               1920   1.1%         1920        61440            0          0          0
-  L14.u1         loop@L12               1616   0.9%         1600        51200            0          0          0
+  L14.u1         loop@L12.u1            1616   0.9%         1600        51200            0          0          0
   L24.u1         loop@L7                1616   0.9%          640        20480          480          0          0
-  L8.u1          loop@L12               1600   0.9%         1600        51200            0          0          0
-  L15.u1         loop@L12               1600   0.9%         1600        51200            0          0          0
-  L17.u1         loop@L12               1600   0.9%         1600        51200            0          0          0
-  L19.u1         loop@L12               1600   0.9%         1600        51200            0          0          0
-  L21.u1         loop@L12               1600   0.9%         1600        51200            0          0          0
+  L8.u1          loop@L12.u1            1600   0.9%         1600        51200            0          0          0
+  L15.u1         loop@L12.u1            1600   0.9%         1600        51200            0          0          0
+  L17.u1         loop@L12.u1            1600   0.9%         1600        51200            0          0          0
+  L19.u1         loop@L12.u1            1600   0.9%         1600        51200            0          0          0
+  L21.u1         loop@L12.u1            1600   0.9%         1600        51200            0          0          0
   L25.u1         loop@L7                1600   0.9%          640        20480          480          0          0
   L7.u1          loop@L7                1303   0.8%          704        22528          230          0          0
   L7             loop@L7                1196   0.7%          736        23552          252          0          0
@@ -91,31 +91,31 @@ bezier;loop@L7;L8 192
 bezier;loop@L7;L8.u1 160
 bezier;loop@L7;L9 192
 bezier;loop@L7;L9.u1 160
-bezier;loop@L7;loop@L12;? 3200
+bezier;loop@L7;loop@L12.u1;? 3200
+bezier;loop@L7;loop@L12.u1;L10.u1 4119
+bezier;loop@L7;loop@L12.u1;L11.u1 14376
+bezier;loop@L7;loop@L12.u1;L12.u1 6972
+bezier;loop@L7;loop@L12.u1;L13.u1 4179
+bezier;loop@L7;loop@L12.u1;L14.u1 1616
+bezier;loop@L7;loop@L12.u1;L15.u1 1600
+bezier;loop@L7;loop@L12.u1;L16.u1 12163
+bezier;loop@L7;loop@L12.u1;L17.u1 1600
+bezier;loop@L7;loop@L12.u1;L19.u1 1600
+bezier;loop@L7;loop@L12.u1;L20.u1 12179
+bezier;loop@L7;loop@L12.u1;L21.u1 1600
+bezier;loop@L7;loop@L12.u1;L8.u1 1600
+bezier;loop@L7;loop@L12.u1;L9.u1 3438
 bezier;loop@L7;loop@L12;? 3840
 bezier;loop@L7;loop@L12;L10 4959
-bezier;loop@L7;loop@L12;L10.u1 4119
 bezier;loop@L7;loop@L12;L11 17249
-bezier;loop@L7;loop@L12;L11.u1 14376
 bezier;loop@L7;loop@L12;L12 8366
-bezier;loop@L7;loop@L12;L12.u1 6972
 bezier;loop@L7;loop@L12;L13 5011
-bezier;loop@L7;loop@L12;L13.u1 4179
 bezier;loop@L7;loop@L12;L14 1920
-bezier;loop@L7;loop@L12;L14.u1 1616
 bezier;loop@L7;loop@L12;L15 1920
-bezier;loop@L7;loop@L12;L15.u1 1600
 bezier;loop@L7;loop@L12;L16 14595
-bezier;loop@L7;loop@L12;L16.u1 12163
 bezier;loop@L7;loop@L12;L17 1936
-bezier;loop@L7;loop@L12;L17.u1 1600
 bezier;loop@L7;loop@L12;L19 1920
-bezier;loop@L7;loop@L12;L19.u1 1600
 bezier;loop@L7;loop@L12;L20 14595
-bezier;loop@L7;loop@L12;L20.u1 12179
 bezier;loop@L7;loop@L12;L21 1920
-bezier;loop@L7;loop@L12;L21.u1 1600
 bezier;loop@L7;loop@L12;L8 1920
-bezier;loop@L7;loop@L12;L8.u1 1600
 bezier;loop@L7;loop@L12;L9 4125
-bezier;loop@L7;loop@L12;L9.u1 3438

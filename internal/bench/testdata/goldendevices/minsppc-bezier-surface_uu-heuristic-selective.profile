@@ -1,0 +1,232 @@
+kernel bezier: 100694 cycles (issue 79776, dep_stall 20374, fetch_stall 544)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L12              2        83180   82.6%        83180            0            0
+  loop@L7               1        16051   15.9%        99231            0            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L12            loop@L12               5577   5.5%         2816        90112         1353          0          0
+  L15            loop@L12               5071   5.0%         2816        90112          847          0          0
+  L11            loop@L12               4555   4.5%         1856        59392         2701          0          0
+  L16            loop@L12               4379   4.3%         1152        36864          347          0          0
+  L13            loop@L12               3678   3.7%         2816        90112          846          0          0
+  L24            loop@L7                3536   3.5%         1408        45056         1056          0          0
+  L25            loop@L7                3520   3.5%         1408        45056         1056          0          0
+  L7             loop@L7                3114   3.1%         1824        58368          522          0          0
+  L19            loop@L12               2997   3.0%         1664        53248          501          0          0
+  L20            loop@L12               2464   2.4%          640        20480          192          0          0
+  L20.d1         loop@L12               2387   2.4%          512        16384          563          0          0
+  L16.u1.d1      loop@L12               2205   2.2%          576        18432          173          0          0
+  L20.u1.d2      loop@L12               2205   2.2%          576        18432          173          0          0
+  L16.u2.d34     loop@L12               2189   2.2%          576        18432          173          0          0
+  L20.u2.d19     loop@L12               2189   2.2%          576        18432          173          0          0
+  ?              loop@L12               2128   2.1%         1056        33792            0          0          0
+  L19.d1         loop@L12               2075   2.1%         1152        36864          347          0          0
+  L11            loop@L7                1863   1.9%         1408        45056          423          0          0
+  L12.u1         loop@L12               1844   1.8%         1024        32768          308          0          0
+  L20.u1.d49     loop@L12               1488   1.5%          320        10240          352          0          0
+  L16.u1.d33     loop@L12               1460   1.4%          384        12288          116          0          0
+  L14            loop@L12               1408   1.4%         1408        45056            0          0          0
+  L10            loop@L12               1350   1.3%         1056        33792          276          0          0
+  L13.u1.d2      loop@L12               1346   1.3%          640        20480          706          0          0
+  L20.u2.d61     loop@L12               1233   1.2%          256         8192          321          0          0
+  L13.u2.d34     loop@L12               1226   1.2%          576        18432          634          0          0
+  L13.u2.d19     loop@L12               1210   1.2%          576        18432          634          0          0
+  L13.u1.d1      loop@L12               1208   1.2%          640        20480          568          0          0
+  L12.u1.d1      loop@L12               1168   1.2%          640        20480          192          0          0
+  L8             loop@L12               1166   1.2%         1056        33792           93          0          0
+  L12.u1.d2      loop@L12               1153   1.1%          640        20480          193          0          0
+  L15.u1.d1      loop@L12               1153   1.1%          640        20480          193          0          0
+  L19.u1.d2      loop@L12               1153   1.1%          640        20480          193          0          0
+  L9             loop@L12               1093   1.1%          896        28672          180          0          0
+  L13.u1.d33     loop@L12               1077   1.1%          512        16384          565          0          0
+  L12.u2.d19     loop@L12               1037   1.0%          576        18432          173          0          0
+  L12.u2.d34     loop@L12               1037   1.0%          576        18432          173          0          0
+  L16.u2.d57     loop@L12                973   1.0%          256         8192           77          0          0
+  L12.u1.d33     loop@L12                922   0.9%          512        16384          154          0          0
+  L15.u1.d33     loop@L12                922   0.9%          512        16384          154          0          0
+  L10            loop@L7                 873   0.9%          704        22528          169          0          0
+  ?              loop@L7                 704   0.7%          352        11264            0          0          0
+  L12            loop@L7                 704   0.7%          352        11264            0          0          0
+  L19.u1.d49     loop@L12                692   0.7%          384        12288          116          0          0
+  L13.u2.d57     loop@L12                673   0.7%          320        10240          353          0          0
+  L12.u2.d3      loop@L12                672   0.7%          320        10240          193          0          0
+  L25            -                       585   0.6%           32         1024          553          0          0
+  L12.u2.d57     loop@L12                576   0.6%          320        10240           96          0          0
+  L15.u2.d57     loop@L12                576   0.6%          320        10240           96          0          0
+  L17            loop@L12                576   0.6%          576        18432            0          0          0
+  L26            loop@L7                 564   0.6%          352        11264          212          0          0
+  L6             loop@L7                 453   0.4%          352        11264          101          0          0
+  L13.u2.d3      loop@L12                432   0.4%          320        10240          112          0          0
+  L13.u1         loop@L12                416   0.4%          320        10240           96          0          0
+  L9             loop@L7                 368   0.4%          352        11264            0          0          0
+  L8             loop@L7                 352   0.3%          352        11264            0          0          0
+  L14.u1.d2      loop@L12                336   0.3%          320        10240            0          0          0
+  L14.u1.d1      loop@L12                320   0.3%          320        10240            0          0          0
+  L21            loop@L12                320   0.3%          320        10240            0          0          0
+  L19.u2.d19     loop@L12                304   0.3%          288         9216            0          0          0
+  L21.u1.d2      loop@L12                304   0.3%          288         9216            0          0          0
+  L14.u2.d19     loop@L12                288   0.3%          288         9216            0          0          0
+  L14.u2.d34     loop@L12                288   0.3%          288         9216            0          0          0
+  L15.u2.d34     loop@L12                288   0.3%          288         9216            0          0          0
+  L17.u1.d1      loop@L12                288   0.3%          288         9216            0          0          0
+  L17.u2.d34     loop@L12                288   0.3%          288         9216            0          0          0
+  L21.u2.d19     loop@L12                288   0.3%          288         9216            0          0          0
+  L14.u1.d33     loop@L12                272   0.3%          256         8192            0          0          0
+  L3             -                       265   0.3%          192         6144           58          0          0
+  L20.u1.d33     loop@L12                259   0.3%           64         2048           19          0          0
+  L21.d1         loop@L12                256   0.3%          256         8192            0          0          0
+  L16.u2.d49     loop@L12                243   0.2%           64         2048           19          0          0
+  L20.u2.d50     loop@L12                243   0.2%           64         2048           19          0          0
+  L20.u2.d57     loop@L12                243   0.2%           64         2048           19          0          0
+  L19.u1.d33     loop@L12                231   0.2%          128         4096           39          0          0
+  L17.u1.d33     loop@L12                208   0.2%          192         6144            0          0          0
+  L14.u1         loop@L12                160   0.2%          160         5120            0          0          0
+  L14.u2.d3      loop@L12                160   0.2%          160         5120            0          0          0
+  L14.u2.d57     loop@L12                160   0.2%          160         5120            0          0          0
+  L21.u1.d49     loop@L12                160   0.2%          160         5120            0          0          0
+  L5             -                       153   0.2%           96         3072           42          0        256
+  L13.u2.d50     loop@L12                149   0.1%           64         2048           69          0          0
+  L12.u2.d1      loop@L12                136   0.1%           64         2048           24          0          0
+  L13.u2.d49     loop@L12                135   0.1%           64         2048           55          0          0
+  L4             -                       134   0.1%           64         2048           39          0          0
+  L28            -                       134   0.1%           96         3072           39          0        256
+  L17.u2.d57     loop@L12                128   0.1%          128         4096            0          0          0
+  L19.u2.d61     loop@L12                128   0.1%          128         4096            0          0          0
+  L21.u2.d61     loop@L12                128   0.1%          128         4096            0          0          0
+  L12.u2.d2      loop@L12                120   0.1%           64         2048           25          0          0
+  L12.u2.d33     loop@L12                115   0.1%           64         2048           19          0          0
+  L12.u2.d49     loop@L12                115   0.1%           64         2048           19          0          0
+  L12.u2.d50     loop@L12                115   0.1%           64         2048           19          0          0
+  L13.u2.d33     loop@L12                 99   0.1%           64         2048           19          0          0
+  L7             -                        96   0.1%           64         2048            0          0          0
+  L13.u2.d1      loop@L12                 83   0.1%           64         2048           19          0          0
+  L13.u2.d2      loop@L12                 83   0.1%           64         2048           19          0          0
+  ?              -                        64   0.1%           32         1024            0          0          0
+  L19.u2.d57     loop@L12                 48   0.0%           32         1024            0          0          0
+  L6             -                        32   0.0%           32         1024            0          0          0
+  L14.u2.d1      loop@L12                 32   0.0%           32         1024            0          0          0
+  L14.u2.d2      loop@L12                 32   0.0%           32         1024            0          0          0
+  L14.u2.d33     loop@L12                 32   0.0%           32         1024            0          0          0
+  L14.u2.d49     loop@L12                 32   0.0%           32         1024            0          0          0
+  L14.u2.d50     loop@L12                 32   0.0%           32         1024            0          0          0
+  L15.u2.d49     loop@L12                 32   0.0%           32         1024            0          0          0
+  L17.u2.d49     loop@L12                 32   0.0%           32         1024            0          0          0
+  L19.u2.d50     loop@L12                 32   0.0%           32         1024            0          0          0
+  L21.u1.d33     loop@L12                 32   0.0%           32         1024            0          0          0
+  L21.u2.d50     loop@L12                 32   0.0%           32         1024            0          0          0
+  L21.u2.d57     loop@L12                 32   0.0%           32         1024            0          0          0
+
+bezier;? 64
+bezier;L25 585
+bezier;L28 134
+bezier;L3 265
+bezier;L4 134
+bezier;L5 153
+bezier;L6 32
+bezier;L7 96
+bezier;loop@L7;? 704
+bezier;loop@L7;L10 873
+bezier;loop@L7;L11 1863
+bezier;loop@L7;L12 704
+bezier;loop@L7;L24 3536
+bezier;loop@L7;L25 3520
+bezier;loop@L7;L26 564
+bezier;loop@L7;L6 453
+bezier;loop@L7;L7 3114
+bezier;loop@L7;L8 352
+bezier;loop@L7;L9 368
+bezier;loop@L7;loop@L12;? 2128
+bezier;loop@L7;loop@L12;L10 1350
+bezier;loop@L7;loop@L12;L11 4555
+bezier;loop@L7;loop@L12;L12 5577
+bezier;loop@L7;loop@L12;L12.u1 1844
+bezier;loop@L7;loop@L12;L12.u1.d1 1168
+bezier;loop@L7;loop@L12;L12.u1.d2 1153
+bezier;loop@L7;loop@L12;L12.u1.d33 922
+bezier;loop@L7;loop@L12;L12.u2.d1 136
+bezier;loop@L7;loop@L12;L12.u2.d19 1037
+bezier;loop@L7;loop@L12;L12.u2.d2 120
+bezier;loop@L7;loop@L12;L12.u2.d3 672
+bezier;loop@L7;loop@L12;L12.u2.d33 115
+bezier;loop@L7;loop@L12;L12.u2.d34 1037
+bezier;loop@L7;loop@L12;L12.u2.d49 115
+bezier;loop@L7;loop@L12;L12.u2.d50 115
+bezier;loop@L7;loop@L12;L12.u2.d57 576
+bezier;loop@L7;loop@L12;L13 3678
+bezier;loop@L7;loop@L12;L13.u1 416
+bezier;loop@L7;loop@L12;L13.u1.d1 1208
+bezier;loop@L7;loop@L12;L13.u1.d2 1346
+bezier;loop@L7;loop@L12;L13.u1.d33 1077
+bezier;loop@L7;loop@L12;L13.u2.d1 83
+bezier;loop@L7;loop@L12;L13.u2.d19 1210
+bezier;loop@L7;loop@L12;L13.u2.d2 83
+bezier;loop@L7;loop@L12;L13.u2.d3 432
+bezier;loop@L7;loop@L12;L13.u2.d33 99
+bezier;loop@L7;loop@L12;L13.u2.d34 1226
+bezier;loop@L7;loop@L12;L13.u2.d49 135
+bezier;loop@L7;loop@L12;L13.u2.d50 149
+bezier;loop@L7;loop@L12;L13.u2.d57 673
+bezier;loop@L7;loop@L12;L14 1408
+bezier;loop@L7;loop@L12;L14.u1 160
+bezier;loop@L7;loop@L12;L14.u1.d1 320
+bezier;loop@L7;loop@L12;L14.u1.d2 336
+bezier;loop@L7;loop@L12;L14.u1.d33 272
+bezier;loop@L7;loop@L12;L14.u2.d1 32
+bezier;loop@L7;loop@L12;L14.u2.d19 288
+bezier;loop@L7;loop@L12;L14.u2.d2 32
+bezier;loop@L7;loop@L12;L14.u2.d3 160
+bezier;loop@L7;loop@L12;L14.u2.d33 32
+bezier;loop@L7;loop@L12;L14.u2.d34 288
+bezier;loop@L7;loop@L12;L14.u2.d49 32
+bezier;loop@L7;loop@L12;L14.u2.d50 32
+bezier;loop@L7;loop@L12;L14.u2.d57 160
+bezier;loop@L7;loop@L12;L15 5071
+bezier;loop@L7;loop@L12;L15.u1.d1 1153
+bezier;loop@L7;loop@L12;L15.u1.d33 922
+bezier;loop@L7;loop@L12;L15.u2.d34 288
+bezier;loop@L7;loop@L12;L15.u2.d49 32
+bezier;loop@L7;loop@L12;L15.u2.d57 576
+bezier;loop@L7;loop@L12;L16 4379
+bezier;loop@L7;loop@L12;L16.u1.d1 2205
+bezier;loop@L7;loop@L12;L16.u1.d33 1460
+bezier;loop@L7;loop@L12;L16.u2.d34 2189
+bezier;loop@L7;loop@L12;L16.u2.d49 243
+bezier;loop@L7;loop@L12;L16.u2.d57 973
+bezier;loop@L7;loop@L12;L17 576
+bezier;loop@L7;loop@L12;L17.u1.d1 288
+bezier;loop@L7;loop@L12;L17.u1.d33 208
+bezier;loop@L7;loop@L12;L17.u2.d34 288
+bezier;loop@L7;loop@L12;L17.u2.d49 32
+bezier;loop@L7;loop@L12;L17.u2.d57 128
+bezier;loop@L7;loop@L12;L19 2997
+bezier;loop@L7;loop@L12;L19.d1 2075
+bezier;loop@L7;loop@L12;L19.u1.d2 1153
+bezier;loop@L7;loop@L12;L19.u1.d33 231
+bezier;loop@L7;loop@L12;L19.u1.d49 692
+bezier;loop@L7;loop@L12;L19.u2.d19 304
+bezier;loop@L7;loop@L12;L19.u2.d50 32
+bezier;loop@L7;loop@L12;L19.u2.d57 48
+bezier;loop@L7;loop@L12;L19.u2.d61 128
+bezier;loop@L7;loop@L12;L20 2464
+bezier;loop@L7;loop@L12;L20.d1 2387
+bezier;loop@L7;loop@L12;L20.u1.d2 2205
+bezier;loop@L7;loop@L12;L20.u1.d33 259
+bezier;loop@L7;loop@L12;L20.u1.d49 1488
+bezier;loop@L7;loop@L12;L20.u2.d19 2189
+bezier;loop@L7;loop@L12;L20.u2.d50 243
+bezier;loop@L7;loop@L12;L20.u2.d57 243
+bezier;loop@L7;loop@L12;L20.u2.d61 1233
+bezier;loop@L7;loop@L12;L21 320
+bezier;loop@L7;loop@L12;L21.d1 256
+bezier;loop@L7;loop@L12;L21.u1.d2 304
+bezier;loop@L7;loop@L12;L21.u1.d33 32
+bezier;loop@L7;loop@L12;L21.u1.d49 160
+bezier;loop@L7;loop@L12;L21.u2.d19 288
+bezier;loop@L7;loop@L12;L21.u2.d50 32
+bezier;loop@L7;loop@L12;L21.u2.d57 32
+bezier;loop@L7;loop@L12;L21.u2.d61 128
+bezier;loop@L7;loop@L12;L8 1166
+bezier;loop@L7;loop@L12;L9 1093

@@ -1,0 +1,81 @@
+kernel rainflow: 171321 cycles (issue 64203, dep_stall 106768, fetch_stall 352)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L7               1       169731   99.1%       169731          683       186959
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L8             loop@L7               38303  22.4%        15456       385024        24173        167      96256
+  L9             loop@L7               16943   9.9%         5172       149832        11362        185      24972
+  L15            loop@L7               16215   9.5%         5442       138936        10925        163      23156
+  L9.u1          loop@L7               13607   7.9%         4236       119010         9145          7      19835
+  L15.u1.d2      loop@L7               12627   7.4%         4404       106680         8537        160      17780
+  L8.u1          loop@L7               10552   6.2%         2118        59505         8005          0      19835
+  L14            loop@L7               10160   5.9%         1814        46312         7891          0          0
+  L8.u1.d2       loop@L7                9831   5.7%         2202        53340         7486          0      17780
+  L14.u1.d2      loop@L7                8244   4.8%         1468        35560         6496          0          0
+  L7             loop@L7                7923   4.6%         6120       146432         1512          1          0
+  L9.u1.d1       loop@L7                4649   2.7%         2016        32256         3281          0       5376
+  L15.u1.d11     loop@L7                3503   2.0%         1122        30822         2337          0       5137
+  L17            loop@L7                2582   1.5%         1008        16128         1986          0       5376
+  ?              loop@L7                2450   1.4%         1591        37137            0          0          0
+  L7.u1          loop@L7                2279   1.3%         1412        39670          380          0          0
+  L7.u1.d2       loop@L7                2097   1.2%         1468        35560          350          0          0
+  L8.u1.d11      loop@L7                1198   0.7%          374        10274          689          0          0
+  L11            loop@L7                1080   0.6%          561        15411          570          0       5137
+  L11.u1         loop@L7                 997   0.6%          642        18381          397          0       6127
+  L17.u1.d2      loop@L7                 966   0.6%          975        14592          432          0       4864
+  L5             loop@L7                 730   0.4%         1062        21504            0          0          0
+  L7.u1.d1       loop@L7                 695   0.4%          672        10752          116          0          0
+  L6             -                       660   0.4%          192         6144          452          0       2048
+  L7.u1.d11      loop@L7                 592   0.3%          374        10274           99          0          0
+  L7.u1.d20      loop@L7                 390   0.2%          214         6127            0          0          0
+  L7.u1.d3       loop@L7                 356   0.2%          325         4864            0          0          0
+  L3             -                       265   0.2%          192         6144           58          0          0
+  L7             -                       236   0.1%          160         5120           28          0          0
+  L16            loop@L7                 209   0.1%          336         5376            0          0          0
+  L10.u1         loop@L7                 195   0.1%          214         6127            0          0          0
+  L16.u1.d2      loop@L7                 194   0.1%          325         4864            0          0          0
+  L22            -                       171   0.1%          128         4096           43          0        256
+  L10            loop@L7                 164   0.1%          187         5137            0          0          0
+  ?              -                       138   0.1%           96         2048            0          0          0
+  L5             -                        69   0.0%           96         2048            0          0          0
+  L4             -                        51   0.0%           32         1024           19          0          0
+
+rainflow;? 138
+rainflow;L22 171
+rainflow;L3 265
+rainflow;L4 51
+rainflow;L5 69
+rainflow;L6 660
+rainflow;L7 236
+rainflow;loop@L7;? 2450
+rainflow;loop@L7;L10 164
+rainflow;loop@L7;L10.u1 195
+rainflow;loop@L7;L11 1080
+rainflow;loop@L7;L11.u1 997
+rainflow;loop@L7;L14 10160
+rainflow;loop@L7;L14.u1.d2 8244
+rainflow;loop@L7;L15 16215
+rainflow;loop@L7;L15.u1.d11 3503
+rainflow;loop@L7;L15.u1.d2 12627
+rainflow;loop@L7;L16 209
+rainflow;loop@L7;L16.u1.d2 194
+rainflow;loop@L7;L17 2582
+rainflow;loop@L7;L17.u1.d2 966
+rainflow;loop@L7;L5 730
+rainflow;loop@L7;L7 7923
+rainflow;loop@L7;L7.u1 2279
+rainflow;loop@L7;L7.u1.d1 695
+rainflow;loop@L7;L7.u1.d11 592
+rainflow;loop@L7;L7.u1.d2 2097
+rainflow;loop@L7;L7.u1.d20 390
+rainflow;loop@L7;L7.u1.d3 356
+rainflow;loop@L7;L8 38303
+rainflow;loop@L7;L8.u1 10552
+rainflow;loop@L7;L8.u1.d11 1198
+rainflow;loop@L7;L8.u1.d2 9831
+rainflow;loop@L7;L9 16943
+rainflow;loop@L7;L9.u1 13607
+rainflow;loop@L7;L9.u1.d1 4649

@@ -1,0 +1,549 @@
+kernel xsbench: 50849 cycles (issue 21763, dep_stall 27065, fetch_stall 2000)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L11              1        39019   76.7%        39019          151            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L23            -                      3589   7.1%          832        26624         2738          0        791
+  L13            loop@L11               3518   6.9%          640        20480         2734          7        128
+  L22            -                      2722   5.4%          192         6144         2209          0          0
+  L13.u1.d1      loop@L11               1842   3.6%          345        10615         1425          7         69
+  L5             -                      1748   3.4%          384        12288          452          0          0
+  L13.u1         loop@L11               1706   3.4%          330         9865         1331          4         66
+  L12            loop@L11               1521   3.0%          256         8192          369          0          0
+  L7             -                      1237   2.4%          192         6144          261          0          0
+  L13.u2.d33     loop@L11                937   1.8%          190         5365          731          7         38
+  L13.u2.d1      loop@L11                934   1.8%          190         5250          717          6         38
+  L13.u2         loop@L11                906   1.8%          185         5190          708          7         37
+  L13.u2.d2      loop@L11                831   1.6%          165         4675          636          0         33
+  L11            loop@L11                824   1.6%          684        12274          166          0          0
+  L12.u1.d1      loop@L11                793   1.6%          138         4246          192          0          0
+  L12.u1         loop@L11                763   1.5%          132         3946          186          0          0
+  L10            loop@L11                571   1.1%          556         8178          186          0          0
+  L9             loop@L11                545   1.1%          556         8178          112          0          0
+  L3             -                       517   1.0%          384        12288          116          0          0
+  L13.u3.d1      loop@L11                517   1.0%          115         2805          391          8         23
+  L13.u3.d34     loop@L11                511   1.0%          115         2765          387          0         23
+  L8             loop@L11                490   1.0%          556         8178           93          0          0
+  L13.u3.d18     loop@L11                481   0.9%          110         2585          363          7         22
+  L13.u3         loop@L11                468   0.9%          110         2605          366          2         22
+  L13.u3.d33     loop@L11                468   0.9%          110         2600          366          0         22
+  L13.u3.d2      loop@L11                447   0.9%           95         2435          337          7         19
+  L13.u3.d49     loop@L11                442   0.9%          105         2445          345          7         21
+  L12.u2.d33     loop@L11                427   0.8%           76         2146          103          0          0
+  L12.u2         loop@L11                411   0.8%           74         2076           97          0          0
+  L12.u2.d1      loop@L11                399   0.8%           76         2100           97          0          0
+  L13.u3.d3      loop@L11                381   0.7%           70         2240          299          7         14
+  L21            -                       373   0.7%          256         8192          116          0        140
+  L12.u2.d2      loop@L11                357   0.7%           66         1870           89          0          0
+  L20            -                       318   0.6%          192         6144          110          0        139
+  L13.u4.d1      loop@L11                303   0.6%           65         1710          236          8         13
+  ?              -                       302   0.6%          279         4096            0          0          0
+  ?              loop@L11                302   0.6%          278         4089            0          0          0
+  L13.u4.d33     loop@L11                302   0.6%           60         1630          223          7         12
+  L13.u4.d19     loop@L11                296   0.6%           60         1710          233          7         12
+  L13.u4.d49     loop@L11                288   0.6%           55         1565          212          7         11
+  L13.u4.d26     loop@L11                283   0.6%           55         1530          208          7         11
+  L13.u4.d11     loop@L11                273   0.5%           60         1540          213          7         12
+  L4             -                       270   0.5%          128         4096           77          0          0
+  L11.u1         loop@L11                262   0.5%          132         3946           75          0          0
+  L11.u1.d1      loop@L11                257   0.5%          138         4246           40          0          0
+  L13.u4.d34     loop@L11                257   0.5%           60         1430          201          7         12
+  L13.u4.d35     loop@L11                240   0.5%           55         1335          187          7         11
+  L13.u4.d57     loop@L11                234   0.5%           90         1095          182          0         18
+  L13.u4.d4      loop@L11                233   0.5%           55         1175          168          6         11
+  L13.u4         loop@L11                225   0.4%           65         1075          163          1         13
+  L12.u3         loop@L11                221   0.4%           44         1042           51          0          0
+  L12.u3.d33     loop@L11                219   0.4%           44         1040           49          0          0
+  L12.u3.d1      loop@L11                218   0.4%           46         1122           53          0          0
+  L12.u3.d34     loop@L11                218   0.4%           46         1106           55          0          0
+  L13.u4.d50     loop@L11                214   0.4%           85          880          154          0         17
+  L12.u3.d49     loop@L11                211   0.4%           42          978           49          0          0
+  L13.u4.d3      loop@L11                211   0.4%           50         1065          153          7         10
+  L12.u3.d18     loop@L11                205   0.4%           44         1034           51          0          0
+  L13.u4.d18     loop@L11                199   0.4%           85          875          154          0         17
+  L13.u4.d42     loop@L11                198   0.4%           50          970          142          4         10
+  L6             -                       193   0.4%          128         4096           65          0          0
+  L12.u3.d2      loop@L11                189   0.4%           38          974           47          0          0
+  L13.u4.d2      loop@L11                188   0.4%           70          895          146          0         14
+  L12.u3.d3      loop@L11                183   0.4%           28          896           42          0          0
+  L8             -                       176   0.3%          279         4096           25          0          0
+  L13.u5.d19     loop@L11                176   0.3%           40          756          135          0         10
+  L13.u5.d61     loop@L11                165   0.3%           40          676          124          0         10
+  L13.u5.d1      loop@L11                161   0.3%           40          664          122          0         10
+  L13.u5.d33     loop@L11                160   0.3%           40          752          135          0         10
+  L9             -                       154   0.3%          128         4096           26          0          0
+  L13.u5.d11     loop@L11                153   0.3%           36          624          114          0          9
+  L13.u5.d12     loop@L11                153   0.3%           40          608          114          0         10
+  L13.u5.d34     loop@L11                153   0.3%           36          628          114          0          9
+  L13.u5.d36     loop@L11                153   0.3%           36          624          114          0          9
+  L13.u5.d20     loop@L11                150   0.3%           36          612          112          0          9
+  L12.u4.d1      loop@L11                147   0.3%           26          684           32          0          0
+  L12.u4.d19     loop@L11                146   0.3%           24          684           33          0          0
+  L11.u2.d33     loop@L11                144   0.3%           76         2146           41          0          0
+  L13.u5.d15     loop@L11                141   0.3%           36          560          105          0          9
+  L11.u2.d2      loop@L11                140   0.3%           66         1870           35          0          0
+  L11.u2.d1      loop@L11                137   0.3%           76         2100           20          0          0
+  L13.u5.d4      loop@L11                137   0.3%           36          624          114          0          9
+  L13.u5.d8      loop@L11                137   0.3%           36          628          115          0          9
+  L13.u5.d27     loop@L11                137   0.3%           36          628          115          0          9
+  L13.u5.d39     loop@L11                137   0.3%           40          516          102          0         10
+  L13.u5.d49     loop@L11                137   0.3%           36          628          115          0          9
+  L13.u5.d54     loop@L11                137   0.3%           36          624          114          0          9
+  L12.u4.d11     loop@L11                136   0.3%           24          616           30          0          0
+  L13.u5.d43     loop@L11                136   0.3%           36          616          113          0          9
+  L13.u5.d26     loop@L11                130   0.3%           36          596          110          0          9
+  L11            -                       128   0.3%           64         2048            0          0          0
+  L12.u4.d34     loop@L11                127   0.2%           24          572           27          0          0
+  L12.u4.d33     loop@L11                125   0.2%           24          652           30          0          0
+  L13.u5.d46     loop@L11                124   0.2%           36          552          104          0          9
+  L13.u5.d35     loop@L11                123   0.2%           36          444           89          0          9
+  L13.u5.d58     loop@L11                123   0.2%           36          452           90          0          9
+  L11.u2         loop@L11                122   0.2%           74         2076           23          0          0
+  L12.u4.d35     loop@L11                121   0.2%           22          534           27          0          0
+  L12.u4.d49     loop@L11                119   0.2%           22          626           29          0          0
+  L12.u4.d57     loop@L11                119   0.2%           36          438           27          0          0
+  L13.u5.d57     loop@L11                119   0.2%           36          424           86          0          9
+  L12.u4.d26     loop@L11                118   0.2%           22          612           29          0          0
+  L13.u5.d23     loop@L11                113   0.2%           36          396           83          0          9
+  L13.u5.d51     loop@L11                113   0.2%           36          488           95          0          9
+  L13.u5         loop@L11                106   0.2%           32          464           89          0          8
+  L12.u4.d18     loop@L11                104   0.2%           34          350           23          0          0
+  L10            -                       103   0.2%           64         2048           39          0          0
+  L12.u4.d2      loop@L11                 99   0.2%           28          358           21          0          0
+  L12.u4.d4      loop@L11                 96   0.2%           22          470           24          0          0
+  L13.u5.d18     loop@L11                 95   0.2%           32          304           67          0          8
+  L12.u4         loop@L11                 93   0.2%           26          430           24          0          0
+  L12.u5.d33     loop@L11                 93   0.2%           20          376           19          0          0
+  L11.u3.d34     loop@L11                 91   0.2%           46         1106           21          0          0
+  L12.u4.d50     loop@L11                 88   0.2%           34          352           23          0          0
+  L13.u5.d30     loop@L11                 88   0.2%           24          396           73          0          6
+  L11.u3.d18     loop@L11                 87   0.2%           44         1034           20          0          0
+  L12.u5.d1      loop@L11                 86   0.2%           20          332           17          0          0
+  L12.u4.d3      loop@L11                 85   0.2%           20          426           21          0          0
+  L11.u3.d1      loop@L11                 82   0.2%           46         1122           11          0          0
+  L12.u5.d8      loop@L11                 82   0.2%           18          314           17          0          0
+  L12.u5.d27     loop@L11                 82   0.2%           18          314           17          0          0
+  L12.u5.d43     loop@L11                 82   0.2%           18          308           17          0          0
+  L12.u5.d54     loop@L11                 82   0.2%           18          312           17          0          0
+  L12.u4.d42     loop@L11                 81   0.2%           20          388           21          0          0
+  L12.u5.d4      loop@L11                 81   0.2%           18          312           16          0          0
+  L12.u5.d49     loop@L11                 81   0.2%           18          314           16          0          0
+  L13.u5.d5      loop@L11                 81   0.2%           32          316           68          0          8
+  L12.u5.d26     loop@L11                 79   0.2%           18          298           15          0          0
+  L11.u3.d33     loop@L11                 78   0.2%           44         1040           10          0          0
+  L12.u5.d19     loop@L11                 77   0.2%           20          378           19          0          0
+  L12.u5.d46     loop@L11                 76   0.1%           18          276           16          0          0
+  L11.u3.d2      loop@L11                 74   0.1%           38          974           11          0          0
+  L12.u5.d51     loop@L11                 72   0.1%           18          244           14          0          0
+  L12.u5.d61     loop@L11                 72   0.1%           20          338           19          0          0
+  L12.u5         loop@L11                 69   0.1%           16          232           14          0          0
+  L11.u3.d49     loop@L11                 68   0.1%           42          978           19          0          0
+  L12.u5.d12     loop@L11                 67   0.1%           20          304           17          0          0
+  L12.u5.d20     loop@L11                 66   0.1%           18          306           17          0          0
+  L12.u5.d36     loop@L11                 66   0.1%           18          312           17          0          0
+  L13.u5.d3      loop@L11                 66   0.1%           32          224           56          0          8
+  L11.u3         loop@L11                 65   0.1%           44         1042           13          0          0
+  L12.u5.d11     loop@L11                 65   0.1%           18          312           16          0          0
+  L12.u5.d34     loop@L11                 65   0.1%           18          314           16          0          0
+  L13.u5.d50     loop@L11                 65   0.1%           32          216           55          0          8
+  L12.u5.d15     loop@L11                 62   0.1%           18          280           16          0          0
+  L18            loop@L11                 62   0.1%           66         1973            0          0          0
+  L13.u5.d2      loop@L11                 61   0.1%           20          156           37          0          5
+  L12.u5.d30     loop@L11                 59   0.1%           12          198           11          0          0
+  L12.u5.d39     loop@L11                 59   0.1%           20          258           15          0          0
+  L11.u3.d3      loop@L11                 58   0.1%           28          896           17          0          0
+  L11.u4.d1      loop@L11                 56   0.1%           26          684            7          0          0
+  L11.u4.d26     loop@L11                 56   0.1%           22          612           11          0          0
+  L12.u5.d5      loop@L11                 56   0.1%           16          158           10          0          0
+  L11.u4.d33     loop@L11                 53   0.1%           24          652            6          0          0
+  L12.u5.d58     loop@L11                 53   0.1%           18          226           13          0          0
+  L11.u4.d49     loop@L11                 52   0.1%           22          626            6          0          0
+  L12.u5.d57     loop@L11                 52   0.1%           18          212           15          0          0
+  L11.u4.d34     loop@L11                 51   0.1%           24          572            7          0          0
+  L12.u5.d35     loop@L11                 51   0.1%           18          222           12          0          0
+  L11.u4.d4      loop@L11                 49   0.1%           22          470            9          0          0
+  L12.u5.d50     loop@L11                 49   0.1%           16          108           10          0          0
+  L12.u5.d3      loop@L11                 48   0.1%           16          112            8          0          0
+  L12.u5.d23     loop@L11                 48   0.1%           18          198           12          0          0
+  L11.u4         loop@L11                 46   0.1%           26          430            7          0          0
+  L11.u4.d50     loop@L11                 46   0.1%           34          352            8          0          0
+  L11.u4.d19     loop@L11                 45   0.1%           24          684           13          0          0
+  L13.u5.d42     loop@L11                 45   0.1%           20          160           38          0          5
+  L11.u4.d42     loop@L11                 43   0.1%           20          388            8          0          0
+  L11.u4.d3      loop@L11                 42   0.1%           20          426            4          0          0
+  L11.u4.d11     loop@L11                 42   0.1%           24          616           12          0          0
+  L11.u5.d61     loop@L11                 41   0.1%           20          338            7          0          0
+  L12.u5.d18     loop@L11                 41   0.1%           16          152           12          0          0
+  L11.u5.d36     loop@L11                 39   0.1%           18          312            6          0          0
+  L11.u5.d1      loop@L11                 38   0.1%           22          346            4          0          0
+  L11.u5.d12     loop@L11                 38   0.1%           20          304            6          0          0
+  L11.u5.d20     loop@L11                 38   0.1%           18          306            6          0          0
+  L12.u5.d42     loop@L11                 38   0.1%           10           80            5          0          0
+  L11.u4.d35     loop@L11                 37   0.1%           22          534           11          0          0
+  L11.u5.d15     loop@L11                 37   0.1%           18          280            6          0          0
+  L11.u4.d57     loop@L11                 36   0.1%           36          438           10          0          0
+  L11.u5.d39     loop@L11                 36   0.1%           20          258            5          0          0
+  L11.u5.d57     loop@L11                 34   0.1%           18          212            6          0          0
+  L18.u1.d33     loop@L11                 34   0.1%           38         1073            0          0          0
+  L11.u5.d58     loop@L11                 33   0.1%           18          226            5          0          0
+  L11.u5.d23     loop@L11                 32   0.1%           18          198            5          0          0
+  L18.u1.d2      loop@L11                 30   0.1%           33          935            0          0          0
+  L11.u4.d18     loop@L11                 29   0.1%           34          350            8          0          0
+  L11.u4.d2      loop@L11                 26   0.1%           28          358            6          0          0
+  L11.u5.d19     loop@L11                 24   0.0%           20          378            4          0          0
+  L11.u5.d33     loop@L11                 24   0.0%           20          376            4          0          0
+  L11.u5.d8      loop@L11                 23   0.0%           18          314            7          0          0
+  L11.u5.d27     loop@L11                 23   0.0%           18          314            7          0          0
+  L11.u5.d43     loop@L11                 23   0.0%           18          308            7          0          0
+  L11.u5.d54     loop@L11                 23   0.0%           18          312            7          0          0
+  L12.u5.d2      loop@L11                 23   0.0%           10           78            7          0          0
+  L18.u5.d48     loop@L11                 23   0.0%           10          188            0          0          0
+  L18.u5.d7      loop@L11                 22   0.0%            9          156            0          0          0
+  L18.u5.d56     loop@L11                 22   0.0%            9          157            0          0          0
+  L11.u5.d46     loop@L11                 21   0.0%           18          276            6          0          0
+  L18.u5.d29     loop@L11                 21   0.0%            9          149            0          0          0
+  L11.u5.d4      loop@L11                 20   0.0%           18          312            4          0          0
+  L11.u5.d11     loop@L11                 20   0.0%           18          312            3          0          0
+  L11.u5.d34     loop@L11                 20   0.0%           18          314            3          0          0
+  L11.u5.d49     loop@L11                 20   0.0%           18          314            3          0          0
+  L18.u5.d32     loop@L11                 20   0.0%            8          116            0          0          0
+  L11.u5.d26     loop@L11                 19   0.0%           18          298            3          0          0
+  L11.u5.d51     loop@L11                 19   0.0%           18          244            6          0          0
+  L18.u5.d10     loop@L11                 19   0.0%            8           56            0          0          0
+  L18.u5.d53     loop@L11                 19   0.0%            8           54            0          0          0
+  L11.u5         loop@L11                 18   0.0%           16          232            5          0          0
+  L18.u2.d34     loop@L11                 18   0.0%           23          553            0          0          0
+  L18.u5.d45     loop@L11                 18   0.0%            5           40            0          0          0
+  L18.u2.d18     loop@L11                 17   0.0%           22          517            0          0          0
+  L18.u2.d49     loop@L11                 16   0.0%           21          489            0          0          0
+  L11.u5.d30     loop@L11                 15   0.0%           12          198            4          0          0
+  L11.u5.d35     loop@L11                 15   0.0%           18          222            3          0          0
+  L11.u5.d5      loop@L11                 14   0.0%           16          158            4          0          0
+  L11.u5.d18     loop@L11                 14   0.0%           16          152            5          0          0
+  L18.u2.d3      loop@L11                 14   0.0%           14          448            0          0          0
+  L11.u5.d50     loop@L11                 12   0.0%           16          108            4          0          0
+  L18.u3.d19     loop@L11                 11   0.0%           12          342            0          0          0
+  L11.u5.d3      loop@L11                 10   0.0%           16          112            2          0          0
+  L18.u3.d11     loop@L11                 10   0.0%           12          308            0          0          0
+  L18.u3.d26     loop@L11                 10   0.0%           11          306            0          0          0
+  L18.u3.d35     loop@L11                  9   0.0%           11          267            0          0          0
+  L18.u3.d57     loop@L11                  9   0.0%           18          219            0          0          0
+  L11.u5.d2      loop@L11                  8   0.0%           10           78            3          0          0
+  L18.u3.d4      loop@L11                  8   0.0%           11          235            0          0          0
+  L11.u5.d42     loop@L11                  7   0.0%           10           80            1          0          0
+  L18.u3.d42     loop@L11                  7   0.0%           10          194            0          0          0
+  L18.u3.d50     loop@L11                  7   0.0%           17          176            0          0          0
+  L18.u5.d22     loop@L11                  7   0.0%           10          189            0          0          0
+  L18.u4.d8      loop@L11                  6   0.0%            9          157            0          0          0
+  L18.u4.d12     loop@L11                  6   0.0%           10          152            0          0          0
+  L18.u4.d27     loop@L11                  6   0.0%            9          157            0          0          0
+  L18.u4.d36     loop@L11                  6   0.0%            9          156            0          0          0
+  L18.u4.d54     loop@L11                  6   0.0%            9          156            0          0          0
+  L18.u4.d61     loop@L11                  6   0.0%           10          169            0          0          0
+  L18.u5.d9      loop@L11                  6   0.0%            9          157            0          0          0
+  L18.u5.d13     loop@L11                  6   0.0%           10          152            0          0          0
+  L18.u5.d14     loop@L11                  6   0.0%            9          156            0          0          0
+  L18.u5.d28     loop@L11                  6   0.0%            9          157            0          0          0
+  L18.u5.d37     loop@L11                  6   0.0%            9          156            0          0          0
+  L18.u5.d41     loop@L11                  6   0.0%            9          157            0          0          0
+  L18.u5.d55     loop@L11                  6   0.0%            9          156            0          0          0
+  L18.u5.d62     loop@L11                  6   0.0%           10          169            0          0          0
+  L18.u5.d63     loop@L11                  6   0.0%           10          166            0          0          0
+  L18.u4.d15     loop@L11                  5   0.0%            9          140            0          0          0
+  L18.u4.d20     loop@L11                  5   0.0%            9          153            0          0          0
+  L18.u4.d39     loop@L11                  5   0.0%           10          129            0          0          0
+  L18.u4.d43     loop@L11                  5   0.0%            9          154            0          0          0
+  L18.u4.d46     loop@L11                  5   0.0%            9          138            0          0          0
+  L18.u4.d51     loop@L11                  5   0.0%            9          122            0          0          0
+  L18.u5.d16     loop@L11                  5   0.0%            9          140            0          0          0
+  L18.u5.d21     loop@L11                  5   0.0%            9          153            0          0          0
+  L18.u5.d40     loop@L11                  5   0.0%           10          129            0          0          0
+  L18.u5.d44     loop@L11                  5   0.0%            9          154            0          0          0
+  L18.u5.d47     loop@L11                  5   0.0%            9          138            0          0          0
+  L18.u5.d52     loop@L11                  5   0.0%            9          122            0          0          0
+  L18.u4.d23     loop@L11                  4   0.0%            9           99            0          0          0
+  L18.u4.d30     loop@L11                  4   0.0%            6           99            0          0          0
+  L18.u4.d58     loop@L11                  4   0.0%            9          113            0          0          0
+  L18.u5.d24     loop@L11                  4   0.0%            9           99            0          0          0
+  L18.u5.d31     loop@L11                  4   0.0%            6           99            0          0          0
+  L18.u5.d38     loop@L11                  4   0.0%            9          111            0          0          0
+  L18.u5.d59     loop@L11                  4   0.0%            9          113            0          0          0
+  L18.u5.d60     loop@L11                  4   0.0%            9          106            0          0          0
+  L18.u4.d5      loop@L11                  3   0.0%            8           79            0          0          0
+  L18.u5.d6      loop@L11                  3   0.0%            8           79            0          0          0
+  L18.u5.d25     loop@L11                  3   0.0%            8           76            0          0          0
+  L18.u5.d17     loop@L11                  2   0.0%            5           39            0          0          0
+
+xsbench;? 302
+xsbench;L10 103
+xsbench;L11 128
+xsbench;L20 318
+xsbench;L21 373
+xsbench;L22 2722
+xsbench;L23 3589
+xsbench;L3 517
+xsbench;L4 270
+xsbench;L5 1748
+xsbench;L6 193
+xsbench;L7 1237
+xsbench;L8 176
+xsbench;L9 154
+xsbench;loop@L11;? 302
+xsbench;loop@L11;L10 571
+xsbench;loop@L11;L11 824
+xsbench;loop@L11;L11.u1 262
+xsbench;loop@L11;L11.u1.d1 257
+xsbench;loop@L11;L11.u2 122
+xsbench;loop@L11;L11.u2.d1 137
+xsbench;loop@L11;L11.u2.d2 140
+xsbench;loop@L11;L11.u2.d33 144
+xsbench;loop@L11;L11.u3 65
+xsbench;loop@L11;L11.u3.d1 82
+xsbench;loop@L11;L11.u3.d18 87
+xsbench;loop@L11;L11.u3.d2 74
+xsbench;loop@L11;L11.u3.d3 58
+xsbench;loop@L11;L11.u3.d33 78
+xsbench;loop@L11;L11.u3.d34 91
+xsbench;loop@L11;L11.u3.d49 68
+xsbench;loop@L11;L11.u4 46
+xsbench;loop@L11;L11.u4.d1 56
+xsbench;loop@L11;L11.u4.d11 42
+xsbench;loop@L11;L11.u4.d18 29
+xsbench;loop@L11;L11.u4.d19 45
+xsbench;loop@L11;L11.u4.d2 26
+xsbench;loop@L11;L11.u4.d26 56
+xsbench;loop@L11;L11.u4.d3 42
+xsbench;loop@L11;L11.u4.d33 53
+xsbench;loop@L11;L11.u4.d34 51
+xsbench;loop@L11;L11.u4.d35 37
+xsbench;loop@L11;L11.u4.d4 49
+xsbench;loop@L11;L11.u4.d42 43
+xsbench;loop@L11;L11.u4.d49 52
+xsbench;loop@L11;L11.u4.d50 46
+xsbench;loop@L11;L11.u4.d57 36
+xsbench;loop@L11;L11.u5 18
+xsbench;loop@L11;L11.u5.d1 38
+xsbench;loop@L11;L11.u5.d11 20
+xsbench;loop@L11;L11.u5.d12 38
+xsbench;loop@L11;L11.u5.d15 37
+xsbench;loop@L11;L11.u5.d18 14
+xsbench;loop@L11;L11.u5.d19 24
+xsbench;loop@L11;L11.u5.d2 8
+xsbench;loop@L11;L11.u5.d20 38
+xsbench;loop@L11;L11.u5.d23 32
+xsbench;loop@L11;L11.u5.d26 19
+xsbench;loop@L11;L11.u5.d27 23
+xsbench;loop@L11;L11.u5.d3 10
+xsbench;loop@L11;L11.u5.d30 15
+xsbench;loop@L11;L11.u5.d33 24
+xsbench;loop@L11;L11.u5.d34 20
+xsbench;loop@L11;L11.u5.d35 15
+xsbench;loop@L11;L11.u5.d36 39
+xsbench;loop@L11;L11.u5.d39 36
+xsbench;loop@L11;L11.u5.d4 20
+xsbench;loop@L11;L11.u5.d42 7
+xsbench;loop@L11;L11.u5.d43 23
+xsbench;loop@L11;L11.u5.d46 21
+xsbench;loop@L11;L11.u5.d49 20
+xsbench;loop@L11;L11.u5.d5 14
+xsbench;loop@L11;L11.u5.d50 12
+xsbench;loop@L11;L11.u5.d51 19
+xsbench;loop@L11;L11.u5.d54 23
+xsbench;loop@L11;L11.u5.d57 34
+xsbench;loop@L11;L11.u5.d58 33
+xsbench;loop@L11;L11.u5.d61 41
+xsbench;loop@L11;L11.u5.d8 23
+xsbench;loop@L11;L12 1521
+xsbench;loop@L11;L12.u1 763
+xsbench;loop@L11;L12.u1.d1 793
+xsbench;loop@L11;L12.u2 411
+xsbench;loop@L11;L12.u2.d1 399
+xsbench;loop@L11;L12.u2.d2 357
+xsbench;loop@L11;L12.u2.d33 427
+xsbench;loop@L11;L12.u3 221
+xsbench;loop@L11;L12.u3.d1 218
+xsbench;loop@L11;L12.u3.d18 205
+xsbench;loop@L11;L12.u3.d2 189
+xsbench;loop@L11;L12.u3.d3 183
+xsbench;loop@L11;L12.u3.d33 219
+xsbench;loop@L11;L12.u3.d34 218
+xsbench;loop@L11;L12.u3.d49 211
+xsbench;loop@L11;L12.u4 93
+xsbench;loop@L11;L12.u4.d1 147
+xsbench;loop@L11;L12.u4.d11 136
+xsbench;loop@L11;L12.u4.d18 104
+xsbench;loop@L11;L12.u4.d19 146
+xsbench;loop@L11;L12.u4.d2 99
+xsbench;loop@L11;L12.u4.d26 118
+xsbench;loop@L11;L12.u4.d3 85
+xsbench;loop@L11;L12.u4.d33 125
+xsbench;loop@L11;L12.u4.d34 127
+xsbench;loop@L11;L12.u4.d35 121
+xsbench;loop@L11;L12.u4.d4 96
+xsbench;loop@L11;L12.u4.d42 81
+xsbench;loop@L11;L12.u4.d49 119
+xsbench;loop@L11;L12.u4.d50 88
+xsbench;loop@L11;L12.u4.d57 119
+xsbench;loop@L11;L12.u5 69
+xsbench;loop@L11;L12.u5.d1 86
+xsbench;loop@L11;L12.u5.d11 65
+xsbench;loop@L11;L12.u5.d12 67
+xsbench;loop@L11;L12.u5.d15 62
+xsbench;loop@L11;L12.u5.d18 41
+xsbench;loop@L11;L12.u5.d19 77
+xsbench;loop@L11;L12.u5.d2 23
+xsbench;loop@L11;L12.u5.d20 66
+xsbench;loop@L11;L12.u5.d23 48
+xsbench;loop@L11;L12.u5.d26 79
+xsbench;loop@L11;L12.u5.d27 82
+xsbench;loop@L11;L12.u5.d3 48
+xsbench;loop@L11;L12.u5.d30 59
+xsbench;loop@L11;L12.u5.d33 93
+xsbench;loop@L11;L12.u5.d34 65
+xsbench;loop@L11;L12.u5.d35 51
+xsbench;loop@L11;L12.u5.d36 66
+xsbench;loop@L11;L12.u5.d39 59
+xsbench;loop@L11;L12.u5.d4 81
+xsbench;loop@L11;L12.u5.d42 38
+xsbench;loop@L11;L12.u5.d43 82
+xsbench;loop@L11;L12.u5.d46 76
+xsbench;loop@L11;L12.u5.d49 81
+xsbench;loop@L11;L12.u5.d5 56
+xsbench;loop@L11;L12.u5.d50 49
+xsbench;loop@L11;L12.u5.d51 72
+xsbench;loop@L11;L12.u5.d54 82
+xsbench;loop@L11;L12.u5.d57 52
+xsbench;loop@L11;L12.u5.d58 53
+xsbench;loop@L11;L12.u5.d61 72
+xsbench;loop@L11;L12.u5.d8 82
+xsbench;loop@L11;L13 3518
+xsbench;loop@L11;L13.u1 1706
+xsbench;loop@L11;L13.u1.d1 1842
+xsbench;loop@L11;L13.u2 906
+xsbench;loop@L11;L13.u2.d1 934
+xsbench;loop@L11;L13.u2.d2 831
+xsbench;loop@L11;L13.u2.d33 937
+xsbench;loop@L11;L13.u3 468
+xsbench;loop@L11;L13.u3.d1 517
+xsbench;loop@L11;L13.u3.d18 481
+xsbench;loop@L11;L13.u3.d2 447
+xsbench;loop@L11;L13.u3.d3 381
+xsbench;loop@L11;L13.u3.d33 468
+xsbench;loop@L11;L13.u3.d34 511
+xsbench;loop@L11;L13.u3.d49 442
+xsbench;loop@L11;L13.u4 225
+xsbench;loop@L11;L13.u4.d1 303
+xsbench;loop@L11;L13.u4.d11 273
+xsbench;loop@L11;L13.u4.d18 199
+xsbench;loop@L11;L13.u4.d19 296
+xsbench;loop@L11;L13.u4.d2 188
+xsbench;loop@L11;L13.u4.d26 283
+xsbench;loop@L11;L13.u4.d3 211
+xsbench;loop@L11;L13.u4.d33 302
+xsbench;loop@L11;L13.u4.d34 257
+xsbench;loop@L11;L13.u4.d35 240
+xsbench;loop@L11;L13.u4.d4 233
+xsbench;loop@L11;L13.u4.d42 198
+xsbench;loop@L11;L13.u4.d49 288
+xsbench;loop@L11;L13.u4.d50 214
+xsbench;loop@L11;L13.u4.d57 234
+xsbench;loop@L11;L13.u5 106
+xsbench;loop@L11;L13.u5.d1 161
+xsbench;loop@L11;L13.u5.d11 153
+xsbench;loop@L11;L13.u5.d12 153
+xsbench;loop@L11;L13.u5.d15 141
+xsbench;loop@L11;L13.u5.d18 95
+xsbench;loop@L11;L13.u5.d19 176
+xsbench;loop@L11;L13.u5.d2 61
+xsbench;loop@L11;L13.u5.d20 150
+xsbench;loop@L11;L13.u5.d23 113
+xsbench;loop@L11;L13.u5.d26 130
+xsbench;loop@L11;L13.u5.d27 137
+xsbench;loop@L11;L13.u5.d3 66
+xsbench;loop@L11;L13.u5.d30 88
+xsbench;loop@L11;L13.u5.d33 160
+xsbench;loop@L11;L13.u5.d34 153
+xsbench;loop@L11;L13.u5.d35 123
+xsbench;loop@L11;L13.u5.d36 153
+xsbench;loop@L11;L13.u5.d39 137
+xsbench;loop@L11;L13.u5.d4 137
+xsbench;loop@L11;L13.u5.d42 45
+xsbench;loop@L11;L13.u5.d43 136
+xsbench;loop@L11;L13.u5.d46 124
+xsbench;loop@L11;L13.u5.d49 137
+xsbench;loop@L11;L13.u5.d5 81
+xsbench;loop@L11;L13.u5.d50 65
+xsbench;loop@L11;L13.u5.d51 113
+xsbench;loop@L11;L13.u5.d54 137
+xsbench;loop@L11;L13.u5.d57 119
+xsbench;loop@L11;L13.u5.d58 123
+xsbench;loop@L11;L13.u5.d61 165
+xsbench;loop@L11;L13.u5.d8 137
+xsbench;loop@L11;L18 62
+xsbench;loop@L11;L18.u1.d2 30
+xsbench;loop@L11;L18.u1.d33 34
+xsbench;loop@L11;L18.u2.d18 17
+xsbench;loop@L11;L18.u2.d3 14
+xsbench;loop@L11;L18.u2.d34 18
+xsbench;loop@L11;L18.u2.d49 16
+xsbench;loop@L11;L18.u3.d11 10
+xsbench;loop@L11;L18.u3.d19 11
+xsbench;loop@L11;L18.u3.d26 10
+xsbench;loop@L11;L18.u3.d35 9
+xsbench;loop@L11;L18.u3.d4 8
+xsbench;loop@L11;L18.u3.d42 7
+xsbench;loop@L11;L18.u3.d50 7
+xsbench;loop@L11;L18.u3.d57 9
+xsbench;loop@L11;L18.u4.d12 6
+xsbench;loop@L11;L18.u4.d15 5
+xsbench;loop@L11;L18.u4.d20 5
+xsbench;loop@L11;L18.u4.d23 4
+xsbench;loop@L11;L18.u4.d27 6
+xsbench;loop@L11;L18.u4.d30 4
+xsbench;loop@L11;L18.u4.d36 6
+xsbench;loop@L11;L18.u4.d39 5
+xsbench;loop@L11;L18.u4.d43 5
+xsbench;loop@L11;L18.u4.d46 5
+xsbench;loop@L11;L18.u4.d5 3
+xsbench;loop@L11;L18.u4.d51 5
+xsbench;loop@L11;L18.u4.d54 6
+xsbench;loop@L11;L18.u4.d58 4
+xsbench;loop@L11;L18.u4.d61 6
+xsbench;loop@L11;L18.u4.d8 6
+xsbench;loop@L11;L18.u5.d10 19
+xsbench;loop@L11;L18.u5.d13 6
+xsbench;loop@L11;L18.u5.d14 6
+xsbench;loop@L11;L18.u5.d16 5
+xsbench;loop@L11;L18.u5.d17 2
+xsbench;loop@L11;L18.u5.d21 5
+xsbench;loop@L11;L18.u5.d22 7
+xsbench;loop@L11;L18.u5.d24 4
+xsbench;loop@L11;L18.u5.d25 3
+xsbench;loop@L11;L18.u5.d28 6
+xsbench;loop@L11;L18.u5.d29 21
+xsbench;loop@L11;L18.u5.d31 4
+xsbench;loop@L11;L18.u5.d32 20
+xsbench;loop@L11;L18.u5.d37 6
+xsbench;loop@L11;L18.u5.d38 4
+xsbench;loop@L11;L18.u5.d40 5
+xsbench;loop@L11;L18.u5.d41 6
+xsbench;loop@L11;L18.u5.d44 5
+xsbench;loop@L11;L18.u5.d45 18
+xsbench;loop@L11;L18.u5.d47 5
+xsbench;loop@L11;L18.u5.d48 23
+xsbench;loop@L11;L18.u5.d52 5
+xsbench;loop@L11;L18.u5.d53 19
+xsbench;loop@L11;L18.u5.d55 6
+xsbench;loop@L11;L18.u5.d56 22
+xsbench;loop@L11;L18.u5.d59 4
+xsbench;loop@L11;L18.u5.d6 3
+xsbench;loop@L11;L18.u5.d60 4
+xsbench;loop@L11;L18.u5.d62 6
+xsbench;loop@L11;L18.u5.d63 6
+xsbench;loop@L11;L18.u5.d7 22
+xsbench;loop@L11;L18.u5.d9 6
+xsbench;loop@L11;L8 490
+xsbench;loop@L11;L9 545

@@ -3,29 +3,29 @@ kernel bezier: 563719 cycles (issue 264256, dep_stall 299322, fetch_stall 140)
 loops (hottest bodies first; cum covers the whole nest):
   loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
   loop@L12              2       277271   49.2%       277271            0            0
-  loop@L12              2       231070   41.0%       231070            0            0
+  loop@L12.u1           2       231070   41.0%       231070            0            0
   loop@L7               1        49630    8.8%       557971            0            0
 
 lines (hottest first):
   line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
   L11            loop@L12             107513  19.1%        11520       184320        95993          0          0
-  L11.u1         loop@L12              89600  15.9%         9600       153600        80000          0          0
+  L11.u1         loop@L12.u1           89600  15.9%         9600       153600        80000          0          0
   L16            loop@L12              36480   6.5%         7680       122880         9600          0          0
   L20            loop@L12              36480   6.5%         7680       122880         9600          0          0
-  L20.u1         loop@L12              30410   5.4%         6400       102400         8000          0          0
-  L16.u1         loop@L12              30400   5.4%         6400       102400         8000          0          0
+  L20.u1         loop@L12.u1           30410   5.4%         6400       102400         8000          0          0
+  L16.u1         loop@L12.u1           30400   5.4%         6400       102400         8000          0          0
   L12            loop@L12              29567   5.2%         8448       135168        16895          0          0
-  L12.u1         loop@L12              24640   4.4%         7040       112640        14080          0          0
+  L12.u1         loop@L12.u1           24640   4.4%         7040       112640        14080          0          0
   L13            loop@L12              17290   3.1%         7680       122880         9600          0          0
-  L13.u1         loop@L12              14410   2.6%         6400       102400         8000          0          0
+  L13.u1         loop@L12.u1           14410   2.6%         6400       102400         8000          0          0
   L10            loop@L12              11531   2.0%         7680       122880         3841          0          0
-  L10.u1         loop@L12               9600   1.7%         6400       102400         3200          0          0
+  L10.u1         loop@L12.u1            9600   1.7%         6400       102400         3200          0          0
   ?              loop@L12               7680   1.4%         3840        61440            0          0          0
   L9             loop@L12               7680   1.4%         7680       122880            0          0          0
   L25            loop@L7                7498   1.3%         1536        24576         4800          0          0
   L24            loop@L7                7488   1.3%         1536        24576         4800          0          0
-  ?              loop@L12               6400   1.1%         3200        51200            0          0          0
-  L9.u1          loop@L12               6400   1.1%         6400       102400            0          0          0
+  ?              loop@L12.u1            6400   1.1%         3200        51200            0          0          0
+  L9.u1          loop@L12.u1            6400   1.1%         6400       102400            0          0          0
   L24.u1         loop@L7                6250   1.1%         1280        20480         4000          0          0
   L25.u1         loop@L7                6240   1.1%         1280        20480         4000          0          0
   L7.u1          loop@L7                4040   0.7%         1408        22528         1918          0          0
@@ -36,12 +36,12 @@ lines (hottest first):
   L15            loop@L12               3840   0.7%         3840        61440            0          0          0
   L19            loop@L12               3840   0.7%         3840        61440            0          0          0
   L21            loop@L12               3840   0.7%         3840        61440            0          0          0
-  L14.u1         loop@L12               3210   0.6%         3200        51200            0          0          0
-  L8.u1          loop@L12               3200   0.6%         3200        51200            0          0          0
-  L15.u1         loop@L12               3200   0.6%         3200        51200            0          0          0
-  L17.u1         loop@L12               3200   0.6%         3200        51200            0          0          0
-  L19.u1         loop@L12               3200   0.6%         3200        51200            0          0          0
-  L21.u1         loop@L12               3200   0.6%         3200        51200            0          0          0
+  L14.u1         loop@L12.u1            3210   0.6%         3200        51200            0          0          0
+  L8.u1          loop@L12.u1            3200   0.6%         3200        51200            0          0          0
+  L15.u1         loop@L12.u1            3200   0.6%         3200        51200            0          0          0
+  L17.u1         loop@L12.u1            3200   0.6%         3200        51200            0          0          0
+  L19.u1         loop@L12.u1            3200   0.6%         3200        51200            0          0          0
+  L21.u1         loop@L12.u1            3200   0.6%         3200        51200            0          0          0
   L11            loop@L7                3072   0.5%         1152        18432         1920          0          0
   L25            -                      2752   0.5%           64         1024         2688          0          0
   L11.u1         loop@L7                2570   0.5%          960        15360         1600          0          0
@@ -91,31 +91,31 @@ bezier;loop@L7;L8 384
 bezier;loop@L7;L8.u1 320
 bezier;loop@L7;L9 384
 bezier;loop@L7;L9.u1 320
+bezier;loop@L7;loop@L12.u1;? 6400
+bezier;loop@L7;loop@L12.u1;L10.u1 9600
+bezier;loop@L7;loop@L12.u1;L11.u1 89600
+bezier;loop@L7;loop@L12.u1;L12.u1 24640
+bezier;loop@L7;loop@L12.u1;L13.u1 14410
+bezier;loop@L7;loop@L12.u1;L14.u1 3210
+bezier;loop@L7;loop@L12.u1;L15.u1 3200
+bezier;loop@L7;loop@L12.u1;L16.u1 30400
+bezier;loop@L7;loop@L12.u1;L17.u1 3200
+bezier;loop@L7;loop@L12.u1;L19.u1 3200
+bezier;loop@L7;loop@L12.u1;L20.u1 30410
+bezier;loop@L7;loop@L12.u1;L21.u1 3200
+bezier;loop@L7;loop@L12.u1;L8.u1 3200
+bezier;loop@L7;loop@L12.u1;L9.u1 6400
 bezier;loop@L7;loop@L12;? 7680
-bezier;loop@L7;loop@L12;? 6400
 bezier;loop@L7;loop@L12;L10 11531
-bezier;loop@L7;loop@L12;L10.u1 9600
 bezier;loop@L7;loop@L12;L11 107513
-bezier;loop@L7;loop@L12;L11.u1 89600
 bezier;loop@L7;loop@L12;L12 29567
-bezier;loop@L7;loop@L12;L12.u1 24640
 bezier;loop@L7;loop@L12;L13 17290
-bezier;loop@L7;loop@L12;L13.u1 14410
 bezier;loop@L7;loop@L12;L14 3840
-bezier;loop@L7;loop@L12;L14.u1 3210
 bezier;loop@L7;loop@L12;L15 3840
-bezier;loop@L7;loop@L12;L15.u1 3200
 bezier;loop@L7;loop@L12;L16 36480
-bezier;loop@L7;loop@L12;L16.u1 30400
 bezier;loop@L7;loop@L12;L17 3850
-bezier;loop@L7;loop@L12;L17.u1 3200
 bezier;loop@L7;loop@L12;L19 3840
-bezier;loop@L7;loop@L12;L19.u1 3200
 bezier;loop@L7;loop@L12;L20 36480
-bezier;loop@L7;loop@L12;L20.u1 30410
 bezier;loop@L7;loop@L12;L21 3840
-bezier;loop@L7;loop@L12;L21.u1 3200
 bezier;loop@L7;loop@L12;L8 3840
-bezier;loop@L7;loop@L12;L8.u1 3200
 bezier;loop@L7;loop@L12;L9 7680
-bezier;loop@L7;loop@L12;L9.u1 6400

@@ -1,0 +1,232 @@
+kernel bezier: 319588 cycles (issue 159552, dep_stall 159692, fetch_stall 340)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L12              2       260322   81.5%       260322            0            0
+  loop@L7               1        53710   16.8%       314032            0            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L11            loop@L12              26334   8.2%         3712        59392        22622          0          0
+  L12            loop@L12              19711   6.2%         5632        90112        11263          0          0
+  L15            loop@L12              15488   4.8%         5632        90112         7040          0          0
+  L24            loop@L7               13738   4.3%         2816        45056         8800          0          0
+  L25            loop@L7               13728   4.3%         2816        45056         8800          0          0
+  L13            loop@L12              12680   4.0%         5632        90112         7038          0          0
+  L16            loop@L12              10944   3.4%         2304        36864         2880          0          0
+  L7             loop@L7                9496   3.0%         3648        58368         4355          0          0
+  L19            loop@L12               9152   2.9%         3328        53248         4160          0          0
+  L20.d1         loop@L12               7820   2.4%         1024        16384         4216          0          0
+  L13.u1.d2      loop@L12               6560   2.1%         1280        20480         5280          0          0
+  L11            loop@L7                6354   2.0%         2816        45056         3518          0          0
+  L19.d1         loop@L12               6336   2.0%         2304        36864         2880          0          0
+  L20            loop@L12               6098   1.9%         1280        20480         1598          0          0
+  L13.u2.d34     loop@L12               5909   1.8%         1152        18432         4747          0          0
+  L13.u2.d19     loop@L12               5899   1.8%         1152        18432         4747          0          0
+  L12.u1         loop@L12               5632   1.8%         2048        32768         2560          0          0
+  L16.u1.d1      loop@L12               5482   1.7%         1152        18432         1440          0          0
+  L20.u1.d2      loop@L12               5482   1.7%         1152        18432         1440          0          0
+  L16.u2.d34     loop@L12               5472   1.7%         1152        18432         1440          0          0
+  L20.u2.d19     loop@L12               5472   1.7%         1152        18432         1440          0          0
+  L13.u1.d33     loop@L12               5248   1.6%         1024        16384         4224          0          0
+  L20.u1.d49     loop@L12               4884   1.5%          640        10240         2634          0          0
+  L13.u1.d1      loop@L12               4797   1.5%         1280        20480         3517          0          0
+  L20.u2.d61     loop@L12               4485   1.4%          512         8192         2683          0          0
+  ?              loop@L12               4234   1.3%         2112        33792            0          0          0
+  L16.u1.d33     loop@L12               3648   1.1%          768        12288          960          0          0
+  L12.u1.d1      loop@L12               3528   1.1%         1280        20480         1598          0          0
+  L12.u1.d2      loop@L12               3520   1.1%         1280        20480         1600          0          0
+  L15.u1.d1      loop@L12               3520   1.1%         1280        20480         1600          0          0
+  L19.u1.d2      loop@L12               3520   1.1%         1280        20480         1600          0          0
+  L13.u2.d57     loop@L12               3280   1.0%          640        10240         2640          0          0
+  L12.u2.d19     loop@L12               3168   1.0%         1152        18432         1440          0          0
+  L12.u2.d34     loop@L12               3168   1.0%         1152        18432         1440          0          0
+  L10            loop@L12               3083   1.0%         2112        33792          961          0          0
+  L10            loop@L7                2816   0.9%         1408        22528         1408          0          0
+  L12.u1.d33     loop@L12               2816   0.9%         1024        16384         1280          0          0
+  L14            loop@L12               2816   0.9%         2816        45056            0          0          0
+  L15.u1.d33     loop@L12               2816   0.9%         1024        16384         1280          0          0
+  L25            -                      2752   0.9%           64         1024         2688          0          0
+  L12.u2.d3      loop@L12               2560   0.8%          640        10240         1600          0          0
+  L8             loop@L12               2506   0.8%         2112        33792          384          0          0
+  L26            loop@L7                2464   0.8%          704        11264         1760          0          0
+  L16.u2.d57     loop@L12               2432   0.8%          512         8192          640          0          0
+  L9             loop@L12               2410   0.8%         1792        28672          608          0          0
+  L19.u1.d49     loop@L12               2112   0.7%          768        12288          960          0          0
+  L12.u2.d57     loop@L12               1760   0.6%          640        10240          800          0          0
+  L15.u2.d57     loop@L12               1760   0.6%          640        10240          800          0          0
+  L13.u1         loop@L12               1440   0.5%          640        10240          800          0          0
+  L13.u2.d3      loop@L12               1440   0.5%          640        10240          800          0          0
+  ?              loop@L7                1408   0.4%          704        11264            0          0          0
+  L12            loop@L7                1408   0.4%          704        11264            0          0          0
+  L17            loop@L12               1152   0.4%         1152        18432            0          0          0
+  L6             loop@L7                 880   0.3%          704        11264          176          0          0
+  L3             -                       874   0.3%          384         6144          480          0          0
+  L9             loop@L7                 714   0.2%          704        11264            0          0          0
+  L8             loop@L7                 704   0.2%          704        11264            0          0          0
+  L19.u1.d33     loop@L12                704   0.2%          256         4096          320          0          0
+  L13.u2.d50     loop@L12                661   0.2%          128         2048          523          0          0
+  L14.u1.d2      loop@L12                650   0.2%          640        10240            0          0          0
+  L14.u1.d1      loop@L12                640   0.2%          640        10240            0          0          0
+  L21            loop@L12                640   0.2%          640        10240            0          0          0
+  L20.u1.d33     loop@L12                618   0.2%          128         2048          160          0          0
+  L16.u2.d49     loop@L12                608   0.2%          128         2048          160          0          0
+  L20.u2.d50     loop@L12                608   0.2%          128         2048          160          0          0
+  L20.u2.d57     loop@L12                608   0.2%          128         2048          160          0          0
+  L19.u2.d19     loop@L12                586   0.2%          576         9216            0          0          0
+  L21.u1.d2      loop@L12                586   0.2%          576         9216            0          0          0
+  L14.u2.d19     loop@L12                576   0.2%          576         9216            0          0          0
+  L14.u2.d34     loop@L12                576   0.2%          576         9216            0          0          0
+  L15.u2.d34     loop@L12                576   0.2%          576         9216            0          0          0
+  L17.u1.d1      loop@L12                576   0.2%          576         9216            0          0          0
+  L17.u2.d34     loop@L12                576   0.2%          576         9216            0          0          0
+  L21.u2.d19     loop@L12                576   0.2%          576         9216            0          0          0
+  L5             -                       522   0.2%          192         3072          320          0        256
+  L14.u1.d33     loop@L12                522   0.2%          512         8192            0          0          0
+  L4             -                       512   0.2%          128         2048          320          0          0
+  L21.d1         loop@L12                512   0.2%          512         8192            0          0          0
+  L28            -                       512   0.2%          192         3072          320          0        256
+  L13.u2.d49     loop@L12                485   0.2%          128         2048          347          0          0
+  L17.u1.d33     loop@L12                394   0.1%          384         6144            0          0          0
+  L12.u2.d1      loop@L12                362   0.1%          128         2048          160          0          0
+  L12.u2.d2      loop@L12                352   0.1%          128         2048          160          0          0
+  L12.u2.d33     loop@L12                352   0.1%          128         2048          160          0          0
+  L12.u2.d49     loop@L12                352   0.1%          128         2048          160          0          0
+  L12.u2.d50     loop@L12                352   0.1%          128         2048          160          0          0
+  L14.u1         loop@L12                320   0.1%          320         5120            0          0          0
+  L14.u2.d3      loop@L12                320   0.1%          320         5120            0          0          0
+  L14.u2.d57     loop@L12                320   0.1%          320         5120            0          0          0
+  L21.u1.d49     loop@L12                320   0.1%          320         5120            0          0          0
+  L13.u2.d33     loop@L12                298   0.1%          128         2048          160          0          0
+  L13.u2.d1      loop@L12                288   0.1%          128         2048          160          0          0
+  L13.u2.d2      loop@L12                288   0.1%          128         2048          160          0          0
+  L17.u2.d57     loop@L12                256   0.1%          256         4096            0          0          0
+  L19.u2.d61     loop@L12                256   0.1%          256         4096            0          0          0
+  L21.u2.d61     loop@L12                256   0.1%          256         4096            0          0          0
+  L7             -                       192   0.1%          128         2048            0          0          0
+  ?              -                       128   0.0%           64         1024            0          0          0
+  L19.u2.d57     loop@L12                 74   0.0%           64         1024            0          0          0
+  L6             -                        64   0.0%           64         1024            0          0          0
+  L14.u2.d1      loop@L12                 64   0.0%           64         1024            0          0          0
+  L14.u2.d2      loop@L12                 64   0.0%           64         1024            0          0          0
+  L14.u2.d33     loop@L12                 64   0.0%           64         1024            0          0          0
+  L14.u2.d49     loop@L12                 64   0.0%           64         1024            0          0          0
+  L14.u2.d50     loop@L12                 64   0.0%           64         1024            0          0          0
+  L15.u2.d49     loop@L12                 64   0.0%           64         1024            0          0          0
+  L17.u2.d49     loop@L12                 64   0.0%           64         1024            0          0          0
+  L19.u2.d50     loop@L12                 64   0.0%           64         1024            0          0          0
+  L21.u1.d33     loop@L12                 64   0.0%           64         1024            0          0          0
+  L21.u2.d50     loop@L12                 64   0.0%           64         1024            0          0          0
+  L21.u2.d57     loop@L12                 64   0.0%           64         1024            0          0          0
+
+bezier;? 128
+bezier;L25 2752
+bezier;L28 512
+bezier;L3 874
+bezier;L4 512
+bezier;L5 522
+bezier;L6 64
+bezier;L7 192
+bezier;loop@L7;? 1408
+bezier;loop@L7;L10 2816
+bezier;loop@L7;L11 6354
+bezier;loop@L7;L12 1408
+bezier;loop@L7;L24 13738
+bezier;loop@L7;L25 13728
+bezier;loop@L7;L26 2464
+bezier;loop@L7;L6 880
+bezier;loop@L7;L7 9496
+bezier;loop@L7;L8 704
+bezier;loop@L7;L9 714
+bezier;loop@L7;loop@L12;? 4234
+bezier;loop@L7;loop@L12;L10 3083
+bezier;loop@L7;loop@L12;L11 26334
+bezier;loop@L7;loop@L12;L12 19711
+bezier;loop@L7;loop@L12;L12.u1 5632
+bezier;loop@L7;loop@L12;L12.u1.d1 3528
+bezier;loop@L7;loop@L12;L12.u1.d2 3520
+bezier;loop@L7;loop@L12;L12.u1.d33 2816
+bezier;loop@L7;loop@L12;L12.u2.d1 362
+bezier;loop@L7;loop@L12;L12.u2.d19 3168
+bezier;loop@L7;loop@L12;L12.u2.d2 352
+bezier;loop@L7;loop@L12;L12.u2.d3 2560
+bezier;loop@L7;loop@L12;L12.u2.d33 352
+bezier;loop@L7;loop@L12;L12.u2.d34 3168
+bezier;loop@L7;loop@L12;L12.u2.d49 352
+bezier;loop@L7;loop@L12;L12.u2.d50 352
+bezier;loop@L7;loop@L12;L12.u2.d57 1760
+bezier;loop@L7;loop@L12;L13 12680
+bezier;loop@L7;loop@L12;L13.u1 1440
+bezier;loop@L7;loop@L12;L13.u1.d1 4797
+bezier;loop@L7;loop@L12;L13.u1.d2 6560
+bezier;loop@L7;loop@L12;L13.u1.d33 5248
+bezier;loop@L7;loop@L12;L13.u2.d1 288
+bezier;loop@L7;loop@L12;L13.u2.d19 5899
+bezier;loop@L7;loop@L12;L13.u2.d2 288
+bezier;loop@L7;loop@L12;L13.u2.d3 1440
+bezier;loop@L7;loop@L12;L13.u2.d33 298
+bezier;loop@L7;loop@L12;L13.u2.d34 5909
+bezier;loop@L7;loop@L12;L13.u2.d49 485
+bezier;loop@L7;loop@L12;L13.u2.d50 661
+bezier;loop@L7;loop@L12;L13.u2.d57 3280
+bezier;loop@L7;loop@L12;L14 2816
+bezier;loop@L7;loop@L12;L14.u1 320
+bezier;loop@L7;loop@L12;L14.u1.d1 640
+bezier;loop@L7;loop@L12;L14.u1.d2 650
+bezier;loop@L7;loop@L12;L14.u1.d33 522
+bezier;loop@L7;loop@L12;L14.u2.d1 64
+bezier;loop@L7;loop@L12;L14.u2.d19 576
+bezier;loop@L7;loop@L12;L14.u2.d2 64
+bezier;loop@L7;loop@L12;L14.u2.d3 320
+bezier;loop@L7;loop@L12;L14.u2.d33 64
+bezier;loop@L7;loop@L12;L14.u2.d34 576
+bezier;loop@L7;loop@L12;L14.u2.d49 64
+bezier;loop@L7;loop@L12;L14.u2.d50 64
+bezier;loop@L7;loop@L12;L14.u2.d57 320
+bezier;loop@L7;loop@L12;L15 15488
+bezier;loop@L7;loop@L12;L15.u1.d1 3520
+bezier;loop@L7;loop@L12;L15.u1.d33 2816
+bezier;loop@L7;loop@L12;L15.u2.d34 576
+bezier;loop@L7;loop@L12;L15.u2.d49 64
+bezier;loop@L7;loop@L12;L15.u2.d57 1760
+bezier;loop@L7;loop@L12;L16 10944
+bezier;loop@L7;loop@L12;L16.u1.d1 5482
+bezier;loop@L7;loop@L12;L16.u1.d33 3648
+bezier;loop@L7;loop@L12;L16.u2.d34 5472
+bezier;loop@L7;loop@L12;L16.u2.d49 608
+bezier;loop@L7;loop@L12;L16.u2.d57 2432
+bezier;loop@L7;loop@L12;L17 1152
+bezier;loop@L7;loop@L12;L17.u1.d1 576
+bezier;loop@L7;loop@L12;L17.u1.d33 394
+bezier;loop@L7;loop@L12;L17.u2.d34 576
+bezier;loop@L7;loop@L12;L17.u2.d49 64
+bezier;loop@L7;loop@L12;L17.u2.d57 256
+bezier;loop@L7;loop@L12;L19 9152
+bezier;loop@L7;loop@L12;L19.d1 6336
+bezier;loop@L7;loop@L12;L19.u1.d2 3520
+bezier;loop@L7;loop@L12;L19.u1.d33 704
+bezier;loop@L7;loop@L12;L19.u1.d49 2112
+bezier;loop@L7;loop@L12;L19.u2.d19 586
+bezier;loop@L7;loop@L12;L19.u2.d50 64
+bezier;loop@L7;loop@L12;L19.u2.d57 74
+bezier;loop@L7;loop@L12;L19.u2.d61 256
+bezier;loop@L7;loop@L12;L20 6098
+bezier;loop@L7;loop@L12;L20.d1 7820
+bezier;loop@L7;loop@L12;L20.u1.d2 5482
+bezier;loop@L7;loop@L12;L20.u1.d33 618
+bezier;loop@L7;loop@L12;L20.u1.d49 4884
+bezier;loop@L7;loop@L12;L20.u2.d19 5472
+bezier;loop@L7;loop@L12;L20.u2.d50 608
+bezier;loop@L7;loop@L12;L20.u2.d57 608
+bezier;loop@L7;loop@L12;L20.u2.d61 4485
+bezier;loop@L7;loop@L12;L21 640
+bezier;loop@L7;loop@L12;L21.d1 512
+bezier;loop@L7;loop@L12;L21.u1.d2 586
+bezier;loop@L7;loop@L12;L21.u1.d33 64
+bezier;loop@L7;loop@L12;L21.u1.d49 320
+bezier;loop@L7;loop@L12;L21.u2.d19 576
+bezier;loop@L7;loop@L12;L21.u2.d50 64
+bezier;loop@L7;loop@L12;L21.u2.d57 64
+bezier;loop@L7;loop@L12;L21.u2.d61 256
+bezier;loop@L7;loop@L12;L8 2506
+bezier;loop@L7;loop@L12;L9 2410

@@ -3,53 +3,53 @@ kernel bezier: 474094 cycles (issue 227456, dep_stall 246365, fetch_stall 270)
 loops (hottest bodies first; cum covers the whole nest):
   loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
   loop@L12              2       229771   48.5%       229771            0            0
-  loop@L12              2       157340   33.2%       157340            0            0
+  loop@L12.u1.d9        2       157340   33.2%       157340            0            0
   loop@L7               1        48119   10.1%       468336            0            0
-  loop@L12              2        33106    7.0%        33106            0            0
-  loop@L12              2            0    0.0%            0            0            0
-  loop@L12              2            0    0.0%            0            0            0
+  loop@L12.u1.d2        2        33106    7.0%        33106            0            0
+  loop@L12.u1           2            0    0.0%            0            0            0
+  loop@L12.u1.d1        2            0    0.0%            0            0            0
 
 lines (hottest first):
   line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
   L11            loop@L12              59518  12.6%         7680       122880        51838          0          0
-  L11.u1.d9      loop@L12              39680   8.4%         5120        81920        34560          0          0
-  L20.u1.d9      loop@L12              34568   7.3%         5120        81920        16638          0          0
+  L11.u1.d9      loop@L12.u1.d9        39680   8.4%         5120        81920        34560          0          0
+  L20.u1.d9      loop@L12.u1.d9        34568   7.3%         5120        81920        16638          0          0
   L12            loop@L12              29567   6.2%         8448       135168        16895          0          0
   L20.d1         loop@L12              27995   5.9%         3200        51200        16795          0          0
   L20            loop@L12              21280   4.5%         4480        71680         5600          0          0
   L15            loop@L12              21120   4.5%         7680       122880         9600          0          0
-  L12.u1.d9      loop@L12              19712   4.2%         5632        90112        11264          0          0
+  L12.u1.d9      loop@L12.u1.d9        19712   4.2%         5632        90112        11264          0          0
   L13            loop@L12              17290   3.6%         7680       122880         9600          0          0
   L16            loop@L12              15200   3.2%         3200        51200         4000          0          0
-  L15.u1.d9      loop@L12              14080   3.0%         5120        81920         6400          0          0
-  L16.u1.d9      loop@L12              12170   2.6%         2560        40960         3200          0          0
+  L15.u1.d9      loop@L12.u1.d9        14080   3.0%         5120        81920         6400          0          0
+  L16.u1.d9      loop@L12.u1.d9        12170   2.6%         2560        40960         3200          0          0
   L10            loop@L12              11531   2.4%         7680       122880         3841          0          0
-  L13.u1.d9      loop@L12              11530   2.4%         5120        81920         6400          0          0
-  L11.u1.d2      loop@L12               9920   2.1%         1280        20480         8640          0          0
+  L13.u1.d9      loop@L12.u1.d9        11530   2.4%         5120        81920         6400          0          0
+  L11.u1.d2      loop@L12.u1.d2         9920   2.1%         1280        20480         8640          0          0
   L24            loop@L7                8047   1.7%         1728        27648         4955          0          0
   ?              loop@L12               7680   1.6%         3840        61440            0          0          0
-  L10.u1.d9      loop@L12               7680   1.6%         5120        81920         2560          0          0
+  L10.u1.d9      loop@L12.u1.d9         7680   1.6%         5120        81920         2560          0          0
   L25.d1         loop@L7                6506   1.4%         1408        22528         4000          0          0
   L24.u1.d9      loop@L7                6154   1.3%         1280        20480         3840          0          0
-  L20.u1.d2      loop@L12               6088   1.3%         1280        20480         1598          0          0
-  ?              loop@L12               5120   1.1%         2560        40960            0          0          0
+  L20.u1.d2      loop@L12.u1.d2         6088   1.3%         1280        20480         1598          0          0
+  ?              loop@L12.u1.d9         5120   1.1%         2560        40960            0          0          0
   L25.u1.d13     loop@L7                5000   1.1%         1024        16384         3198          0          0
-  L12.u1.d2      loop@L12               4928   1.0%         1408        22528         2816          0          0
+  L12.u1.d2      loop@L12.u1.d2         4928   1.0%         1408        22528         2816          0          0
   L14            loop@L12               3850   0.8%         3840        61440            0          0          0
   L8             loop@L12               3840   0.8%         3840        61440            0          0          0
-  L15.u1.d2      loop@L12               3520   0.7%         1280        20480         1600          0          0
-  L13.u1.d2      loop@L12               2890   0.6%         1280        20480         1600          0          0
+  L15.u1.d2      loop@L12.u1.d2         3520   0.7%         1280        20480         1600          0          0
+  L13.u1.d2      loop@L12.u1.d2         2890   0.6%         1280        20480         1600          0          0
   L25.d1         -                      2752   0.6%           64         1024         2688          0          0
   L7             loop@L7                2604   0.5%         1088        17408         1122          0          0
-  L8.u1.d9       loop@L12               2560   0.5%         2560        40960            0          0          0
-  L14.u1.d9      loop@L12               2560   0.5%         2560        40960            0          0          0
-  L19.u1.d9      loop@L12               2560   0.5%         2560        40960            0          0          0
-  L21.u1.d9      loop@L12               2560   0.5%         2560        40960            0          0          0
+  L8.u1.d9       loop@L12.u1.d9         2560   0.5%         2560        40960            0          0          0
+  L14.u1.d9      loop@L12.u1.d9         2560   0.5%         2560        40960            0          0          0
+  L19.u1.d9      loop@L12.u1.d9         2560   0.5%         2560        40960            0          0          0
+  L21.u1.d9      loop@L12.u1.d9         2560   0.5%         2560        40960            0          0          0
   L19            loop@L12               2240   0.5%         2240        35840            0          0          0
   L21            loop@L12               2240   0.5%         2240        35840            0          0          0
   L7.u1.d9       loop@L7                2048   0.4%          512         8192         1280          0          0
   L6             loop@L7                2040   0.4%          640        10240         1400          0          0
-  L10.u1.d2      loop@L12               1920   0.4%         1280        20480          640          0          0
+  L10.u1.d2      loop@L12.u1.d2         1920   0.4%         1280        20480          640          0          0
   L9             loop@L12               1610   0.3%         1600        25600            0          0          0
   L19.d1         loop@L12               1610   0.3%         1600        25600            0          0          0
   L17            loop@L12               1600   0.3%         1600        25600            0          0          0
@@ -57,9 +57,9 @@ lines (hottest first):
   L24.u1.d2      loop@L7                1546   0.3%          320         5120          960          0          0
   L25            loop@L7                1546   0.3%          320         5120          960          0          0
   L10            loop@L7                1536   0.3%          768        12288          768          0          0
-  ?              loop@L12               1280   0.3%          640        10240            0          0          0
-  L9.u1.d9       loop@L12               1280   0.3%         1280        20480            0          0          0
-  L17.u1.d9      loop@L12               1280   0.3%         1280        20480            0          0          0
+  ?              loop@L12.u1.d2         1280   0.3%          640        10240            0          0          0
+  L9.u1.d9       loop@L12.u1.d9         1280   0.3%         1280        20480            0          0          0
+  L17.u1.d9      loop@L12.u1.d9         1280   0.3%         1280        20480            0          0          0
   L25.u1.d6      loop@L7                1256   0.3%          256         4096          798          0          0
   L10.u1.d9      loop@L7                1042   0.2%          512         8192          510          0          0
   L26.d9         loop@L7                 896   0.2%          256         4096          640          0          0
@@ -67,10 +67,10 @@ lines (hottest first):
   L3             -                       874   0.2%          384         6144          480          0          0
   L12            loop@L7                 778   0.2%          384         6144            0          0          0
   ?              loop@L7                 640   0.1%          320         5120            0          0          0
-  L8.u1.d2       loop@L12                640   0.1%          640        10240            0          0          0
-  L14.u1.d2      loop@L12                640   0.1%          640        10240            0          0          0
-  L19.u1.d2      loop@L12                640   0.1%          640        10240            0          0          0
-  L21.u1.d2      loop@L12                640   0.1%          640        10240            0          0          0
+  L8.u1.d2       loop@L12.u1.d2          640   0.1%          640        10240            0          0          0
+  L14.u1.d2      loop@L12.u1.d2          640   0.1%          640        10240            0          0          0
+  L19.u1.d2      loop@L12.u1.d2          640   0.1%          640        10240            0          0          0
+  L21.u1.d2      loop@L12.u1.d2          640   0.1%          640        10240            0          0          0
   L5             -                       522   0.1%          192         3072          320          0        256
   L4             -                       512   0.1%          128         2048          320          0          0
   L7.u1.d1       loop@L7                 512   0.1%          128         2048          320          0          0
@@ -150,45 +150,45 @@ bezier;loop@L7;L8.u1.d9 256
 bezier;loop@L7;L9 384
 bezier;loop@L7;L9.u1.d2 64
 bezier;loop@L7;L9.u1.d9 256
-bezier;loop@L7;loop@L12;? 1280
+bezier;loop@L7;loop@L12.u1.d2;? 1280
+bezier;loop@L7;loop@L12.u1.d2;L10.u1.d2 1920
+bezier;loop@L7;loop@L12.u1.d2;L11.u1.d2 9920
+bezier;loop@L7;loop@L12.u1.d2;L12.u1.d2 4928
+bezier;loop@L7;loop@L12.u1.d2;L13.u1.d2 2890
+bezier;loop@L7;loop@L12.u1.d2;L14.u1.d2 640
+bezier;loop@L7;loop@L12.u1.d2;L15.u1.d2 3520
+bezier;loop@L7;loop@L12.u1.d2;L19.u1.d2 640
+bezier;loop@L7;loop@L12.u1.d2;L20.u1.d2 6088
+bezier;loop@L7;loop@L12.u1.d2;L21.u1.d2 640
+bezier;loop@L7;loop@L12.u1.d2;L8.u1.d2 640
+bezier;loop@L7;loop@L12.u1.d9;? 5120
+bezier;loop@L7;loop@L12.u1.d9;L10.u1.d9 7680
+bezier;loop@L7;loop@L12.u1.d9;L11.u1.d9 39680
+bezier;loop@L7;loop@L12.u1.d9;L12.u1.d9 19712
+bezier;loop@L7;loop@L12.u1.d9;L13.u1.d9 11530
+bezier;loop@L7;loop@L12.u1.d9;L14.u1.d9 2560
+bezier;loop@L7;loop@L12.u1.d9;L15.u1.d9 14080
+bezier;loop@L7;loop@L12.u1.d9;L16.u1.d9 12170
+bezier;loop@L7;loop@L12.u1.d9;L17.u1.d9 1280
+bezier;loop@L7;loop@L12.u1.d9;L19.u1.d9 2560
+bezier;loop@L7;loop@L12.u1.d9;L20.u1.d9 34568
+bezier;loop@L7;loop@L12.u1.d9;L21.u1.d9 2560
+bezier;loop@L7;loop@L12.u1.d9;L8.u1.d9 2560
+bezier;loop@L7;loop@L12.u1.d9;L9.u1.d9 1280
 bezier;loop@L7;loop@L12;? 7680
-bezier;loop@L7;loop@L12;? 5120
 bezier;loop@L7;loop@L12;L10 11531
-bezier;loop@L7;loop@L12;L10.u1.d2 1920
-bezier;loop@L7;loop@L12;L10.u1.d9 7680
 bezier;loop@L7;loop@L12;L11 59518
-bezier;loop@L7;loop@L12;L11.u1.d2 9920
-bezier;loop@L7;loop@L12;L11.u1.d9 39680
 bezier;loop@L7;loop@L12;L12 29567
-bezier;loop@L7;loop@L12;L12.u1.d2 4928
-bezier;loop@L7;loop@L12;L12.u1.d9 19712
 bezier;loop@L7;loop@L12;L13 17290
-bezier;loop@L7;loop@L12;L13.u1.d2 2890
-bezier;loop@L7;loop@L12;L13.u1.d9 11530
 bezier;loop@L7;loop@L12;L14 3850
-bezier;loop@L7;loop@L12;L14.u1.d2 640
-bezier;loop@L7;loop@L12;L14.u1.d9 2560
 bezier;loop@L7;loop@L12;L15 21120
-bezier;loop@L7;loop@L12;L15.u1.d2 3520
-bezier;loop@L7;loop@L12;L15.u1.d9 14080
 bezier;loop@L7;loop@L12;L16 15200
-bezier;loop@L7;loop@L12;L16.u1.d9 12170
 bezier;loop@L7;loop@L12;L17 1600
-bezier;loop@L7;loop@L12;L17.u1.d9 1280
 bezier;loop@L7;loop@L12;L19 2240
 bezier;loop@L7;loop@L12;L19.d1 1610
-bezier;loop@L7;loop@L12;L19.u1.d2 640
-bezier;loop@L7;loop@L12;L19.u1.d9 2560
 bezier;loop@L7;loop@L12;L20 21280
 bezier;loop@L7;loop@L12;L20.d1 27995
-bezier;loop@L7;loop@L12;L20.u1.d2 6088
-bezier;loop@L7;loop@L12;L20.u1.d9 34568
 bezier;loop@L7;loop@L12;L21 2240
 bezier;loop@L7;loop@L12;L21.d1 1600
-bezier;loop@L7;loop@L12;L21.u1.d2 640
-bezier;loop@L7;loop@L12;L21.u1.d9 2560
 bezier;loop@L7;loop@L12;L8 3840
-bezier;loop@L7;loop@L12;L8.u1.d2 640
-bezier;loop@L7;loop@L12;L8.u1.d9 2560
 bezier;loop@L7;loop@L12;L9 1610
-bezier;loop@L7;loop@L12;L9.u1.d9 1280

@@ -1,0 +1,139 @@
+kernel cpx: 210373 cycles (issue 107152, dep_stall 103055, fetch_stall 160)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L10              1       188045   89.4%       188045            4            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L10.u1         loop@L10              10208   4.9%         2552        40830         6380          1          0
+  L10            loop@L10               9841   4.7%         2812        44992         5623          1          0
+  L10.u5         loop@L10               9471   4.5%         2812        44992         4795          0          0
+  L10.u2         loop@L10               8128   3.9%         2032        32508         5080          1          0
+  L10.u3         loop@L10               8064   3.8%         2016        32248         5040          1          0
+  L10.u4         loop@L10               7936   3.8%         1984        31728         4960          0          0
+  L3             -                      7434   3.5%         3584        57344         3840          0          0
+  L11            loop@L10               5752   2.7%         2552        40830         3190          0          0
+  L13            loop@L10               5742   2.7%         2552        40830         3190          0          0
+  L15            loop@L10               5742   2.7%         2552        40830         3190          0          0
+  L9             loop@L10               5368   2.6%         2170        34719         3188          0          0
+  L19            -                      4618   2.2%         2048        32768         2560          0       2048
+  L11.u1         loop@L10               4582   2.2%         2032        32508         2540          0          0
+  L13.u1         loop@L10               4572   2.2%         2032        32508         2540          0          0
+  L15.u1         loop@L10               4572   2.2%         2032        32508         2540          0          0
+  L11.u2         loop@L10               4546   2.2%         2016        32248         2520          0          0
+  L13.u2         loop@L10               4536   2.2%         2016        32248         2520          0          0
+  L15.u2         loop@L10               4536   2.2%         2016        32248         2520          0          0
+  L11.u3         loop@L10               4474   2.1%         1984        31728         2480          0          0
+  L13.u3         loop@L10               4464   2.1%         1984        31728         2480          0          0
+  L15.u3         loop@L10               4464   2.1%         1984        31728         2480          0          0
+  L11.u4         loop@L10               4316   2.1%         1918        30688         2398          0          0
+  L13.u4         loop@L10               4316   2.1%         1918        30688         2398          0          0
+  L15.u4         loop@L10               4316   2.1%         1918        30688         2398          0          0
+  L4             -                      4096   1.9%         1024        16384         2560          0          0
+  L11.u5         loop@L10               4033   1.9%         1788        28608         2235          0          0
+  L15.u5         loop@L10               4031   1.9%         1788        28608         2233          0          0
+  L13.u5         loop@L10               4023   1.9%         1788        28608         2235          0          0
+  L9.u1          loop@L10               3564   1.7%         1016        16254         2538          0          0
+  L9.u2          loop@L10               3536   1.7%         1008        16124         2518          0          0
+  L9.u3          loop@L10               3480   1.7%          992        15864         2478          0          0
+  L9.u4          loop@L10               3364   1.6%          959        15344         2395          0          0
+  L9.u5          loop@L10               3129   1.5%          894        14304         2235          0          0
+  ?              -                      3080   1.5%         1540        24576            0          0          0
+  L8             loop@L10               2170   1.0%         2170        34719            0          0          0
+  L7             loop@L10               1341   0.6%          894        14304          447          0          0
+  L12            loop@L10               1276   0.6%         1276        20415            0          0          0
+  L16            loop@L10               1276   0.6%         1276        20415            0          0          0
+  L17            loop@L10               1276   0.6%         1276        20415            0          0          0
+  L6             loop@L10               1118   0.5%          894        14304          224          0          0
+  L8             -                      1038   0.5%         1028        16384            0          0          0
+  L9             -                      1038   0.5%         1028        16384            0          0          0
+  L8.u1          loop@L10               1016   0.5%         1016        16254            0          0          0
+  L12.u1         loop@L10               1016   0.5%         1016        16254            0          0          0
+  L16.u1         loop@L10               1016   0.5%         1016        16254            0          0          0
+  L17.u1         loop@L10               1016   0.5%         1016        16254            0          0          0
+  L8.u2          loop@L10               1008   0.5%         1008        16124            0          0          0
+  L12.u2         loop@L10               1008   0.5%         1008        16124            0          0          0
+  L16.u2         loop@L10               1008   0.5%         1008        16124            0          0          0
+  L17.u2         loop@L10               1008   0.5%         1008        16124            0          0          0
+  L3             loop@L10               1006   0.5%          894        14304          112          0          0
+  L8.u3          loop@L10                992   0.5%          992        15864            0          0          0
+  L12.u3         loop@L10                992   0.5%          992        15864            0          0          0
+  L16.u3         loop@L10                992   0.5%          992        15864            0          0          0
+  L17.u3         loop@L10                992   0.5%          992        15864            0          0          0
+  L8.u4          loop@L10                959   0.5%          959        15344            0          0          0
+  L12.u4         loop@L10                959   0.5%          959        15344            0          0          0
+  L16.u4         loop@L10                959   0.5%          959        15344            0          0          0
+  L17.u4         loop@L10                959   0.5%          959        15344            0          0          0
+  L8.u5          loop@L10                894   0.4%          894        14304            0          0          0
+  L12.u5         loop@L10                894   0.4%          894        14304            0          0          0
+  L16.u5         loop@L10                894   0.4%          894        14304            0          0          0
+  L17.u5         loop@L10                894   0.4%          894        14304            0          0          0
+  L6             -                       512   0.2%          512         8192            0          0          0
+  L7             -                       512   0.2%          512         8192            0          0          0
+
+cpx;? 3080
+cpx;L19 4618
+cpx;L3 7434
+cpx;L4 4096
+cpx;L6 512
+cpx;L7 512
+cpx;L8 1038
+cpx;L9 1038
+cpx;loop@L10;L10 9841
+cpx;loop@L10;L10.u1 10208
+cpx;loop@L10;L10.u2 8128
+cpx;loop@L10;L10.u3 8064
+cpx;loop@L10;L10.u4 7936
+cpx;loop@L10;L10.u5 9471
+cpx;loop@L10;L11 5752
+cpx;loop@L10;L11.u1 4582
+cpx;loop@L10;L11.u2 4546
+cpx;loop@L10;L11.u3 4474
+cpx;loop@L10;L11.u4 4316
+cpx;loop@L10;L11.u5 4033
+cpx;loop@L10;L12 1276
+cpx;loop@L10;L12.u1 1016
+cpx;loop@L10;L12.u2 1008
+cpx;loop@L10;L12.u3 992
+cpx;loop@L10;L12.u4 959
+cpx;loop@L10;L12.u5 894
+cpx;loop@L10;L13 5742
+cpx;loop@L10;L13.u1 4572
+cpx;loop@L10;L13.u2 4536
+cpx;loop@L10;L13.u3 4464
+cpx;loop@L10;L13.u4 4316
+cpx;loop@L10;L13.u5 4023
+cpx;loop@L10;L15 5742
+cpx;loop@L10;L15.u1 4572
+cpx;loop@L10;L15.u2 4536
+cpx;loop@L10;L15.u3 4464
+cpx;loop@L10;L15.u4 4316
+cpx;loop@L10;L15.u5 4031
+cpx;loop@L10;L16 1276
+cpx;loop@L10;L16.u1 1016
+cpx;loop@L10;L16.u2 1008
+cpx;loop@L10;L16.u3 992
+cpx;loop@L10;L16.u4 959
+cpx;loop@L10;L16.u5 894
+cpx;loop@L10;L17 1276
+cpx;loop@L10;L17.u1 1016
+cpx;loop@L10;L17.u2 1008
+cpx;loop@L10;L17.u3 992
+cpx;loop@L10;L17.u4 959
+cpx;loop@L10;L17.u5 894
+cpx;loop@L10;L3 1006
+cpx;loop@L10;L6 1118
+cpx;loop@L10;L7 1341
+cpx;loop@L10;L8 2170
+cpx;loop@L10;L8.u1 1016
+cpx;loop@L10;L8.u2 1008
+cpx;loop@L10;L8.u3 992
+cpx;loop@L10;L8.u4 959
+cpx;loop@L10;L8.u5 894
+cpx;loop@L10;L9 5368
+cpx;loop@L10;L9.u1 3564
+cpx;loop@L10;L9.u2 3536
+cpx;loop@L10;L9.u3 3480
+cpx;loop@L10;L9.u4 3364
+cpx;loop@L10;L9.u5 3129

@@ -1,0 +1,81 @@
+kernel rainflow: 4551875 cycles (issue 681471, dep_stall 3870169, fetch_stall 220)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L7               1      4545416   99.9%      4545416          827       133950
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L8             loop@L7             1084074  23.8%       132064       385024       935492        278      96256
+  L9             loop@L7              556424  12.2%        54300       149832       493054         18      24972
+  L15            loop@L7              472018  10.4%        46416       138936       417846        253      23156
+  L9.u1          loop@L7              446702   9.8%        43554       119010       395868          7      19835
+  L8.u1          loop@L7              370474   8.1%        21777        59505       341428          0      19835
+  L15.u1.d2      loop@L7              361090   7.9%        35520       106680       319640        271      17780
+  L8.u1.d2       loop@L7              298930   6.6%        17760        53340       275240          0      17780
+  L14            loop@L7              186559   4.1%        15472        46312       163340          0          0
+  L14.u1.d2      loop@L7              146500   3.2%        11840        35560       128740          0          0
+  L7             loop@L7              133405   2.9%        51577       146432        64707          0          0
+  L9.u1.d1       loop@L7              127880   2.8%        12414        32256       113386          0       5376
+  L15.u1.d11     loop@L7              110938   2.4%        10854        30822        98264          0       5137
+  L7.u1          loop@L7               39925   0.9%        14518        39670        18148          0          0
+  L7.u1.d2       loop@L7               32560   0.7%        11840        35560        14800          0          0
+  ?              loop@L7               26888   0.6%        13444        37137            0          0          0
+  L8.u1.d11      loop@L7               24778   0.5%         3618        10274        19340          0          0
+  L11.u1         loop@L7               22268   0.5%         6360        18381        15898          0       6127
+  L17            loop@L7               21733   0.5%         6207        16128        15515          0       5376
+  L11            loop@L7               19003   0.4%         5427        15411        13565          0       5137
+  L17.u1.d2      loop@L7               18597   0.4%         5313        14592        13283          0       4864
+  L7.u1.d1       loop@L7               11380   0.3%         4138        10752         5173          0          0
+  L7.u1.d11      loop@L7                9950   0.2%         3618        10274         4523          0          0
+  L5             loop@L7                7769   0.2%         7769        21504            0          0          0
+  L7.u1.d20      loop@L7                4240   0.1%         2120         6127            0          0          0
+  L7.u1.d3       loop@L7                3542   0.1%         1771         4864            0          0          0
+  L6             -                      2184   0.0%          384         6144         1790          0       2048
+  L10.u1         loop@L7                2120   0.0%         2120         6127            0          0          0
+  L16            loop@L7                2079   0.0%         2069         5376            0          0          0
+  L10            loop@L7                1809   0.0%         1809         5137            0          0          0
+  L16.u1.d2      loop@L7                1781   0.0%         1771         4864            0          0          0
+  ?              -                      1354   0.0%          677         2048            0          0          0
+  L3             -                       874   0.0%          384         6144          480          0          0
+  L5             -                       677   0.0%          677         2048            0          0          0
+  L22            -                       576   0.0%          256         4096          320          0        256
+  L7             -                       570   0.0%          320         5120          176          0          0
+  L4             -                       224   0.0%           64         1024          160          0          0
+
+rainflow;? 1354
+rainflow;L22 576
+rainflow;L3 874
+rainflow;L4 224
+rainflow;L5 677
+rainflow;L6 2184
+rainflow;L7 570
+rainflow;loop@L7;? 26888
+rainflow;loop@L7;L10 1809
+rainflow;loop@L7;L10.u1 2120
+rainflow;loop@L7;L11 19003
+rainflow;loop@L7;L11.u1 22268
+rainflow;loop@L7;L14 186559
+rainflow;loop@L7;L14.u1.d2 146500
+rainflow;loop@L7;L15 472018
+rainflow;loop@L7;L15.u1.d11 110938
+rainflow;loop@L7;L15.u1.d2 361090
+rainflow;loop@L7;L16 2079
+rainflow;loop@L7;L16.u1.d2 1781
+rainflow;loop@L7;L17 21733
+rainflow;loop@L7;L17.u1.d2 18597
+rainflow;loop@L7;L5 7769
+rainflow;loop@L7;L7 133405
+rainflow;loop@L7;L7.u1 39925
+rainflow;loop@L7;L7.u1.d1 11380
+rainflow;loop@L7;L7.u1.d11 9950
+rainflow;loop@L7;L7.u1.d2 32560
+rainflow;loop@L7;L7.u1.d20 4240
+rainflow;loop@L7;L7.u1.d3 3542
+rainflow;loop@L7;L8 1084074
+rainflow;loop@L7;L8.u1 370474
+rainflow;loop@L7;L8.u1.d11 24778
+rainflow;loop@L7;L8.u1.d2 298930
+rainflow;loop@L7;L9 556424
+rainflow;loop@L7;L9.u1 446702
+rainflow;loop@L7;L9.u1.d1 127880

@@ -1,0 +1,549 @@
+kernel xsbench: 225497 cycles (issue 48433, dep_stall 167650, fetch_stall 9320)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L11              1       181001   80.3%       181001          146            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L13            loop@L11              16392   7.3%         1280        20480        14846          7        256
+  L23            -                     16012   7.1%         1664        26624        14338          0        914
+  L22            -                      9706   4.3%          384         6144         8682          0          0
+  L13.u1.d1      loop@L11               8847   3.9%          690        10615         7999          7        138
+  L13.u1         loop@L11               8002   3.5%          625         9865         7250          4        125
+  L5             -                      6282   2.8%          768        12288         3712          0          0
+  L12            loop@L11               5376   2.4%          512         8192         3072          0          0
+  L13.u2.d33     loop@L11               4864   2.2%          380         5365         4408          6         76
+  L13.u2.d1      loop@L11               4470   2.0%          345         5250         3985          6         69
+  L13.u2         loop@L11               4290   1.9%          335         5190         3886          7         67
+  L7             -                      4104   1.8%          384         6144         2174          0          0
+  L13.u2.d2      loop@L11               4013   1.8%          310         4675         3581          0         62
+  L13.u3.d34     loop@L11               2949   1.3%          225         2765         2588          0         45
+  L11            loop@L11               2947   1.3%         1058        12274         1350          0          0
+  L12.u1.d1      loop@L11               2898   1.3%          276         4246         1656          0          0
+  L12.u1         loop@L11               2635   1.2%          250         3946         1500          0          0
+  L13.u3.d1      loop@L11               2635   1.2%          200         2805         2295          8         40
+  L10            loop@L11               2540   1.1%          802         8178         1497          0          0
+  L13.u3.d18     loop@L11               2437   1.1%          185         2585         2124          7         37
+  L13.u3         loop@L11               2370   1.1%          185         2605         2146          2         37
+  L13.u3.d33     loop@L11               2370   1.1%          185         2600         2146          0         37
+  L13.u3.d49     loop@L11               2242   1.0%          175         2445         2030          7         35
+  L13.u3.d2      loop@L11               2236   1.0%          170         2435         1952          7         34
+  L13.u3.d3      loop@L11               1792   0.8%          140         2240         1624          6         28
+  L3             -                      1738   0.8%          768        12288          960          0          0
+  L12.u2.d33     loop@L11               1666   0.7%          152         2146          912          0          0
+  L13.u4.d1      loop@L11               1664   0.7%          130         1710         1508          8         26
+  L13.u4.d33     loop@L11               1604   0.7%          120         1630         1370          7         24
+  L13.u4.d11     loop@L11               1536   0.7%          120         1540         1392          7         24
+  L13.u4.d19     loop@L11               1536   0.7%          120         1710         1392          6         24
+  L12.u2         loop@L11               1477   0.7%          134         2076          804          0          0
+  L13.u4.d49     loop@L11               1476   0.7%          110         1565         1254          5         22
+  L13.u4.d34     loop@L11               1474   0.7%          115         1430         1334          7         23
+  L21            -                      1472   0.7%          512         8192          960          0        202
+  L13.u4.d26     loop@L11               1468   0.7%          110         1530         1256          7         22
+  L12.u2.d1      loop@L11               1449   0.6%          138         2100          828          0          0
+  L9             loop@L11               1445   0.6%          802         8178          399          0          0
+  L13.u4.d35     loop@L11               1408   0.6%          110         1335         1276          7         22
+  L13.u4.d57     loop@L11               1408   0.6%          110         1095         1276          0         22
+  L13.u4.d50     loop@L11               1340   0.6%          100          880         1140          0         20
+  L12.u2.d2      loop@L11               1302   0.6%          124         1870          744          0          0
+  L13.u4.d18     loop@L11               1280   0.6%          100          875         1160          0         20
+  L13.u5.d61     loop@L11               1250   0.6%           80          676         1090          0         20
+  L20            -                      1224   0.5%          384         6144          830          0        200
+  L8             loop@L11               1218   0.5%          802         8178          149          0          0
+  L13.u5.d19     loop@L11               1192   0.5%           76          756         1035          0         19
+  L13.u5.d33     loop@L11               1190   0.5%           80          752         1110          0         20
+  L13.u4         loop@L11               1157   0.5%           85         1075          964          1         17
+  L13.u4.d4      loop@L11               1157   0.5%           85         1175          964          6         17
+  L13.u4.d3      loop@L11               1150   0.5%           85         1065          966          7         17
+  L13.u5.d11     loop@L11               1131   0.5%           72          624          979          0         18
+  L13.u5.d36     loop@L11               1131   0.5%           72          624          979          0         18
+  L13.u4.d2      loop@L11               1090   0.5%           85          895          986          0         17
+  L13.u5.d34     loop@L11               1073   0.5%           68          628          924          0         17
+  L13.u5.d27     loop@L11               1071   0.5%           72          628          999          0         18
+  L4             -                      1024   0.5%          256         4096          640          0          0
+  L11.u1         loop@L11               1001   0.4%          250         3946          625          0          0
+  L12.u3.d34     loop@L11                945   0.4%           90         1106          540          0          0
+  L13.u4.d42     loop@L11                894   0.4%           65          970          734          4         13
+  L13.u5.d8      loop@L11                894   0.4%           60          628          833          0         15
+  L12.u3         loop@L11                867   0.4%           74         1042          444          0          0
+  L12.u3.d33     loop@L11                857   0.4%           74         1040          444          0          0
+  L13.u5.d1      loop@L11                842   0.4%           52          664          699          0         13
+  L13.u5.d39     loop@L11                842   0.4%           52          516          699          0         13
+  L12.u3.d1      loop@L11                840   0.4%           80         1122          480          0          0
+  L13.u5.d12     loop@L11                835   0.4%           52          608          702          0         13
+  L13.u5.d54     loop@L11                833   0.4%           56          624          777          0         14
+  L12.u3.d49     loop@L11                825   0.4%           70          978          420          0          0
+  ?              -                       804   0.4%          402         4096            0          0          0
+  ?              loop@L11                802   0.4%          401         4089            0          0          0
+  L11.u1.d1      loop@L11                779   0.3%          276         4246          345          0          0
+  L12.u3.d18     loop@L11                777   0.3%           74         1034          444          0          0
+  L13.u5.d4      loop@L11                775   0.3%           52          624          722          0         13
+  L13.u5.d49     loop@L11                775   0.3%           52          628          722          0         13
+  L13.u5.d58     loop@L11                767   0.3%           48          452          649          0         12
+  L13.u5.d15     loop@L11                716   0.3%           44          560          591          0         11
+  L13.u5.d20     loop@L11                716   0.3%           44          612          591          0         11
+  L13.u5.d23     loop@L11                716   0.3%           44          396          591          0         11
+  L13.u5.d35     loop@L11                716   0.3%           44          444          591          0         11
+  L12.u3.d2      loop@L11                714   0.3%           68          974          408          0          0
+  L12.u3.d3      loop@L11                688   0.3%           56          896          336          0          0
+  L6             -                       672   0.3%          256         4096          416          0          0
+  L13.u5.d26     loop@L11                656   0.3%           44          596          611          0         11
+  L13.u5.d43     loop@L11                656   0.3%           44          616          611          0         11
+  L13.u5.d46     loop@L11                656   0.3%           44          552          611          0         11
+  L13.u5.d51     loop@L11                656   0.3%           44          488          611          0         11
+  L13.u5.d57     loop@L11                655   0.3%           40          424          535          0         10
+  L12.u4.d1      loop@L11                636   0.3%           52          684          312          0          0
+  L11.u2.d33     loop@L11                608   0.3%          152         2146          380          0          0
+  L13.u5.d5      loop@L11                595   0.3%           40          316          555          0         10
+  L12.u4.d11     loop@L11                594   0.3%           48          616          288          0          0
+  L12.u4.d19     loop@L11                594   0.3%           48          684          288          0          0
+  L13.u5.d18     loop@L11                589   0.3%           36          304          482          0          9
+  L12.u4.d34     loop@L11                573   0.3%           46          572          276          0          0
+  L12.u4.d35     loop@L11                552   0.2%           44          534          264          0          0
+  L12.u4.d57     loop@L11                552   0.2%           44          438          264          0          0
+  L11.u2.d2      loop@L11                541   0.2%          124         1870          295          0          0
+  L13.u5         loop@L11                537   0.2%           36          464          500          0          9
+  L13.u5.d3      loop@L11                537   0.2%           36          224          500          0          9
+  L13.u5.d30     loop@L11                537   0.2%           36          396          500          0          9
+  L13.u5.d50     loop@L11                537   0.2%           36          216          500          0          9
+  L12.u4.d33     loop@L11                504   0.2%           48          652          288          0          0
+  L12.u4.d18     loop@L11                500   0.2%           40          350          240          0          0
+  L12.u5.d33     loop@L11                500   0.2%           40          376          240          0          0
+  L12.u4.d26     loop@L11                462   0.2%           44          612          264          0          0
+  L12.u4.d49     loop@L11                462   0.2%           44          626          264          0          0
+  L12.u5.d27     loop@L11                458   0.2%           36          314          216          0          0
+  L11.u2.d1      loop@L11                450   0.2%          138         2100          173          0          0
+  L10            -                       448   0.2%          128         2048          320          0          0
+  L12.u4.d2      loop@L11                437   0.2%           34          358          204          0          0
+  L11.u2         loop@L11                429   0.2%          134         2076          168          0          0
+  L11.u3.d34     loop@L11                428   0.2%           90         1106          203          0          0
+  L12.u4.d50     loop@L11                420   0.2%           40          352          240          0          0
+  L12.u5.d61     loop@L11                420   0.2%           40          338          240          0          0
+  L8             -                       402   0.2%          402         4096            0          0          0
+  L12.u5.d19     loop@L11                399   0.2%           38          378          228          0          0
+  L13.u5.d2      loop@L11                395   0.2%           24          156          321          0          6
+  L12.u5.d8      loop@L11                385   0.2%           30          314          180          0          0
+  L12.u5.d11     loop@L11                378   0.2%           36          312          216          0          0
+  L12.u5.d36     loop@L11                378   0.2%           36          312          216          0          0
+  L12.u5.d54     loop@L11                374   0.2%           28          312          168          0          0
+  L11.u3.d18     loop@L11                364   0.2%           74         1034          163          0          0
+  L12.u4         loop@L11                357   0.2%           34          430          204          0          0
+  L12.u4.d3      loop@L11                357   0.2%           34          426          204          0          0
+  L12.u4.d4      loop@L11                357   0.2%           34          470          204          0          0
+  L12.u5.d34     loop@L11                357   0.2%           34          314          204          0          0
+  L13.u5.d42     loop@L11                357   0.2%           24          160          333          0          6
+  L12.u5.d4      loop@L11                353   0.2%           26          312          156          0          0
+  L12.u5.d49     loop@L11                353   0.2%           26          314          156          0          0
+  L9             -                       352   0.2%          256         4096           96          0          0
+  L11.u3.d1      loop@L11                330   0.1%           80         1122          100          0          0
+  L12.u5.d26     loop@L11                311   0.1%           22          298          132          0          0
+  L12.u5.d43     loop@L11                311   0.1%           22          308          132          0          0
+  L12.u5.d46     loop@L11                311   0.1%           22          276          132          0          0
+  L12.u5.d51     loop@L11                311   0.1%           22          244          132          0          0
+  L11.u3         loop@L11                284   0.1%           74         1042           93          0          0
+  L12.u5.d1      loop@L11                283   0.1%           26          332          156          0          0
+  L11.u3.d49     loop@L11                281   0.1%           70          978          175          0          0
+  L12.u5.d5      loop@L11                280   0.1%           20          158          120          0          0
+  L12.u4.d42     loop@L11                273   0.1%           26          388          156          0          0
+  L12.u5.d12     loop@L11                273   0.1%           26          304          156          0          0
+  L12.u5.d39     loop@L11                273   0.1%           26          258          156          0          0
+  L12.u5.d3      loop@L11                269   0.1%           18          112          108          0          0
+  L11.u3.d2      loop@L11                267   0.1%           68          974           85          0          0
+  L11.u3.d33     loop@L11                264   0.1%           74         1040           93          0          0
+  L12.u5         loop@L11                259   0.1%           18          232          108          0          0
+  L12.u5.d50     loop@L11                259   0.1%           18          108          108          0          0
+  L11            -                       256   0.1%          128         2048            0          0          0
+  L12.u5.d58     loop@L11                252   0.1%           24          226          144          0          0
+  L12.u5.d30     loop@L11                249   0.1%           18          198          108          0          0
+  L11.u4.d26     loop@L11                236   0.1%           44          612           90          0          0
+  L11.u4.d1      loop@L11                233   0.1%           52          684           65          0          0
+  L12.u5.d15     loop@L11                231   0.1%           22          280          132          0          0
+  L12.u5.d20     loop@L11                231   0.1%           22          306          132          0          0
+  L12.u5.d23     loop@L11                231   0.1%           22          198          132          0          0
+  L12.u5.d35     loop@L11                231   0.1%           22          222          132          0          0
+  L11.u3.d3      loop@L11                224   0.1%           56          896          140          0          0
+  L11.u4.d33     loop@L11                222   0.1%           48          652           60          0          0
+  L11.u4.d50     loop@L11                220   0.1%           40          352           80          0          0
+  L11.u5.d61     loop@L11                220   0.1%           40          338           80          0          0
+  L11.u4.d49     loop@L11                211   0.1%           44          626           55          0          0
+  L12.u5.d57     loop@L11                210   0.1%           20          212          120          0          0
+  L11.u4.d4      loop@L11                204   0.1%           34          470           63          0          0
+  L11.u5.d36     loop@L11                204   0.1%           36          312           70          0          0
+  L11.u4.d11     loop@L11                192   0.1%           48          616          120          0          0
+  L11.u4.d19     loop@L11                192   0.1%           48          684          120          0          0
+  L12.u5.d18     loop@L11                189   0.1%           18          152          108          0          0
+  L11.u5.d19     loop@L11                185   0.1%           38          378           48          0          0
+  L11.u4         loop@L11                184   0.1%           34          430           43          0          0
+  L11.u5.d33     loop@L11                180   0.1%           40          376           50          0          0
+  L11.u4.d35     loop@L11                176   0.1%           44          534          110          0          0
+  L11.u4.d57     loop@L11                176   0.1%           44          438          110          0          0
+  L12.u5.d42     loop@L11                176   0.1%           12           80           72          0          0
+  L11.u4.d3      loop@L11                174   0.1%           34          426           43          0          0
+  L11.u5.d39     loop@L11                172   0.1%           26          258           43          0          0
+  L11.u4.d18     loop@L11                170   0.1%           40          350           50          0          0
+  L11.u4.d42     loop@L11                165   0.1%           26          388           45          0          0
+  L11.u5.d12     loop@L11                165   0.1%           26          304           45          0          0
+  L11.u4.d2      loop@L11                164   0.1%           34          358           43          0          0
+  L11.u5.d34     loop@L11                164   0.1%           34          314           43          0          0
+  L11.u5.d11     loop@L11                159   0.1%           36          312           45          0          0
+  L11.u4.d34     loop@L11                157   0.1%           46          572           58          0          0
+  L11.u5.d4      loop@L11                152   0.1%           26          312           33          0          0
+  L11.u5.d15     loop@L11                149   0.1%           22          280           35          0          0
+  L11.u5.d20     loop@L11                149   0.1%           22          306           35          0          0
+  L11.u5.d23     loop@L11                149   0.1%           22          198           35          0          0
+  L11.u5.d58     loop@L11                149   0.1%           24          226           43          0          0
+  L11.u5.d27     loop@L11                144   0.1%           36          314           90          0          0
+  L11.u5.d49     loop@L11                142   0.1%           26          314           33          0          0
+  L11.u5.d35     loop@L11                141   0.1%           22          222           28          0          0
+  L11.u5.d26     loop@L11                131   0.1%           22          298           28          0          0
+  L12.u5.d2      loop@L11                126   0.1%           12           78           72          0          0
+  L18            loop@L11                125   0.1%          125         1973            0          0          0
+  L11.u5.d8      loop@L11                121   0.1%           30          314           75          0          0
+  L11.u5.d3      loop@L11                120   0.1%           18          112           23          0          0
+  L11.u5.d54     loop@L11                112   0.0%           28          312           70          0          0
+  L11.u5         loop@L11                100   0.0%           18          232           23          0          0
+  L18.u5.d48     loop@L11                100   0.0%           20          188            0          0          0
+  L18.u5.d7      loop@L11                 93   0.0%           13          156            0          0          0
+  L18.u5.d56     loop@L11                 93   0.0%           13          157            0          0          0
+  L18.u5.d29     loop@L11                 91   0.0%           11          149            0          0          0
+  L11.u5.d43     loop@L11                 89   0.0%           22          308           55          0          0
+  L11.u5.d46     loop@L11                 89   0.0%           22          276           55          0          0
+  L11.u5.d51     loop@L11                 89   0.0%           22          244           55          0          0
+  L18.u5.d10     loop@L11                 89   0.0%            9           56            0          0          0
+  L11.u5.d1      loop@L11                 87   0.0%           28          346           35          0          0
+  L11.u5.d5      loop@L11                 80   0.0%           20          158           50          0          0
+  L18.u5.d32     loop@L11                 79   0.0%            9          116            0          0          0
+  L18.u5.d53     loop@L11                 79   0.0%            9           54            0          0          0
+  L18.u1.d33     loop@L11                 76   0.0%           76         1073            0          0          0
+  L11.u5.d57     loop@L11                 75   0.0%           20          212           25          0          0
+  L11.u5.d30     loop@L11                 73   0.0%           18          198           45          0          0
+  L11.u5.d42     loop@L11                 63   0.0%           12           80           15          0          0
+  L18.u1.d2      loop@L11                 62   0.0%           62          935            0          0          0
+  L11.u5.d18     loop@L11                 60   0.0%           18          152           23          0          0
+  L18.u5.d45     loop@L11                 56   0.0%            6           40            0          0          0
+  L11.u5.d50     loop@L11                 50   0.0%           18          108           23          0          0
+  L18.u2.d34     loop@L11                 45   0.0%           45          553            0          0          0
+  L11.u5.d2      loop@L11                 43   0.0%           12           78           15          0          0
+  L18.u2.d18     loop@L11                 37   0.0%           37          517            0          0          0
+  L18.u2.d49     loop@L11                 35   0.0%           35          489            0          0          0
+  L18.u2.d3      loop@L11                 28   0.0%           28          448            0          0          0
+  L18.u3.d11     loop@L11                 24   0.0%           24          308            0          0          0
+  L18.u3.d19     loop@L11                 24   0.0%           24          342            0          0          0
+  L18.u3.d26     loop@L11                 22   0.0%           22          306            0          0          0
+  L18.u3.d35     loop@L11                 22   0.0%           22          267            0          0          0
+  L18.u3.d57     loop@L11                 22   0.0%           22          219            0          0          0
+  L18.u3.d50     loop@L11                 20   0.0%           20          176            0          0          0
+  L18.u4.d61     loop@L11                 20   0.0%           20          169            0          0          0
+  L18.u5.d62     loop@L11                 20   0.0%           20          169            0          0          0
+  L18.u5.d22     loop@L11                 19   0.0%           19          189            0          0          0
+  L18.u4.d27     loop@L11                 18   0.0%           18          157            0          0          0
+  L18.u4.d36     loop@L11                 18   0.0%           18          156            0          0          0
+  L18.u5.d14     loop@L11                 18   0.0%           18          156            0          0          0
+  L18.u5.d28     loop@L11                 18   0.0%           18          157            0          0          0
+  L18.u5.d37     loop@L11                 18   0.0%           18          156            0          0          0
+  L18.u3.d4      loop@L11                 17   0.0%           17          235            0          0          0
+  L18.u5.d41     loop@L11                 17   0.0%           17          157            0          0          0
+  L18.u4.d8      loop@L11                 15   0.0%           15          157            0          0          0
+  L18.u5.d9      loop@L11                 15   0.0%           15          157            0          0          0
+  L18.u4.d54     loop@L11                 14   0.0%           14          156            0          0          0
+  L18.u5.d55     loop@L11                 14   0.0%           14          156            0          0          0
+  L18.u3.d42     loop@L11                 13   0.0%           13          194            0          0          0
+  L18.u4.d12     loop@L11                 13   0.0%           13          152            0          0          0
+  L18.u4.d39     loop@L11                 13   0.0%           13          129            0          0          0
+  L18.u5.d13     loop@L11                 13   0.0%           13          152            0          0          0
+  L18.u5.d40     loop@L11                 13   0.0%           13          129            0          0          0
+  L18.u5.d63     loop@L11                 13   0.0%           13          166            0          0          0
+  L18.u4.d58     loop@L11                 12   0.0%           12          113            0          0          0
+  L18.u5.d59     loop@L11                 12   0.0%           12          113            0          0          0
+  L18.u4.d15     loop@L11                 11   0.0%           11          140            0          0          0
+  L18.u4.d20     loop@L11                 11   0.0%           11          153            0          0          0
+  L18.u4.d23     loop@L11                 11   0.0%           11           99            0          0          0
+  L18.u4.d43     loop@L11                 11   0.0%           11          154            0          0          0
+  L18.u4.d46     loop@L11                 11   0.0%           11          138            0          0          0
+  L18.u4.d51     loop@L11                 11   0.0%           11          122            0          0          0
+  L18.u5.d16     loop@L11                 11   0.0%           11          140            0          0          0
+  L18.u5.d21     loop@L11                 11   0.0%           11          153            0          0          0
+  L18.u5.d24     loop@L11                 11   0.0%           11           99            0          0          0
+  L18.u5.d38     loop@L11                 11   0.0%           11          111            0          0          0
+  L18.u5.d44     loop@L11                 11   0.0%           11          154            0          0          0
+  L18.u5.d47     loop@L11                 11   0.0%           11          138            0          0          0
+  L18.u5.d52     loop@L11                 11   0.0%           11          122            0          0          0
+  L18.u4.d5      loop@L11                 10   0.0%           10           79            0          0          0
+  L18.u5.d6      loop@L11                 10   0.0%           10           79            0          0          0
+  L18.u5.d60     loop@L11                 10   0.0%           10          106            0          0          0
+  L18.u4.d30     loop@L11                  9   0.0%            9           99            0          0          0
+  L18.u5.d25     loop@L11                  9   0.0%            9           76            0          0          0
+  L18.u5.d31     loop@L11                  9   0.0%            9           99            0          0          0
+  L18.u5.d17     loop@L11                  6   0.0%            6           39            0          0          0
+
+xsbench;? 804
+xsbench;L10 448
+xsbench;L11 256
+xsbench;L20 1224
+xsbench;L21 1472
+xsbench;L22 9706
+xsbench;L23 16012
+xsbench;L3 1738
+xsbench;L4 1024
+xsbench;L5 6282
+xsbench;L6 672
+xsbench;L7 4104
+xsbench;L8 402
+xsbench;L9 352
+xsbench;loop@L11;? 802
+xsbench;loop@L11;L10 2540
+xsbench;loop@L11;L11 2947
+xsbench;loop@L11;L11.u1 1001
+xsbench;loop@L11;L11.u1.d1 779
+xsbench;loop@L11;L11.u2 429
+xsbench;loop@L11;L11.u2.d1 450
+xsbench;loop@L11;L11.u2.d2 541
+xsbench;loop@L11;L11.u2.d33 608
+xsbench;loop@L11;L11.u3 284
+xsbench;loop@L11;L11.u3.d1 330
+xsbench;loop@L11;L11.u3.d18 364
+xsbench;loop@L11;L11.u3.d2 267
+xsbench;loop@L11;L11.u3.d3 224
+xsbench;loop@L11;L11.u3.d33 264
+xsbench;loop@L11;L11.u3.d34 428
+xsbench;loop@L11;L11.u3.d49 281
+xsbench;loop@L11;L11.u4 184
+xsbench;loop@L11;L11.u4.d1 233
+xsbench;loop@L11;L11.u4.d11 192
+xsbench;loop@L11;L11.u4.d18 170
+xsbench;loop@L11;L11.u4.d19 192
+xsbench;loop@L11;L11.u4.d2 164
+xsbench;loop@L11;L11.u4.d26 236
+xsbench;loop@L11;L11.u4.d3 174
+xsbench;loop@L11;L11.u4.d33 222
+xsbench;loop@L11;L11.u4.d34 157
+xsbench;loop@L11;L11.u4.d35 176
+xsbench;loop@L11;L11.u4.d4 204
+xsbench;loop@L11;L11.u4.d42 165
+xsbench;loop@L11;L11.u4.d49 211
+xsbench;loop@L11;L11.u4.d50 220
+xsbench;loop@L11;L11.u4.d57 176
+xsbench;loop@L11;L11.u5 100
+xsbench;loop@L11;L11.u5.d1 87
+xsbench;loop@L11;L11.u5.d11 159
+xsbench;loop@L11;L11.u5.d12 165
+xsbench;loop@L11;L11.u5.d15 149
+xsbench;loop@L11;L11.u5.d18 60
+xsbench;loop@L11;L11.u5.d19 185
+xsbench;loop@L11;L11.u5.d2 43
+xsbench;loop@L11;L11.u5.d20 149
+xsbench;loop@L11;L11.u5.d23 149
+xsbench;loop@L11;L11.u5.d26 131
+xsbench;loop@L11;L11.u5.d27 144
+xsbench;loop@L11;L11.u5.d3 120
+xsbench;loop@L11;L11.u5.d30 73
+xsbench;loop@L11;L11.u5.d33 180
+xsbench;loop@L11;L11.u5.d34 164
+xsbench;loop@L11;L11.u5.d35 141
+xsbench;loop@L11;L11.u5.d36 204
+xsbench;loop@L11;L11.u5.d39 172
+xsbench;loop@L11;L11.u5.d4 152
+xsbench;loop@L11;L11.u5.d42 63
+xsbench;loop@L11;L11.u5.d43 89
+xsbench;loop@L11;L11.u5.d46 89
+xsbench;loop@L11;L11.u5.d49 142
+xsbench;loop@L11;L11.u5.d5 80
+xsbench;loop@L11;L11.u5.d50 50
+xsbench;loop@L11;L11.u5.d51 89
+xsbench;loop@L11;L11.u5.d54 112
+xsbench;loop@L11;L11.u5.d57 75
+xsbench;loop@L11;L11.u5.d58 149
+xsbench;loop@L11;L11.u5.d61 220
+xsbench;loop@L11;L11.u5.d8 121
+xsbench;loop@L11;L12 5376
+xsbench;loop@L11;L12.u1 2635
+xsbench;loop@L11;L12.u1.d1 2898
+xsbench;loop@L11;L12.u2 1477
+xsbench;loop@L11;L12.u2.d1 1449
+xsbench;loop@L11;L12.u2.d2 1302
+xsbench;loop@L11;L12.u2.d33 1666
+xsbench;loop@L11;L12.u3 867
+xsbench;loop@L11;L12.u3.d1 840
+xsbench;loop@L11;L12.u3.d18 777
+xsbench;loop@L11;L12.u3.d2 714
+xsbench;loop@L11;L12.u3.d3 688
+xsbench;loop@L11;L12.u3.d33 857
+xsbench;loop@L11;L12.u3.d34 945
+xsbench;loop@L11;L12.u3.d49 825
+xsbench;loop@L11;L12.u4 357
+xsbench;loop@L11;L12.u4.d1 636
+xsbench;loop@L11;L12.u4.d11 594
+xsbench;loop@L11;L12.u4.d18 500
+xsbench;loop@L11;L12.u4.d19 594
+xsbench;loop@L11;L12.u4.d2 437
+xsbench;loop@L11;L12.u4.d26 462
+xsbench;loop@L11;L12.u4.d3 357
+xsbench;loop@L11;L12.u4.d33 504
+xsbench;loop@L11;L12.u4.d34 573
+xsbench;loop@L11;L12.u4.d35 552
+xsbench;loop@L11;L12.u4.d4 357
+xsbench;loop@L11;L12.u4.d42 273
+xsbench;loop@L11;L12.u4.d49 462
+xsbench;loop@L11;L12.u4.d50 420
+xsbench;loop@L11;L12.u4.d57 552
+xsbench;loop@L11;L12.u5 259
+xsbench;loop@L11;L12.u5.d1 283
+xsbench;loop@L11;L12.u5.d11 378
+xsbench;loop@L11;L12.u5.d12 273
+xsbench;loop@L11;L12.u5.d15 231
+xsbench;loop@L11;L12.u5.d18 189
+xsbench;loop@L11;L12.u5.d19 399
+xsbench;loop@L11;L12.u5.d2 126
+xsbench;loop@L11;L12.u5.d20 231
+xsbench;loop@L11;L12.u5.d23 231
+xsbench;loop@L11;L12.u5.d26 311
+xsbench;loop@L11;L12.u5.d27 458
+xsbench;loop@L11;L12.u5.d3 269
+xsbench;loop@L11;L12.u5.d30 249
+xsbench;loop@L11;L12.u5.d33 500
+xsbench;loop@L11;L12.u5.d34 357
+xsbench;loop@L11;L12.u5.d35 231
+xsbench;loop@L11;L12.u5.d36 378
+xsbench;loop@L11;L12.u5.d39 273
+xsbench;loop@L11;L12.u5.d4 353
+xsbench;loop@L11;L12.u5.d42 176
+xsbench;loop@L11;L12.u5.d43 311
+xsbench;loop@L11;L12.u5.d46 311
+xsbench;loop@L11;L12.u5.d49 353
+xsbench;loop@L11;L12.u5.d5 280
+xsbench;loop@L11;L12.u5.d50 259
+xsbench;loop@L11;L12.u5.d51 311
+xsbench;loop@L11;L12.u5.d54 374
+xsbench;loop@L11;L12.u5.d57 210
+xsbench;loop@L11;L12.u5.d58 252
+xsbench;loop@L11;L12.u5.d61 420
+xsbench;loop@L11;L12.u5.d8 385
+xsbench;loop@L11;L13 16392
+xsbench;loop@L11;L13.u1 8002
+xsbench;loop@L11;L13.u1.d1 8847
+xsbench;loop@L11;L13.u2 4290
+xsbench;loop@L11;L13.u2.d1 4470
+xsbench;loop@L11;L13.u2.d2 4013
+xsbench;loop@L11;L13.u2.d33 4864
+xsbench;loop@L11;L13.u3 2370
+xsbench;loop@L11;L13.u3.d1 2635
+xsbench;loop@L11;L13.u3.d18 2437
+xsbench;loop@L11;L13.u3.d2 2236
+xsbench;loop@L11;L13.u3.d3 1792
+xsbench;loop@L11;L13.u3.d33 2370
+xsbench;loop@L11;L13.u3.d34 2949
+xsbench;loop@L11;L13.u3.d49 2242
+xsbench;loop@L11;L13.u4 1157
+xsbench;loop@L11;L13.u4.d1 1664
+xsbench;loop@L11;L13.u4.d11 1536
+xsbench;loop@L11;L13.u4.d18 1280
+xsbench;loop@L11;L13.u4.d19 1536
+xsbench;loop@L11;L13.u4.d2 1090
+xsbench;loop@L11;L13.u4.d26 1468
+xsbench;loop@L11;L13.u4.d3 1150
+xsbench;loop@L11;L13.u4.d33 1604
+xsbench;loop@L11;L13.u4.d34 1474
+xsbench;loop@L11;L13.u4.d35 1408
+xsbench;loop@L11;L13.u4.d4 1157
+xsbench;loop@L11;L13.u4.d42 894
+xsbench;loop@L11;L13.u4.d49 1476
+xsbench;loop@L11;L13.u4.d50 1340
+xsbench;loop@L11;L13.u4.d57 1408
+xsbench;loop@L11;L13.u5 537
+xsbench;loop@L11;L13.u5.d1 842
+xsbench;loop@L11;L13.u5.d11 1131
+xsbench;loop@L11;L13.u5.d12 835
+xsbench;loop@L11;L13.u5.d15 716
+xsbench;loop@L11;L13.u5.d18 589
+xsbench;loop@L11;L13.u5.d19 1192
+xsbench;loop@L11;L13.u5.d2 395
+xsbench;loop@L11;L13.u5.d20 716
+xsbench;loop@L11;L13.u5.d23 716
+xsbench;loop@L11;L13.u5.d26 656
+xsbench;loop@L11;L13.u5.d27 1071
+xsbench;loop@L11;L13.u5.d3 537
+xsbench;loop@L11;L13.u5.d30 537
+xsbench;loop@L11;L13.u5.d33 1190
+xsbench;loop@L11;L13.u5.d34 1073
+xsbench;loop@L11;L13.u5.d35 716
+xsbench;loop@L11;L13.u5.d36 1131
+xsbench;loop@L11;L13.u5.d39 842
+xsbench;loop@L11;L13.u5.d4 775
+xsbench;loop@L11;L13.u5.d42 357
+xsbench;loop@L11;L13.u5.d43 656
+xsbench;loop@L11;L13.u5.d46 656
+xsbench;loop@L11;L13.u5.d49 775
+xsbench;loop@L11;L13.u5.d5 595
+xsbench;loop@L11;L13.u5.d50 537
+xsbench;loop@L11;L13.u5.d51 656
+xsbench;loop@L11;L13.u5.d54 833
+xsbench;loop@L11;L13.u5.d57 655
+xsbench;loop@L11;L13.u5.d58 767
+xsbench;loop@L11;L13.u5.d61 1250
+xsbench;loop@L11;L13.u5.d8 894
+xsbench;loop@L11;L18 125
+xsbench;loop@L11;L18.u1.d2 62
+xsbench;loop@L11;L18.u1.d33 76
+xsbench;loop@L11;L18.u2.d18 37
+xsbench;loop@L11;L18.u2.d3 28
+xsbench;loop@L11;L18.u2.d34 45
+xsbench;loop@L11;L18.u2.d49 35
+xsbench;loop@L11;L18.u3.d11 24
+xsbench;loop@L11;L18.u3.d19 24
+xsbench;loop@L11;L18.u3.d26 22
+xsbench;loop@L11;L18.u3.d35 22
+xsbench;loop@L11;L18.u3.d4 17
+xsbench;loop@L11;L18.u3.d42 13
+xsbench;loop@L11;L18.u3.d50 20
+xsbench;loop@L11;L18.u3.d57 22
+xsbench;loop@L11;L18.u4.d12 13
+xsbench;loop@L11;L18.u4.d15 11
+xsbench;loop@L11;L18.u4.d20 11
+xsbench;loop@L11;L18.u4.d23 11
+xsbench;loop@L11;L18.u4.d27 18
+xsbench;loop@L11;L18.u4.d30 9
+xsbench;loop@L11;L18.u4.d36 18
+xsbench;loop@L11;L18.u4.d39 13
+xsbench;loop@L11;L18.u4.d43 11
+xsbench;loop@L11;L18.u4.d46 11
+xsbench;loop@L11;L18.u4.d5 10
+xsbench;loop@L11;L18.u4.d51 11
+xsbench;loop@L11;L18.u4.d54 14
+xsbench;loop@L11;L18.u4.d58 12
+xsbench;loop@L11;L18.u4.d61 20
+xsbench;loop@L11;L18.u4.d8 15
+xsbench;loop@L11;L18.u5.d10 89
+xsbench;loop@L11;L18.u5.d13 13
+xsbench;loop@L11;L18.u5.d14 18
+xsbench;loop@L11;L18.u5.d16 11
+xsbench;loop@L11;L18.u5.d17 6
+xsbench;loop@L11;L18.u5.d21 11
+xsbench;loop@L11;L18.u5.d22 19
+xsbench;loop@L11;L18.u5.d24 11
+xsbench;loop@L11;L18.u5.d25 9
+xsbench;loop@L11;L18.u5.d28 18
+xsbench;loop@L11;L18.u5.d29 91
+xsbench;loop@L11;L18.u5.d31 9
+xsbench;loop@L11;L18.u5.d32 79
+xsbench;loop@L11;L18.u5.d37 18
+xsbench;loop@L11;L18.u5.d38 11
+xsbench;loop@L11;L18.u5.d40 13
+xsbench;loop@L11;L18.u5.d41 17
+xsbench;loop@L11;L18.u5.d44 11
+xsbench;loop@L11;L18.u5.d45 56
+xsbench;loop@L11;L18.u5.d47 11
+xsbench;loop@L11;L18.u5.d48 100
+xsbench;loop@L11;L18.u5.d52 11
+xsbench;loop@L11;L18.u5.d53 79
+xsbench;loop@L11;L18.u5.d55 14
+xsbench;loop@L11;L18.u5.d56 93
+xsbench;loop@L11;L18.u5.d59 12
+xsbench;loop@L11;L18.u5.d6 10
+xsbench;loop@L11;L18.u5.d60 10
+xsbench;loop@L11;L18.u5.d62 20
+xsbench;loop@L11;L18.u5.d63 13
+xsbench;loop@L11;L18.u5.d7 93
+xsbench;loop@L11;L18.u5.d9 15
+xsbench;loop@L11;L8 1218
+xsbench;loop@L11;L9 1445

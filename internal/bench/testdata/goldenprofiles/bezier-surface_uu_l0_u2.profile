@@ -3,57 +3,57 @@ kernel bezier: 145176 cycles (issue 113728, dep_stall 31014, fetch_stall 432)
 loops (hottest bodies first; cum covers the whole nest):
   loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
   loop@L12              2        70655   48.7%        70655            0            0
-  loop@L12              2        48329   33.3%        48329            0            0
+  loop@L12.u1.d9        2        48329   33.3%        48329            0            0
   loop@L7               1        14356    9.9%       143601            0            0
-  loop@L12              2        10261    7.1%        10261            0            0
-  loop@L12              2            0    0.0%            0            0            0
-  loop@L12              2            0    0.0%            0            0            0
+  loop@L12.u1.d2        2        10261    7.1%        10261            0            0
+  loop@L12.u1           2            0    0.0%            0            0            0
+  loop@L12.u1.d1        2            0    0.0%            0            0            0
 
 lines (hottest first):
   line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
-  L20.u1.d9      loop@L12              10973   7.6%         2560        81920         1997          0          0
+  L20.u1.d9      loop@L12.u1.d9        10973   7.6%         2560        81920         1997          0          0
   L11            loop@L12              10027   6.9%         3840       122880         6187          0          0
   L20            loop@L12               8514   5.9%         2240        71680          674          0          0
   L12            loop@L12               8366   5.8%         4224       135168         2029          0          0
   L20.d1         loop@L12               7614   5.2%         1600        51200         2014          0          0
   L15            loop@L12               6915   4.8%         3840       122880         1155          0          0
-  L11.u1.d9      loop@L12               6686   4.6%         2560        81920         4125          0          0
+  L11.u1.d9      loop@L12.u1.d9         6686   4.6%         2560        81920         4125          0          0
   L16            loop@L12               6081   4.2%         1600        51200          481          0          0
-  L12.u1.d9      loop@L12               5577   3.8%         2816        90112         1353          0          0
+  L12.u1.d9      loop@L12.u1.d9         5577   3.8%         2816        90112         1353          0          0
   L13            loop@L12               5011   3.5%         3840       122880         1155          0          0
   L10            loop@L12               4959   3.4%         3840       122880         1102          0          0
-  L16.u1.d9      loop@L12               4881   3.4%         1280        40960          385          0          0
-  L15.u1.d9      loop@L12               4610   3.2%         2560        81920          770          0          0
+  L16.u1.d9      loop@L12.u1.d9         4881   3.4%         1280        40960          385          0          0
+  L15.u1.d9      loop@L12.u1.d9         4610   3.2%         2560        81920          770          0          0
   ?              loop@L12               3840   2.6%         1920        61440            0          0          0
-  L13.u1.d9      loop@L12               3346   2.3%         2560        81920          770          0          0
-  L10.u1.d9      loop@L12               3296   2.3%         2560        81920          735          0          0
-  ?              loop@L12               2560   1.8%         1280        40960            0          0          0
-  L20.u1.d2      loop@L12               2448   1.7%          640        20480          192          0          0
+  L13.u1.d9      loop@L12.u1.d9         3346   2.3%         2560        81920          770          0          0
+  L10.u1.d9      loop@L12.u1.d9         3296   2.3%         2560        81920          735          0          0
+  ?              loop@L12.u1.d9         2560   1.8%         1280        40960            0          0          0
+  L20.u1.d2      loop@L12.u1.d2         2448   1.7%          640        20480          192          0          0
   L24            loop@L7                2162   1.5%          864        27648          594          0          0
   L14            loop@L12               1936   1.3%         1920        61440            0          0          0
   L8             loop@L12               1920   1.3%         1920        61440            0          0          0
   L25.d1         loop@L7                1744   1.2%          704        22528          480          0          0
-  L11.u1.d2      loop@L12               1672   1.2%          640        20480         1031          0          0
+  L11.u1.d2      loop@L12.u1.d2         1672   1.2%          640        20480         1031          0          0
   L24.u1.d9      loop@L7                1629   1.1%          640        20480          461          0          0
-  L12.u1.d2      loop@L12               1395   1.0%          704        22528          338          0          0
+  L12.u1.d2      loop@L12.u1.d2         1395   1.0%          704        22528          338          0          0
   L25.u1.d13     loop@L7                1295   0.9%          512        16384          383          0          0
-  L8.u1.d9       loop@L12               1280   0.9%         1280        40960            0          0          0
-  L14.u1.d9      loop@L12               1280   0.9%         1280        40960            0          0          0
-  L19.u1.d9      loop@L12               1280   0.9%         1280        40960            0          0          0
-  L21.u1.d9      loop@L12               1280   0.9%         1280        40960            0          0          0
-  L15.u1.d2      loop@L12               1153   0.8%          640        20480          193          0          0
+  L8.u1.d9       loop@L12.u1.d9         1280   0.9%         1280        40960            0          0          0
+  L14.u1.d9      loop@L12.u1.d9         1280   0.9%         1280        40960            0          0          0
+  L19.u1.d9      loop@L12.u1.d9         1280   0.9%         1280        40960            0          0          0
+  L21.u1.d9      loop@L12.u1.d9         1280   0.9%         1280        40960            0          0          0
+  L15.u1.d2      loop@L12.u1.d2         1153   0.8%          640        20480          193          0          0
   L19            loop@L12               1120   0.8%         1120        35840            0          0          0
   L21            loop@L12               1120   0.8%         1120        35840            0          0          0
   L7             loop@L7                 951   0.7%          544        17408          199          0          0
-  L13.u1.d2      loop@L12                849   0.6%          640        20480          193          0          0
-  L10.u1.d2      loop@L12                824   0.6%          640        20480          184          0          0
+  L13.u1.d2      loop@L12.u1.d2          849   0.6%          640        20480          193          0          0
+  L10.u1.d2      loop@L12.u1.d2          824   0.6%          640        20480          184          0          0
   L9             loop@L12                816   0.6%          800        25600            0          0          0
   L19.d1         loop@L12                816   0.6%          800        25600            0          0          0
   L17            loop@L12                800   0.6%          800        25600            0          0          0
   L21.d1         loop@L12                800   0.6%          800        25600            0          0          0
-  ?              loop@L12                640   0.4%          320        10240            0          0          0
-  L9.u1.d9       loop@L12                640   0.4%          640        20480            0          0          0
-  L17.u1.d9      loop@L12                640   0.4%          640        20480            0          0          0
+  ?              loop@L12.u1.d2          640   0.4%          320        10240            0          0          0
+  L9.u1.d9       loop@L12.u1.d9          640   0.4%          640        20480            0          0          0
+  L17.u1.d9      loop@L12.u1.d9          640   0.4%          640        20480            0          0          0
   L25.d1         -                       585   0.4%           32         1024          553          0          0
   L7.u1.d9       loop@L7                 538   0.4%          256         8192          154          0          0
   L6             loop@L7                 487   0.3%          320        10240          168          0          0
@@ -64,10 +64,10 @@ lines (hottest first):
   L10.u1.d9      loop@L7                 361   0.2%          256         8192           73          0          0
   L25.u1.d6      loop@L7                 336   0.2%          128         4096           95          0          0
   ?              loop@L7                 320   0.2%          160         5120            0          0          0
-  L8.u1.d2       loop@L12                320   0.2%          320        10240            0          0          0
-  L14.u1.d2      loop@L12                320   0.2%          320        10240            0          0          0
-  L19.u1.d2      loop@L12                320   0.2%          320        10240            0          0          0
-  L21.u1.d2      loop@L12                320   0.2%          320        10240            0          0          0
+  L8.u1.d2       loop@L12.u1.d2          320   0.2%          320        10240            0          0          0
+  L14.u1.d2      loop@L12.u1.d2          320   0.2%          320        10240            0          0          0
+  L19.u1.d2      loop@L12.u1.d2          320   0.2%          320        10240            0          0          0
+  L21.u1.d2      loop@L12.u1.d2          320   0.2%          320        10240            0          0          0
   L3             -                       265   0.2%          192         6144           58          0          0
   L12.u1.d9      loop@L7                 256   0.2%          128         4096            0          0          0
   L26.d9         loop@L7                 205   0.1%          128         4096           77          0          0
@@ -150,45 +150,45 @@ bezier;loop@L7;L8.u1.d9 128
 bezier;loop@L7;L9 192
 bezier;loop@L7;L9.u1.d2 32
 bezier;loop@L7;L9.u1.d9 128
-bezier;loop@L7;loop@L12;? 640
+bezier;loop@L7;loop@L12.u1.d2;? 640
+bezier;loop@L7;loop@L12.u1.d2;L10.u1.d2 824
+bezier;loop@L7;loop@L12.u1.d2;L11.u1.d2 1672
+bezier;loop@L7;loop@L12.u1.d2;L12.u1.d2 1395
+bezier;loop@L7;loop@L12.u1.d2;L13.u1.d2 849
+bezier;loop@L7;loop@L12.u1.d2;L14.u1.d2 320
+bezier;loop@L7;loop@L12.u1.d2;L15.u1.d2 1153
+bezier;loop@L7;loop@L12.u1.d2;L19.u1.d2 320
+bezier;loop@L7;loop@L12.u1.d2;L20.u1.d2 2448
+bezier;loop@L7;loop@L12.u1.d2;L21.u1.d2 320
+bezier;loop@L7;loop@L12.u1.d2;L8.u1.d2 320
+bezier;loop@L7;loop@L12.u1.d9;? 2560
+bezier;loop@L7;loop@L12.u1.d9;L10.u1.d9 3296
+bezier;loop@L7;loop@L12.u1.d9;L11.u1.d9 6686
+bezier;loop@L7;loop@L12.u1.d9;L12.u1.d9 5577
+bezier;loop@L7;loop@L12.u1.d9;L13.u1.d9 3346
+bezier;loop@L7;loop@L12.u1.d9;L14.u1.d9 1280
+bezier;loop@L7;loop@L12.u1.d9;L15.u1.d9 4610
+bezier;loop@L7;loop@L12.u1.d9;L16.u1.d9 4881
+bezier;loop@L7;loop@L12.u1.d9;L17.u1.d9 640
+bezier;loop@L7;loop@L12.u1.d9;L19.u1.d9 1280
+bezier;loop@L7;loop@L12.u1.d9;L20.u1.d9 10973
+bezier;loop@L7;loop@L12.u1.d9;L21.u1.d9 1280
+bezier;loop@L7;loop@L12.u1.d9;L8.u1.d9 1280
+bezier;loop@L7;loop@L12.u1.d9;L9.u1.d9 640
 bezier;loop@L7;loop@L12;? 3840
-bezier;loop@L7;loop@L12;? 2560
 bezier;loop@L7;loop@L12;L10 4959
-bezier;loop@L7;loop@L12;L10.u1.d2 824
-bezier;loop@L7;loop@L12;L10.u1.d9 3296
 bezier;loop@L7;loop@L12;L11 10027
-bezier;loop@L7;loop@L12;L11.u1.d2 1672
-bezier;loop@L7;loop@L12;L11.u1.d9 6686
 bezier;loop@L7;loop@L12;L12 8366
-bezier;loop@L7;loop@L12;L12.u1.d2 1395
-bezier;loop@L7;loop@L12;L12.u1.d9 5577
 bezier;loop@L7;loop@L12;L13 5011
-bezier;loop@L7;loop@L12;L13.u1.d2 849
-bezier;loop@L7;loop@L12;L13.u1.d9 3346
 bezier;loop@L7;loop@L12;L14 1936
-bezier;loop@L7;loop@L12;L14.u1.d2 320
-bezier;loop@L7;loop@L12;L14.u1.d9 1280
 bezier;loop@L7;loop@L12;L15 6915
-bezier;loop@L7;loop@L12;L15.u1.d2 1153
-bezier;loop@L7;loop@L12;L15.u1.d9 4610
 bezier;loop@L7;loop@L12;L16 6081
-bezier;loop@L7;loop@L12;L16.u1.d9 4881
 bezier;loop@L7;loop@L12;L17 800
-bezier;loop@L7;loop@L12;L17.u1.d9 640
 bezier;loop@L7;loop@L12;L19 1120
 bezier;loop@L7;loop@L12;L19.d1 816
-bezier;loop@L7;loop@L12;L19.u1.d2 320
-bezier;loop@L7;loop@L12;L19.u1.d9 1280
 bezier;loop@L7;loop@L12;L20 8514
 bezier;loop@L7;loop@L12;L20.d1 7614
-bezier;loop@L7;loop@L12;L20.u1.d2 2448
-bezier;loop@L7;loop@L12;L20.u1.d9 10973
 bezier;loop@L7;loop@L12;L21 1120
 bezier;loop@L7;loop@L12;L21.d1 800
-bezier;loop@L7;loop@L12;L21.u1.d2 320
-bezier;loop@L7;loop@L12;L21.u1.d9 1280
 bezier;loop@L7;loop@L12;L8 1920
-bezier;loop@L7;loop@L12;L8.u1.d2 320
-bezier;loop@L7;loop@L12;L8.u1.d9 1280
 bezier;loop@L7;loop@L12;L9 816
-bezier;loop@L7;loop@L12;L9.u1.d9 640

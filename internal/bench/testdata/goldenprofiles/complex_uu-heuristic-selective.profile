@@ -1,0 +1,144 @@
+kernel cpx: 66819 cycles (issue 53566, dep_stall 12993, fetch_stall 256)
+
+loops (hottest bodies first; cum covers the whole nest):
+  loop              depth  self_cycles   self%   cum_cycles   divergence   mem_replay
+  loop@L10              1        59024   88.3%        59024            5            0
+
+lines (hottest first):
+  line           loop                 cycles   cyc%   warp_execs thread_execs    dep_stall divergence     mem_tx
+  L10.u5         loop@L10               2926   4.4%         1407        44992          577          0          0
+  L10            loop@L10               2784   4.2%         1406        44992          675          1          0
+  L10.u1         loop@L10               2682   4.0%         1276        40830          768          1          0
+  L3             -                      2270   3.4%         1792        57344          462          0          0
+  L10.u2         loop@L10               2135   3.2%         1016        32508          611          1          0
+  L10.u3         loop@L10               2118   3.2%         1008        32248          606          1          0
+  L10.u4         loop@L10               2084   3.1%          992        31728          596          1          0
+  L11            loop@L10               1676   2.5%         1276        40830          384          0          0
+  L13            loop@L10               1660   2.5%         1276        40830          384          0          0
+  L15            loop@L10               1660   2.5%         1276        40830          384          0          0
+  ?              -                      1537   2.3%          773        24576            0          0          0
+  L9             loop@L10               1484   2.2%         1085        34719          383          0          0
+  L11.u1         loop@L10               1387   2.1%         1016        32508          355          0          0
+  L11.u2         loop@L10               1376   2.1%         1008        32248          352          0          0
+  L11.u3         loop@L10               1354   2.0%          992        31728          347          0          0
+  L19            -                      1344   2.0%         1024        32768          320          0       2048
+  L13.u1         loop@L10               1322   2.0%         1016        32508          306          0          0
+  L15.u1         loop@L10               1322   2.0%         1016        32508          306          0          0
+  L13.u2         loop@L10               1311   2.0%         1008        32248          303          0          0
+  L15.u2         loop@L10               1311   2.0%         1008        32248          303          0          0
+  L11.u4         loop@L10               1310   2.0%          960        30688          335          0          0
+  L13.u3         loop@L10               1290   1.9%          992        31728          298          0          0
+  L15.u3         loop@L10               1290   1.9%          992        31728          298          0          0
+  L13.u4         loop@L10               1248   1.9%          960        30688          288          0          0
+  L15.u4         loop@L10               1248   1.9%          960        30688          288          0          0
+  L11.u5         loop@L10               1223   1.8%          894        28608          312          0          0
+  L15.u5         loop@L10               1178   1.8%          894        28608          268          0          0
+  L13.u5         loop@L10               1163   1.7%          894        28608          269          0          0
+  L8             loop@L10               1147   1.7%         1085        34719           62          0          0
+  L4             -                      1076   1.6%          512        16384          308          0          0
+  L9.u1          loop@L10                829   1.2%          508        16254          305          0          0
+  L9.u2          loop@L10                822   1.2%          504        16124          303          0          0
+  L9.u3          loop@L10                810   1.2%          496        15864          298          0          0
+  L9.u4          loop@L10                784   1.2%          480        15344          288          0          0
+  L9.u5          loop@L10                716   1.1%          447        14304          269          0          0
+  L12            loop@L10                638   1.0%          638        20415            0          0          0
+  L16            loop@L10                638   1.0%          638        20415            0          0          0
+  L17            loop@L10                638   1.0%          638        20415            0          0          0
+  L8.u1          loop@L10                557   0.8%          508        16254           50          0          0
+  L8.u2          loop@L10                553   0.8%          504        16124           49          0          0
+  L8.u3          loop@L10                544   0.8%          496        15864           48          0          0
+  L8             -                       528   0.8%          517        16384            0          0          0
+  L9             -                       528   0.8%          517        16384            0          0          0
+  L8.u4          loop@L10                526   0.8%          480        15344           47          0          0
+  L12.u1         loop@L10                508   0.8%          508        16254            0          0          0
+  L16.u1         loop@L10                508   0.8%          508        16254            0          0          0
+  L17.u1         loop@L10                508   0.8%          508        16254            0          0          0
+  L12.u2         loop@L10                504   0.8%          504        16124            0          0          0
+  L16.u2         loop@L10                504   0.8%          504        16124            0          0          0
+  L17.u2         loop@L10                504   0.8%          504        16124            0          0          0
+  L7             loop@L10                501   0.7%          447        14304           54          0          0
+  L12.u3         loop@L10                496   0.7%          496        15864            0          0          0
+  L16.u3         loop@L10                496   0.7%          496        15864            0          0          0
+  L17.u3         loop@L10                496   0.7%          496        15864            0          0          0
+  L6             loop@L10                494   0.7%          447        14304           47          0          0
+  L8.u5          loop@L10                491   0.7%          447        14304           44          0          0
+  L3             loop@L10                489   0.7%          447        14304           42          0          0
+  L12.u4         loop@L10                480   0.7%          480        15344            0          0          0
+  L16.u4         loop@L10                480   0.7%          480        15344            0          0          0
+  L17.u4         loop@L10                480   0.7%          480        15344            0          0          0
+  L12.u5         loop@L10                447   0.7%          447        14304            0          0          0
+  L16.u5         loop@L10                447   0.7%          447        14304            0          0          0
+  L17.u5         loop@L10                447   0.7%          447        14304            0          0          0
+  L6             -                       256   0.4%          256         8192            0          0          0
+  L7             -                       256   0.4%          256         8192            0          0          0
+
+heuristic (C=1024) vs measured — cpx (total 66819 cycles):
+  loop       selected   u  paths   size   f(p,s,u)  self_cycles   self%  note
+  L10        yes        6      2     14        882        59024   88.3%  -
+  -> hottest loop loop@L10: 59024 self cycles (88.3%) — the heuristic selected the hottest loop
+
+cpx;? 1537
+cpx;L19 1344
+cpx;L3 2270
+cpx;L4 1076
+cpx;L6 256
+cpx;L7 256
+cpx;L8 528
+cpx;L9 528
+cpx;loop@L10;L10 2784
+cpx;loop@L10;L10.u1 2682
+cpx;loop@L10;L10.u2 2135
+cpx;loop@L10;L10.u3 2118
+cpx;loop@L10;L10.u4 2084
+cpx;loop@L10;L10.u5 2926
+cpx;loop@L10;L11 1676
+cpx;loop@L10;L11.u1 1387
+cpx;loop@L10;L11.u2 1376
+cpx;loop@L10;L11.u3 1354
+cpx;loop@L10;L11.u4 1310
+cpx;loop@L10;L11.u5 1223
+cpx;loop@L10;L12 638
+cpx;loop@L10;L12.u1 508
+cpx;loop@L10;L12.u2 504
+cpx;loop@L10;L12.u3 496
+cpx;loop@L10;L12.u4 480
+cpx;loop@L10;L12.u5 447
+cpx;loop@L10;L13 1660
+cpx;loop@L10;L13.u1 1322
+cpx;loop@L10;L13.u2 1311
+cpx;loop@L10;L13.u3 1290
+cpx;loop@L10;L13.u4 1248
+cpx;loop@L10;L13.u5 1163
+cpx;loop@L10;L15 1660
+cpx;loop@L10;L15.u1 1322
+cpx;loop@L10;L15.u2 1311
+cpx;loop@L10;L15.u3 1290
+cpx;loop@L10;L15.u4 1248
+cpx;loop@L10;L15.u5 1178
+cpx;loop@L10;L16 638
+cpx;loop@L10;L16.u1 508
+cpx;loop@L10;L16.u2 504
+cpx;loop@L10;L16.u3 496
+cpx;loop@L10;L16.u4 480
+cpx;loop@L10;L16.u5 447
+cpx;loop@L10;L17 638
+cpx;loop@L10;L17.u1 508
+cpx;loop@L10;L17.u2 504
+cpx;loop@L10;L17.u3 496
+cpx;loop@L10;L17.u4 480
+cpx;loop@L10;L17.u5 447
+cpx;loop@L10;L3 489
+cpx;loop@L10;L6 494
+cpx;loop@L10;L7 501
+cpx;loop@L10;L8 1147
+cpx;loop@L10;L8.u1 557
+cpx;loop@L10;L8.u2 553
+cpx;loop@L10;L8.u3 544
+cpx;loop@L10;L8.u4 526
+cpx;loop@L10;L8.u5 491
+cpx;loop@L10;L9 1484
+cpx;loop@L10;L9.u1 829
+cpx;loop@L10;L9.u2 822
+cpx;loop@L10;L9.u3 810
+cpx;loop@L10;L9.u4 784
+cpx;loop@L10;L9.u5 716

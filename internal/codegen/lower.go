@@ -80,9 +80,10 @@ func Lower(f *ir.Function) (*Program, error) {
 		if l.Parent != nil {
 			parent = int32(l.Parent.ID)
 		}
+		loc := ir.BlockLoc(l.Header)
 		lw.prog.Loops = append(lw.prog.Loops, LoopMeta{
 			ID: int32(l.ID), Parent: parent,
-			Line:   ir.BlockLine(l.Header),
+			Line: loc.Line, Iter: loc.Iter, Dup: loc.Dup,
 			Depth:  int32(l.Depth()),
 			Header: l.Header.Name,
 		})

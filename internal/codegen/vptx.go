@@ -188,8 +188,18 @@ type LoopMeta struct {
 	ID     int32  // deterministic loop id (header RPO order)
 	Parent int32  // ID of the enclosing loop, -1 at top level
 	Line   int32  // anchoring source line of the header (ir.BlockLine), 0 if unknown
+	Iter   int32  // unroll-iteration clone tag of the header (ir.Loc.Iter)
+	Dup    int32  // unmerge path-duplication clone tag of the header (ir.Loc.Dup)
 	Depth  int32  // nesting depth, 1 = outermost
 	Header string // header block name
+}
+
+// Origin returns the header's full source provenance (line + clone tags).
+// Loops sharing a Line but differing in Iter/Dup are unroll/unmerge clones
+// of the same source loop; the profiler's predicted-vs-measured join uses
+// the full origin so clones can't double-count or mask each other.
+func (m *LoopMeta) Origin() ir.Loc {
+	return ir.Loc{Line: m.Line, Iter: m.Iter, Dup: m.Dup}
 }
 
 // LoopByID returns the LoopMeta with the given id, or nil.

@@ -366,7 +366,7 @@ func TestUUBezierSemanticsAndConditionElimination(t *testing.T) {
 
 func TestHeuristicDecide(t *testing.T) {
 	f := parse(t, bezierLoop)
-	decisions := HeuristicDecide(f, DefaultHeuristicParams())
+	decisions, _ := HeuristicDecide(f, DefaultHeuristicParams())
 	if len(decisions) != 1 {
 		t.Fatalf("want 1 decision, got %d", len(decisions))
 	}
@@ -403,7 +403,7 @@ exit:
 }
 `
 	f := parse(t, src)
-	if ds := HeuristicDecide(f, DefaultHeuristicParams()); len(ds) != 0 {
+	if ds, _ := HeuristicDecide(f, DefaultHeuristicParams()); len(ds) != 0 {
 		t.Fatalf("heuristic selected a single-path loop: %+v", ds)
 	}
 }
@@ -411,11 +411,11 @@ exit:
 func TestHeuristicRespectsSizeBound(t *testing.T) {
 	f := parse(t, bezierLoop)
 	// With a tiny budget nothing fits.
-	if ds := HeuristicDecide(f, HeuristicParams{C: 10, UMax: 8}); len(ds) != 0 {
+	if ds, _ := HeuristicDecide(f, HeuristicParams{C: 10, UMax: 8}); len(ds) != 0 {
 		t.Fatalf("heuristic ignored the size bound: %+v", ds)
 	}
 	// With a huge budget the max factor is chosen.
-	ds := HeuristicDecide(f, HeuristicParams{C: 1 << 30, UMax: 8})
+	ds, _ := HeuristicDecide(f, HeuristicParams{C: 1 << 30, UMax: 8})
 	if len(ds) != 1 || ds[0].Factor != 8 {
 		t.Fatalf("want factor 8 under a huge budget, got %+v", ds)
 	}
@@ -453,7 +453,7 @@ exit:
 }
 `
 	f := parse(t, src)
-	ds := HeuristicDecide(f, DefaultHeuristicParams())
+	ds, _ := HeuristicDecide(f, DefaultHeuristicParams())
 	if len(ds) != 1 {
 		t.Fatalf("want 1 decision (inner only), got %+v", ds)
 	}
@@ -465,7 +465,7 @@ exit:
 func TestApplyHeuristicPreservesSemantics(t *testing.T) {
 	want := runBezier(t, parse(t, bezierLoop), 15, 3, 9)
 	f := parse(t, bezierLoop)
-	ds := ApplyHeuristic(f, DefaultHeuristicParams(), Options{})
+	ds, _ := ApplyHeuristic(f, DefaultHeuristicParams(), Options{})
 	if len(ds) == 0 {
 		t.Fatalf("heuristic applied nothing")
 	}
@@ -667,11 +667,11 @@ exit:
 `
 	f := parse(t, src)
 	params := DefaultHeuristicParams()
-	if ds := HeuristicDecide(f, params); len(ds) != 1 {
+	if ds, _ := HeuristicDecide(f, params); len(ds) != 1 {
 		t.Fatalf("published heuristic should select the loop: %+v", ds)
 	}
 	params.SkipDivergent = true
-	if ds := HeuristicDecide(f, params); len(ds) != 0 {
+	if ds, _ := HeuristicDecide(f, params); len(ds) != 0 {
 		t.Fatalf("taint-aware heuristic should skip the divergent loop: %+v", ds)
 	}
 }

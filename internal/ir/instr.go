@@ -272,13 +272,22 @@ func (l Loc) IsZero() bool { return l == Loc{} }
 // smallest nonzero line among the block's instructions, or 0 when the block
 // carries no provenance at all.
 func BlockLine(b *Block) int32 {
+	return BlockLoc(b).Line
+}
+
+// BlockLoc is BlockLine with the full provenance: the anchoring location
+// including unroll-iteration and path-duplication tags, so profilers can
+// distinguish the `.u<j>`/`.d<n>` clones of a loop that all alias one source
+// line. Falls back to the instruction with the smallest nonzero line (ties:
+// the terminator's own tags never lose to a body instruction's).
+func BlockLoc(b *Block) Loc {
 	if t := b.Term(); t != nil && t.loc.Line != 0 {
-		return t.loc.Line
+		return t.loc
 	}
-	min := int32(0)
+	var min Loc
 	for _, in := range b.Instrs() {
-		if ln := in.loc.Line; ln != 0 && (min == 0 || ln < min) {
-			min = ln
+		if ln := in.loc.Line; ln != 0 && (min.Line == 0 || ln < min.Line) {
+			min = in.loc
 		}
 	}
 	return min

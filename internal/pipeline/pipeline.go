@@ -144,6 +144,10 @@ type Stats struct {
 	Analysis analysis.CacheStats
 	// Decisions taken by the heuristic (uu-heuristic only).
 	Decisions []core.Decision
+	// Skips records the loops the heuristic considered and rejected, with
+	// reasons (uu-heuristic only). The profiler's predicted-vs-measured
+	// report cross-references these to tell CORRECT-SKIP from MISPREDICT.
+	Skips []core.SkipRecord
 	// LoopTransformed reports whether the selected loop transformation
 	// actually applied (false for baseline or when it bailed out).
 	LoopTransformed bool
@@ -471,6 +475,7 @@ func (d *driver) runLoopTransform(skipAuto map[*ir.Block]bool) error {
 			// dead pre-rollback blocks and match nothing.
 			st.LoopTransformed = false
 			st.Decisions = nil
+			st.Skips = nil
 			loopErr = nil
 		}
 	} else {
@@ -553,11 +558,10 @@ func (d *driver) loopTransformBody(skipAuto map[*ir.Block]bool, markSkip func(*i
 			markSkip(header)
 		}
 	case UUHeuristic:
-		params := opts.Heuristic
-		if params.C == 0 && params.UMax == 0 {
-			params = core.DefaultHeuristicParams()
-		}
-		st.Decisions = core.ApplyHeuristicWith(d.am, params, opts.Unmerge)
+		// Fill C/UMax individually so profile-guided fields (Selective,
+		// Overrides) survive a zero-valued budget.
+		params := opts.Heuristic.FillDefaults()
+		st.Decisions, st.Skips = core.ApplyHeuristicWith(d.am, params, opts.Unmerge)
 		d.am.InvalidateAll()
 		st.LoopTransformed = len(st.Decisions) > 0
 		for _, dec := range st.Decisions {

@@ -47,11 +47,12 @@ type LoopRow struct {
 	Counters [gpusim.ProfNumCounters]int64
 }
 
-// Label renders the loop frame name used in stacks ("loop@L12", or the
+// Label renders the loop frame name used in stacks ("loop@L12", with clone
+// tags when the loop is an unroll/unmerge copy: "loop@L12.u1.d2" — or the
 // header block name when the loop has no source anchor).
 func (r *LoopRow) Label() string {
 	if r.Meta.Line > 0 {
-		return fmt.Sprintf("loop@L%d", r.Meta.Line)
+		return "loop@" + r.Meta.Origin().String()
 	}
 	return "loop@" + r.Meta.Header
 }

@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"uu/internal/core"
 	"uu/internal/gpusim"
 	"uu/internal/ir"
 	"uu/internal/irparse"
@@ -63,13 +64,20 @@ func CanonicalIR(f *ir.Function) (string, error) {
 
 // Fingerprint computes the content-addressed cache key of a compile+run
 // request. It covers everything that influences the response payload —
-// canonical IR, pipeline configuration (config/loop/factor plus the
+// canonical IR, pipeline configuration (config/loop/factor, the resolved
+// heuristic parameter set including per-loop profile overrides, plus the
 // containment and fault-injection switches), the simulated device, the
 // launch geometry, memory size and kernel arguments, and the artifact
 // selection (remarks, profile) — and deliberately excludes everything that
 // does not: the execution backend and the simulator worker count only
 // change how fast the simulator runs, never what it measures, so requests
 // differing only there share one cache entry.
+//
+// The heuristic line hashes the *resolved* parameters (FillDefaults plus the
+// canonical override rendering): a request spelling the paper defaults
+// explicitly shares the entry of one omitting them — exactly as the pipeline
+// treats them — while two requests differing only in measured-profile
+// overrides (the PGO feedback channel) always get distinct keys.
 func Fingerprint(canonIR string, opts pipeline.Options, dev gpusim.DeviceConfig,
 	launch gpusim.Launch, memSize int64, args []int64, chaos string, remarks string, profile bool) string {
 	d := dev
@@ -78,6 +86,9 @@ func Fingerprint(canonIR string, opts pipeline.Options, dev gpusim.DeviceConfig,
 	fmt.Fprintf(h, "ir\n%s\n", canonIR)
 	fmt.Fprintf(h, "config %s loop %d factor %d contain %t verify %t chaos %q\n",
 		opts.Config, opts.LoopID, opts.Factor, opts.Contain, opts.VerifyEachPass, chaos)
+	hp := opts.Heuristic.FillDefaults()
+	fmt.Fprintf(h, "heuristic c %d umax %d skipdiv %t selective %t overrides %s\n",
+		hp.C, hp.UMax, hp.SkipDivergent, hp.Selective, core.OverridesString(hp.Overrides))
 	fmt.Fprintf(h, "device %+v\n", d)
 	fmt.Fprintf(h, "launch %d %d %d mem %d\n", launch.GridDim, launch.BlockDim, launch.SampleWarps, memSize)
 	fmt.Fprintf(h, "args %v\n", args)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"uu/internal/bench"
+	"uu/internal/core"
 	"uu/internal/gpusim"
 	"uu/internal/harden"
 	"uu/internal/ir"
@@ -147,5 +148,65 @@ func TestFingerprintSensitivity(t *testing.T) {
 	execDev.Exec = gpusim.ExecSwitch // V100 defaults to the threaded core
 	if Fingerprint(canon, opts, execDev, launch, k.MemSize, k.Args, "", "", false) != base {
 		t.Errorf("execution backend changed the fingerprint; it is speed-only and must not")
+	}
+}
+
+// TestFingerprintHeuristicSensitivity pins the PGO-relevant half of the key:
+// the resolved per-loop override set, the selective mode, and the C/UMax
+// knobs all fork the cache entry, while a request spelling the paper defaults
+// explicitly shares the entry of one omitting them (the pipeline treats them
+// identically, so the cache must too).
+func TestFingerprintHeuristicSensitivity(t *testing.T) {
+	k := harden.Generate(3)
+	canon, err := CanonicalIR(k.F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpusim.V100()
+	launch := gpusim.Launch{GridDim: 2, BlockDim: 32}
+	fp := func(opts pipeline.Options) string {
+		return Fingerprint(canon, opts, dev, launch, k.MemSize, k.Args, "", "", false)
+	}
+	opts := pipeline.Options{Config: pipeline.UUHeuristic}
+	base := fp(opts)
+
+	explicit := opts
+	explicit.Heuristic = core.DefaultHeuristicParams() // C=1024, UMax=8 spelled out
+	if fp(explicit) != base {
+		t.Errorf("explicit paper defaults fork the cache entry; they resolve identically and must share it")
+	}
+	emptyOv := opts
+	emptyOv.Heuristic.Overrides = map[int32]core.LoopOverride{}
+	if fp(emptyOv) != base {
+		t.Errorf("an empty override set fork the cache entry")
+	}
+
+	vary := map[string]pipeline.Options{}
+	o := opts
+	o.Heuristic.C = 512
+	vary["heuristic-c"] = o
+	o = opts
+	o.Heuristic.UMax = 4
+	vary["heuristic-umax"] = o
+	o = opts
+	o.Heuristic.SkipDivergent = true
+	vary["skip-divergent"] = o
+	o = opts
+	o.Heuristic.Selective = true
+	vary["selective"] = o
+	o = opts
+	o.Heuristic.Overrides = map[int32]core.LoopOverride{10: {Deny: true}}
+	vary["override-deny"] = o
+	o = opts
+	o.Heuristic.Overrides = map[int32]core.LoopOverride{10: {Force: true, FactorCap: 2}}
+	vary["override-force"] = o
+
+	seen := map[string]string{base: "base"}
+	for dim, vo := range vary {
+		key := fp(vo)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("varying %s collides with %s", dim, prev)
+		}
+		seen[key] = dim
 	}
 }

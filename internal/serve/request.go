@@ -8,6 +8,7 @@ import (
 
 	"uu/internal/bench"
 	"uu/internal/codegen"
+	"uu/internal/core"
 	"uu/internal/gpusim"
 	"uu/internal/interp"
 	"uu/internal/ir"
@@ -33,6 +34,13 @@ type Request struct {
 	Config string `json:"config,omitempty"`
 	Loop   int    `json:"loop,omitempty"`
 	Factor int    `json:"factor,omitempty"`
+
+	// Heuristic parameterizes the uu-heuristic configuration (rejected with
+	// any other config). This is how a PGO driver feeds measured per-loop
+	// overrides into a daemon compile; the resolved parameter set is part of
+	// the cache fingerprint, so requests differing only in overrides never
+	// share a cache entry.
+	Heuristic *HeuristicSpec `json:"heuristic,omitempty"`
 
 	// Device is a gpusim device spec (registry name with optional
 	// overrides, e.g. "Vortex:warpsize=8"); default V100.
@@ -65,6 +73,18 @@ type Request struct {
 	// SimWorkers is the simulator's warp-scheduling worker count (metrics
 	// are identical for any value, so it is not part of the cache key).
 	SimWorkers int `json:"sim_workers,omitempty"`
+}
+
+// HeuristicSpec is the wire form of core.HeuristicParams: the static size
+// budget and factor ceiling, the divergence-taint and selective-unmerge mode
+// switches, and the per-loop override set in the textual syntax
+// ("L10:deny,L12:force+cap=2" — core.ParseOverrides).
+type HeuristicSpec struct {
+	C             int    `json:"c,omitempty"`
+	UMax          int    `json:"u_max,omitempty"`
+	SkipDivergent bool   `json:"skip_divergent,omitempty"`
+	Selective     bool   `json:"selective,omitempty"`
+	Overrides     string `json:"overrides,omitempty"`
 }
 
 // Response is the POST /compile success body.
@@ -279,6 +299,33 @@ func buildSpec(req *Request) (sp *spec, rerr *Error) {
 		LoopID:  req.Loop,
 		Factor:  req.Factor,
 		Contain: req.Contain,
+	}
+	if req.Heuristic != nil {
+		if cfg != pipeline.UUHeuristic {
+			return nil, errBadRequest("heuristic parameters require config %q (got %q)", pipeline.UUHeuristic, cfg)
+		}
+		hs := req.Heuristic
+		if hs.C < 0 {
+			return nil, errBadRequest("heuristic c %d must be >= 0", hs.C)
+		}
+		if hs.UMax < 0 || hs.UMax > maxFactor {
+			return nil, errBadRequest("heuristic u_max %d out of range [0,%d]", hs.UMax, maxFactor)
+		}
+		ov, err := core.ParseOverrides(hs.Overrides)
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		for line, o := range ov {
+			if o.FactorCap > maxFactor {
+				return nil, errBadRequest("override L%d cap %d exceeds %d", line, o.FactorCap, maxFactor)
+			}
+		}
+		sp.opts.Heuristic = core.HeuristicParams{
+			C: hs.C, UMax: hs.UMax,
+			SkipDivergent: hs.SkipDivergent,
+			Selective:     hs.Selective,
+			Overrides:     ov,
+		}
 	}
 
 	canon, err := CanonicalIR(sp.f)
