@@ -63,12 +63,13 @@ func main() {
 		pgoRounds  = flag.Int("pgo-rounds", 4, "maximum PGO feedback rounds")
 		pgoSeed    = flag.String("pgo-seed", "", "seed per-app PGO overrides, e.g. 'complex=L10:force+cap=8;xsbench=L11:deny' (the recovery case study seeds complex's u=8 collapse)")
 		selective  = flag.Bool("selective", false, "run uu-heuristic in selective-unmerge mode (only benefit-predicted merge blocks are duplicated) for the campaign and PGO runs")
+		wallclock  = flag.Bool("wallclock", false, "write wallclock.txt: host-side compile/simulate/run latency histograms for the campaign (throughput telemetry, varies with machine load — not a paper artifact)")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *fig6a, *fig6b, *fig6c, *fig7, *fig8, *counters, *ablations = true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *ablations || *profileOn || *pgoOn || *deviceMx != "") {
+	if !(*table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *ablations || *profileOn || *pgoOn || *wallclock || *deviceMx != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -136,7 +137,7 @@ func main() {
 	interrupted := false
 
 	var res *bench.Results
-	if *table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *profileOn {
+	if *table1 || *fig6a || *fig6b || *fig6c || *fig7 || *fig8 || *counters || *profileOn || *wallclock {
 		var err error
 		res, err = bench.RunExperimentsCtx(ctx, opts)
 		if err != nil {
@@ -308,6 +309,11 @@ func main() {
 		}
 		done()
 		writeProfileArtifacts(res, *outDir, sink)
+	}
+	if *wallclock && res != nil {
+		w, done := sink("wallclock.txt")
+		bench.WriteWallClock(w, res)
+		done()
 	}
 	if opts.Remarks && res != nil {
 		w, done := sink("remarks.yaml")

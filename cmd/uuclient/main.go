@@ -6,10 +6,17 @@
 // Retry-After hint as a floor; structured 4xx/5xx outcomes are permanent
 // and reported as such.
 //
+// Every response carries the server's request ID and per-phase timing
+// attribution; uuclient reports the server-attributed totals next to the
+// client-observed wall clock, so the skew (network + encode + client
+// overhead) is visible at a glance, and -trace saves a server-side
+// request trace for chrome://tracing.
+//
 // Usage:
 //
 //	uuclient -app xsbench -config uu -factor 2
 //	uuclient -n 200 -c 8 -app complex -config uu-heuristic -summary out.json
+//	uuclient -app xsbench -trace trace.json
 package main
 
 import (
@@ -52,6 +59,7 @@ func main() {
 		attempts   = flag.Int("attempts", 5, "max tries per request (shed/transport retries)")
 		seed       = flag.Int64("seed", 0, "backoff jitter seed (0 = nondeterministic)")
 		summary    = flag.String("summary", "", "write the latency/outcome summary JSON to this file")
+		traceOut   = flag.String("trace", "", "request a server-side trace (?trace=1) and write it to this file (single request only)")
 		quiet      = flag.Bool("q", false, "suppress the single-request response dump")
 	)
 	flag.Parse()
@@ -83,14 +91,34 @@ func main() {
 		fatal(err)
 	}
 
-	res := runLoad(*addr, body, *n, *c, *attempts, *seed)
+	res := runLoad(*addr, body, *n, *c, *attempts, *seed, *traceOut != "")
 	if *n == 1 && !*quiet && res.LastBody != "" {
 		fmt.Println(res.LastBody)
 	}
 	fmt.Fprintf(os.Stderr, "uuclient: %d requests, %d ok (%d cached, %d coalesced), %d failed, %d retries; p50 %.1fms p99 %.1fms max %.1fms\n",
 		res.Requests, res.OK, res.Cached, res.Coalesced, res.Failed, res.Retries, res.P50Ms, res.P99Ms, res.MaxMs)
+	if res.OK > 0 && res.ServerP50Ms > 0 {
+		// Server-attributed vs client-observed: the skew is network +
+		// response encode + client-side overhead the server cannot see.
+		fmt.Fprintf(os.Stderr, "uuclient: server-attributed p50 %.1fms p99 %.1fms; client-server skew p50 %.1fms p99 %.1fms\n",
+			res.ServerP50Ms, res.ServerP99Ms, res.SkewP50Ms, res.SkewP99Ms)
+	}
+	if *n == 1 && res.LastPhases != nil {
+		p := res.LastPhases
+		fmt.Fprintf(os.Stderr, "uuclient: %s phases (ms): frontend %.2f resolve %.2f admission %.2f compile %.2f simulate %.2f | server total %.2f, client observed %.2f\n",
+			res.LastRequestID, p.FrontendMs, p.ResolveMs, p.AdmissionMs, p.CompileMs, p.SimulateMs, p.TotalMs, res.MaxMs)
+	}
 	for code, count := range res.Errors {
 		fmt.Fprintf(os.Stderr, "uuclient:   %s: %d\n", code, count)
+	}
+	if *traceOut != "" {
+		if res.LastTrace == "" {
+			fatal(fmt.Errorf("no trace in the response (need a 200 from a telemetry-enabled server)"))
+		}
+		if err := os.WriteFile(*traceOut, []byte(res.LastTrace), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "uuclient: trace written to %s\n", *traceOut)
 	}
 	if *summary != "" {
 		b, _ := json.MarshalIndent(res, "", "  ")
@@ -103,7 +131,12 @@ func main() {
 	}
 }
 
-// Summary is the machine-readable outcome of a load run.
+// Summary is the machine-readable outcome of a load run. The client/server
+// split: P*Ms are client-observed wall clocks (network and encode
+// included); ServerP*Ms are the server-attributed totals from each
+// response's "phases" block; SkewP*Ms their per-request difference — the
+// time the server cannot account for (network, response encode, client
+// overhead).
 type Summary struct {
 	Requests  int            `json:"requests"`
 	OK        int            `json:"ok"`
@@ -115,7 +148,16 @@ type Summary struct {
 	P50Ms     float64        `json:"p50_ms"`
 	P99Ms     float64        `json:"p99_ms"`
 	MaxMs     float64        `json:"max_ms"`
-	LastBody  string         `json:"-"`
+
+	ServerP50Ms float64 `json:"server_p50_ms,omitempty"`
+	ServerP99Ms float64 `json:"server_p99_ms,omitempty"`
+	SkewP50Ms   float64 `json:"skew_p50_ms,omitempty"`
+	SkewP99Ms   float64 `json:"skew_p99_ms,omitempty"`
+
+	LastBody      string        `json:"-"`
+	LastPhases    *serve.Phases `json:"-"`
+	LastRequestID string        `json:"-"`
+	LastTrace     string        `json:"-"`
 }
 
 // outcome is one request's final result after retries.
@@ -127,11 +169,14 @@ type outcome struct {
 	retries   int
 	ms        float64
 	body      string
+	requestID string
+	phases    *serve.Phases
+	trace     string
 }
 
 // runLoad fires n copies of body at the server over c workers, retrying
 // shed/transport failures with jittered backoff, and aggregates outcomes.
-func runLoad(addr string, body []byte, n, c, attempts int, seed int64) *Summary {
+func runLoad(addr string, body []byte, n, c, attempts int, seed int64, wantTrace bool) *Summary {
 	outcomes := make([]outcome, n)
 	var idx int64
 	var mu sync.Mutex
@@ -158,14 +203,14 @@ func runLoad(addr string, body []byte, n, c, attempts int, seed int64) *Summary 
 				if i >= n {
 					return
 				}
-				outcomes[i] = fire(client, addr, body, bo)
+				outcomes[i] = fire(client, addr, body, bo, wantTrace)
 			}
 		}(w)
 	}
 	wg.Wait()
 
 	res := &Summary{Requests: n, Errors: map[string]int{}}
-	var lat []float64
+	var lat, srv, skew []float64
 	for _, o := range outcomes {
 		res.Retries += o.retries
 		if o.ok {
@@ -177,24 +222,32 @@ func runLoad(addr string, body []byte, n, c, attempts int, seed int64) *Summary 
 			if o.coalesced {
 				res.Coalesced++
 			}
-			res.LastBody = o.body
+			if o.phases != nil {
+				srv = append(srv, o.phases.TotalMs)
+				skew = append(skew, o.ms-o.phases.TotalMs)
+			}
+			res.LastBody, res.LastPhases, res.LastRequestID = o.body, o.phases, o.requestID
+			if o.trace != "" {
+				res.LastTrace = o.trace
+			}
 		} else {
 			res.Failed++
 			res.Errors[o.code]++
 		}
 	}
-	sort.Float64s(lat)
-	pct := func(p float64) float64 {
-		if len(lat) == 0 {
+	pct := func(vals []float64, p float64) float64 {
+		if len(vals) == 0 {
 			return 0
 		}
-		i := int(p * float64(len(lat)-1))
-		return lat[i]
+		sort.Float64s(vals)
+		return vals[int(p*float64(len(vals)-1))]
 	}
-	res.P50Ms, res.P99Ms = pct(0.50), pct(0.99)
+	res.P50Ms, res.P99Ms = pct(lat, 0.50), pct(lat, 0.99)
 	if len(lat) > 0 {
 		res.MaxMs = lat[len(lat)-1]
 	}
+	res.ServerP50Ms, res.ServerP99Ms = pct(srv, 0.50), pct(srv, 0.99)
+	res.SkewP50Ms, res.SkewP99Ms = pct(skew, 0.50), pct(skew, 0.99)
 	return res
 }
 
@@ -207,7 +260,7 @@ type attemptState struct {
 // fire issues one request with retries. Shed (429), drain (503), and
 // transport errors are retryable; everything else — including structured
 // compile failures, panics (500), and deadline expiry (504) — is permanent.
-func fire(client *http.Client, addr string, body []byte, bo harden.Backoff) (o outcome) {
+func fire(client *http.Client, addr string, body []byte, bo harden.Backoff, wantTrace bool) (o outcome) {
 	var st attemptState
 	sleep := bo.Sleep
 	bo.Sleep = func(d time.Duration) {
@@ -227,7 +280,11 @@ func fire(client *http.Client, addr string, body []byte, bo harden.Backoff) (o o
 		return retryable
 	}, func() error {
 		attempt++
-		resp, err := client.Post(addr+"/compile", "application/json", bytes.NewReader(body))
+		url := addr + "/compile"
+		if wantTrace {
+			url += "?trace=1"
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
 			o.code = "transport"
 			return &transientError{err.Error()}
@@ -238,6 +295,7 @@ func fire(client *http.Client, addr string, body []byte, bo harden.Backoff) (o o
 			var r serve.Response
 			if jerr := json.Unmarshal(data, &r); jerr == nil {
 				o.cached, o.coalesced = r.Cached, r.Coalesced
+				o.requestID, o.phases, o.trace = r.RequestID, r.Phases, r.TraceJSON
 			}
 			o.ok, o.body = true, string(data)
 			return nil

@@ -13,9 +13,14 @@
 //	  "device": "V100", "deadline_ms": 30000
 //	}'
 //
-// Endpoints: POST /compile, GET /stats, GET /healthz. SIGTERM/SIGINT stops
-// intake (503 + Retry-After), finishes or cancels in-flight work by the
-// drain deadline, flushes final stats, and exits 0.
+// Endpoints: POST /compile (append ?trace=1 for a request-scoped trace in
+// the response), GET /stats (JSON, with per-phase latency quantiles), GET
+// /metrics (Prometheus text exposition — point cmd/uutop or a scraper
+// here), GET /trace (most recent sampled trace, or ?id=<request_id>), GET
+// /healthz (liveness — 200 even while draining), GET /readyz (readiness —
+// 503 once drain begins). SIGTERM/SIGINT stops intake (503 + Retry-After),
+// finishes or cancels in-flight work by the drain deadline, flushes final
+// stats, and exits 0. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -42,18 +47,37 @@ func main() {
 		maxDl    = flag.Duration("max-deadline", 2*time.Minute, "cap on client-supplied deadlines")
 		drainTO  = flag.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight work before canceling it")
 		quiet    = flag.Bool("q", false, "suppress lifecycle logging")
+
+		traceSample = flag.Int("trace-sample", 0, "trace every N-th request into the GET /trace ring (1 = all, 0 = off)")
+		accessLog   = flag.String("access-log", "", "write one JSON line per request to this file (\"-\" = stderr)")
+		noTelemetry = flag.Bool("no-telemetry", false, "disable the metrics layer (GET /metrics returns 404)")
 	)
 	flag.Parse()
 
 	opts := serve.Options{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cacheN,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDl,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheN,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDl,
+		TraceSample:      *traceSample,
+		DisableTelemetry: *noTelemetry,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
+	}
+	switch *accessLog {
+	case "":
+	case "-":
+		opts.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uud:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.AccessLog = f
 	}
 	s := serve.New(opts)
 

@@ -18,6 +18,7 @@ import (
 	"uu/internal/interp"
 	"uu/internal/pipeline"
 	"uu/internal/remark"
+	"uu/internal/telemetry"
 )
 
 // RunRecord is one (application, configuration, loop, factor) measurement.
@@ -82,6 +83,12 @@ type Results struct {
 	// this assembled stream is byte-identical for any Workers/SimWorkers
 	// count.
 	Remarks []remark.Remark
+	// WallClock holds host-side wall-clock latency histograms for the
+	// sweep, keyed "compile", "simulate", and "run" (one whole job).
+	// Unlike Metrics these depend on machine load and worker count; they
+	// characterize harness throughput, not kernel performance. Rendered
+	// by WriteWallClock.
+	WallClock map[string]*telemetry.HistSnapshot
 }
 
 // HarnessOptions configures an experiment sweep.
@@ -272,6 +279,7 @@ func RunExperimentsCtx(ctx context.Context, opts HarnessOptions) (*Results, erro
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	wc := newWallClocks()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -286,11 +294,12 @@ func RunExperimentsCtx(ctx context.Context, opts HarnessOptions) (*Results, erro
 				if idx >= len(jobs) {
 					return
 				}
-				recs[idx], errs[idx] = runJob(ctx, &jobs[idx], dev, simWorkers, logf, &opts, worker)
+				recs[idx], errs[idx] = runJob(ctx, &jobs[idx], dev, simWorkers, logf, &opts, worker, wc)
 			}
 		}(i)
 	}
 	wg.Wait()
+	res.WallClock = wc.snapshots()
 	canceled := ctx.Err() != nil
 	for _, err := range errs {
 		if err != nil && !canceled {
@@ -329,7 +338,8 @@ func RunExperimentsCtx(ctx context.Context, opts HarnessOptions) (*Results, erro
 // recorded as skipped, not an error), simulate, optionally verify against
 // the oracle. Execution failures are fatal — they mean a miscompilation or
 // a simulator bug, not an expected bail-out.
-func runJob(ctx context.Context, j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(string, ...any), hopts *HarnessOptions, worker int) (*RunRecord, error) {
+func runJob(ctx context.Context, j *harnessJob, dev gpusim.DeviceConfig, simWorkers int, logf func(string, ...any), hopts *HarnessOptions, worker int, wc *wallClocks) (*RunRecord, error) {
+	tJob := time.Now()
 	rec := &RunRecord{App: j.b.Name, Config: j.cfg.Config, LoopID: j.loopID, Factor: j.factor}
 	// Copy the planned options before attaching per-run sinks: jobs are
 	// shared planning state and must stay immutable once the pool starts.
@@ -341,7 +351,9 @@ func runJob(ctx context.Context, j *harnessJob, dev gpusim.DeviceConfig, simWork
 	}
 	cfg.Trace = hopts.Trace
 	cfg.TraceTID = worker
+	tCompile := time.Now()
 	cr, err := CompileCtx(ctx, j.b, cfg)
+	wc.observeCompile(time.Since(tCompile))
 	if err != nil {
 		if ctx.Err() != nil {
 			// An aborted compile is cancellation, not an untransformable
@@ -350,6 +362,7 @@ func runJob(ctx context.Context, j *harnessJob, dev gpusim.DeviceConfig, simWork
 		}
 		rec.Skipped = err.Error()
 		rec.Remarks = rc.Remarks()
+		wc.observeRun(time.Since(tJob))
 		return rec, nil
 	}
 	rec.CompileMs = float64((cr.Stats.CompileTime - cr.Stats.VerifyTime).Microseconds()) / 1000
@@ -364,7 +377,9 @@ func runJob(ctx context.Context, j *harnessJob, dev gpusim.DeviceConfig, simWork
 		rec.Profile = prof
 		rec.Program = cr.Program
 	}
+	tSimulate := time.Now()
 	m, err := ExecuteWorkersProfiledCtx(ctx, cr, j.w, dev, j.ref, simWorkers, hopts.Trace, worker, prof)
+	wc.observeSimulate(time.Since(tSimulate))
 	if err != nil {
 		return nil, fmt.Errorf("bench %s %s loop %d u%d: %w", j.b.Name, j.cfg.Config, j.loopID, j.factor, err)
 	}
@@ -388,6 +403,7 @@ func runJob(ctx context.Context, j *harnessJob, dev gpusim.DeviceConfig, simWork
 	rec.Remarks = rc.Remarks()
 	logf("%-16s %-12s loop=%-3d u=%-2d %10.4f ms  code=%6d B  compile=%7.2f ms",
 		j.b.Name, j.cfg.Config, j.loopID, j.factor, rec.Millis, rec.CodeBytes, rec.CompileMs)
+	wc.observeRun(time.Since(tJob))
 	return rec, nil
 }
 

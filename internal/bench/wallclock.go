@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"uu/internal/telemetry"
+)
+
+// wallClockPhases lists the campaign wall-clock histograms in report
+// order: compile (frontend + pipeline + codegen per run), simulate
+// (gpusim execution per run), and run (one job end to end, verification
+// included).
+var wallClockPhases = []string{"compile", "simulate", "run"}
+
+// wallClocks are the histograms a campaign's worker pool records into —
+// the same log-linear telemetry.Histogram the compile service serves at
+// /metrics, so quantile semantics and error bounds match across the
+// daemon and the harness. Recording is atomic; a nil *wallClocks (and
+// the nil histograms inside) disables recording at zero cost, following
+// the repository's nil-sink discipline.
+type wallClocks struct {
+	compile  *telemetry.Histogram
+	simulate *telemetry.Histogram
+	run      *telemetry.Histogram
+}
+
+func newWallClocks() *wallClocks {
+	return &wallClocks{
+		compile:  telemetry.NewHistogram(),
+		simulate: telemetry.NewHistogram(),
+		run:      telemetry.NewHistogram(),
+	}
+}
+
+func (wc *wallClocks) observeCompile(d time.Duration) {
+	if wc == nil {
+		return
+	}
+	wc.compile.ObserveDuration(d)
+}
+
+func (wc *wallClocks) observeSimulate(d time.Duration) {
+	if wc == nil {
+		return
+	}
+	wc.simulate.ObserveDuration(d)
+}
+
+func (wc *wallClocks) observeRun(d time.Duration) {
+	if wc == nil {
+		return
+	}
+	wc.run.ObserveDuration(d)
+}
+
+// snapshots freezes the histograms for Results. Bucket contents are
+// identical for any worker count — only the wall-clock values inside
+// vary with machine load, never the set of runs recorded.
+func (wc *wallClocks) snapshots() map[string]*telemetry.HistSnapshot {
+	if wc == nil {
+		return nil
+	}
+	return map[string]*telemetry.HistSnapshot{
+		"compile":  wc.compile.Snapshot(),
+		"simulate": wc.simulate.Snapshot(),
+		"run":      wc.run.Snapshot(),
+	}
+}
+
+// WriteWallClock renders the campaign's wall-clock breakdown: one row
+// per phase with count, mean, and tail quantiles. This is throughput
+// telemetry about the harness itself (how long compiles and simulations
+// took on this machine, at this worker count) — not a paper artifact;
+// kernel-time speedups come from the simulator's deterministic metrics.
+func WriteWallClock(w io.Writer, r *Results) {
+	fmt.Fprintf(w, "Campaign wall-clock breakdown (device %s, input %s)\n", r.DeviceName, r.Input)
+	fmt.Fprintf(w, "%-10s %7s %10s %10s %10s %10s %10s\n", "phase", "count", "mean", "p50", "p95", "p99", "max")
+	names := wallClockPhases
+	if r.WallClock == nil {
+		fmt.Fprintln(w, "(no wall-clock histograms recorded)")
+		return
+	}
+	// Render any extra keys after the known ones, sorted, so the report
+	// never silently drops data.
+	known := map[string]bool{}
+	for _, n := range names {
+		known[n] = true
+	}
+	var extra []string
+	for n := range r.WallClock {
+		if !known[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range append(append([]string{}, names...), extra...) {
+		s := r.WallClock[name]
+		if s == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %7d %10s %10s %10s %10s %10s\n", name, s.Count,
+			fmtDur(time.Duration(int64(s.Mean()))),
+			fmtDur(time.Duration(s.Quantile(0.50))),
+			fmtDur(time.Duration(s.Quantile(0.95))),
+			fmtDur(time.Duration(s.Quantile(0.99))),
+			fmtDur(time.Duration(s.Max)))
+	}
+}
+
+// fmtDur renders a duration with an adaptive unit for the report table.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1e3)
+	}
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}

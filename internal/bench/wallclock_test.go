@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"uu/internal/telemetry"
+)
+
+// TestWallClockHistograms checks that a campaign records one wall-clock
+// sample per completed job: every job observes compile and run, and every
+// non-skipped job observes simulate.
+func TestWallClockHistograms(t *testing.T) {
+	res, err := RunExperiments(HarnessOptions{
+		Apps:    []string{"contract", "clink"},
+		Factors: []int{2},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallClock == nil {
+		t.Fatal("Results.WallClock not populated")
+	}
+	for _, name := range wallClockPhases {
+		if res.WallClock[name] == nil {
+			t.Fatalf("missing %q histogram", name)
+		}
+	}
+
+	total := int64(len(res.Baseline) + len(res.Heuristic) + len(res.PerLoop))
+	simulated := int64(len(res.Baseline) + len(res.Heuristic))
+	for _, rec := range res.PerLoop {
+		if rec.Skipped == "" {
+			simulated++
+		}
+	}
+	if got := res.WallClock["compile"].Count; got != total {
+		t.Errorf("compile count = %d, want %d (one per job)", got, total)
+	}
+	if got := res.WallClock["run"].Count; got != total {
+		t.Errorf("run count = %d, want %d (one per job)", got, total)
+	}
+	if got := res.WallClock["simulate"].Count; got != simulated {
+		t.Errorf("simulate count = %d, want %d (one per non-skipped job)", got, simulated)
+	}
+
+	// Quantiles must be ordered and bounded by the recorded max, and a run
+	// can never be shorter than its compile phase at every rank.
+	run := res.WallClock["run"]
+	p50, p99 := run.Quantile(0.50), run.Quantile(0.99)
+	if !(0 < p50 && p50 <= p99 && p99 <= run.Max) {
+		t.Errorf("run quantiles out of order: p50=%d p99=%d max=%d", p50, p99, run.Max)
+	}
+	if run.Sum < res.WallClock["compile"].Sum {
+		t.Errorf("total run time %d ns below total compile time %d ns", run.Sum, res.WallClock["compile"].Sum)
+	}
+}
+
+func TestWriteWallClockFormat(t *testing.T) {
+	// One synthetic snapshot set rather than a second campaign: the
+	// writer only needs populated histograms.
+	h := telemetry.NewHistogram()
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, 50 * time.Millisecond, 2 * time.Second} {
+		h.ObserveDuration(d)
+	}
+	snap := h.Snapshot()
+	res := &Results{
+		DeviceName: "V100",
+		Input:      InputCoherent,
+		WallClock: map[string]*telemetry.HistSnapshot{
+			"compile": snap, "simulate": snap, "run": snap,
+		},
+	}
+	var sb strings.Builder
+	WriteWallClock(&sb, res)
+	out := sb.String()
+	for _, want := range []string{
+		"Campaign wall-clock breakdown", "phase", "count", "p99",
+		"compile", "simulate", "run",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// A Results without histograms (e.g. decoded from an older artifact)
+	// must render the placeholder, not panic.
+	var empty strings.Builder
+	WriteWallClock(&empty, &Results{DeviceName: "V100", Input: InputCoherent})
+	if !strings.Contains(empty.String(), "no wall-clock histograms") {
+		t.Errorf("empty-results report missing placeholder:\n%s", empty.String())
+	}
+}

@@ -39,7 +39,7 @@ func TestChaosLoad(t *testing.T) {
 		total       = clients * perClient
 		p99BoundSec = 30.0
 	)
-	_, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 8, RetryAfter: time.Second})
+	s, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 8, RetryAfter: time.Second})
 
 	outcomes := make([]chaosOutcome, total)
 	var wg sync.WaitGroup
@@ -110,6 +110,40 @@ func TestChaosLoad(t *testing.T) {
 	}
 	t.Logf("chaos storm: %d requests over %d clients; outcomes %v; p50 %.1fms p99 %.1fms",
 		total, clients, byKind, p50, p99)
+
+	// Phase-attribution consistency: every request recorded an end-to-end
+	// and a frontend sample, and the end-to-end p99 is explained by the
+	// per-phase p99s within the tolerance docs/OBSERVABILITY.md documents
+	// (1.5× + 250 ms; phase histograms pool different request populations
+	// — compile/simulate come from pool executions only — so the sums are
+	// consistent, not exact).
+	// A disconnected client returns before its server-side handler wakes
+	// and records the 499, so give the histograms a moment to settle.
+	reqSnap := s.tel.request.Snapshot()
+	for settle := time.Now(); reqSnap.Count < total && time.Since(settle) < 10*time.Second; {
+		time.Sleep(50 * time.Millisecond)
+		reqSnap = s.tel.request.Snapshot()
+	}
+	if reqSnap.Count != total {
+		t.Errorf("request histogram saw %d samples, want %d", reqSnap.Count, total)
+	}
+	phases := s.tel.phaseSnapshots()
+	if fc := phases["frontend"].Count; fc != total {
+		t.Errorf("frontend phase saw %d samples, want %d (every request enters the frontend)", fc, total)
+	}
+	var sumPhaseP99 float64
+	for name, snap := range phases {
+		p := float64(snap.Quantile(0.99)) / 1e6
+		sumPhaseP99 += p
+		t.Logf("phase %s: n=%d p99 %.1fms", name, snap.Count, p)
+	}
+	e2eP99 := float64(reqSnap.Quantile(0.99)) / 1e6
+	if e2eP99 <= 0 {
+		t.Error("end-to-end p99 is zero after the storm")
+	}
+	if e2eP99 > 1.5*sumPhaseP99+250 {
+		t.Errorf("end-to-end p99 %.1fms is not explained by the summed phase p99s %.1fms (tolerance 1.5x + 250ms): unattributed time in the request path", e2eP99, sumPhaseP99)
+	}
 
 	// Zero process deaths: the very same server still serves.
 	resp, err := http.Get(ts.URL + "/healthz")

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestServeCounterNamesDocumented is the metrics-documentation lint for
@@ -30,6 +32,55 @@ func TestServeCounterNamesDocumented(t *testing.T) {
 	for _, name := range counterNames {
 		if _, ok := snap[name]; !ok {
 			t.Errorf("counterNames lists %q but snapshot never emits it", name)
+		}
+	}
+
+	// The same lint covers the /metrics histogram and gauge families and
+	// the phase label values.
+	for _, name := range histogramNames {
+		if !strings.Contains(string(doc), "`"+name+"`") {
+			t.Errorf("histogram %q is not documented in docs/METRICS.md", name)
+		}
+	}
+	for _, name := range gaugeNames {
+		if !strings.Contains(string(doc), "`"+name+"`") {
+			t.Errorf("gauge %q is not documented in docs/METRICS.md", name)
+		}
+	}
+	for _, name := range phaseNames {
+		if !strings.Contains(string(doc), "`"+name+"`") {
+			t.Errorf("phase %q is not documented in docs/METRICS.md", name)
+		}
+	}
+}
+
+// TestMetricsExpositionMatchesNameLists pins that every family in
+// histogramNames and gaugeNames (plus every counter) actually appears in
+// a live /metrics scrape — the lists and the registry can't drift.
+func TestMetricsExpositionMatchesNameLists(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	var sb strings.Builder
+	if err := s.tel.reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	scrape := sb.String()
+	var all []string
+	all = append(all, counterNames...)
+	all = append(all, histogramNames...)
+	all = append(all, gaugeNames...)
+	for _, name := range all {
+		if !strings.Contains(scrape, "# TYPE "+name+" ") {
+			t.Errorf("/metrics scrape missing family %q", name)
+		}
+	}
+	for _, name := range phaseNames {
+		if !strings.Contains(scrape, `phase="`+name+`"`) {
+			t.Errorf("/metrics scrape missing phase series %q", name)
 		}
 	}
 }

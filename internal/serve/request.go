@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"uu/internal/bench"
 	"uu/internal/codegen"
@@ -90,6 +91,7 @@ type HeuristicSpec struct {
 // Response is the POST /compile success body.
 type Response struct {
 	Key       string `json:"key"`
+	RequestID string `json:"request_id,omitempty"`
 	Cached    bool   `json:"cached"`
 	Coalesced bool   `json:"coalesced,omitempty"`
 
@@ -111,15 +113,47 @@ type Response struct {
 
 	RemarksYAML   string `json:"remarks_yaml,omitempty"`
 	ProfileFolded string `json:"profile_folded,omitempty"`
+
+	// Phases is the server-attributed per-phase timing breakdown; TraceJSON
+	// carries the request's own trace when ?trace=1 was set. Both are
+	// stamped per response at write time (never cached).
+	Phases    *Phases `json:"phases,omitempty"`
+	TraceJSON string  `json:"trace_json,omitempty"`
+
+	// execTM is the pool execution's timings, carried on the cached
+	// response so later cache hits attribute the compute that produced
+	// their result. Unexported: server-internal, never serialized.
+	execTM phaseTimings
+}
+
+// Phases is the per-phase wall-clock attribution a response and each
+// access-log line carry, in milliseconds. Frontend and resolve are this
+// request's own; admission, compile, and simulate belong to the pool
+// execution that produced the result (zero for a malformed request that
+// never reached the pool). EncodeMs is only known after the body is
+// written, so it appears in access-log lines and /metrics but is zero in
+// response bodies. TotalMs is the server-side wall clock from request
+// arrival to (for responses) just before encoding, or (in access logs)
+// the full request.
+type Phases struct {
+	FrontendMs  float64 `json:"frontend_ms"`
+	ResolveMs   float64 `json:"resolve_ms"`
+	AdmissionMs float64 `json:"admission_ms"`
+	CompileMs   float64 `json:"compile_ms"`
+	SimulateMs  float64 `json:"simulate_ms"`
+	EncodeMs    float64 `json:"encode_ms,omitempty"`
+	TotalMs     float64 `json:"total_ms"`
 }
 
 // Error is the structured error body every non-200 response carries:
-// machine-readable code, human-readable message. Status is the HTTP status
-// it was delivered with (set client-side; not serialized).
+// machine-readable code, human-readable message, and the request ID that
+// joins the failure to its access-log line and trace. Status is the HTTP
+// status it was delivered with (set client-side; not serialized).
 type Error struct {
-	Status int    `json:"-"`
-	Code   string `json:"code"`
-	Msg    string `json:"error"`
+	Status    int    `json:"-"`
+	Code      string `json:"code"`
+	Msg       string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("%s (%d): %s", e.Code, e.Status, e.Msg) }
@@ -342,28 +376,37 @@ func buildSpec(req *Request) (sp *spec, rerr *Error) {
 // runSpec executes a spec: pipeline, codegen, simulation, artifact
 // rendering. Cancellation (deadline expiry, all waiters gone, drain) stops
 // at the next pass or warp-block boundary and classifies through ctxError.
-func runSpec(ctx context.Context, sp *spec) (*Response, *Error) {
+// tm receives the compile and simulate wall clocks; tr, when non-nil, is
+// the leader's request trace — the pipeline's per-pass spans and the
+// simulator's events land on it.
+func runSpec(ctx context.Context, sp *spec, tm *phaseTimings, tr *remark.Trace) (*Response, *Error) {
 	opts := sp.opts
+	opts.Trace = tr
 	var col *remark.Collector
 	if sp.wantRemarks {
 		col = remark.NewCollector()
 		opts.Remarks = col
 	}
 	f := ir.Clone(sp.f)
+	tCompile := time.Now()
 	stats, err := pipeline.OptimizeCtx(ctx, f, opts)
 	if err != nil {
+		tm.Compile = time.Since(tCompile)
 		return nil, classify(err, "compile-failed")
 	}
-	prog, err := codegen.Lower(f)
-	if err != nil {
-		return nil, &Error{Status: 422, Code: "compile-failed", Msg: err.Error()}
+	prog, lowerErr := codegen.Lower(f)
+	tm.Compile = time.Since(tCompile)
+	if lowerErr != nil {
+		return nil, &Error{Status: 422, Code: "compile-failed", Msg: lowerErr.Error()}
 	}
 	var prof *gpusim.Profile
 	if sp.wantProfile {
 		prof = gpusim.NewProfile(prog)
 	}
 	mem := sp.newMem()
-	m, err := gpusim.RunWorkersProfiledCtx(ctx, prog, sp.args, mem, sp.launch, sp.dev, sp.simWorkers, nil, 0, prof)
+	tSimulate := time.Now()
+	m, err := gpusim.RunWorkersProfiledCtx(ctx, prog, sp.args, mem, sp.launch, sp.dev, sp.simWorkers, tr, 0, prof)
+	tm.Simulate = time.Since(tSimulate)
 	if err != nil {
 		return nil, classify(err, "exec-failed")
 	}

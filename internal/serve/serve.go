@@ -13,6 +13,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"uu/internal/remark"
+	"uu/internal/telemetry"
 )
 
 // Options configures a Server. The zero value picks sensible defaults.
@@ -40,6 +43,19 @@ type Options struct {
 	// Log, when non-nil, receives one line per lifecycle event (start,
 	// drain, stats flush).
 	Log io.Writer
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// /compile request, carrying the request ID, outcome, and per-phase
+	// timings (see docs/OBSERVABILITY.md).
+	AccessLog io.Writer
+	// TraceSample enables request-scoped tracing for every N-th /compile
+	// request (1 = every request, 0 = off). Sampled traces are kept in a
+	// small ring served by GET /trace; any single request can force its
+	// own full trace with ?trace=1 regardless of the sample rate.
+	TraceSample int
+	// DisableTelemetry turns the metrics layer off: no histograms, no
+	// gauges, and GET /metrics returns 404. The disabled hot path costs
+	// one nil check per record site and zero allocations.
+	DisableTelemetry bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -128,13 +144,21 @@ type flight struct {
 	waiters  int
 	finished bool
 	cancel   context.CancelFunc
+	// tm carries the pool execution's phase timings (admission wait,
+	// compile, simulate); written by the worker before done closes, so
+	// every waiter can attribute the compute that produced its result.
+	tm phaseTimings
+	// tr is the leader's request trace, when the leader is traced: the
+	// execution's pipeline and simulator spans land on it.
+	tr *remark.Trace
 }
 
 // job is one queued pool execution.
 type job struct {
-	fl  *flight
-	sp  *spec
-	ctx context.Context
+	fl       *flight
+	sp       *spec
+	ctx      context.Context
+	enqueued time.Time // admission wait = pickup − enqueued
 }
 
 // Server is the daemon core. Create with New, expose via Handler, shut
@@ -156,6 +180,16 @@ type Server struct {
 	workers  sync.WaitGroup
 
 	c counters
+
+	// Observability: the metrics registry (nil when disabled), the
+	// request-ID sequence and epoch prefix, the sampled-trace ring, and
+	// the access-log serialization lock.
+	tel      *serveTelemetry
+	reqSeq   atomic.Int64
+	idEpoch  string
+	traceMu  sync.Mutex
+	traces   []storedTrace
+	accessMu sync.Mutex
 }
 
 // New builds a Server and starts its worker pool.
@@ -169,6 +203,10 @@ func New(opts Options) *Server {
 		queue:      make(chan *job, o.QueueDepth),
 		flights:    make(map[string]*flight),
 		cache:      newLRU(o.CacheEntries),
+		idEpoch:    fmt.Sprintf("%06x", time.Now().UnixNano()&0xffffff),
+	}
+	if !o.DisableTelemetry {
+		s.tel = newServeTelemetry(s)
 	}
 	s.workers.Add(o.Workers)
 	for i := 0; i < o.Workers; i++ {
@@ -178,12 +216,20 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the HTTP mux: POST /compile, GET /stats, GET /healthz.
+// Handler returns the HTTP mux: POST /compile (append ?trace=1 for a
+// request-scoped trace in the response), GET /stats (JSON, including
+// per-phase quantiles), GET /metrics (Prometheus text exposition), GET
+// /trace (most recent sampled trace, or ?id=<request_id>), and the
+// probes — GET /healthz (liveness: 200 while the process runs, drain
+// included) and GET /readyz (readiness: flips to 503 during drain).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -233,12 +279,22 @@ func (s *Server) Drain(ctx context.Context) map[string]int64 {
 // Draining reports whether Drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// handleHealthz is the liveness probe: 200 for as long as the process
+// serves HTTP, drain included — killing a pod mid-drain would lose the
+// very work Drain exists to finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, 200, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: it flips to 503 the moment Drain
+// begins, so load balancers stop routing new work while /metrics and
+// in-flight responses keep flowing.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, &Error{Status: 503, Code: "draining", Msg: "server is draining"}, s.opts.RetryAfter)
 		return
 	}
-	writeJSON(w, 200, map[string]string{"status": "ok"})
+	writeJSON(w, 200, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -246,56 +302,97 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	flights := len(s.flights)
 	cached := s.cache.len()
 	s.mu.Unlock()
-	writeJSON(w, 200, map[string]any{
+	stats := map[string]any{
 		"counters":      s.c.snapshot(),
 		"queue_depth":   len(s.queue),
 		"queue_cap":     cap(s.queue),
 		"inflight":      flights,
 		"cache_entries": cached,
 		"draining":      s.draining.Load(),
-	})
+	}
+	if s.tel != nil {
+		stats["gauges"] = map[string]int64{
+			"serve_inflight_requests":   s.tel.inflightRequests.Value(),
+			"serve_inflight_executions": s.tel.inflightExecutions.Value(),
+		}
+		phases := map[string]any{}
+		for name, snap := range s.tel.phaseSnapshots() {
+			phases[name] = quantileBlock(snap)
+		}
+		stats["phases"] = phases
+		stats["request"] = quantileBlock(s.tel.request.Snapshot())
+	}
+	writeJSON(w, 200, stats)
+}
+
+// quantileBlock renders one histogram's latency summary for /stats, in
+// milliseconds (recorded values are nanoseconds).
+func quantileBlock(snap *telemetry.HistSnapshot) map[string]any {
+	return map[string]any{
+		"count":   snap.Count,
+		"mean_ms": snap.Mean() / 1e6,
+		"p50_ms":  float64(snap.Quantile(0.50)) / 1e6,
+		"p95_ms":  float64(snap.Quantile(0.95)) / 1e6,
+		"p99_ms":  float64(snap.Quantile(0.99)) / 1e6,
+		"max_ms":  float64(snap.Max) / 1e6,
+	}
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.c.requests.Add(1)
+	st := s.newReqState(r)
+	s.tel.requestStarted()
+	defer s.tel.requestEnded()
 	if r.Method != http.MethodPost {
-		writeError(w, &Error{Status: 405, Code: "bad-request", Msg: "POST only"}, 0)
+		st.fail(w, &Error{Status: 405, Code: "bad-request", Msg: "POST only"}, 0)
 		return
 	}
 	if s.draining.Load() {
-		writeError(w, &Error{Status: 503, Code: "draining", Msg: "server is draining"}, s.opts.RetryAfter)
+		st.fail(w, &Error{Status: 503, Code: "draining", Msg: "server is draining"}, s.opts.RetryAfter)
 		return
 	}
 
+	// Frontend phase: body decode, kernel frontend, fingerprinting.
+	tFrontend := time.Now()
 	var req Request
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		st.tm.Frontend = time.Since(tFrontend)
 		s.c.malformed.Add(1)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, &Error{Status: 413, Code: "oversized", Msg: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)}, 0)
+			st.fail(w, &Error{Status: 413, Code: "oversized", Msg: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)}, 0)
 			return
 		}
-		writeError(w, &Error{Status: 400, Code: "malformed", Msg: err.Error()}, 0)
+		st.fail(w, &Error{Status: 400, Code: "malformed", Msg: err.Error()}, 0)
 		return
 	}
 	sp, rerr := buildSpec(&req)
+	st.tm.Frontend = time.Since(tFrontend)
+	st.span("frontend", tFrontend, st.tm.Frontend)
 	if rerr != nil {
 		s.c.malformed.Add(1)
-		writeError(w, rerr, 0)
+		st.fail(w, rerr, 0)
 		return
 	}
+	st.key, st.app = sp.key, sp.app
 
-	// Cache and singleflight decisions are one critical section: either the
-	// key is cached, or there is a flight to join, or this request becomes
-	// the leader of a new one.
+	// Resolve phase — cache and singleflight decisions are one critical
+	// section: either the key is cached, or there is a flight to join, or
+	// this request becomes the leader of a new one. A leader's resolve
+	// phase ends at enqueue (its wait is the admission phase); a
+	// follower's runs until the leader's result arrives.
+	tResolve := time.Now()
 	s.mu.Lock()
 	if res, ok := s.cache.get(sp.key); ok {
 		s.mu.Unlock()
 		s.c.cacheHits.Add(1)
+		st.tm.Resolve = time.Since(tResolve)
+		st.span("resolve", tResolve, st.tm.Resolve)
 		out := *res
 		out.Cached = true
-		writeJSON(w, 200, &out)
+		st.exec = &out.execTM // attribute the compute that filled the cache
+		st.respond(w, &out)
 		return
 	}
 	fl, joined := s.flights[sp.key]
@@ -307,10 +404,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// flight (and bump inflight) after Drain began waiting.
 		if s.draining.Load() {
 			s.mu.Unlock()
-			writeError(w, &Error{Status: 503, Code: "draining", Msg: "server is draining"}, s.opts.RetryAfter)
+			st.fail(w, &Error{Status: 503, Code: "draining", Msg: "server is draining"}, s.opts.RetryAfter)
 			return
 		}
-		fl = &flight{key: sp.key, done: make(chan struct{}), waiters: 1}
+		fl = &flight{key: sp.key, done: make(chan struct{}), waiters: 1, tr: st.tr}
 		s.flights[sp.key] = fl
 		s.inflight.Add(1)
 	}
@@ -327,7 +424,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
 		fl.cancel = cancel
 		select {
-		case s.queue <- &job{fl: fl, sp: sp, ctx: ctx}:
+		case s.queue <- &job{fl: fl, sp: sp, ctx: ctx, enqueued: time.Now()}:
 		default:
 			// Queue full: shed. The flight fails for every waiter that
 			// already joined; Retry-After plus the client's jittered
@@ -336,6 +433,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			s.c.shed.Add(1)
 			s.finish(fl, nil, &Error{Status: 429, Code: "shed", Msg: "admission queue full"})
 		}
+		st.tm.Resolve = time.Since(tResolve)
+		st.span("resolve", tResolve, st.tm.Resolve)
 	} else {
 		s.c.coalesced.Add(1)
 	}
@@ -346,15 +445,24 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// Client gone: leave the flight. The last waiter out cancels the
 		// compute so abandoned work stops promptly.
 		s.dropWaiter(fl)
+		st.disconnected()
 		return
 	}
+	if joined {
+		st.tm.Resolve = time.Since(tResolve)
+		st.span("resolve", tResolve, st.tm.Resolve)
+	}
+	st.exec = &fl.tm
 	if fl.err != nil {
-		writeError(w, fl.err, s.opts.RetryAfter)
+		// Copy the shared flight error: each waiter's response body is
+		// stamped with its own request ID.
+		e := *fl.err
+		st.fail(w, &e, s.opts.RetryAfter)
 		return
 	}
 	out := *fl.res
 	out.Coalesced = joined
-	writeJSON(w, 200, &out)
+	st.respond(w, &out)
 }
 
 // dropWaiter unregisters a disconnected waiter; when the last one leaves an
@@ -404,7 +512,16 @@ func (s *Server) worker() {
 				}
 			}
 		case j := <-s.queue:
+			j.fl.tm.Admission = time.Since(j.enqueued)
+			if j.fl.tr != nil {
+				j.fl.tr.Complete(0, "phase:admission", "serve", j.enqueued, j.fl.tm.Admission, nil)
+			}
+			s.tel.executionStarted()
 			res, rerr := s.execute(j)
+			s.tel.executionEnded()
+			s.tel.phase("admission", j.fl.tm.Admission)
+			s.tel.phase("compile", j.fl.tm.Compile)
+			s.tel.phase("simulate", j.fl.tm.Simulate)
 			switch {
 			case rerr == nil:
 			case rerr.Code == "deadline":
@@ -415,6 +532,12 @@ func (s *Server) worker() {
 				s.c.panics.Add(1)
 			default:
 				s.c.failed.Add(1)
+			}
+			if res != nil {
+				// Stamp the execution's timings onto the cached response so
+				// later cache hits can attribute the compute that produced
+				// their result.
+				res.execTM = j.fl.tm
 			}
 			s.finish(j.fl, res, rerr)
 			s.inflight.Done()
@@ -441,7 +564,7 @@ func (s *Server) execute(j *job) (res *Response, rerr *Error) {
 		s.opts.OnCompile(j.sp.key)
 	}
 	s.c.compiles.Add(1)
-	return runSpec(j.ctx, j.sp)
+	return runSpec(j.ctx, j.sp, &j.fl.tm, j.fl.tr)
 }
 
 func (s *Server) logf(format string, a ...any) {

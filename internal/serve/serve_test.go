@@ -295,7 +295,9 @@ func TestStatsEndpoint(t *testing.T) {
 }
 
 // TestDrainRejectsNewWork pins the drain contract: after Drain begins, new
-// compile requests and health checks get structured 503s.
+// compile requests and the readiness probe get structured 503s while the
+// liveness probe stays 200 — killing a pod mid-drain would lose the very
+// work Drain exists to finish.
 func TestDrainRejectsNewWork(t *testing.T) {
 	s := New(Options{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
@@ -320,13 +322,21 @@ func TestDrainRejectsNewWork(t *testing.T) {
 	if err := json.Unmarshal(data, &e); err != nil || e.Code != "draining" {
 		t.Fatalf("post-drain body %q, want code \"draining\"", data)
 	}
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != 503 {
-		t.Fatalf("post-drain healthz: status %d, want 503", resp.StatusCode)
+		t.Fatalf("post-drain readyz: status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-drain healthz: status %d, want 200 (liveness, not readiness)", resp.StatusCode)
 	}
 }
 
